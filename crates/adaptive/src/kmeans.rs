@@ -1,0 +1,184 @@
+//! Seeded 2-D k-means with k-means++ initialization.
+
+use cgx_tensor::Rng;
+
+/// Output of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centers.
+    pub centroids: Vec<(f64, f64)>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+/// Clusters `points` into `k` groups (Lloyd's algorithm, k-means++ seeding,
+/// at most `max_iters` rounds). Deterministic for a given `rng` state.
+///
+/// Empty clusters are re-seeded on the point farthest from its centroid.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k` is zero, or `k > points.len()`.
+pub fn kmeans(points: &[(f64, f64)], k: usize, rng: &mut Rng, max_iters: usize) -> KMeansResult {
+    assert!(!points.is_empty(), "no points to cluster");
+    assert!(k >= 1 && k <= points.len(), "invalid k={k} for {} points", points.len());
+    // k-means++ init.
+    let mut centroids: Vec<(f64, f64)> = Vec::with_capacity(k);
+    centroids.push(points[rng.index(points.len())]);
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(*p, *c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick any.
+            points[rng.index(points.len())]
+        } else {
+            points[rng.categorical(&weights)]
+        };
+        centroids.push(next);
+    }
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(*p, centroids[a])
+                        .partial_cmp(&dist2(*p, centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            sums[a].0 += p.0;
+            sums[a].1 += p.1;
+            sums[a].2 += 1;
+        }
+        for (c, s) in centroids.iter_mut().zip(&sums) {
+            if s.2 > 0 {
+                *c = (s.0 / s.2 as f64, s.1 / s.2 as f64);
+            }
+        }
+        // Re-seed empty clusters on the worst-fit point.
+        for ci in 0..k {
+            if sums[ci].2 == 0 {
+                let worst = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| {
+                        dist2(**a, centroids[assignment[*ia]])
+                            .partial_cmp(&dist2(**b, centroids[assignment[*ib]]))
+                            .expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                centroids[ci] = points[worst];
+            }
+        }
+    }
+    KMeansResult {
+        centroids,
+        assignment,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut points = Vec::new();
+        for _ in 0..30 {
+            points.push((rng.normal() * 0.1, rng.normal() * 0.1));
+        }
+        for _ in 0..30 {
+            points.push((10.0 + rng.normal() * 0.1, rng.normal() * 0.1));
+        }
+        let r = kmeans(&points, 2, &mut rng, 100);
+        // All of the first 30 in one cluster, the rest in the other.
+        let c0 = r.assignment[0];
+        assert!(r.assignment[..30].iter().all(|a| *a == c0));
+        assert!(r.assignment[30..].iter().all(|a| *a != c0));
+    }
+
+    #[test]
+    fn assignment_is_valid_and_total() {
+        let mut rng = Rng::seed_from_u64(2);
+        let points: Vec<(f64, f64)> = (0..50)
+            .map(|_| (rng.uniform(), rng.uniform()))
+            .collect();
+        let r = kmeans(&points, 5, &mut rng, 50);
+        assert_eq!(r.assignment.len(), 50);
+        assert!(r.assignment.iter().all(|a| *a < 5));
+        assert_eq!(r.centroids.len(), 5);
+        // Every cluster is non-empty after re-seeding logic.
+        for c in 0..5 {
+            assert!(r.assignment.contains(&c), "cluster {c} empty");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let points: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 7) as f64, (i % 5) as f64))
+            .collect();
+        let a = kmeans(&points, 3, &mut Rng::seed_from_u64(7), 100);
+        let b = kmeans(&points, 3, &mut Rng::seed_from_u64(7), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_points_gives_singletons() {
+        let points = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        let mut rng = Rng::seed_from_u64(3);
+        let r = kmeans(&points, 3, &mut rng, 50);
+        let mut clusters = r.assignment.clone();
+        clusters.sort_unstable();
+        clusters.dedup();
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let points = vec![(1.0, 1.0); 10];
+        let mut rng = Rng::seed_from_u64(4);
+        let r = kmeans(&points, 3, &mut rng, 50);
+        assert_eq!(r.assignment.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k")]
+    fn oversized_k_panics() {
+        kmeans(&[(0.0, 0.0)], 2, &mut Rng::seed_from_u64(1), 10);
+    }
+}

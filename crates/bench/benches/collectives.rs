@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the threaded collectives: wall-clock of one
+//! Allreduce across 4 worker threads per reduction scheme, FP32 vs 4-bit.
+//!
+//! These measure the *functional plane* (real shared-memory transfers and
+//! real compression), complementing the analytic cost models of
+//! `cgx-simnet`.
+
+use cgx_collectives::reduce::{allreduce, Algorithm};
+use cgx_collectives::ThreadCluster;
+use cgx_compress::{Compressor, CompressionScheme};
+use cgx_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use std::hint::black_box;
+
+const WORLD: usize = 4;
+const LEN: usize = 1 << 18; // 256k floats = 1 MB
+
+fn run_once(alg: Algorithm, scheme: CompressionScheme) {
+    let out = ThreadCluster::run(WORLD, |t| {
+        let mut rng = Rng::seed_from_u64(t.rank() as u64);
+        let grad = Tensor::randn(&mut rng, &[LEN]);
+        let mut comp: Box<dyn Compressor> = scheme.build();
+        allreduce(alg, &t, &grad, comp.as_mut(), &mut rng)
+            .unwrap()
+            .0
+    })
+    .unwrap();
+    black_box(out);
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce-4workers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(LEN as u64));
+        for alg in Algorithm::all() {
+        group.bench_with_input(BenchmarkId::new("fp32", format!("{alg:?}")), &alg, |b, a| {
+            b.iter(|| run_once(*a, CompressionScheme::None));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("qsgd-4b", format!("{alg:?}")),
+            &alg,
+            |b, a| {
+                b.iter(|| run_once(*a, CompressionScheme::cgx_default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the compression kernels (paper
+//! Appendix A: compression must run "at line rate").
+//!
+//! Measures element throughput of quantization encode/decode at the bit
+//! widths the adaptive policies use, TopK selection, PowerSGD
+//! factorization, and the raw bit-packer.
+
+use cgx_compress::{
+    BitReader, BitWriter, Compressor, PowerSgdCompressor, QsgdCompressor, TopKCompressor,
+};
+use cgx_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use std::hint::black_box;
+
+const N: usize = 1 << 20; // 1M elements = 4 MB fp32
+
+fn bench_qsgd(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let grad = Tensor::randn(&mut rng, &[N]);
+    let mut group = c.benchmark_group("qsgd");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    for (bits, bucket) in [(2u32, 1024usize), (4, 128), (8, 64)] {
+        let mut comp = QsgdCompressor::new(bits, bucket);
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{bits}b-{bucket}")),
+            &grad,
+            |b, g| {
+                b.iter(|| black_box(comp.compress(black_box(g), &mut rng)));
+            },
+        );
+        let enc = comp.compress(&grad, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("{bits}b-{bucket}")),
+            &enc,
+            |b, e| {
+                b.iter(|| black_box(comp.decompress(black_box(e))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(2);
+    let grad = Tensor::randn(&mut rng, &[N]);
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    for ratio in [0.01, 0.1] {
+        let mut comp = TopKCompressor::new(ratio);
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{}%", ratio * 100.0)),
+            &grad,
+            |b, g| {
+                b.iter(|| black_box(comp.compress(black_box(g), &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_powersgd(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(3);
+    let grad = Tensor::randn(&mut rng, &[1024, 1024]);
+    let mut group = c.benchmark_group("powersgd");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements((1024 * 1024) as u64));
+    for rank in [1usize, 4] {
+        let mut comp = PowerSgdCompressor::new(rank);
+        group.bench_with_input(BenchmarkId::new("factorize", rank), &grad, |b, g| {
+            b.iter(|| black_box(comp.compress(black_box(g), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitpack");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("write-4bit", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(N / 2);
+            for i in 0..N {
+                w.write_bits((i % 16) as u32, 4);
+            }
+            black_box(w.finish())
+        });
+    });
+    let bytes = {
+        let mut w = BitWriter::with_capacity(N / 2);
+        for i in 0..N {
+            w.write_bits((i % 16) as u32, 4);
+        }
+        w.finish()
+    };
+    group.bench_function("read-4bit", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += r.read_bits(4) as u64;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsgd, bench_topk, bench_powersgd, bench_bitpack);
+criterion_main!(benches);

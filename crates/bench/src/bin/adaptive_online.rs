@@ -1,0 +1,61 @@
+//! Online adaptation over a training session (paper Section 5: "these
+//! parameters can be adapted during training"): the controller re-profiles
+//! gradient statistics periodically and re-solves the assignment problem;
+//! as gradient magnitudes decay, the feasible region widens and the
+//! controller can compress harder.
+
+use cgx_adaptive::{AdaptiveOptions, AdaptivePolicy};
+use cgx_bench::{fmt_ms, note, render_table};
+use cgx_core::session_sim::simulate_adaptive_session;
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+
+fn main() {
+    let cluster = MachineSpec::genesis_cluster();
+    let report = simulate_adaptive_session(
+        &cluster,
+        ModelId::TransformerXl,
+        AdaptivePolicy::KMeans,
+        &AdaptiveOptions::default(),
+        2000,
+        250,
+        7,
+    );
+    let rows: Vec<Vec<String>> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            let mut hist = std::collections::BTreeMap::new();
+            for b in &e.assignment.bits {
+                *hist.entry(*b).or_insert(0usize) += 1;
+            }
+            let hist_s = hist
+                .iter()
+                .map(|(b, c)| format!("{b}b x{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            vec![
+                e.start_step.to_string(),
+                format!("{:.2}", e.size_ratio),
+                format!("{:.2}", e.error_ratio),
+                fmt_ms(e.step_seconds),
+                hist_s,
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Online adaptive compression: Transformer-XL on the 4x4x3090 cluster (KMEANS, period 250)",
+            &["step", "size vs 4-bit", "error vs 4-bit", "step time", "bit histogram"],
+            &rows,
+        )
+    );
+    println!(
+        "\nend-to-end: adaptive {:.1} s vs static 4-bit {:.1} s -> {:.2}x speedup over the whole run",
+        report.adaptive_seconds,
+        report.static_seconds,
+        report.speedup()
+    );
+    note("re-profiling is cheap (closed-form statistics) and keeps every epoch inside the alpha error budget.");
+}

@@ -1,0 +1,96 @@
+//! CSV exporter for the headline data series (plot-ready).
+//!
+//! Usage: `cargo run --release -p cgx-bench --bin export_csv [fig1|fig3|table5]`
+//! (default: all, concatenated with `# section` headers).
+
+use cgx_core::estimate::{estimate, SystemSetup};
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+
+fn fig1() {
+    println!("# fig1: step_seconds vs compression gamma, 8x RTX 3090");
+    println!("model,gamma,step_seconds,ideal_seconds");
+    let machine = MachineSpec::rtx3090();
+    for model in ModelId::all() {
+        let ideal = estimate(&machine, model, &SystemSetup::Ideal)
+            .report
+            .step_seconds;
+        for gamma in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+            let e = estimate(&machine, model, &SystemSetup::Fake { gamma });
+            println!(
+                "{model},{gamma},{:.6},{:.6}",
+                e.report.step_seconds, ideal
+            );
+        }
+    }
+}
+
+fn fig3() {
+    println!("# fig3: throughput (items/s) per machine/model/setup/gpus");
+    println!("machine,model,setup,gpus,throughput,scaling");
+    for machine in MachineSpec::table2_systems() {
+        for model in [
+            ModelId::ResNet50,
+            ModelId::TransformerXl,
+            ModelId::VitBase,
+            ModelId::BertBase,
+        ] {
+            for gpus in [1usize, 2, 4, 8] {
+                let m = machine.with_gpus(gpus);
+                for (name, setup) in [
+                    ("nccl", SystemSetup::BaselineNccl),
+                    (
+                        "qnccl",
+                        SystemSetup::Qnccl {
+                            bits: 4,
+                            bucket_size: 128,
+                        },
+                    ),
+                    ("cgx", SystemSetup::cgx()),
+                    ("ideal", SystemSetup::Ideal),
+                ] {
+                    let e = estimate(&m, model, &setup);
+                    println!(
+                        "{},{model},{name},{gpus},{:.1},{:.4}",
+                        machine.name(),
+                        e.throughput,
+                        e.scaling
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn table5() {
+    println!("# table5: multi-node throughput (items/s)");
+    println!("model,setup,throughput");
+    let cluster = MachineSpec::genesis_cluster();
+    for model in [
+        ModelId::ResNet50,
+        ModelId::VitBase,
+        ModelId::TransformerXl,
+        ModelId::BertBase,
+    ] {
+        for (name, setup) in [
+            ("nccl", SystemSetup::BaselineNccl),
+            ("cgx", SystemSetup::cgx()),
+        ] {
+            let e = estimate(&cluster, model, &setup);
+            println!("{model},{name},{:.1}", e.throughput);
+        }
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("fig1") => fig1(),
+        Some("fig3") => fig3(),
+        Some("table5") => table5(),
+        _ => {
+            fig1();
+            fig3();
+            table5();
+        }
+    }
+}

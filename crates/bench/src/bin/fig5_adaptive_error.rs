@@ -1,0 +1,55 @@
+//! Figure 5: adaptive compression approaches compared on (a) compression
+//! error and (b) compressed size, both relative to the uniform static 4-bit
+//! assignment, on the Transformer-XL layer profile.
+//!
+//! Paper shape: KMEANS shows the lowest error with the best compression;
+//! Bayes is stable but slightly worse; Linear compresses blindly.
+
+use cgx_adaptive::{AdaptiveOptions, AdaptivePolicy};
+use cgx_bench::{note, render_table};
+use cgx_core::adaptive::adaptive_compression_for;
+use cgx_models::{ModelId, ModelSpec};
+
+fn main() {
+    let model = ModelSpec::build(ModelId::TransformerXl);
+    let policies: Vec<(&str, AdaptivePolicy)> = vec![
+        ("KMEANS", AdaptivePolicy::KMeans),
+        ("Bayes", AdaptivePolicy::BayesOpt { trials: 300 }),
+        ("Linear", AdaptivePolicy::Linear),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let out = adaptive_compression_for(&model, policy, &AdaptiveOptions::default(), 2, 7);
+        // Bit histogram for readability.
+        let mut hist = std::collections::BTreeMap::new();
+        for b in &out.assignment.bits {
+            *hist.entry(*b).or_insert(0usize) += 1;
+        }
+        let hist_s = hist
+            .iter()
+            .map(|(b, c)| format!("{b}b x{c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", out.error_ratio_vs_static4),
+            format!("{:.2}", out.size_ratio_vs_static4),
+            hist_s,
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Figure 5: adaptive schemes vs static 4-bit (Transformer-XL profile)",
+            &[
+                "scheme",
+                "error ratio (5a)",
+                "size ratio (5b)",
+                "bit assignment",
+            ],
+            &rows,
+        )
+    );
+    note("ratios are relative to uniform static 4-bit; error stays within the alpha=2 budget.");
+    note("paper Table 7 compression column: KMEANS 0.68, Bayes 0.65, Linear 0.53.");
+}

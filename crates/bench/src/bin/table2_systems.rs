@@ -1,0 +1,44 @@
+//! Table 2: system characteristics of the evaluation workstations, plus the
+//! calibrated effective bandwidths the simulator derives from them.
+
+use cgx_bench::{note, render_table};
+use cgx_simnet::{CommBackend, MachineSpec};
+
+fn main() {
+    let rows: Vec<Vec<String>> = MachineSpec::table2_systems()
+        .iter()
+        .map(|m| {
+            let n = m.gpus_per_node() as f64;
+            let nccl_algbw = m.baseline_stream_bandwidth() * n / (2.0 * (n - 1.0));
+            let shm_algbw = m.stream_bandwidth(CommBackend::Shm) * n / (2.0 * (n - 1.0));
+            let topo_ring = m.topology().ring_allreduce_algbw();
+            vec![
+                m.name().to_string(),
+                format!("{}x{}", m.gpus_per_node(), m.gpu()),
+                m.topology().name().to_string(),
+                format!("{:.1} GB/s", m.topology().p2p_bandwidth(0, 1) / 1e9),
+                format!("{:.1} GB/s", nccl_algbw / 1e9),
+                format!("{:.1} GB/s", shm_algbw / 1e9),
+                format!("{:.1} GB/s", topo_ring / 1e9),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 2: evaluation systems",
+            &[
+                "System",
+                "GPUs",
+                "Interconnect",
+                "p2p BW (adjacent)",
+                "NCCL Allreduce algbw",
+                "CGX/SHM algbw",
+                "topology ring algbw",
+            ],
+            &rows,
+        )
+    );
+    note("paper: DGX-1/A6000 ~100 GB/s Allreduce; RTX boxes 13-16 GB/s p2p but ~1-1.5 GB/s Allreduce.");
+    note("'topology ring algbw' is derived structurally from the device graph (contention analysis).");
+}

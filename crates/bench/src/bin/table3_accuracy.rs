@@ -1,0 +1,218 @@
+//! Table 3: accuracy recovery — baseline (FP32) vs CGX (4-bit quantization
+//! with layer filters) end-to-end training.
+//!
+//! Substitution (DESIGN.md): ImageNet/WikiText/SQuAD become synthetic
+//! Gaussian-mixture classification and Markov-chain language modelling, and
+//! the models become MLP classifiers / embedding LMs — but the training is
+//! *real*: 4 worker threads exchanging genuinely compressed gradients
+//! through the threaded collectives. The Table 3 criterion carries over
+//! directly: CGX accuracy within 1% (perplexity within ~2%) of baseline.
+
+use cgx_bench::{note, render_table};
+use cgx_engine::data::{GaussianMixture, MarkovChainLm};
+use cgx_engine::nn::{EmbeddingLm, Mlp};
+use cgx_engine::{train_data_parallel, AttentionLm, LayerCompression, TrainConfig};
+use cgx_tensor::Rng;
+
+const WORKERS: usize = 4;
+
+#[allow(clippy::too_many_arguments)]
+fn classification_row(
+    name: &str,
+    dims: &[usize],
+    classes: usize,
+    feat: usize,
+    sep: f64,
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> Vec<String> {
+    let task = GaussianMixture::new(classes, feat, sep);
+    let mut rng = Rng::seed_from_u64(seed);
+    let model = Mlp::new(&mut rng, dims);
+    let run = |compression: LayerCompression, cfg_seed: u64| {
+        let cfg = TrainConfig {
+            lr,
+            compression,
+            seed: cfg_seed,
+            ..TrainConfig::new(WORKERS, steps)
+        };
+        let t = task.clone();
+        let (trained, _) =
+            train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg).unwrap();
+        let mut eval_rng = Rng::seed_from_u64(777);
+        let (x, y) = task.sample_batch(&mut eval_rng, 2048);
+        trained.accuracy(&x, &y) * 100.0
+    };
+    // Three seeds, like the paper's +- reporting.
+    let mut base = Vec::new();
+    let mut cgx = Vec::new();
+    for s in [1234u64, 5678, 9012] {
+        base.push(run(LayerCompression::none(), s));
+        cgx.push(run(LayerCompression::cgx_default(), s));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let spread = |v: &[f64]| {
+        let m = mean(v);
+        v.iter().map(|x| (x - m).abs()).fold(0.0f64, f64::max)
+    };
+    vec![
+        name.to_string(),
+        "top-1 %".into(),
+        format!("{:.1} ± {:.1}", mean(&base), spread(&base)),
+        format!("{:.1} ± {:.1}", mean(&cgx), spread(&cgx)),
+        format!("{:+.2}", mean(&cgx) - mean(&base)),
+    ]
+}
+
+fn lm_row(name: &str, vocab: usize, dim: usize, skew: f64, steps: usize, seed: u64) -> Vec<String> {
+    let chain = MarkovChainLm::new(vocab, skew, seed);
+    let mut rng = Rng::seed_from_u64(seed + 1);
+    let model = EmbeddingLm::new(&mut rng, vocab, dim);
+    let run = |compression: LayerCompression, cfg_seed: u64| {
+        let cfg = TrainConfig {
+            lr: 0.5,
+            clip: Some(5.0),
+            compression,
+            seed: cfg_seed,
+            ..TrainConfig::new(WORKERS, steps)
+        };
+        let c = chain.clone();
+        let (trained, _) =
+            train_data_parallel(&model, move |r| c.sample_batch(r, 32), &cfg).unwrap();
+        let mut eval_rng = Rng::seed_from_u64(777);
+        let (ctx, tgt) = chain.sample_batch(&mut eval_rng, 4000);
+        trained.perplexity(&ctx, &tgt)
+    };
+    let mut base = Vec::new();
+    let mut cgx = Vec::new();
+    for s in [1234u64, 5678, 9012] {
+        base.push(run(LayerCompression::none(), s));
+        cgx.push(run(LayerCompression::cgx_default(), s));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let spread = |v: &[f64]| {
+        let m = mean(v);
+        v.iter().map(|x| (x - m).abs()).fold(0.0f64, f64::max)
+    };
+    vec![
+        name.to_string(),
+        "perplexity".into(),
+        format!("{:.2} ± {:.2}", mean(&base), spread(&base)),
+        format!("{:.2} ± {:.2}", mean(&cgx), spread(&cgx)),
+        format!("{:+.2}%", 100.0 * (mean(&cgx) - mean(&base)) / mean(&base)),
+    ]
+}
+
+/// Transformer stand-in with real self-attention: trained on Markov-chain
+/// sequences, reported as perplexity.
+fn attention_row(name: &str, vocab: usize, steps: usize, seed: u64) -> Vec<String> {
+    let chain = MarkovChainLm::new(vocab, 5.0, seed);
+    let mut rng = Rng::seed_from_u64(seed + 1);
+    let model = AttentionLm::new(&mut rng, vocab, 12, 8);
+    let run = |compression: LayerCompression, cfg_seed: u64| {
+        let cfg = TrainConfig {
+            lr: 0.4,
+            clip: Some(5.0),
+            compression,
+            seed: cfg_seed,
+            ..TrainConfig::new(WORKERS, steps)
+        };
+        let c = chain.clone();
+        let sample = move |r: &mut Rng| {
+            let mut seqs = Vec::new();
+            let mut tgts = Vec::new();
+            for _ in 0..6 {
+                let (ctx, tgt) = c.sample_batch(r, 8);
+                seqs.push(ctx);
+                tgts.push(tgt);
+            }
+            (seqs, tgts)
+        };
+        let (trained, _) = train_data_parallel(&model, sample, &cfg).unwrap();
+        let mut eval_rng = Rng::seed_from_u64(777);
+        let mut seqs = Vec::new();
+        let mut tgts = Vec::new();
+        for _ in 0..40 {
+            let (ctx, tgt) = chain.sample_batch(&mut eval_rng, 8);
+            seqs.push(ctx);
+            tgts.push(tgt);
+        }
+        trained.perplexity(&seqs, &tgts)
+    };
+    let mut base = Vec::new();
+    let mut cgx = Vec::new();
+    for s in [1234u64, 5678, 9012] {
+        base.push(run(LayerCompression::none(), s));
+        cgx.push(run(LayerCompression::cgx_default(), s));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let spread = |v: &[f64]| {
+        let m = mean(v);
+        v.iter().map(|x| (x - m).abs()).fold(0.0f64, f64::max)
+    };
+    vec![
+        name.to_string(),
+        "perplexity".into(),
+        format!("{:.2} ± {:.2}", mean(&base), spread(&base)),
+        format!("{:.2} ± {:.2}", mean(&cgx), spread(&cgx)),
+        format!("{:+.2}%", 100.0 * (mean(&cgx) - mean(&base)) / mean(&base)),
+    ]
+}
+
+fn main() {
+    let rows = vec![
+        classification_row(
+            "ResNet50 stand-in (MLP/mixture)",
+            &[16, 48, 24, 8],
+            8,
+            16,
+            1.1,
+            400,
+            0.15,
+            11,
+        ),
+        classification_row(
+            "VGG16 stand-in (wide MLP/mixture)",
+            &[24, 96, 10],
+            10,
+            24,
+            1.0,
+            400,
+            0.1,
+            13,
+        ),
+        classification_row(
+            "ViT stand-in (deep MLP/mixture)",
+            &[12, 32, 32, 32, 6],
+            6,
+            12,
+            1.2,
+            400,
+            0.1,
+            17,
+        ),
+        attention_row("Transformer-XL stand-in (attention LM)", 30, 350, 19),
+        lm_row("GPT-2 stand-in (LM/Markov)", 40, 12, 3.0, 400, 23),
+        classification_row(
+            "BERT-QA stand-in (MLP/mixture)",
+            &[20, 64, 4],
+            4,
+            20,
+            1.3,
+            400,
+            0.1,
+            29,
+        ),
+    ];
+    print!(
+        "{}",
+        render_table(
+            "Table 3: accuracy recovery, baseline vs CGX (4-bit, bucket 128, layer filters)",
+            &["task", "metric", "baseline", "CGX", "delta"],
+            &rows,
+        )
+    );
+    note("acceptance: every delta within the paper's 1% tolerance (perplexity within ~2%).");
+    note("real data-parallel training over 4 workers with genuinely compressed collectives.");
+}

@@ -1,0 +1,39 @@
+//! Table 4: cloud cost comparison — AWS p3.8xlarge (4x V100) vs Genesis
+//! (4x RTX 3090), with and without CGX, on BERT question answering.
+//!
+//! Paper shape: AWS+NCCL leads Genesis+NCCL on raw throughput, but
+//! Genesis+CGX nearly matches AWS raw throughput and roughly doubles its
+//! tokens/second/$.
+
+use cgx_bench::{fmt_items, note, render_table};
+use cgx_core::cloud::{cost_efficiency, table4_offers};
+use cgx_models::ModelId;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table4_offers()
+        .iter()
+        .map(|offer| {
+            let r = cost_efficiency(offer, ModelId::BertBase);
+            vec![
+                r.name.clone(),
+                fmt_items(r.throughput),
+                format!("{:.1}", r.price_per_hour),
+                format!("{:.0}", r.items_per_second_per_dollar),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 4: cloud training cost efficiency (BERT-QA)",
+            &[
+                "Instance",
+                "Throughput (tok/s)",
+                "Price per hour ($)",
+                "Tokens/second per $",
+            ],
+            &rows,
+        )
+    );
+    note("paper: 4737 / 14407 / 14171 tok/s and 696 / 1181 / 2083 tok/s/$.");
+}

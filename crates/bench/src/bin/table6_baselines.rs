@@ -1,0 +1,49 @@
+//! Table 6: CGX vs PowerSGD vs GRACE (and the uncompressed baseline) on a
+//! single 8x RTX 3090 machine, FP32 where the comparison requires it
+//! (PowerSGD cannot train in FP16).
+//!
+//! Paper shape: CGX > PowerSGD > baseline > GRACE.
+
+use cgx_bench::{fmt_items, note, render_table};
+use cgx_core::api::CgxBuilder;
+use cgx_core::estimate::{estimate_fp32, SystemSetup};
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+
+fn main() {
+    let rtx = MachineSpec::rtx3090();
+    let models = [ModelId::ResNet50, ModelId::TransformerXl, ModelId::BertBase];
+    let setups: Vec<(&str, SystemSetup)> = vec![
+        ("Baseline", SystemSetup::BaselineNccl),
+        (
+            "CGX",
+            SystemSetup::Cgx {
+                session: Box::new(CgxBuilder::new().build()),
+                fp32: true,
+            },
+        ),
+        ("PowerSGD", SystemSetup::PowerSgd { rank: 4 }),
+        ("Grace", SystemSetup::Grace { bits: 4 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, setup) in &setups {
+        let mut row = vec![name.to_string()];
+        for model in models {
+            // Everything runs FP32: PowerSGD cannot train in FP16, so the
+            // paper pins the whole comparison to full precision.
+            let e = estimate_fp32(&rtx, model, setup);
+            row.push(fmt_items(e.throughput));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 6: items/s, single 8x RTX 3090 node",
+            &["", "ResNet50", "Transformer-XL-base", "BERT"],
+            &rows,
+        )
+    );
+    note("paper: baseline 1900/170k/17.5k; CGX 2900/260k/38.7k; PowerSGD 2600/220k*/38.3k; Grace 1000/30k/14.3k.");
+    note("expected ordering: CGX > PowerSGD > baseline > Grace.");
+}

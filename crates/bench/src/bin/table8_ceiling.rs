@@ -1,0 +1,40 @@
+//! Table 8 (Appendix E): the bandwidth-optimization ceiling — the maximal
+//! fraction of linear scaling achievable on the 8x RTX 3090 machine when
+//! the bandwidth term is artificially removed (extreme fake compression).
+//!
+//! Paper shape: 88-95%; the residue is latency, framework overhead, and the
+//! non-overlappable first layers (embeddings), which CGX's real numbers
+//! approach.
+
+use cgx_bench::{fmt_pct, note, render_table};
+use cgx_core::estimate::{estimate, SystemSetup};
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+
+fn main() {
+    let rtx = MachineSpec::rtx3090();
+    let models = [
+        ModelId::ResNet50,
+        ModelId::Vgg16,
+        ModelId::TransformerXl,
+        ModelId::BertBase,
+        ModelId::VitBase,
+    ];
+    let mut ceiling = vec!["ceiling (fake x4096)".to_string()];
+    let mut cgx_row = vec!["CGX actual".to_string()];
+    for model in models {
+        let e = estimate(&rtx, model, &SystemSetup::Fake { gamma: 4096.0 });
+        ceiling.push(fmt_pct(e.scaling));
+        let c = estimate(&rtx, model, &SystemSetup::cgx());
+        cgx_row.push(fmt_pct(c.scaling));
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table 8: maximal % of linear scaling with bandwidth removed (8x RTX 3090)",
+            &["", "ResNet50", "VGG16", "TXL", "BERT", "ViT"],
+            &[ceiling, cgx_row],
+        )
+    );
+    note("paper ceiling: 92 / 91 / 95 / 88 / 95 %; CGX reaches the ceiling for CNNs/ViT and approaches it for TXL/BERT.");
+}

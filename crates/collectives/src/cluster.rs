@@ -1,0 +1,178 @@
+//! Spawn-and-join harness for multi-"GPU" experiments.
+
+use crate::error::CommError;
+use crate::transport::{ShmFabric, ShmTransport};
+
+/// Runs one closure per rank on its own OS thread, each holding a
+/// [`ShmTransport`] endpoint, and gathers the per-rank results in rank
+/// order.
+///
+/// A panicking worker is contained and surfaced as
+/// [`CommError::WorkerPanicked`]; surviving workers that were blocked on
+/// the dead peer observe `Disconnected`/`Timeout` instead of hanging.
+#[derive(Debug)]
+pub struct ThreadCluster;
+
+impl ThreadCluster {
+    /// Spawns `n` workers and waits for all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker panic as [`CommError::WorkerPanicked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn run<F, R>(n: usize, f: F) -> Result<Vec<R>, CommError>
+    where
+        F: Fn(ShmTransport) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::try_run(n, |t| Ok::<R, CommError>(f(t)))
+    }
+
+    /// Like [`ThreadCluster::run`] but each worker returns a `Result`;
+    /// the first `Err` (by rank order) is propagated.
+    ///
+    /// # Errors
+    ///
+    /// Worker panics map to [`CommError::WorkerPanicked`]; worker errors
+    /// are returned as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn try_run<F, R, E>(n: usize, f: F) -> Result<Vec<R>, E>
+    where
+        F: Fn(ShmTransport) -> Result<R, E> + Send + Sync,
+        R: Send,
+        E: Send + From<CommError>,
+    {
+        assert!(n > 0, "cluster needs at least one worker");
+        let endpoints = ShmFabric::build(n);
+        let f = &f;
+        let outcomes: Vec<Result<Result<R, E>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|t| {
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t)))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("scoped join cannot fail after catch_unwind")
+                        .map_err(|p| panic_message(&*p))
+                })
+                .collect()
+        });
+        let mut results = Vec::with_capacity(n);
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Ok(Ok(r)) => results.push(r),
+                Ok(Err(e)) => return Err(e),
+                Err(message) => {
+                    return Err(CommError::WorkerPanicked { rank, message }.into());
+                }
+            }
+        }
+        Ok(results)
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use cgx_compress::Encoded;
+    use cgx_tensor::Shape;
+    use std::time::Duration;
+
+    #[test]
+    fn ranks_are_assigned_in_order() {
+        let ranks = ThreadCluster::run(4, |t| t.rank()).unwrap();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn workers_can_exchange_messages() {
+        let sums = ThreadCluster::run(2, |t| {
+            let msg = Encoded::new(
+                Shape::vector(1),
+                Bytes::copy_from_slice(&[t.rank() as u8 + 1]),
+            );
+            let peer = 1 - t.rank();
+            t.send(peer, msg).unwrap();
+            t.recv(peer).unwrap().payload()[0]
+        })
+        .unwrap();
+        assert_eq!(sums, vec![2, 1]);
+    }
+
+    #[test]
+    fn panicking_worker_is_reported() {
+        let r = ThreadCluster::run(2, |t| {
+            if t.rank() == 1 {
+                panic!("injected failure");
+            }
+            t.rank()
+        });
+        match r {
+            Err(CommError::WorkerPanicked { rank: 1, message }) => {
+                assert!(message.contains("injected failure"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peers_of_a_dead_worker_do_not_hang() {
+        // Worker 0 waits on worker 1, which dies immediately. Worker 0 must
+        // observe a disconnect or timeout, not deadlock.
+        let r = ThreadCluster::run(2, |mut t| {
+            t.set_timeout(Duration::from_secs(2));
+            if t.rank() == 1 {
+                panic!("dead on arrival");
+            }
+            match t.recv(1) {
+                Err(_) => "survived",
+                Ok(_) => "unexpected payload",
+            }
+        });
+        // The panic from rank 1 dominates the report.
+        assert!(matches!(r, Err(CommError::WorkerPanicked { rank: 1, .. })));
+    }
+
+    #[test]
+    fn try_run_propagates_worker_errors() {
+        let r: Result<Vec<()>, CommError> = ThreadCluster::try_run(2, |t| {
+            if t.rank() == 0 {
+                Err(CommError::ShapeMismatch {
+                    detail: "synthetic".into(),
+                })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(r, Err(CommError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let r = ThreadCluster::run(1, |t| t.world()).unwrap();
+        assert_eq!(r, vec![1]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Communication errors.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors surfaced by the shared-memory transport and the collectives
+/// built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive did not complete within the configured timeout —
+    /// typically a peer died or deadlocked. Carries the waited duration and
+    /// the peer rank.
+    Timeout {
+        /// The rank we were waiting on.
+        from: usize,
+        /// How long we waited.
+        waited: Duration,
+    },
+    /// The peer's channel closed (worker exited or panicked).
+    Disconnected {
+        /// The rank whose channel closed.
+        peer: usize,
+    },
+    /// A worker thread panicked; the payload's message if extractable.
+    WorkerPanicked {
+        /// The rank of the panicked worker.
+        rank: usize,
+        /// Panic message, when it was a string payload.
+        message: String,
+    },
+    /// A received payload did not match the expected tensor geometry.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { from, waited } => {
+                write!(f, "timed out after {waited:?} waiting for rank {from}")
+            }
+            CommError::Disconnected { peer } => {
+                write!(f, "rank {peer} disconnected")
+            }
+            CommError::WorkerPanicked { rank, message } => {
+                write!(f, "worker {rank} panicked: {message}")
+            }
+            CommError::ShapeMismatch { detail } => {
+                write!(f, "payload shape mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CommError::Timeout {
+            from: 3,
+            waited: Duration::from_secs(5),
+        };
+        assert!(e.to_string().contains("rank 3"));
+        let e = CommError::WorkerPanicked {
+            rank: 1,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<CommError>();
+    }
+}

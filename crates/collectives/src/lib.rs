@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! Threaded shared-memory collective communication with compressed,
+//! non-associative reductions.
+//!
+//! This is the *functional plane* of the CGX reproduction: where
+//! `cgx_simnet` models how long communication takes, this crate actually
+//! performs it. N worker threads stand in for N GPUs and exchange real
+//! compressed payloads through an in-process shared-memory fabric — the
+//! same mechanism as the paper's SHM backend (UNIX shared memory between
+//! processes), collapsed into one address space.
+//!
+//! It provides:
+//!
+//! * [`ShmFabric`] / [`ShmTransport`] — the rendezvous transport,
+//! * [`ThreadCluster`] — spawn-and-join harness with panic containment,
+//! * [`reduce`] — Scatter-Reduce-Allgather, Ring, Tree and
+//!   Allgather-broadcast reductions parameterized by any
+//!   [`cgx_compress::Compressor`], faithfully reproducing where each scheme
+//!   re-quantizes (the compression-error differences of paper Figure 10),
+//! * [`powersgd`] — the factored PowerSGD Allreduce (associative path),
+//! * [`primitives`] — broadcast / reduce / gather / scatter / barrier.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgx_collectives::{reduce, ThreadCluster};
+//! use cgx_compress::NoneCompressor;
+//! use cgx_tensor::{Rng, Tensor};
+//!
+//! let results = ThreadCluster::run(4, |t| {
+//!     let mut rng = Rng::seed_from_u64(t.rank() as u64);
+//!     let grad = Tensor::full(&[32], t.rank() as f32);
+//!     let mut c = NoneCompressor::new();
+//!     reduce::allreduce_sra(&t, &grad, &mut c, &mut rng).unwrap().0
+//! })
+//! .unwrap();
+//! // 0 + 1 + 2 + 3 = 6 everywhere.
+//! for r in &results {
+//!     assert_eq!(r.as_slice()[0], 6.0);
+//! }
+//! ```
+
+pub mod cluster;
+pub mod error;
+pub mod powersgd;
+pub mod primitives;
+pub mod reduce;
+pub mod transport;
+
+pub use cluster::ThreadCluster;
+pub use error::CommError;
+pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
+pub use reduce::{allreduce, AllreduceStats};
+pub use transport::{ShmFabric, ShmTransport};

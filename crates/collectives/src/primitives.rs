@@ -1,0 +1,331 @@
+//! The non-Allreduce collective primitives of the communication engine
+//! (paper Figure 2 lists Allreduce, Broadcast, Allgather as the engine's
+//! query types). All are binomial-tree based, carry [`Encoded`] payloads,
+//! and compose with any compressor on the caller's side.
+
+use crate::error::CommError;
+use crate::transport::ShmTransport;
+use cgx_compress::{Compressor, Encoded, NoneCompressor};
+use cgx_tensor::{Rng, Tensor};
+
+fn validate_root(t: &ShmTransport, root: usize) {
+    assert!(root < t.world(), "root {root} out of range");
+}
+
+/// Binomial-tree broadcast of an encoded payload from `root` to all ranks.
+/// Returns the payload on every rank (the root's own copy included).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn broadcast_encoded(
+    t: &ShmTransport,
+    payload: Option<Encoded>,
+    root: usize,
+) -> Result<Encoded, CommError> {
+    validate_root(t, root);
+    let n = t.world();
+    let me = t.rank();
+    if n == 1 {
+        return Ok(payload.expect("root must supply the payload"));
+    }
+    // Work in root-relative rank space so any root maps onto the rank-0
+    // binomial tree.
+    let rel = (me + n - root) % n;
+    let mut top = 1usize;
+    while top < n {
+        top *= 2;
+    }
+    let enc = if rel == 0 {
+        payload.expect("root must supply the payload")
+    } else {
+        let recv_span = rel & rel.wrapping_neg();
+        let parent_rel = rel - recv_span;
+        let parent = (parent_rel + root) % n;
+        t.recv(parent)?
+    };
+    let mut span = if rel == 0 {
+        top / 2
+    } else {
+        (rel & rel.wrapping_neg()) / 2
+    };
+    while span >= 1 {
+        let child_rel = rel + span;
+        if child_rel < n {
+            t.send((child_rel + root) % n, enc.clone())?;
+        }
+        span /= 2;
+    }
+    Ok(enc)
+}
+
+/// Broadcast of a dense tensor from `root` (serialized losslessly).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range, or the root passed `None`.
+pub fn broadcast(
+    t: &ShmTransport,
+    tensor: Option<&Tensor>,
+    root: usize,
+) -> Result<Tensor, CommError> {
+    let mut raw = NoneCompressor::new();
+    let mut rng = Rng::seed_from_u64(0); // lossless: rng unused
+    let payload = if t.rank() == root {
+        Some(raw.compress(tensor.expect("root must supply the tensor"), &mut rng))
+    } else {
+        None
+    };
+    let enc = broadcast_encoded(t, payload, root)?;
+    Ok(raw.decompress(&enc))
+}
+
+/// Binomial-tree reduction (sum) of `grad` to `root`, compressing each
+/// up-link with `comp`. Non-roots receive `None`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn reduce_to_root(
+    t: &ShmTransport,
+    grad: &Tensor,
+    root: usize,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<Option<Tensor>, CommError> {
+    validate_root(t, root);
+    let n = t.world();
+    let me = t.rank();
+    if n == 1 {
+        return Ok(Some(grad.clone()));
+    }
+    let rel = (me + n - root) % n;
+    let mut acc = grad.clone();
+    let mut span = 1usize;
+    while span < n {
+        if rel % (2 * span) == span {
+            let parent = ((rel - span) + root) % n;
+            t.send(parent, comp.compress(&acc, rng))?;
+            return Ok(None);
+        }
+        if rel.is_multiple_of(2 * span) && rel + span < n {
+            let child = ((rel + span) + root) % n;
+            let enc = t.recv(child)?;
+            acc.add_assign(&comp.decompress(&enc));
+        }
+        span *= 2;
+    }
+    Ok(Some(acc))
+}
+
+/// Gathers every rank's tensor at `root` (rank order). Non-roots receive
+/// `None`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn gather(
+    t: &ShmTransport,
+    tensor: &Tensor,
+    root: usize,
+) -> Result<Option<Vec<Tensor>>, CommError> {
+    validate_root(t, root);
+    let mut raw = NoneCompressor::new();
+    let mut rng = Rng::seed_from_u64(0);
+    if t.rank() != root {
+        t.send(root, raw.compress(tensor, &mut rng))?;
+        return Ok(None);
+    }
+    let mut out = Vec::with_capacity(t.world());
+    for j in 0..t.world() {
+        if j == t.rank() {
+            out.push(tensor.clone());
+        } else {
+            out.push(raw.decompress(&t.recv(j)?));
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Scatters `root`'s list of tensors, one per rank (rank `i` gets entry
+/// `i`). Non-roots pass `None`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or the root's list length differs from
+/// the world size.
+pub fn scatter(
+    t: &ShmTransport,
+    parts: Option<&[Tensor]>,
+    root: usize,
+) -> Result<Tensor, CommError> {
+    validate_root(t, root);
+    let mut raw = NoneCompressor::new();
+    let mut rng = Rng::seed_from_u64(0);
+    if t.rank() == root {
+        let parts = parts.expect("root must supply the parts");
+        assert_eq!(parts.len(), t.world(), "one part per rank required");
+        for (j, p) in parts.iter().enumerate() {
+            if j != root {
+                t.send(j, raw.compress(p, &mut rng))?;
+            }
+        }
+        Ok(parts[root].clone())
+    } else {
+        Ok(raw.decompress(&t.recv(root)?))
+    }
+}
+
+/// Synchronization barrier: no rank returns before every rank has entered.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn barrier(t: &ShmTransport) -> Result<(), CommError> {
+    // Reduce a token to rank 0, then broadcast it back.
+    let token = Tensor::from_slice(&[1.0]);
+    let mut raw = NoneCompressor::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let reduced = reduce_to_root(t, &token, 0, &mut raw, &mut rng)?;
+    let payload = reduced.map(|sum| raw.compress(&sum, &mut rng));
+    let back = broadcast_encoded(t, payload, 0)?;
+    let count = raw.decompress(&back);
+    debug_assert_eq!(count[0] as usize, t.world());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ThreadCluster;
+    use cgx_compress::QsgdCompressor;
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for n in [2usize, 3, 5, 8] {
+            for root in 0..n {
+                let results = ThreadCluster::run(n, |t| {
+                    let data = Tensor::from_slice(&[root as f32, 42.0]);
+                    let input = (t.rank() == root).then_some(&data);
+                    broadcast(&t, input, root).unwrap()
+                })
+                .unwrap();
+                for r in &results {
+                    assert_eq!(r.as_slice(), &[root as f32, 42.0], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_exactly_to_any_root() {
+        for root in [0usize, 2, 4] {
+            let results = ThreadCluster::run(5, |t| {
+                let g = Tensor::full(&[8], (t.rank() + 1) as f32);
+                let mut raw = NoneCompressor::new();
+                let mut rng = Rng::seed_from_u64(1);
+                reduce_to_root(&t, &g, root, &mut raw, &mut rng).unwrap()
+            })
+            .unwrap();
+            for (rank, r) in results.iter().enumerate() {
+                if rank == root {
+                    let s = r.as_ref().expect("root gets the sum");
+                    assert_eq!(s[0], 15.0);
+                } else {
+                    assert!(r.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_with_quantization_is_close() {
+        let results = ThreadCluster::run(4, |t| {
+            let mut rng = Rng::seed_from_u64(10 + t.rank() as u64);
+            let g = Tensor::randn(&mut rng, &[512]);
+            let mut q = QsgdCompressor::new(8, 64);
+            (g.clone(), reduce_to_root(&t, &g, 0, &mut q, &mut rng).unwrap())
+        })
+        .unwrap();
+        let mut expected = Tensor::zeros(&[512]);
+        for (g, _) in &results {
+            expected.add_assign(g);
+        }
+        let got = results[0].1.as_ref().expect("root sum");
+        assert!(got.l2_distance(&expected) / expected.norm2() < 0.05);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = ThreadCluster::run(4, |t| {
+            let g = Tensor::full(&[2], t.rank() as f32);
+            gather(&t, &g, 1).unwrap()
+        })
+        .unwrap();
+        let at_root = results[1].as_ref().expect("root output");
+        for (i, part) in at_root.iter().enumerate() {
+            assert_eq!(part[0], i as f32);
+        }
+        assert!(results[0].is_none() && results[2].is_none());
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_parts() {
+        let results = ThreadCluster::run(4, |t| {
+            let parts: Option<Vec<Tensor>> = (t.rank() == 2)
+                .then(|| (0..4).map(|i| Tensor::full(&[3], i as f32 * 10.0)).collect());
+            scatter(&t, parts.as_deref(), 2).unwrap()
+        })
+        .unwrap();
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r[0], rank as f32 * 10.0);
+        }
+    }
+
+    #[test]
+    fn barrier_completes_for_various_world_sizes() {
+        for n in [1usize, 2, 3, 6, 8] {
+            ThreadCluster::run(n, |t| {
+                barrier(&t).unwrap();
+                barrier(&t).unwrap();
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one part per rank")]
+    fn scatter_validates_part_count() {
+        let _ = ThreadCluster::run(2, |t| {
+            let parts: Option<Vec<Tensor>> =
+                (t.rank() == 0).then(|| vec![Tensor::zeros(&[1])]);
+            match scatter(&t, parts.as_deref(), 0) {
+                Ok(v) => v,
+                Err(_) => Tensor::zeros(&[1]), // non-root sees disconnect
+            }
+        })
+        .map(|_| ())
+        .map_err(|e| panic!("{e}"))
+        .ok();
+    }
+}

@@ -1,0 +1,542 @@
+//! Compressed Allreduce algorithms (paper Section 3, "Reduction Schemes").
+//!
+//! All schemes are generic over the [`Compressor`], and each performs the
+//! decompress-sum-recompress dance exactly where a real implementation
+//! must, so the *number of lossy re-quantizations* per scheme is faithful:
+//!
+//! | scheme | quantizations on the critical path | consensus |
+//! |---|---|---|
+//! | SRA | 2 (once before aggregation, once after) | bit-exact |
+//! | Ring | N-1 during reduce-scatter + 1 relay | bit-exact |
+//! | Tree | up to log2(N)+1 up the tree | bit-exact |
+//! | Allgather | 1 | bit-exact |
+//!
+//! "Consensus" means every rank reconstructs the identical result tensor,
+//! because final values always travel as (relayed) encoded chunks that all
+//! ranks decode identically. Error magnitude differs by scheme — the basis
+//! of Figure 10's finding that SRA is preferable.
+
+use crate::error::CommError;
+use crate::transport::ShmTransport;
+use cgx_compress::{Compressor, Encoded};
+use cgx_tensor::{Rng, Tensor};
+use std::ops::Range;
+
+/// Per-rank traffic accounting for one Allreduce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllreduceStats {
+    /// Payload bytes this rank transmitted.
+    pub bytes_sent: usize,
+    /// Number of compression-kernel invocations on this rank.
+    pub compress_calls: usize,
+    /// Number of decompression-kernel invocations on this rank.
+    pub decompress_calls: usize,
+}
+
+/// The reduction algorithm to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Scatter-Reduce-Allgather (CGX's choice).
+    #[default]
+    ScatterReduceAllgather,
+    /// Chunked ring.
+    Ring,
+    /// Binomial tree (hierarchical parameter server).
+    Tree,
+    /// Broadcast-everything allgather (the GRACE strategy).
+    AllgatherBroadcast,
+}
+
+impl Algorithm {
+    /// All algorithms in Figure 10 order.
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::ScatterReduceAllgather,
+            Algorithm::Ring,
+            Algorithm::Tree,
+            Algorithm::AllgatherBroadcast,
+        ]
+    }
+}
+
+/// Splits `len` elements into `n` near-equal contiguous ranges (first
+/// `len % n` ranges get the extra element; ranges may be empty for tiny
+/// inputs).
+pub fn chunk_ranges(len: usize, n: usize) -> Vec<Range<usize>> {
+    assert!(n > 0, "need at least one chunk");
+    let base = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let sz = base + usize::from(i < rem);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+fn sub_tensor(grad: &Tensor, r: &Range<usize>) -> Tensor {
+    Tensor::from_slice(&grad.as_slice()[r.clone()])
+}
+
+fn write_back(out: &mut Tensor, r: &Range<usize>, part: &Tensor) {
+    out.as_mut_slice()[r.clone()].copy_from_slice(part.as_slice());
+}
+
+/// Dispatches to the requested algorithm.
+///
+/// # Errors
+///
+/// Propagates transport failures ([`CommError`]).
+pub fn allreduce(
+    alg: Algorithm,
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    match alg {
+        Algorithm::ScatterReduceAllgather => allreduce_sra(t, grad, comp, rng),
+        Algorithm::Ring => allreduce_ring(t, grad, comp, rng),
+        Algorithm::Tree => allreduce_tree(t, grad, comp, rng),
+        Algorithm::AllgatherBroadcast => allreduce_gather(t, grad, comp, rng),
+    }
+}
+
+/// Scatter-Reduce-Allgather: two rounds, one aggregation point per chunk.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_sra(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let n = t.world();
+    let me = t.rank();
+    let mut stats = AllreduceStats::default();
+    if n == 1 {
+        return Ok((grad.clone(), stats));
+    }
+    let ranges = chunk_ranges(grad.len(), n);
+    // Phase 1: send each peer its chunk of my gradient.
+    for (j, range) in ranges.iter().enumerate() {
+        if j == me || range.is_empty() {
+            continue;
+        }
+        let enc = comp.compress(&sub_tensor(grad, range), rng);
+        stats.compress_calls += 1;
+        stats.bytes_sent += enc.payload_bytes();
+        t.send(j, enc)?;
+    }
+    // Aggregate my chunk.
+    let mut out = grad.clone();
+    if !ranges[me].is_empty() {
+        let mut mine = sub_tensor(grad, &ranges[me]);
+        for j in 0..n {
+            if j == me {
+                continue;
+            }
+            let enc = t.recv(j)?;
+            mine.add_assign(&comp.decompress(&enc));
+            stats.decompress_calls += 1;
+        }
+        // Phase 2: broadcast the aggregate; use my own decompressed copy so
+        // every rank holds bit-identical values (consensus).
+        let enc = comp.compress(&mine, rng);
+        stats.compress_calls += 1;
+        stats.bytes_sent += enc.payload_bytes() * (n - 1);
+        t.broadcast(&enc)?;
+        let consensus = comp.decompress(&enc);
+        stats.decompress_calls += 1;
+        write_back(&mut out, &ranges[me], &consensus);
+    }
+    for (j, range) in ranges.iter().enumerate() {
+        if j == me || range.is_empty() {
+            continue;
+        }
+        let enc = t.recv(j)?;
+        let part = comp.decompress(&enc);
+        stats.decompress_calls += 1;
+        if part.len() != range.len() {
+            return Err(CommError::ShapeMismatch {
+                detail: format!(
+                    "chunk {j}: expected {} elements, got {}",
+                    range.len(),
+                    part.len()
+                ),
+            });
+        }
+        write_back(&mut out, range, &part);
+    }
+    Ok((out, stats))
+}
+
+/// Chunked Ring-Allreduce: the reduce-scatter phase re-quantizes at every
+/// hop; the allgather phase relays immutable encoded chunks.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_ring(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let n = t.world();
+    let me = t.rank();
+    let mut stats = AllreduceStats::default();
+    if n == 1 {
+        return Ok((grad.clone(), stats));
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    let ranges = chunk_ranges(grad.len(), n);
+    let mut chunks: Vec<Option<Tensor>> = ranges
+        .iter()
+        .map(|r| (!r.is_empty()).then(|| sub_tensor(grad, r)))
+        .collect();
+    // Reduce-scatter: after step s, chunk (me - s) has absorbed s+1 inputs.
+    for s in 0..n - 1 {
+        let send_idx = (me + n - s) % n;
+        let recv_idx = (me + n - s - 1) % n;
+        if let Some(c) = &chunks[send_idx] {
+            let enc = comp.compress(c, rng);
+            stats.compress_calls += 1;
+            stats.bytes_sent += enc.payload_bytes();
+            t.send(right, enc)?;
+        }
+        if chunks[recv_idx].is_some() {
+            let enc = t.recv(left)?;
+            let part = comp.decompress(&enc);
+            stats.decompress_calls += 1;
+            chunks[recv_idx]
+                .as_mut()
+                .expect("non-empty chunk")
+                .add_assign(&part);
+        }
+    }
+    // I now own the fully-reduced chunk (me + 1) % n. Compress it once and
+    // relay: every rank decodes identical bytes per chunk.
+    let owned_idx = (me + 1) % n;
+    let mut encs: Vec<Option<Encoded>> = vec![None; n];
+    if let Some(c) = &chunks[owned_idx] {
+        let enc = comp.compress(c, rng);
+        stats.compress_calls += 1;
+        encs[owned_idx] = Some(enc);
+    }
+    for s in 0..n - 1 {
+        let send_idx = (me + 1 + n - s) % n;
+        let recv_idx = (me + n - s) % n;
+        if let Some(enc) = &encs[send_idx] {
+            stats.bytes_sent += enc.payload_bytes();
+            t.send(right, enc.clone())?;
+        } else if !ranges[send_idx].is_empty() {
+            unreachable!("chunk {send_idx} should have an encoding by step {s}");
+        }
+        if !ranges[recv_idx].is_empty() {
+            let enc = t.recv(left)?;
+            encs[recv_idx] = Some(enc);
+        }
+    }
+    let mut out = grad.clone();
+    for (i, r) in ranges.iter().enumerate() {
+        if r.is_empty() {
+            continue;
+        }
+        let enc = encs[i].as_ref().expect("all chunks gathered");
+        let part = comp.decompress(enc);
+        stats.decompress_calls += 1;
+        write_back(&mut out, r, &part);
+    }
+    Ok((out, stats))
+}
+
+/// Binomial-tree Allreduce (hierarchical parameter server): reduce to rank
+/// 0 with a re-quantization per level, then relay rank 0's encoding down.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_tree(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let n = t.world();
+    let me = t.rank();
+    let mut stats = AllreduceStats::default();
+    if n == 1 {
+        return Ok((grad.clone(), stats));
+    }
+    let mut acc = grad.clone();
+    // Reduce up the tree.
+    let mut span = 1;
+    while span < n {
+        if me % (2 * span) == span {
+            let enc = comp.compress(&acc, rng);
+            stats.compress_calls += 1;
+            stats.bytes_sent += enc.payload_bytes();
+            t.send(me - span, enc)?;
+            break;
+        }
+        if me.is_multiple_of(2 * span) && me + span < n {
+            let enc = t.recv(me + span)?;
+            acc.add_assign(&comp.decompress(&enc));
+            stats.decompress_calls += 1;
+        }
+        span *= 2;
+    }
+    // Broadcast the root's single encoding down the same tree.
+    let mut top = 1usize;
+    while top < n {
+        top *= 2;
+    }
+    let root_enc: Encoded = if me == 0 {
+        let enc = comp.compress(&acc, rng);
+        stats.compress_calls += 1;
+        enc
+    } else {
+        // Find the span at which I will receive: the lowest set bit of me.
+        let recv_span = me & me.wrapping_neg();
+        let mut enc = None;
+        let mut s = top / 2;
+        while s >= 1 {
+            if s == recv_span {
+                enc = Some(t.recv(me - s)?);
+                break;
+            }
+            s /= 2;
+        }
+        enc.expect("every non-root rank has a parent")
+    };
+    // Relay downward.
+    let mut s = if me == 0 {
+        top / 2
+    } else {
+        (me & me.wrapping_neg()) / 2
+    };
+    while s >= 1 {
+        if me + s < n {
+            stats.bytes_sent += root_enc.payload_bytes();
+            t.send(me + s, root_enc.clone())?;
+        }
+        s /= 2;
+    }
+    let out = comp.decompress(&root_enc);
+    stats.decompress_calls += 1;
+    Ok((out, stats))
+}
+
+/// Allgather-broadcast (the GRACE implementation strategy): every rank
+/// broadcasts its compressed gradient; everyone decodes and sums all `n`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_gather(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let n = t.world();
+    let me = t.rank();
+    let mut stats = AllreduceStats::default();
+    if n == 1 {
+        return Ok((grad.clone(), stats));
+    }
+    let enc = comp.compress(grad, rng);
+    stats.compress_calls += 1;
+    stats.bytes_sent += enc.payload_bytes() * (n - 1);
+    t.broadcast(&enc)?;
+    // Decode all n encodings (own included, for consensus) and sum them in
+    // global rank order — float addition is not associative, so a fixed
+    // order is required for bit-identical results across ranks.
+    let mut encs: Vec<Option<Encoded>> = vec![None; n];
+    encs[me] = Some(enc);
+    for (j, slot) in encs.iter_mut().enumerate() {
+        if j != me {
+            *slot = Some(t.recv(j)?);
+        }
+    }
+    let mut out = Tensor::zeros(grad.shape().dims());
+    for e in encs.iter().flatten() {
+        out.add_assign(&comp.decompress(e));
+        stats.decompress_calls += 1;
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ThreadCluster;
+    use cgx_compress::{NoneCompressor, QsgdCompressor};
+
+    fn run_exact(alg: Algorithm, n: usize, len: usize) {
+        let results = ThreadCluster::run(n, |t| {
+            let mut rng = Rng::seed_from_u64(100 + t.rank() as u64);
+            let grad = Tensor::from_vec(
+                &[len],
+                (0..len).map(|i| (t.rank() + i) as f32).collect(),
+            );
+            let mut c = NoneCompressor::new();
+            allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap().0
+        })
+        .unwrap();
+        let expected: Vec<f32> = (0..len)
+            .map(|i| (0..n).map(|r| (r + i) as f32).sum())
+            .collect();
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r.as_slice(), expected.as_slice(), "{alg:?} rank {rank}");
+        }
+    }
+
+    #[test]
+    fn sra_exact_with_lossless_codec() {
+        run_exact(Algorithm::ScatterReduceAllgather, 4, 37);
+    }
+
+    #[test]
+    fn ring_exact_with_lossless_codec() {
+        run_exact(Algorithm::Ring, 4, 37);
+        run_exact(Algorithm::Ring, 5, 101);
+    }
+
+    #[test]
+    fn tree_exact_with_lossless_codec() {
+        run_exact(Algorithm::Tree, 4, 37);
+        run_exact(Algorithm::Tree, 8, 64);
+        // Non-power-of-two world sizes.
+        run_exact(Algorithm::Tree, 5, 23);
+        run_exact(Algorithm::Tree, 7, 40);
+        run_exact(Algorithm::Tree, 3, 8);
+    }
+
+    #[test]
+    fn gather_exact_with_lossless_codec() {
+        run_exact(Algorithm::AllgatherBroadcast, 6, 50);
+    }
+
+    #[test]
+    fn tiny_tensors_with_more_ranks_than_elements() {
+        for alg in Algorithm::all() {
+            run_exact(alg, 6, 3);
+        }
+    }
+
+    #[test]
+    fn two_rank_world() {
+        for alg in Algorithm::all() {
+            run_exact(alg, 2, 16);
+        }
+    }
+
+    fn consensus_and_error(alg: Algorithm, n: usize) -> (bool, f64) {
+        let len = 2048usize;
+        let results = ThreadCluster::run(n, |t| {
+            let mut rng = Rng::seed_from_u64(500 + t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[len]);
+            let mut c = QsgdCompressor::new(4, 128);
+            let (out, _) = allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap();
+            (grad, out)
+        })
+        .unwrap();
+        let mut true_sum = Tensor::zeros(&[len]);
+        for (g, _) in &results {
+            true_sum.add_assign(g);
+        }
+        let consensus = results
+            .iter()
+            .all(|(_, out)| out.as_slice() == results[0].1.as_slice());
+        let err = results[0].1.l2_distance(&true_sum) / true_sum.norm2();
+        (consensus, err)
+    }
+
+    #[test]
+    fn quantized_reductions_reach_consensus() {
+        for alg in Algorithm::all() {
+            let (consensus, err) = consensus_and_error(alg, 4);
+            assert!(consensus, "{alg:?} ranks disagree");
+            assert!(err < 0.5, "{alg:?} relative error {err}");
+        }
+    }
+
+    #[test]
+    fn ring_requantization_hurts_more_than_sra() {
+        // Average over a few worlds: the ring's per-hop re-quantization
+        // must produce at least as much error as SRA's single aggregation.
+        let mut ring_err = 0.0;
+        let mut sra_err = 0.0;
+        for _ in 0..3 {
+            ring_err += consensus_and_error(Algorithm::Ring, 8).1;
+            sra_err += consensus_and_error(Algorithm::ScatterReduceAllgather, 8).1;
+        }
+        assert!(
+            ring_err > sra_err,
+            "ring {ring_err} should exceed sra {sra_err}"
+        );
+    }
+
+    #[test]
+    fn gather_bandwidth_cost_scales_with_world() {
+        let n = 6;
+        let stats = ThreadCluster::run(n, |t| {
+            let mut rng = Rng::seed_from_u64(t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[1200]);
+            let mut c = NoneCompressor::new();
+            allreduce_gather(&t, &grad, &mut c, &mut rng).unwrap().1
+        })
+        .unwrap();
+        for s in &stats {
+            assert_eq!(s.bytes_sent, 1200 * 4 * (n - 1));
+            assert_eq!(s.compress_calls, 1);
+        }
+    }
+
+    #[test]
+    fn sra_bandwidth_cost_is_two_passes_over_the_data() {
+        let n = 4;
+        let len = 4096;
+        let stats = ThreadCluster::run(n, |t| {
+            let mut rng = Rng::seed_from_u64(t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[len]);
+            let mut c = NoneCompressor::new();
+            allreduce_sra(&t, &grad, &mut c, &mut rng).unwrap().1
+        })
+        .unwrap();
+        for s in &stats {
+            // (n-1) chunks out + (n-1) copies of my aggregated chunk.
+            assert_eq!(s.bytes_sent, 2 * (n - 1) * (len / n) * 4);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (len, n) in [(10usize, 3usize), (3, 5), (0, 4), (100, 1), (7, 7)] {
+            let rs = chunk_ranges(len, n);
+            assert_eq!(rs.len(), n);
+            let mut covered = 0;
+            let mut next = 0;
+            for r in &rs {
+                assert_eq!(r.start, next);
+                next = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, len, "len={len} n={n}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let rs = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The in-process shared-memory transport.
+//!
+//! The paper's SHM backend registers a UNIX shared-memory segment per GPU
+//! pair and synchronizes with CUDA IPC primitives. Collapsed into one
+//! process, that becomes: one bounded channel per ordered rank pair,
+//! carrying [`Encoded`] payloads (which are reference-counted `Bytes`, so a
+//! "transfer" is a pointer hand-off, exactly like mapping a shared segment).
+
+use crate::error::CommError;
+use cgx_compress::Encoded;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Per-pair channel capacity. Collectives exchange at most a few in-flight
+/// chunks per peer; a small bound keeps memory flat and surfaces deadlocks.
+const SLOT_CAPACITY: usize = 64;
+
+/// Default receive timeout; long enough for debug-mode compression of large
+/// tensors, short enough to fail tests promptly on deadlock.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A rank's endpoint into the shared-memory fabric.
+///
+/// Cheap to move into a worker thread. Senders are cloned per peer;
+/// receivers are owned.
+#[derive(Debug)]
+pub struct ShmTransport {
+    rank: usize,
+    world: usize,
+    /// `to[j]` sends to rank j (self entry unused).
+    to: Vec<Sender<Encoded>>,
+    /// `from[j]` receives from rank j (self entry unused).
+    from: Vec<Receiver<Encoded>>,
+    timeout: Duration,
+}
+
+impl ShmTransport {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the fabric.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Overrides the receive timeout (default [`DEFAULT_TIMEOUT`]).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Sends a payload to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Disconnected`] if the peer's endpoint was
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range or equal to this rank.
+    pub fn send(&self, peer: usize, payload: Encoded) -> Result<(), CommError> {
+        assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
+        self.to[peer]
+            .send(payload)
+            .map_err(|_| CommError::Disconnected { peer })
+    }
+
+    /// Receives the next payload from `peer`, waiting up to the timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Timeout`] if nothing arrives in time;
+    /// [`CommError::Disconnected`] if the peer's endpoint was dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range or equal to this rank.
+    pub fn recv(&self, peer: usize) -> Result<Encoded, CommError> {
+        assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
+        match self.from[peer].recv_timeout(self.timeout) {
+            Ok(p) => Ok(p),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                from: peer,
+                waited: self.timeout,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected { peer }),
+        }
+    }
+
+    /// Sends `payload` to every other rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure.
+    pub fn broadcast(&self, payload: &Encoded) -> Result<(), CommError> {
+        for peer in 0..self.world {
+            if peer != self.rank {
+                self.send(peer, payload.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Factory for a fully-connected fabric of `n` transports.
+#[derive(Debug)]
+pub struct ShmFabric;
+
+impl ShmFabric {
+    /// Builds endpoints for `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build(n: usize) -> Vec<ShmTransport> {
+        assert!(n > 0, "fabric needs at least one rank");
+        // senders[i][j] sends i -> j; receivers[j][i] receives that.
+        let mut to: Vec<Vec<Option<Sender<Encoded>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        let mut from: Vec<Vec<Option<Receiver<Encoded>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (s, r) = bounded(SLOT_CAPACITY);
+                to[i][j] = Some(s);
+                from[j][i] = Some(r);
+            }
+        }
+        // Self-channels: dummy closed endpoints to keep Vec indexing simple.
+        to.into_iter()
+            .zip(from)
+            .enumerate()
+            .map(|(rank, (to_row, from_row))| ShmTransport {
+                rank,
+                world: n,
+                to: to_row
+                    .into_iter()
+                    .map(|s| s.unwrap_or_else(|| bounded(1).0))
+                    .collect(),
+                from: from_row
+                    .into_iter()
+                    .map(|r| r.unwrap_or_else(|| bounded(1).1))
+                    .collect(),
+                timeout: DEFAULT_TIMEOUT,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use cgx_tensor::Shape;
+    use std::time::Duration;
+
+    fn payload(tag: u8) -> Encoded {
+        Encoded::new(Shape::vector(1), Bytes::copy_from_slice(&[tag]))
+    }
+
+    #[test]
+    fn pairwise_delivery() {
+        let mut eps = ShmFabric::build(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, payload(7)).unwrap();
+        assert_eq!(b.recv(0).unwrap().payload().as_ref(), &[7]);
+        b.send(2, payload(9)).unwrap();
+        assert_eq!(c.recv(1).unwrap().payload().as_ref(), &[9]);
+    }
+
+    #[test]
+    fn per_peer_channels_do_not_interleave() {
+        let mut eps = ShmFabric::build(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(2, payload(1)).unwrap();
+        b.send(2, payload(2)).unwrap();
+        // Receives are addressed by peer, so order across peers is free.
+        assert_eq!(c.recv(1).unwrap().payload().as_ref(), &[2]);
+        assert_eq!(c.recv(0).unwrap().payload().as_ref(), &[1]);
+    }
+
+    #[test]
+    fn timeout_on_silent_peer() {
+        let mut eps = ShmFabric::build(2);
+        let mut b = eps.pop().unwrap();
+        let _a = eps.pop().unwrap();
+        b.set_timeout(Duration::from_millis(20));
+        match b.recv(0) {
+            Err(CommError::Timeout { from: 0, .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_peer_detected() {
+        let mut eps = ShmFabric::build(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(a);
+        match b.recv(0) {
+            Err(CommError::Disconnected { peer: 0 }) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut eps = ShmFabric::build(4);
+        let d = eps.pop().unwrap();
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.broadcast(&payload(5)).unwrap();
+        for t in [&b, &c, &d] {
+            assert_eq!(t.recv(0).unwrap().payload().as_ref(), &[5]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad peer")]
+    fn sending_to_self_panics() {
+        let mut eps = ShmFabric::build(2);
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let _ = a.send(0, payload(1));
+    }
+}

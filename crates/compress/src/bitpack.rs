@@ -1,0 +1,240 @@
+//! Bit-level packing for quantized payloads.
+//!
+//! QSGD with `b` bits per component must ship exactly `b` bits per component
+//! (plus per-bucket norms) — shipping whole bytes would forfeit most of the
+//! compression for `b < 8`. [`BitWriter`] and [`BitReader`] provide an
+//! LSB-first bit stream over a byte buffer.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Appends values of arbitrary bit width (1..=32) to a byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_compress::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write_bits(5, 3);
+/// w.write_bits(1, 1);
+/// w.write_f32(2.5);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3), 5);
+/// assert_eq!(r.read_bits(1), 1);
+/// assert_eq!(r.read_f32(), 2.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits accumulated but not yet flushed to `buf`.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    acc_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with an initial capacity hint (bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: BytesMut::with_capacity(bytes),
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32, or if `value` has bits set above
+    /// `width`.
+    pub fn write_bits(&mut self, value: u32, width: u32) {
+        assert!((1..=32).contains(&width), "invalid width {width}");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        self.acc |= (value as u64) << self.acc_bits;
+        self.acc_bits += width;
+        while self.acc_bits >= 8 {
+            self.buf.put_u8((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.acc_bits -= 8;
+        }
+    }
+
+    /// Appends a full `f32` (bit pattern, byte-aligned within the stream's
+    /// bit order).
+    pub fn write_f32(&mut self, value: f32) {
+        self.write_bits(value.to_bits(), 32);
+    }
+
+    /// Appends a `u32`.
+    pub fn write_u32(&mut self, value: u32) {
+        self.write_bits(value, 32);
+    }
+
+    /// Number of complete bytes the stream would occupy if finished now.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len() + self.acc_bits.div_ceil(8) as usize
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the payload.
+    pub fn finish(mut self) -> Bytes {
+        if self.acc_bits > 0 {
+            self.buf.put_u8((self.acc & 0xFF) as u8);
+        }
+        self.buf.freeze()
+    }
+}
+
+/// Reads values of arbitrary bit width from a payload written by
+/// [`BitWriter`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Reads `width` bits (1..=32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is exhausted or `width` is invalid.
+    pub fn read_bits(&mut self, width: u32) -> u32 {
+        assert!((1..=32).contains(&width), "invalid width {width}");
+        while self.acc_bits < width {
+            assert!(self.pos < self.bytes.len(), "bit stream exhausted");
+            self.acc |= (self.bytes[self.pos] as u64) << self.acc_bits;
+            self.pos += 1;
+            self.acc_bits += 8;
+        }
+        let mask = if width == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << width) - 1
+        };
+        let value = (self.acc & mask) as u32;
+        self.acc >>= width;
+        self.acc_bits -= width;
+        value
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn read_f32(&mut self) -> f32 {
+        f32::from_bits(self.read_bits(32))
+    }
+
+    /// Reads a `u32`.
+    pub fn read_u32(&mut self) -> u32 {
+        self.read_bits(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgx_tensor::Rng;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b1, 1);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(7, 5);
+        let b = w.finish();
+        let mut r = BitReader::new(&b);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(1), 0b1);
+        assert_eq!(r.read_bits(16), 0xABCD);
+        assert_eq!(r.read_bits(5), 7);
+    }
+
+    #[test]
+    fn byte_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0x7F, 7);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn f32_special_values_roundtrip() {
+        let vals = [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE];
+        let mut w = BitWriter::new();
+        // Offset by 3 bits so floats straddle byte boundaries.
+        w.write_bits(5, 3);
+        for v in vals {
+            w.write_f32(v);
+        }
+        let b = w.finish();
+        let mut r = BitReader::new(&b);
+        assert_eq!(r.read_bits(3), 5);
+        for v in vals {
+            assert_eq!(r.read_f32().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().write_bits(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit stream exhausted")]
+    fn reading_past_end_panics() {
+        let b = BitWriter::new().finish();
+        BitReader::new(&b).read_bits(1);
+    }
+
+    #[test]
+    fn random_sequences_roundtrip() {
+        let mut rng = Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let items: Vec<(u32, u32)> = (0..200)
+                .map(|_| {
+                    let width = 1 + rng.index(32) as u32;
+                    let value = if width == 32 {
+                        rng.next_u32()
+                    } else {
+                        rng.next_u32() & ((1 << width) - 1)
+                    };
+                    (value, width)
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for (v, wd) in &items {
+                w.write_bits(*v, *wd);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for (v, wd) in &items {
+                assert_eq!(r.read_bits(*wd), *v);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Error feedback (EF-SGD) wrapper.
+//!
+//! Error feedback accumulates the part of the gradient a lossy compressor
+//! dropped and re-injects it into the next step's gradient. Karimireddy et
+//! al. (2019) show this "fixes" biased compressors (signSGD, TopK); the CGX
+//! paper applies it to TopK on embedding layers. The wrapper composes with
+//! any inner [`Compressor`].
+
+use crate::{Compressor, Encoded};
+use cgx_tensor::{Rng, Tensor};
+
+/// Wraps a compressor with an error-feedback residual buffer.
+///
+/// On each call the residual from the previous step is added to the incoming
+/// gradient before compression, and the new residual (input minus what the
+/// wire format can represent) is retained.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_compress::{Compressor, ErrorFeedback, TopKCompressor};
+/// use cgx_tensor::{Rng, Tensor};
+/// let mut rng = Rng::seed_from_u64(0);
+/// let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+/// let g = Tensor::from_slice(&[1.0, 0.1]);
+/// let _ = ef.compress(&g, &mut rng);
+/// // The dropped 0.1 is remembered:
+/// assert!(ef.residual().unwrap().as_slice()[1] > 0.0);
+/// ```
+pub struct ErrorFeedback {
+    inner: Box<dyn Compressor>,
+    residual: Option<Tensor>,
+}
+
+impl std::fmt::Debug for ErrorFeedback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErrorFeedback")
+            .field("inner", &self.inner.name())
+            .field("has_residual", &self.residual.is_some())
+            .finish()
+    }
+}
+
+impl ErrorFeedback {
+    /// Wraps `inner` with a fresh (zero) residual.
+    pub fn new(inner: Box<dyn Compressor>) -> Self {
+        ErrorFeedback {
+            inner,
+            residual: None,
+        }
+    }
+
+    /// The residual accumulated so far, if any step has run.
+    pub fn residual(&self) -> Option<&Tensor> {
+        self.residual.as_ref()
+    }
+
+    /// Clears the residual (e.g. at epoch boundaries, if desired).
+    pub fn reset(&mut self) {
+        self.residual = None;
+    }
+}
+
+impl Compressor for ErrorFeedback {
+    fn name(&self) -> String {
+        format!("ef[{}]", self.inner.name())
+    }
+
+    fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded {
+        let mut corrected = grad.clone();
+        if let Some(res) = &self.residual {
+            corrected.add_assign(res);
+        }
+        let enc = self.inner.compress(&corrected, rng);
+        let mut new_residual = corrected;
+        let reconstructed = self.inner.decompress(&enc);
+        new_residual.sub_assign(&reconstructed);
+        self.residual = Some(new_residual);
+        enc
+    }
+
+    fn decompress(&self, enc: &Encoded) -> Tensor {
+        self.inner.decompress(enc)
+    }
+
+    fn compressed_bytes(&self, n: usize) -> usize {
+        self.inner.compressed_bytes(n)
+    }
+
+    fn is_lossless(&self) -> bool {
+        self.inner.is_lossless()
+    }
+
+    fn kernel_cost_per_element(&self) -> f64 {
+        // The residual add and subtract are two extra streaming passes.
+        self.inner.kernel_cost_per_element() + 1.0e-11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopKCompressor;
+
+    #[test]
+    fn residual_feeds_back_dropped_mass() {
+        let mut rng = Rng::seed_from_u64(1);
+        // Component 1 is always dropped by top-1 at first, but error feedback
+        // accumulates it until it wins.
+        let g = Tensor::from_slice(&[1.0, 0.4]);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let enc1 = ef.compress(&g, &mut rng);
+        let first = ef.decompress(&enc1);
+        assert_eq!(first.as_slice(), &[1.0, 0.0]);
+        // After two more identical steps the residual at index 1 is 1.2 > 1.0
+        // so index 1 finally transmits (with the accumulated value).
+        let _ = ef.compress(&g, &mut rng);
+        let enc3 = ef.compress(&g, &mut rng);
+        let third = ef.decompress(&enc3);
+        assert_eq!(third.as_slice()[0], 0.0);
+        assert!((third.as_slice()[1] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_run_transmits_all_mass() {
+        // Over many steps EF-TopK must transmit (almost) the full gradient
+        // sum: residual stays bounded.
+        let mut rng = Rng::seed_from_u64(2);
+        let g = Tensor::from_slice(&[0.9, 0.5, 0.3, 0.1]);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.25)));
+        let mut transmitted = Tensor::zeros(&[4]);
+        let steps = 400;
+        for _ in 0..steps {
+            let enc = ef.compress(&g, &mut rng);
+            transmitted.add_assign(&ef.decompress(&enc));
+        }
+        for i in 0..4 {
+            let expect = g[i] * steps as f32;
+            let got = transmitted[i];
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "component {i}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_residual() {
+        let mut rng = Rng::seed_from_u64(3);
+        let g = Tensor::from_slice(&[1.0, 0.4]);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let _ = ef.compress(&g, &mut rng);
+        assert!(ef.residual().is_some());
+        ef.reset();
+        assert!(ef.residual().is_none());
+    }
+
+    #[test]
+    fn name_wraps_inner() {
+        let ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.01)));
+        assert_eq!(ef.name(), "ef[topk(1%)]");
+    }
+}

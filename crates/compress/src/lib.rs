@@ -1,0 +1,200 @@
+#![warn(missing_docs)]
+//! Gradient compression operators with bit-exact wire formats.
+//!
+//! This crate implements the compression families surveyed in the CGX paper
+//! (Section 2.3) behind one object-safe [`Compressor`] trait:
+//!
+//! * [`QsgdCompressor`] — stochastic codebook quantization with bucketing
+//!   (the paper's default scheme; 4 bits + bucket 128 recovers accuracy),
+//! * [`TopKCompressor`] — magnitude sparsification, usually wrapped in
+//!   [`ErrorFeedback`],
+//! * [`PowerSgdCompressor`] — low-rank decomposition via warm-started power
+//!   iteration (Vogels et al.),
+//! * [`NuqsgdCompressor`] — non-uniform (geometric-grid) quantization
+//!   (Ramezani-Kebrya et al.), lower variance on concentrated gradients,
+//! * [`OneBitCompressor`] — sign compression with per-bucket mean magnitude
+//!   (Seide et al.),
+//! * [`FakeCompressor`] — the synthetic "transmit the first `N/γ` elements"
+//!   operator behind the paper's Figure 1 motivation experiment,
+//! * [`NoneCompressor`] — lossless passthrough (the FP32 baseline).
+//!
+//! Compressed payloads are real byte buffers ([`Encoded`]); their lengths are
+//! what the performance simulator charges to the network, so wire sizes are
+//! exact rather than modeled.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgx_compress::{Compressor, QsgdCompressor};
+//! use cgx_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from_u64(1);
+//! let grad = Tensor::randn(&mut rng, &[1024]);
+//! let mut q = QsgdCompressor::new(4, 128);
+//! let enc = q.compress(&grad, &mut rng);
+//! let restored = q.decompress(&enc);
+//! assert_eq!(restored.len(), grad.len());
+//! // ~4.25 bits/element instead of 32.
+//! assert!((enc.payload_bytes() as f64) < 0.2 * 4.0 * 1024.0);
+//! ```
+
+pub mod bitpack;
+pub mod error;
+pub mod fake;
+pub mod feedback;
+pub mod none;
+pub mod nuqsgd;
+pub mod onebit;
+pub mod powersgd;
+pub mod qsgd;
+pub mod scheme;
+pub mod topk;
+
+pub use bitpack::{BitReader, BitWriter};
+pub use error::{compression_error, relative_compression_error};
+pub use fake::FakeCompressor;
+pub use feedback::ErrorFeedback;
+pub use none::NoneCompressor;
+pub use nuqsgd::NuqsgdCompressor;
+pub use onebit::OneBitCompressor;
+pub use powersgd::PowerSgdCompressor;
+pub use qsgd::{NormKind, QsgdCompressor};
+pub use scheme::CompressionScheme;
+pub use topk::TopKCompressor;
+
+use bytes::Bytes;
+use cgx_tensor::{Rng, Shape, Tensor};
+
+/// A compressed gradient chunk: the original shape plus an opaque payload in
+/// the owning compressor's wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    shape: Shape,
+    payload: Bytes,
+}
+
+impl Encoded {
+    /// Creates an encoded chunk from its parts.
+    pub fn new(shape: Shape, payload: Bytes) -> Self {
+        Encoded { shape, payload }
+    }
+
+    /// Shape of the tensor this chunk encodes.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw payload bytes.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Size of the payload in bytes — what a transport would transmit.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// A lossy (or lossless) gradient codec.
+///
+/// Implementations must satisfy the round-trip contract: for every tensor
+/// `g`, `decompress(compress(g))` has the same shape as `g`. Compressors may
+/// be stateful across calls (PowerSGD warm-starts its `Q` factor), which is
+/// why [`Compressor::compress`] takes `&mut self`; use one instance per layer.
+pub trait Compressor: Send {
+    /// A short human-readable name, e.g. `"qsgd(4b,128)"`.
+    fn name(&self) -> String;
+
+    /// Compresses a gradient into a wire chunk. Stochastic schemes draw from
+    /// `rng`.
+    fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded;
+
+    /// Reconstructs a dense tensor from a wire chunk.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on payloads not produced by a compressor
+    /// with identical parameters.
+    fn decompress(&self, enc: &Encoded) -> Tensor;
+
+    /// Exact payload size in bytes for an `n`-element tensor, without
+    /// performing the compression. Used by the performance plane.
+    fn compressed_bytes(&self, n: usize) -> usize;
+
+    /// Whether decompression reproduces the input bit-exactly.
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    /// Attempts to aggregate two encoded chunks directly (without a
+    /// decompress/sum/re-compress round-trip). Only associative schemes
+    /// (lossless float payloads, PowerSGD factors before orthogonalization)
+    /// support this; the default is `None`, signalling non-associativity —
+    /// the property that forces CGX to integrate at the communication-engine
+    /// layer (paper Section 3).
+    fn aggregate_encoded(&self, _a: &Encoded, _b: &Encoded) -> Option<Encoded> {
+        None
+    }
+
+    /// Estimated extra compute seconds per element for compress+decompress on
+    /// the reference GPU. Quantization runs "at line rate" (paper Appendix A:
+    /// 1-3% of step time); decomposition is costlier.
+    fn kernel_cost_per_element(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Convenience: compress then immediately decompress, returning the lossy
+/// reconstruction. Useful for measuring compression error.
+pub fn round_trip(c: &mut dyn Compressor, grad: &Tensor, rng: &mut Rng) -> Tensor {
+    let enc = c.compress(grad, rng);
+    c.decompress(&enc)
+}
+
+/// Serializes an `f32` slice little-endian into bytes (shared helper for
+/// float-payload compressors).
+pub(crate) fn f32s_to_bytes(xs: &[f32]) -> Bytes {
+    let mut buf = Vec::with_capacity(xs.len() * 4);
+    for x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Deserializes little-endian bytes into `f32`s.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 4.
+pub(crate) fn bytes_to_f32s(b: &[u8]) -> Vec<f32> {
+    assert!(b.len().is_multiple_of(4), "payload not f32-aligned");
+    b.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_bytes_roundtrip() {
+        let xs = [1.0f32, -2.5, 3.25e-8, f32::MAX];
+        let b = f32s_to_bytes(&xs);
+        assert_eq!(bytes_to_f32s(&b), xs.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "not f32-aligned")]
+    fn misaligned_bytes_panic() {
+        bytes_to_f32s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn encoded_accessors() {
+        let e = Encoded::new(Shape::vector(3), Bytes::from_static(&[1, 2]));
+        assert_eq!(e.shape().len(), 3);
+        assert_eq!(e.payload_bytes(), 2);
+        assert_eq!(e.payload().as_ref(), &[1, 2]);
+    }
+}

@@ -1,0 +1,163 @@
+//! 1-bit SGD: sign compression with per-bucket mean magnitudes.
+//!
+//! The earliest practical gradient compressor (Seide et al., 2014). Each
+//! component transmits only its sign; each bucket additionally carries the
+//! mean absolute value of its positive and negative parts so reconstruction
+//! is scale-aware. Biased — pair with
+//! [`ErrorFeedback`](crate::ErrorFeedback) to recover accuracy.
+
+use crate::{BitReader, BitWriter, Compressor, Encoded};
+use cgx_tensor::{Rng, Tensor};
+
+/// Sign compressor with two per-bucket scales.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_compress::{Compressor, OneBitCompressor};
+/// use cgx_tensor::{Rng, Tensor};
+/// let mut rng = Rng::seed_from_u64(0);
+/// let g = Tensor::from_slice(&[2.0, -4.0, 6.0, -8.0]);
+/// let mut c = OneBitCompressor::new(4);
+/// let enc = c.compress(&g, &mut rng);
+/// let rt = c.decompress(&enc);
+/// assert_eq!(rt.as_slice(), &[4.0, -6.0, 4.0, -6.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneBitCompressor {
+    bucket_size: usize,
+}
+
+impl OneBitCompressor {
+    /// Creates a 1-bit compressor with the given bucket size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_size` is zero.
+    pub fn new(bucket_size: usize) -> Self {
+        assert!(bucket_size > 0, "bucket size must be positive");
+        OneBitCompressor { bucket_size }
+    }
+
+    /// Bucket size.
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+}
+
+impl Compressor for OneBitCompressor {
+    fn name(&self) -> String {
+        format!("onebit({})", self.bucket_size)
+    }
+
+    fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
+        let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
+        for bucket in grad.as_slice().chunks(self.bucket_size) {
+            let (mut pos_sum, mut pos_n) = (0.0f64, 0u32);
+            let (mut neg_sum, mut neg_n) = (0.0f64, 0u32);
+            for &v in bucket {
+                if v >= 0.0 {
+                    pos_sum += v as f64;
+                    pos_n += 1;
+                } else {
+                    neg_sum += (-v) as f64;
+                    neg_n += 1;
+                }
+            }
+            let pos_mean = if pos_n > 0 { pos_sum / pos_n as f64 } else { 0.0 };
+            let neg_mean = if neg_n > 0 { neg_sum / neg_n as f64 } else { 0.0 };
+            w.write_f32(pos_mean as f32);
+            w.write_f32(neg_mean as f32);
+            for &v in bucket {
+                w.write_bits(if v >= 0.0 { 1 } else { 0 }, 1);
+            }
+        }
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn decompress(&self, enc: &Encoded) -> Tensor {
+        let n = enc.shape().len();
+        let mut out = Vec::with_capacity(n);
+        let mut r = BitReader::new(enc.payload());
+        let mut remaining = n;
+        while remaining > 0 {
+            let bucket_len = remaining.min(self.bucket_size);
+            let pos_mean = r.read_f32();
+            let neg_mean = r.read_f32();
+            for _ in 0..bucket_len {
+                let sign = r.read_bits(1);
+                out.push(if sign == 1 { pos_mean } else { -neg_mean });
+            }
+            remaining -= bucket_len;
+        }
+        Tensor::from_vec(enc.shape().dims(), out)
+    }
+
+    fn compressed_bytes(&self, n: usize) -> usize {
+        let buckets = n.div_ceil(self.bucket_size);
+        let bits = buckets as u64 * 64 + n as u64;
+        bits.div_ceil(8) as usize
+    }
+
+    fn kernel_cost_per_element(&self) -> f64 {
+        1.5e-11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_trip;
+
+    #[test]
+    fn reconstruction_uses_bucket_means() {
+        let mut rng = Rng::seed_from_u64(1);
+        let g = Tensor::from_slice(&[1.0, 3.0, -2.0, -6.0]);
+        let mut c = OneBitCompressor::new(4);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        assert_eq!(rt.as_slice(), &[2.0, 2.0, -4.0, -4.0]);
+    }
+
+    #[test]
+    fn bucket_mean_preserves_signed_sum() {
+        // The reconstruction preserves the per-bucket sum of positives and
+        // negatives, hence the total bucket sum.
+        let mut rng = Rng::seed_from_u64(2);
+        let g = Tensor::randn(&mut rng, &[4096]);
+        let mut c = OneBitCompressor::new(256);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        for (gb, rb) in g.as_slice().chunks(256).zip(rt.as_slice().chunks(256)) {
+            let gs: f64 = gb.iter().map(|x| *x as f64).sum();
+            let rs: f64 = rb.iter().map(|x| *x as f64).sum();
+            assert!((gs - rs).abs() < 1e-2, "{gs} vs {rs}");
+        }
+    }
+
+    #[test]
+    fn payload_size_matches_prediction() {
+        let mut rng = Rng::seed_from_u64(3);
+        for n in [1usize, 7, 64, 65, 1000] {
+            let g = Tensor::randn(&mut rng, &[n]);
+            let mut c = OneBitCompressor::new(64);
+            let enc = c.compress(&g, &mut rng);
+            assert_eq!(enc.payload_bytes(), c.compressed_bytes(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn compression_is_near_32x_for_large_buckets() {
+        let c = OneBitCompressor::new(1024);
+        let n = 1 << 20;
+        let ratio = (n * 4) as f64 / c.compressed_bytes(n) as f64;
+        assert!(ratio > 30.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_zero_bucket_roundtrips() {
+        let mut rng = Rng::seed_from_u64(4);
+        let g = Tensor::zeros(&[10]);
+        let mut c = OneBitCompressor::new(4);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        assert_eq!(rt.as_slice(), g.as_slice());
+    }
+}

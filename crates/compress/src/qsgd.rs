@@ -1,0 +1,329 @@
+//! QSGD: stochastic codebook quantization with bucketing.
+//!
+//! The paper's default compression method (Sections 2.3 and 4). Each gradient
+//! is split into fixed-size *buckets*; each bucket stores one `f32` scale (its
+//! norm) plus `b` bits per component encoding a signed quantization level
+//! produced by stochastic rounding. Stochastic rounding keeps the estimator
+//! unbiased, which is what lets SGD converge on compressed gradients.
+//!
+//! The paper's accuracy baseline is 4 bits with bucket size 128 (Transformers)
+//! or 1024 (CNNs).
+
+use crate::{BitReader, BitWriter, Compressor, Encoded};
+use cgx_tensor::{Rng, Tensor};
+
+/// Which per-bucket norm scales the quantization grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormKind {
+    /// Euclidean norm of the bucket — the formulation in the paper's QSGD
+    /// description (Alistarh et al., 2017).
+    L2,
+    /// Max (infinity) norm — denser grids; what the CGX implementation
+    /// ships and this crate's default.
+    #[default]
+    Max,
+}
+
+/// Stochastic quantizer with bucketing.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_compress::{Compressor, QsgdCompressor};
+/// use cgx_tensor::{Rng, Tensor};
+/// let mut rng = Rng::seed_from_u64(0);
+/// let g = Tensor::randn(&mut rng, &[512]);
+/// let mut q = QsgdCompressor::new(4, 128);
+/// let enc = q.compress(&g, &mut rng);
+/// assert_eq!(enc.payload_bytes(), q.compressed_bytes(512));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QsgdCompressor {
+    bits: u32,
+    bucket_size: usize,
+    norm: NormKind,
+}
+
+impl QsgdCompressor {
+    /// Creates a quantizer with the given bit width and bucket size, using
+    /// the max bucket norm (what the CGX implementation ships: for dense
+    /// gradients the L2 norm of a bucket dwarfs individual components,
+    /// making low-bit grids needlessly coarse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8` or `bucket_size` is zero. (One-bit
+    /// compression is a different scheme; see
+    /// [`OneBitCompressor`](crate::OneBitCompressor).)
+    pub fn new(bits: u32, bucket_size: usize) -> Self {
+        Self::with_norm(bits, bucket_size, NormKind::Max)
+    }
+
+    /// Creates a quantizer with an explicit norm kind.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QsgdCompressor::new`].
+    pub fn with_norm(bits: u32, bucket_size: usize, norm: NormKind) -> Self {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8, got {bits}");
+        assert!(bucket_size > 0, "bucket size must be positive");
+        QsgdCompressor {
+            bits,
+            bucket_size,
+            norm,
+        }
+    }
+
+    /// Bit width per component.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Bucket size.
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+
+    /// Number of positive quantization levels `s` (levels are `-s..=s`).
+    pub fn levels(&self) -> u32 {
+        (1u32 << (self.bits - 1)) - 1
+    }
+
+    fn bucket_norm(&self, bucket: &[f32]) -> f64 {
+        match self.norm {
+            NormKind::L2 => bucket.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt(),
+            NormKind::Max => bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64)),
+        }
+    }
+}
+
+impl Compressor for QsgdCompressor {
+    fn name(&self) -> String {
+        let norm = match self.norm {
+            NormKind::L2 => "l2",
+            NormKind::Max => "max",
+        };
+        format!("qsgd({}b,{},{norm})", self.bits, self.bucket_size)
+    }
+
+    fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded {
+        let s = self.levels() as f64;
+        let offset = self.levels(); // shift signed level into unsigned storage
+        let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
+        // Stochastic rounding via an integer threshold: accept when the top
+        // 53 bits of a raw draw fall below p * 2^53 — one u64 compare per
+        // element instead of a float conversion (the "line rate" kernel of
+        // paper Appendix A).
+        const SCALE_2_53: f64 = (1u64 << 53) as f64;
+        for bucket in grad.as_slice().chunks(self.bucket_size) {
+            let norm = self.bucket_norm(bucket);
+            w.write_f32(norm as f32);
+            if norm == 0.0 {
+                for _ in bucket {
+                    w.write_bits(offset, self.bits);
+                }
+                continue;
+            }
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32; // scaled >= 0: truncation == floor
+                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                let level = lower + u32::from((rng.next_u64() >> 11) < threshold);
+                let signed = if v < 0.0 {
+                    offset - level
+                } else {
+                    offset + level
+                };
+                w.write_bits(signed, self.bits);
+            }
+        }
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn decompress(&self, enc: &Encoded) -> Tensor {
+        let n = enc.shape().len();
+        let s = self.levels() as f64;
+        let offset = self.levels() as i64;
+        let mut out = Vec::with_capacity(n);
+        let mut r = BitReader::new(enc.payload());
+        let mut remaining = n;
+        while remaining > 0 {
+            let bucket_len = remaining.min(self.bucket_size);
+            let norm = r.read_f32() as f64;
+            for _ in 0..bucket_len {
+                let signed = r.read_bits(self.bits) as i64 - offset;
+                out.push((norm * signed as f64 / s) as f32);
+            }
+            remaining -= bucket_len;
+        }
+        Tensor::from_vec(enc.shape().dims(), out)
+    }
+
+    fn compressed_bytes(&self, n: usize) -> usize {
+        let buckets = n.div_ceil(self.bucket_size);
+        let bits = buckets as u64 * 32 + n as u64 * self.bits as u64;
+        bits.div_ceil(8) as usize
+    }
+
+    fn kernel_cost_per_element(&self) -> f64 {
+        // Single-pass fused norm + quantize kernel: ~2% of a typical
+        // 3090 step touches ~5e8 elements/s effective; see Appendix A.
+        2.0e-11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_trip;
+
+    fn mean_roundtrip(bits: u32, bucket: usize, norm: NormKind, trials: usize) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(7);
+        let grad = Tensor::from_slice(&[0.3, -0.7, 0.05, 0.9, -0.2, 0.0, 0.61, -0.33]);
+        let mut q = QsgdCompressor::with_norm(bits, bucket, norm);
+        let mut acc = vec![0.0f64; grad.len()];
+        for _ in 0..trials {
+            let rt = round_trip(&mut q, &grad, &mut rng);
+            for (a, v) in acc.iter_mut().zip(rt.as_slice()) {
+                *a += *v as f64;
+            }
+        }
+        acc.iter().map(|a| (*a / trials as f64) as f32).collect()
+    }
+
+    #[test]
+    fn payload_size_matches_prediction() {
+        let mut rng = Rng::seed_from_u64(1);
+        for n in [1usize, 100, 128, 129, 1000, 4096] {
+            for bits in [2u32, 3, 4, 8] {
+                let g = Tensor::randn(&mut rng, &[n]);
+                let mut q = QsgdCompressor::new(bits, 128);
+                let enc = q.compress(&g, &mut rng);
+                assert_eq!(
+                    enc.payload_bytes(),
+                    q.compressed_bytes(n),
+                    "n={n} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbiased_estimator_l2() {
+        let grad = Tensor::from_slice(&[0.3, -0.7, 0.05, 0.9, -0.2, 0.0, 0.61, -0.33]);
+        let avg = mean_roundtrip(4, 8, NormKind::L2, 20_000);
+        for (m, g) in avg.iter().zip(grad.as_slice()) {
+            assert!((m - g).abs() < 0.01, "mean {m} vs true {g}");
+        }
+    }
+
+    #[test]
+    fn unbiased_estimator_max_norm() {
+        let grad = Tensor::from_slice(&[0.3, -0.7, 0.05, 0.9, -0.2, 0.0, 0.61, -0.33]);
+        let avg = mean_roundtrip(4, 8, NormKind::Max, 20_000);
+        for (m, g) in avg.iter().zip(grad.as_slice()) {
+            assert!((m - g).abs() < 0.01, "mean {m} vs true {g}");
+        }
+    }
+
+    #[test]
+    fn per_element_error_bounded_by_grid_step() {
+        let mut rng = Rng::seed_from_u64(3);
+        let grad = Tensor::randn(&mut rng, &[1024]);
+        for norm in [NormKind::L2, NormKind::Max] {
+            let mut q = QsgdCompressor::with_norm(4, 128, norm);
+            let rt = round_trip(&mut q, &grad, &mut rng);
+            let s = q.levels() as f64;
+            for (bucket, rt_bucket) in grad
+                .as_slice()
+                .chunks(128)
+                .zip(rt.as_slice().chunks(128))
+            {
+                let bnorm = match norm {
+                    NormKind::L2 => {
+                        bucket.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt()
+                    }
+                    NormKind::Max => bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64)),
+                };
+                let step = bnorm / s;
+                for (a, b) in bucket.iter().zip(rt_bucket) {
+                    assert!(
+                        (*a as f64 - *b as f64).abs() <= step + 1e-6,
+                        "error exceeds one grid step"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tensor_roundtrips_exactly() {
+        let mut rng = Rng::seed_from_u64(5);
+        let grad = Tensor::zeros(&[300]);
+        let mut q = QsgdCompressor::new(4, 128);
+        let rt = round_trip(&mut q, &grad, &mut rng);
+        assert_eq!(rt.as_slice(), grad.as_slice());
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let mut rng = Rng::seed_from_u64(11);
+        let grad = Tensor::randn(&mut rng, &[8192]);
+        let mut errs = Vec::new();
+        for bits in [2u32, 4, 8] {
+            let mut q = QsgdCompressor::new(bits, 128);
+            let rt = round_trip(&mut q, &grad, &mut rng);
+            errs.push(rt.l2_distance(&grad));
+        }
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors {errs:?}");
+    }
+
+    #[test]
+    fn larger_buckets_increase_error_but_shrink_payload() {
+        let mut rng = Rng::seed_from_u64(13);
+        let grad = Tensor::randn(&mut rng, &[16384]);
+        let mut small = QsgdCompressor::new(4, 64);
+        let mut large = QsgdCompressor::new(4, 4096);
+        let err_small = round_trip(&mut small, &grad, &mut rng).l2_distance(&grad);
+        let err_large = round_trip(&mut large, &grad, &mut rng).l2_distance(&grad);
+        assert!(err_small < err_large, "{err_small} vs {err_large}");
+        assert!(small.compressed_bytes(16384) > large.compressed_bytes(16384));
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let mut rng = Rng::seed_from_u64(17);
+        let grad = Tensor::randn(&mut rng, &[12, 34]);
+        let mut q = QsgdCompressor::new(3, 100);
+        let rt = round_trip(&mut q, &grad, &mut rng);
+        assert_eq!(rt.shape(), grad.shape());
+    }
+
+    #[test]
+    fn four_bits_has_15_levels() {
+        assert_eq!(QsgdCompressor::new(4, 128).levels(), 7);
+        assert_eq!(QsgdCompressor::new(8, 128).levels(), 127);
+        assert_eq!(QsgdCompressor::new(2, 128).levels(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=8")]
+    fn one_bit_rejected() {
+        QsgdCompressor::new(1, 128);
+    }
+
+    #[test]
+    fn name_reflects_parameters() {
+        assert_eq!(QsgdCompressor::new(4, 128).name(), "qsgd(4b,128,max)");
+    }
+
+    #[test]
+    fn compressed_ratio_near_nominal() {
+        // 4 bits + one f32 per 128-bucket => 4.25 bits/elem vs 32.
+        let q = QsgdCompressor::new(4, 128);
+        let n = 1 << 20;
+        let ratio = (n * 4) as f64 / q.compressed_bytes(n) as f64;
+        assert!((ratio - 32.0 / 4.25).abs() < 0.05, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,164 @@
+//! TopK magnitude sparsification.
+//!
+//! Transmits only the `k` largest-magnitude components (index + value).
+//! The paper notes this family can reach >100x compression but needs error
+//! feedback and per-model tuning to recover accuracy (Section 2.3); CGX uses
+//! it only for naturally-sparse layers such as Transformer embeddings
+//! (Section 6, "Heterogeneous compression").
+
+use crate::{BitReader, BitWriter, Compressor, Encoded};
+use cgx_tensor::{Rng, Tensor};
+
+/// Sparsifier that keeps the top `ratio` fraction of components by
+/// magnitude (at least one).
+///
+/// The wire format stores `k` as a `u32` followed by `k` (index `u32`,
+/// value `f32`) pairs.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_compress::{Compressor, TopKCompressor};
+/// use cgx_tensor::{Rng, Tensor};
+/// let mut rng = Rng::seed_from_u64(0);
+/// let g = Tensor::from_slice(&[0.0, 5.0, -0.1, 0.0]);
+/// let mut c = TopKCompressor::new(0.25);
+/// let enc = c.compress(&g, &mut rng);
+/// let rt = c.decompress(&enc);
+/// assert_eq!(rt.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopKCompressor {
+    ratio: f64,
+}
+
+impl TopKCompressor {
+    /// Creates a sparsifier keeping fraction `ratio` of components.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio <= 1`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0, 1], got {ratio}"
+        );
+        TopKCompressor { ratio }
+    }
+
+    /// The configured density.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Number of kept components for an `n`-element tensor.
+    pub fn k_for(&self, n: usize) -> usize {
+        ((n as f64 * self.ratio).round() as usize).clamp(1, n.max(1))
+    }
+}
+
+impl Compressor for TopKCompressor {
+    fn name(&self) -> String {
+        format!("topk({}%)", self.ratio * 100.0)
+    }
+
+    fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
+        let k = self.k_for(grad.len());
+        let idx = grad.top_k_indices(k);
+        let mut w = BitWriter::with_capacity(4 + 8 * k);
+        w.write_u32(k as u32);
+        for i in idx {
+            w.write_u32(i as u32);
+            w.write_f32(grad[i]);
+        }
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn decompress(&self, enc: &Encoded) -> Tensor {
+        let mut out = Tensor::zeros(enc.shape().dims());
+        let mut r = BitReader::new(enc.payload());
+        let k = r.read_u32() as usize;
+        for _ in 0..k {
+            let i = r.read_u32() as usize;
+            let v = r.read_f32();
+            assert!(i < out.len(), "index {i} out of bounds in TopK payload");
+            out[i] = v;
+        }
+        out
+    }
+
+    fn compressed_bytes(&self, n: usize) -> usize {
+        4 + 8 * self.k_for(n)
+    }
+
+    fn kernel_cost_per_element(&self) -> f64 {
+        // Selection is more expensive than a quantization pass (paper:
+        // "additional cost of TopK compression").
+        6.0e-11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_trip;
+
+    #[test]
+    fn keeps_exactly_largest() {
+        let mut rng = Rng::seed_from_u64(1);
+        let g = Tensor::from_slice(&[1.0, -10.0, 3.0, 0.5, -7.0, 2.0]);
+        let mut c = TopKCompressor::new(0.5);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        assert_eq!(rt.as_slice(), &[0.0, -10.0, 3.0, 0.0, -7.0, 0.0]);
+    }
+
+    #[test]
+    fn full_ratio_is_lossless_in_values() {
+        let mut rng = Rng::seed_from_u64(2);
+        let g = Tensor::randn(&mut rng, &[64]);
+        let mut c = TopKCompressor::new(1.0);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        assert_eq!(rt.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn payload_size_matches_prediction() {
+        let mut rng = Rng::seed_from_u64(3);
+        for n in [1usize, 10, 1000] {
+            let g = Tensor::randn(&mut rng, &[n]);
+            let mut c = TopKCompressor::new(0.01);
+            let enc = c.compress(&g, &mut rng);
+            assert_eq!(enc.payload_bytes(), c.compressed_bytes(n));
+        }
+    }
+
+    #[test]
+    fn at_least_one_component_kept() {
+        assert_eq!(TopKCompressor::new(0.001).k_for(10), 1);
+    }
+
+    #[test]
+    fn error_is_norm_of_dropped_tail() {
+        let mut rng = Rng::seed_from_u64(4);
+        let g = Tensor::from_slice(&[3.0, 4.0, 0.1, -0.2]);
+        let mut c = TopKCompressor::new(0.5);
+        let rt = round_trip(&mut c, &g, &mut rng);
+        let err = rt.l2_distance(&g);
+        let expected = (0.1f64 * 0.1 + 0.2 * 0.2).sqrt();
+        assert!((err - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0, 1]")]
+    fn zero_ratio_panics() {
+        TopKCompressor::new(0.0);
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let mut rng = Rng::seed_from_u64(5);
+        let g = Tensor::randn(&mut rng, &[8, 16]);
+        let mut c = TopKCompressor::new(0.1);
+        assert_eq!(round_trip(&mut c, &g, &mut rng).shape(), g.shape());
+    }
+}

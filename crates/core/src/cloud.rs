@@ -1,0 +1,116 @@
+//! Cloud cost-efficiency arithmetic (paper Table 4).
+
+use crate::estimate::{estimate, Estimate, SystemSetup};
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+
+/// A cloud offer: an instance plus the software configuration run on it.
+#[derive(Debug, Clone)]
+pub struct CloudOffer {
+    /// Row label, e.g. `"Genesis CGX"`.
+    pub name: String,
+    /// The machine (must carry a price).
+    pub machine: MachineSpec,
+    /// The system configuration.
+    pub setup: SystemSetup,
+}
+
+/// Cost-efficiency result: throughput, price, and items/second/$.
+#[derive(Debug, Clone)]
+pub struct CostEfficiency {
+    /// Offer label.
+    pub name: String,
+    /// Estimated throughput (items/s).
+    pub throughput: f64,
+    /// Hourly price in USD.
+    pub price_per_hour: f64,
+    /// Items per second per dollar/hour.
+    pub items_per_second_per_dollar: f64,
+    /// Full estimate for drill-down.
+    pub estimate: Estimate,
+}
+
+/// Evaluates one offer on a workload.
+///
+/// # Panics
+///
+/// Panics if the machine has no price attached.
+pub fn cost_efficiency(offer: &CloudOffer, model: ModelId) -> CostEfficiency {
+    let price = offer
+        .machine
+        .price_per_hour()
+        .expect("cloud offer without a price");
+    let est = estimate(&offer.machine, model, &offer.setup);
+    CostEfficiency {
+        name: offer.name.clone(),
+        throughput: est.throughput,
+        price_per_hour: price,
+        items_per_second_per_dollar: est.throughput / price,
+        estimate: est,
+    }
+}
+
+/// The three Table 4 rows: Genesis+NCCL, AWS+NCCL, Genesis+CGX.
+pub fn table4_offers() -> Vec<CloudOffer> {
+    vec![
+        CloudOffer {
+            name: "Genesis NCCL".into(),
+            machine: MachineSpec::genesis_3090(),
+            setup: SystemSetup::BaselineNccl,
+        },
+        CloudOffer {
+            name: "AWS NCCL".into(),
+            machine: MachineSpec::aws_p3_8xlarge(),
+            setup: SystemSetup::BaselineNccl,
+        },
+        CloudOffer {
+            name: "Genesis CGX".into(),
+            machine: MachineSpec::genesis_3090(),
+            setup: SystemSetup::cgx(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_cgx_doubles_value_per_dollar() {
+        // Paper: Genesis+CGX yields ~2x the tokens/s/$ of AWS+NCCL and far
+        // more than Genesis+NCCL.
+        let rows: Vec<CostEfficiency> = table4_offers()
+            .iter()
+            .map(|o| cost_efficiency(o, ModelId::BertBase))
+            .collect();
+        let genesis_nccl = &rows[0];
+        let aws = &rows[1];
+        let genesis_cgx = &rows[2];
+        assert!(
+            genesis_cgx.items_per_second_per_dollar
+                > 1.5 * aws.items_per_second_per_dollar,
+            "cgx {} vs aws {}",
+            genesis_cgx.items_per_second_per_dollar,
+            aws.items_per_second_per_dollar
+        );
+        assert!(
+            genesis_cgx.items_per_second_per_dollar
+                > 2.0 * genesis_nccl.items_per_second_per_dollar
+        );
+        // AWS has the raw-throughput lead over uncompressed Genesis.
+        assert!(aws.throughput > genesis_nccl.throughput);
+        // CGX closes most of the raw-throughput gap.
+        assert!(genesis_cgx.throughput > 0.6 * aws.throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "cloud offer without a price")]
+    fn unpriced_machine_rejected() {
+        let offer = CloudOffer {
+            name: "DGX".into(),
+            machine: MachineSpec::dgx1(),
+            setup: SystemSetup::BaselineNccl,
+        };
+        cost_efficiency(&offer, ModelId::BertBase);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! CGX: the communication framework facade.
+//!
+//! Ties the substrates together into the system the paper describes:
+//!
+//! * [`api`] — the user-facing registration/configuration API mirroring the
+//!   paper's Listing 1 (`register_model`, `exclude_layer`, per-layer
+//!   compression parameters, backend selection);
+//! * [`estimate`] — the end-to-end performance estimator: combines the
+//!   model zoo, compression wire formats, and the machine simulator to
+//!   predict step time and throughput for CGX and for every baseline the
+//!   paper compares against (vanilla NCCL, QNCCL, GRACE, PowerSGD, ideal
+//!   linear scaling);
+//! * [`adaptive`] — periodic adaptive layer-wise compression wired to the
+//!   gradient statistics of a registered model;
+//! * [`cloud`] — the cost-efficiency arithmetic of Table 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgx_core::api::CgxBuilder;
+//! use cgx_core::estimate::{estimate, SystemSetup};
+//! use cgx_models::ModelId;
+//! use cgx_simnet::MachineSpec;
+//!
+//! // Listing-1-style registration.
+//! let mut cgx = CgxBuilder::new().build();
+//! cgx.register_model_spec(&cgx_models::ModelSpec::build(ModelId::ResNet50));
+//! cgx.exclude_layer("bn");
+//! cgx.exclude_layer("bias");
+//!
+//! // How fast does this run on the 8x RTX 3090 box?
+//! let est = estimate(&MachineSpec::rtx3090(), ModelId::ResNet50, &SystemSetup::cgx());
+//! let base = estimate(
+//!     &MachineSpec::rtx3090(),
+//!     ModelId::ResNet50,
+//!     &SystemSetup::BaselineNccl,
+//! );
+//! assert!(est.throughput > base.throughput);
+//! ```
+
+pub mod adaptive;
+pub mod api;
+pub mod cloud;
+pub mod estimate;
+pub mod session_sim;
+
+pub use adaptive::{adaptive_compression_for, AdaptiveOutcome};
+pub use api::{Cgx, CgxBuilder};
+pub use cloud::{cost_efficiency, CloudOffer};
+pub use estimate::{estimate, estimate_fp32, estimate_with_schemes, Estimate, SystemSetup};
+pub use session_sim::{simulate_adaptive_session, AdaptationEpoch, SessionReport};

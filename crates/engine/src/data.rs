@@ -1,0 +1,216 @@
+//! Deterministic synthetic tasks.
+//!
+//! Stand-ins for the paper's datasets (documented substitutions): a
+//! Gaussian-mixture classification task for the ImageNet workloads and a
+//! Markov-chain language-modelling task for WikiText. Both are generated
+//! from seeded RNGs so every experiment is reproducible, and both are
+//! *learnable but not trivial* — compressed-gradient damage shows up as
+//! measurable accuracy/perplexity loss.
+
+use cgx_tensor::{Rng, Tensor};
+
+/// `k`-class Gaussian mixture in `dim` dimensions with class centers at
+/// pairwise distance controlled by `separation`.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    centers: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture with deterministic (seed-42) class centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` or `dim` is zero or `separation` is not positive.
+    pub fn new(classes: usize, dim: usize, separation: f64) -> Self {
+        assert!(classes > 0 && dim > 0, "degenerate task");
+        assert!(separation > 0.0, "separation must be positive");
+        let mut rng = Rng::seed_from_u64(42);
+        let centers = (0..classes)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| (rng.normal() * separation) as f32)
+                    .collect()
+            })
+            .collect();
+        GaussianMixture { centers, dim }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Samples a labelled batch: features `batch x dim` plus labels.
+    pub fn sample_batch(&self, rng: &mut Rng, batch: usize) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::zeros(&[batch, self.dim]);
+        let mut y = Vec::with_capacity(batch);
+        for i in 0..batch {
+            let class = rng.index(self.centers.len());
+            y.push(class);
+            for j in 0..self.dim {
+                x[i * self.dim + j] = self.centers[class][j] + rng.normal() as f32;
+            }
+        }
+        (x, y)
+    }
+}
+
+/// A first-order Markov chain over `vocab` tokens with temperature-skewed
+/// transition rows; the language-modelling stand-in.
+///
+/// The optimal model of this source is exactly a bigram table, which
+/// [`crate::EmbeddingLm`] can represent — so the achievable perplexity
+/// floor is the chain's entropy rate, and compression-induced excess
+/// perplexity is measurable.
+#[derive(Debug, Clone)]
+pub struct MarkovChainLm {
+    transitions: Vec<Vec<f64>>,
+}
+
+impl MarkovChainLm {
+    /// Creates a chain over `vocab` tokens; larger `skew` concentrates each
+    /// row on fewer successors (lower entropy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 2` or `skew` is not positive.
+    pub fn new(vocab: usize, skew: f64, seed: u64) -> Self {
+        assert!(vocab >= 2, "need at least two tokens");
+        assert!(skew > 0.0, "skew must be positive");
+        let mut rng = Rng::seed_from_u64(seed);
+        let transitions = (0..vocab)
+            .map(|_| {
+                let raw: Vec<f64> = (0..vocab).map(|_| rng.uniform().powf(skew)).collect();
+                let z: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / z).collect()
+            })
+            .collect();
+        MarkovChainLm { transitions }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Samples a (context, target) batch of adjacent token pairs from a
+    /// fresh random walk.
+    pub fn sample_batch(&self, rng: &mut Rng, batch: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut ctx = Vec::with_capacity(batch);
+        let mut tgt = Vec::with_capacity(batch);
+        let mut state = rng.index(self.vocab());
+        for _ in 0..batch {
+            let next = rng.categorical(&self.transitions[state]);
+            ctx.push(state);
+            tgt.push(next);
+            state = next;
+        }
+        (ctx, tgt)
+    }
+
+    /// The chain's entropy rate in nats under the uniform stationary
+    /// approximation — a lower bound on achievable cross-entropy.
+    pub fn entropy_rate(&self) -> f64 {
+        let v = self.vocab() as f64;
+        self.transitions
+            .iter()
+            .map(|row| -row.iter().filter(|p| **p > 0.0).map(|p| p * p.ln()).sum::<f64>())
+            .sum::<f64>()
+            / v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_batches_have_correct_shape() {
+        let task = GaussianMixture::new(5, 7, 2.0);
+        let mut rng = Rng::seed_from_u64(1);
+        let (x, y) = task.sample_batch(&mut rng, 13);
+        assert_eq!(x.shape().dims(), &[13, 7]);
+        assert_eq!(y.len(), 13);
+        assert!(y.iter().all(|c| *c < 5));
+    }
+
+    #[test]
+    fn mixture_is_deterministic_given_seeds() {
+        let task = GaussianMixture::new(3, 4, 1.0);
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
+        let (xa, ya) = task.sample_batch(&mut a, 8);
+        let (xb, yb) = task.sample_batch(&mut b, 8);
+        assert_eq!(xa.as_slice(), xb.as_slice());
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn higher_separation_is_easier() {
+        // A nearest-center classifier should do better with more separation.
+        let mut rng = Rng::seed_from_u64(2);
+        let acc = |sep: f64, rng: &mut Rng| {
+            let task = GaussianMixture::new(4, 8, sep);
+            let (x, y) = task.sample_batch(rng, 500);
+            let mut correct = 0;
+            for (i, label) in y.iter().enumerate() {
+                let row = &x.as_slice()[i * 8..(i + 1) * 8];
+                let pred = (0..4)
+                    .min_by(|&a, &b| {
+                        let da: f32 = row
+                            .iter()
+                            .zip(&task.centers[a])
+                            .map(|(p, c)| (p - c) * (p - c))
+                            .sum();
+                        let db: f32 = row
+                            .iter()
+                            .zip(&task.centers[b])
+                            .map(|(p, c)| (p - c) * (p - c))
+                            .sum();
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .expect("classes");
+                correct += usize::from(pred == *label);
+            }
+            correct as f64 / 500.0
+        };
+        let hard = acc(0.3, &mut rng);
+        let easy = acc(3.0, &mut rng);
+        assert!(easy > hard + 0.2, "easy {easy} vs hard {hard}");
+    }
+
+    #[test]
+    fn markov_rows_are_distributions() {
+        let lm = MarkovChainLm::new(20, 3.0, 7);
+        for row in &lm.transitions {
+            let z: f64 = row.iter().sum();
+            assert!((z - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|p| *p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn markov_batch_pairs_are_chained() {
+        let lm = MarkovChainLm::new(10, 2.0, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let (ctx, tgt) = lm.sample_batch(&mut rng, 50);
+        // Consecutive pairs chain: target i == context i+1.
+        for i in 0..49 {
+            assert_eq!(tgt[i], ctx[i + 1]);
+        }
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let flat = MarkovChainLm::new(32, 0.5, 1).entropy_rate();
+        let peaky = MarkovChainLm::new(32, 8.0, 1).entropy_rate();
+        assert!(peaky < flat, "peaky {peaky} vs flat {flat}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Hybrid synchronization: local SGD with periodic model averaging.
+//!
+//! The paper's conclusion names "extending our results to hybrid
+//! synchronization setups, e.g. Zhou et al.; Li et al." as future work.
+//! This module implements the canonical member of that family — local SGD:
+//! each worker takes `sync_period` optimizer steps on its own shard, then
+//! the replicas all-reduce their *parameters* (not per-step gradients) and
+//! continue from the average. Synchronization traffic drops by roughly the
+//! sync period; compression composes on top of the parameter deltas.
+
+use crate::optimizer::SgdMomentum;
+use crate::trainer::{TrainConfig, TrainableModel};
+use cgx_collectives::reduce::allreduce;
+use cgx_collectives::{CommError, ThreadCluster};
+use cgx_compress::{Compressor, NoneCompressor};
+use cgx_tensor::{Rng, Tensor};
+
+/// Result of a local-SGD run.
+#[derive(Debug, Clone)]
+pub struct LocalSgdReport {
+    /// Rank-0 training loss per step.
+    pub losses: Vec<f64>,
+    /// Wire bytes transmitted per worker over the whole run.
+    pub bytes_sent_per_worker: usize,
+    /// Number of synchronization rounds performed.
+    pub sync_rounds: usize,
+}
+
+/// Trains with local SGD: `cfg.workers` replicas, `cfg.steps` total steps,
+/// parameters averaged every `sync_period` steps (and once at the end if
+/// the step count is not a multiple).
+///
+/// The `cfg.compression` policy applies to the *parameter deltas*
+/// (`current - at_last_sync`), which is how compressed model averaging is
+/// done in practice: deltas are gradient-like and compress well, while raw
+/// parameters do not.
+///
+/// # Errors
+///
+/// Propagates collective failures.
+///
+/// # Panics
+///
+/// Panics if `sync_period` is zero.
+pub fn train_local_sgd<M, S>(
+    model: &M,
+    sampler: S,
+    cfg: &TrainConfig,
+    sync_period: usize,
+) -> Result<(M, LocalSgdReport), CommError>
+where
+    M: TrainableModel + Sync,
+    S: Fn(&mut Rng) -> M::Batch + Send + Sync,
+{
+    assert!(sync_period > 0, "sync period must be at least 1");
+    assert!(cfg.workers > 0 && cfg.steps > 0, "degenerate config");
+    let specs = model.param_specs();
+    let outputs = ThreadCluster::try_run(cfg.workers, |t| {
+        let mut local = model.clone();
+        let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
+        let mut comp_rng =
+            Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
+        let mut compressors = cfg.compression.build_all(&specs);
+        let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let mut raw = NoneCompressor::new();
+        let mut losses = Vec::with_capacity(cfg.steps);
+        let mut bytes = 0usize;
+        let mut sync_rounds = 0usize;
+        // Parameters at the last synchronization point (identical across
+        // replicas by construction).
+        let mut anchor: Vec<Tensor> = local.params().to_vec();
+        let world = t.world() as f32;
+        for step in 1..=cfg.steps {
+            let batch = sampler(&mut data_rng);
+            let (loss, grads) = local.loss_and_grads(&batch);
+            losses.push(loss);
+            opt.step(local.params_mut(), &grads);
+            if step % sync_period == 0 || step == cfg.steps {
+                sync_rounds += 1;
+                // Compressed model averaging: all-reduce the deltas from
+                // the shared anchor, then rebuild params = anchor + mean.
+                for (i, p) in local.params_mut().iter_mut().enumerate() {
+                    let mut delta = p.clone();
+                    delta.sub_assign(&anchor[i]);
+                    let comp: &mut dyn Compressor = if world > 1.0 {
+                        compressors[i].as_mut()
+                    } else {
+                        &mut raw
+                    };
+                    let (mut mean_delta, stats) =
+                        allreduce(cfg.algorithm, &t, &delta, comp, &mut comp_rng)?;
+                    mean_delta.scale(1.0 / world);
+                    bytes += stats.bytes_sent;
+                    *p = anchor[i].clone();
+                    p.add_assign(&mean_delta);
+                }
+                anchor = local.params().to_vec();
+            }
+        }
+        Ok::<_, CommError>((local, losses, bytes, sync_rounds))
+    })?;
+    let (model0, losses, bytes, sync_rounds) =
+        outputs.into_iter().next().expect("rank 0 output");
+    Ok((
+        model0,
+        LocalSgdReport {
+            losses,
+            bytes_sent_per_worker: bytes,
+            sync_rounds,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GaussianMixture;
+    use crate::nn::Mlp;
+    use crate::trainer::LayerCompression;
+
+    fn setup() -> (GaussianMixture, Mlp) {
+        let task = GaussianMixture::new(5, 10, 1.3);
+        let mut rng = Rng::seed_from_u64(5);
+        let model = Mlp::new(&mut rng, &[10, 24, 5]);
+        (task, model)
+    }
+
+    fn eval(model: &Mlp, task: &GaussianMixture) -> f64 {
+        let mut rng = Rng::seed_from_u64(999);
+        let (x, y) = task.sample_batch(&mut rng, 1024);
+        model.accuracy(&x, &y)
+    }
+
+    #[test]
+    fn local_sgd_recovers_accuracy_at_moderate_periods() {
+        let (task, model) = setup();
+        let cfg = TrainConfig {
+            lr: 0.2,
+            compression: LayerCompression::none(),
+            ..TrainConfig::new(4, 240)
+        };
+        let t = task.clone();
+        let (trained, report) =
+            train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, 8).unwrap();
+        assert!(eval(&trained, &task) > 0.85);
+        assert_eq!(report.sync_rounds, 30);
+    }
+
+    #[test]
+    fn longer_periods_cut_traffic_proportionally() {
+        let (task, model) = setup();
+        let run = |period: usize| {
+            let cfg = TrainConfig {
+                lr: 0.2,
+                compression: LayerCompression::none(),
+                ..TrainConfig::new(2, 64)
+            };
+            let t = task.clone();
+            train_local_sgd(&model, move |r| t.sample_batch(r, 8), &cfg, period)
+                .unwrap()
+                .1
+        };
+        let every = run(1);
+        let sparse = run(8);
+        assert_eq!(every.sync_rounds, 64);
+        assert_eq!(sparse.sync_rounds, 8);
+        let ratio = every.bytes_sent_per_worker as f64 / sparse.bytes_sent_per_worker as f64;
+        assert!((6.0..10.0).contains(&ratio), "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn replicas_agree_after_final_sync() {
+        let (task, model) = setup();
+        let cfg = TrainConfig {
+            lr: 0.1,
+            compression: LayerCompression::cgx_default(),
+            ..TrainConfig::new(3, 21)
+        };
+        let specs = model.param_specs();
+        let replicas = ThreadCluster::try_run(3, |t| {
+            let mut local = model.clone();
+            let mut data_rng =
+                Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
+            let mut comp_rng =
+                Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
+            let mut comps = cfg.compression.build_all(&specs);
+            let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+            let mut anchor: Vec<Tensor> = local.params().to_vec();
+            for step in 1..=cfg.steps {
+                let (x, y) = task.sample_batch(&mut data_rng, 8);
+                let (_, grads) = local.loss_and_grads(&x, &y);
+                opt.step(local.params_mut(), &grads);
+                if step % 7 == 0 || step == cfg.steps {
+                    for (i, p) in local.params_mut().iter_mut().enumerate() {
+                        let mut delta = p.clone();
+                        delta.sub_assign(&anchor[i]);
+                        let (mut mean, _) = allreduce(
+                            cfg.algorithm,
+                            &t,
+                            &delta,
+                            comps[i].as_mut(),
+                            &mut comp_rng,
+                        )?;
+                        mean.scale(1.0 / t.world() as f32);
+                        *p = anchor[i].clone();
+                        p.add_assign(&mean);
+                    }
+                    anchor = local.params().to_vec();
+                }
+            }
+            Ok::<_, CommError>(local)
+        })
+        .unwrap();
+        for r in &replicas[1..] {
+            for (a, b) in r.params().iter().zip(replicas[0].params()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "replicas diverged at sync");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_deltas_still_learn() {
+        let (task, model) = setup();
+        let cfg = TrainConfig {
+            lr: 0.2,
+            compression: LayerCompression::cgx_default(),
+            ..TrainConfig::new(4, 240)
+        };
+        let t = task.clone();
+        let (trained, _) =
+            train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, 8).unwrap();
+        assert!(eval(&trained, &task) > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "sync period must be at least 1")]
+    fn zero_period_panics() {
+        let (task, model) = setup();
+        let cfg = TrainConfig::new(2, 4);
+        let _ = train_local_sgd(&model, move |r| task.sample_batch(r, 4), &cfg, 0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Model zoo: layer inventories and synthetic gradients for the six
+//! workloads evaluated in the CGX paper.
+//!
+//! The paper's system-level behaviour depends on each model's *layer
+//! profile* — how many parameters live in embeddings vs convolutions vs
+//! norm/bias layers, and in which order gradients are produced during the
+//! backward pass — rather than on the training data itself. This crate
+//! reconstructs those profiles faithfully from the published architectures:
+//!
+//! | model | params | dominated by |
+//! |---|---|---|
+//! | ResNet50 | ~25.6 M | 3x3/1x1 convolutions |
+//! | VGG16 | ~138 M | giant fully-connected head |
+//! | ViT-B/16 | ~86 M | uniform transformer blocks |
+//! | Transformer-XL base | ~191 M | a 137 M-parameter embedding |
+//! | BERT base | ~109 M | transformer blocks + 23 M embedding |
+//! | GPT-2 small | ~124 M | 38 M embedding + blocks |
+//!
+//! It also provides synthetic per-layer gradient generators with
+//! layer-kind-dependent statistics, used by the accuracy and adaptive
+//! compression experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgx_models::{ModelId, ModelSpec};
+//! let m = ModelSpec::build(ModelId::ResNet50);
+//! assert!((m.param_count() as f64 - 25.6e6).abs() < 1.0e6);
+//! assert!(m.layers().iter().any(|l| l.name().contains("bn")));
+//! ```
+
+pub mod gradients;
+pub mod spec;
+pub mod zoo;
+
+pub use gradients::GradientSynth;
+pub use spec::{LayerKind, LayerSpec, ModelId, ModelSpec, Precision};

@@ -1,0 +1,362 @@
+//! Discrete-event network simulation of collective operations.
+//!
+//! The analytic α-β formulas in [`crate::collective`] are closed forms;
+//! this module cross-validates them with a first-principles discrete-event
+//! simulation: every chunk transfer is an explicit operation with data
+//! dependencies, scheduled onto per-GPU egress/ingress lanes of finite
+//! bandwidth. The DES captures effects the closed forms average away —
+//! head-of-line blocking, dependency stalls between reduction phases,
+//! lane contention — and the test suite asserts the two models agree
+//! within a small factor (they do, which is the justification for using
+//! the cheap closed forms in the step simulator).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One point-to-point transfer operation in the dependency graph.
+#[derive(Debug, Clone)]
+pub struct SendOp {
+    /// Source rank (occupies its egress lane).
+    pub src: usize,
+    /// Destination rank (occupies its ingress lane).
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Indices of operations that must complete before this one may start.
+    pub deps: Vec<usize>,
+}
+
+impl SendOp {
+    /// Creates a transfer with no dependencies.
+    pub fn new(src: usize, dst: usize, bytes: f64) -> Self {
+        SendOp {
+            src,
+            dst,
+            bytes,
+            deps: Vec::new(),
+        }
+    }
+
+    /// Adds dependencies.
+    pub fn after(mut self, deps: impl IntoIterator<Item = usize>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+}
+
+/// The simulated network: `n` ranks, each with one egress and one ingress
+/// lane of the given bandwidth, plus a per-transfer latency α.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkDes {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Per-lane bandwidth, bytes/s.
+    pub lane_bw: f64,
+    /// Per-transfer latency, seconds.
+    pub alpha: f64,
+}
+
+#[derive(Debug, PartialEq)]
+struct Completion {
+    time: f64,
+    op: usize,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time (ties by op index for determinism).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite times")
+            .then(other.op.cmp(&self.op))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl NetworkDes {
+    /// Creates a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero ranks or non-positive bandwidth.
+    pub fn new(ranks: usize, lane_bw: f64, alpha: f64) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(lane_bw > 0.0, "bandwidth must be positive");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        NetworkDes {
+            ranks,
+            lane_bw,
+            alpha,
+        }
+    }
+
+    /// Executes the operation graph; returns per-op completion times and
+    /// the makespan.
+    ///
+    /// Scheduling: an op becomes *ready* when all dependencies completed;
+    /// ready ops start as soon as both the source egress lane and the
+    /// destination ingress lane are free (FIFO per lane, deterministic by
+    /// op index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ranks, self-sends, dependency cycles, or
+    /// forward dependencies that would deadlock.
+    pub fn run(&self, ops: &[SendOp]) -> (Vec<f64>, f64) {
+        for (i, op) in ops.iter().enumerate() {
+            assert!(op.src < self.ranks && op.dst < self.ranks, "op {i}: bad rank");
+            assert!(op.src != op.dst, "op {i}: self-send");
+        }
+        let n_ops = ops.len();
+        let mut remaining_deps: Vec<usize> = ops.iter().map(|o| o.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        for (i, op) in ops.iter().enumerate() {
+            for &d in &op.deps {
+                assert!(d < n_ops, "op {i}: dependency {d} out of range");
+                dependents[d].push(i);
+            }
+        }
+        let mut egress_free = vec![0.0f64; self.ranks];
+        let mut ingress_free = vec![0.0f64; self.ranks];
+        let mut ready_at = vec![f64::INFINITY; n_ops];
+        let mut done_at = vec![f64::NEG_INFINITY; n_ops];
+        let mut scheduled = vec![false; n_ops];
+        let mut ready: Vec<usize> = Vec::new();
+        for (i, r) in remaining_deps.iter().enumerate() {
+            if *r == 0 {
+                ready_at[i] = 0.0;
+                ready.push(i);
+            }
+        }
+        let mut heap: BinaryHeap<Completion> = BinaryHeap::new();
+        let mut completed = 0usize;
+        let mut makespan = 0.0f64;
+        loop {
+            // Schedule every ready, unscheduled op (FIFO by index).
+            ready.sort_unstable();
+            for &i in &ready {
+                if scheduled[i] {
+                    continue;
+                }
+                let op = &ops[i];
+                let start = ready_at[i]
+                    .max(egress_free[op.src])
+                    .max(ingress_free[op.dst]);
+                // Bandwidth occupies the lanes; latency rides in flight
+                // (transfers pipeline, so α does not serialize a lane).
+                let lane_busy_until = start + op.bytes / self.lane_bw;
+                let end = lane_busy_until + self.alpha;
+                egress_free[op.src] = lane_busy_until;
+                ingress_free[op.dst] = lane_busy_until;
+                scheduled[i] = true;
+                heap.push(Completion { time: end, op: i });
+            }
+            ready.clear();
+            let Some(Completion { time, op }) = heap.pop() else {
+                break;
+            };
+            done_at[op] = time;
+            makespan = makespan.max(time);
+            completed += 1;
+            for &d in &dependents[op] {
+                remaining_deps[d] -= 1;
+                if remaining_deps[d] == 0 {
+                    ready_at[d] = time;
+                    ready.push(d);
+                }
+            }
+        }
+        assert_eq!(completed, n_ops, "dependency cycle: not all ops ran");
+        (done_at, makespan)
+    }
+
+    /// Builds the operation graph of a Scatter-Reduce-Allgather Allreduce
+    /// of `total_bytes` (wire) and runs it, returning the makespan.
+    pub fn sra_allreduce(&self, total_bytes: f64) -> f64 {
+        let n = self.ranks;
+        if n == 1 {
+            return 0.0;
+        }
+        let chunk = total_bytes / n as f64;
+        let mut ops = Vec::new();
+        // Phase 1: rank i sends chunk j to rank j (all j != i).
+        // op index = i * (n-1) + position.
+        let mut phase1_of_dst: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for (j, inbox) in phase1_of_dst.iter_mut().enumerate() {
+                if j == i {
+                    continue;
+                }
+                inbox.push(ops.len());
+                ops.push(SendOp::new(i, j, chunk));
+            }
+        }
+        // Phase 2: rank j broadcasts its aggregated chunk after receiving
+        // all of phase 1 addressed to it.
+        for (j, inbox) in phase1_of_dst.iter().enumerate() {
+            for k in 0..n {
+                if k == j {
+                    continue;
+                }
+                ops.push(SendOp::new(j, k, chunk).after(inbox.iter().copied()));
+            }
+        }
+        self.run(&ops).1
+    }
+
+    /// Builds and runs a chunked Ring Allreduce of `total_bytes` (wire),
+    /// returning the makespan.
+    pub fn ring_allreduce(&self, total_bytes: f64) -> f64 {
+        let n = self.ranks;
+        if n == 1 {
+            return 0.0;
+        }
+        let chunk = total_bytes / n as f64;
+        let mut ops: Vec<SendOp> = Vec::new();
+        // 2(n-1) rounds; in round s, every rank sends one chunk to its right
+        // neighbour, and must have completed its round-(s-1) *receive*.
+        let mut prev_recv_op: Vec<Option<usize>> = vec![None; n]; // op idx whose dst == rank
+        for _s in 0..2 * (n - 1) {
+            let mut this_round: Vec<Option<usize>> = vec![None; n];
+            for (i, prev) in prev_recv_op.iter().enumerate() {
+                let right = (i + 1) % n;
+                let mut op = SendOp::new(i, right, chunk);
+                if let Some(p) = prev {
+                    op = op.after([*p]);
+                }
+                this_round[right] = Some(ops.len());
+                ops.push(op);
+            }
+            prev_recv_op = this_round;
+        }
+        self.run(&ops).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{allreduce_time, CommCost, ReductionScheme};
+
+    #[test]
+    fn single_transfer_takes_alpha_plus_bytes_over_bw() {
+        let net = NetworkDes::new(2, 1e9, 10e-6);
+        let (done, makespan) = net.run(&[SendOp::new(0, 1, 1e6)]);
+        assert!((done[0] - (10e-6 + 1e-3)).abs() < 1e-12);
+        assert_eq!(makespan, done[0]);
+    }
+
+    #[test]
+    fn same_source_transfers_serialize() {
+        let net = NetworkDes::new(3, 1e9, 0.0);
+        let (done, _) = net.run(&[SendOp::new(0, 1, 1e6), SendOp::new(0, 2, 1e6)]);
+        assert!((done[0] - 1e-3).abs() < 1e-12);
+        assert!((done[1] - 2e-3).abs() < 1e-12, "egress lane must serialize");
+    }
+
+    #[test]
+    fn different_lanes_run_concurrently() {
+        let net = NetworkDes::new(4, 1e9, 0.0);
+        let (done, makespan) = net.run(&[SendOp::new(0, 1, 1e6), SendOp::new(2, 3, 1e6)]);
+        assert!((done[0] - 1e-3).abs() < 1e-12);
+        assert!((done[1] - 1e-3).abs() < 1e-12);
+        assert!((makespan - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let net = NetworkDes::new(4, 1e9, 0.0);
+        let ops = vec![
+            SendOp::new(0, 1, 1e6),
+            SendOp::new(2, 3, 1e6).after([0]), // waits for op 0 despite free lanes
+        ];
+        let (done, _) = net.run(&ops);
+        assert!(done[1] >= done[0] + 1e-3 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_rejected() {
+        NetworkDes::new(2, 1e9, 0.0).run(&[SendOp::new(1, 1, 10.0)]);
+    }
+
+    #[test]
+    fn des_sra_matches_analytic_within_factor_two() {
+        for n in [2usize, 4, 8] {
+            for bytes in [1e6, 100e6] {
+                let bw = 2e9;
+                let net = NetworkDes::new(n, bw, 10e-6);
+                let des = net.sra_allreduce(bytes);
+                let analytic = allreduce_time(
+                    ReductionScheme::ScatterReduceAllgather,
+                    n,
+                    bytes as usize,
+                    CommCost::new(bw, 10e-6),
+                );
+                let ratio = des / analytic;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "n={n} bytes={bytes}: DES {des:.4} vs analytic {analytic:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn des_ring_matches_analytic_within_factor_two() {
+        for n in [2usize, 4, 8] {
+            let bw = 2e9;
+            let bytes = 50e6;
+            let net = NetworkDes::new(n, bw, 10e-6);
+            let des = net.ring_allreduce(bytes);
+            let analytic = allreduce_time(
+                ReductionScheme::Ring,
+                n,
+                bytes as usize,
+                CommCost::new(bw, 10e-6),
+            );
+            let ratio = des / analytic;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "n={n}: DES {des:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_times_scale_linearly_in_bytes() {
+        let net = NetworkDes::new(8, 1e9, 0.0);
+        let t1 = net.sra_allreduce(10e6);
+        let t2 = net.sra_allreduce(20e6);
+        assert!((t2 / t1 - 2.0).abs() < 0.05, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn ring_latency_grows_with_ranks_sra_does_not() {
+        // The latency-term difference that makes SRA win (Figure 10): at
+        // tiny payloads, ring pays 2(n-1) alphas on the critical path.
+        let alpha = 1e-3;
+        let tiny = 8.0 * 64.0; // 64 bytes/rank
+        let sra8 = NetworkDes::new(8, 1e9, alpha).sra_allreduce(tiny);
+        let ring8 = NetworkDes::new(8, 1e9, alpha).ring_allreduce(tiny);
+        assert!(
+            ring8 > 1.5 * sra8,
+            "ring {ring8:.4} should pay far more latency than SRA {sra8:.4}"
+        );
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let net = NetworkDes::new(1, 1e9, 1e-3);
+        assert_eq!(net.sra_allreduce(1e9), 0.0);
+        assert_eq!(net.ring_allreduce(1e9), 0.0);
+    }
+}

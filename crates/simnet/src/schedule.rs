@@ -1,0 +1,260 @@
+//! Communication scheduling variants (paper Section 4, "Improved
+//! Scheduling").
+//!
+//! Two optimizations from the scheduling literature the paper discusses:
+//!
+//! * **priority scheduling** (ByteScheduler/P3-style): when several
+//!   gradients are queued for the link, transmit the one needed *earliest
+//!   in the next forward pass* first, so the next step can begin sooner;
+//! * **cross-barrier training**: let the next step's forward start for
+//!   layers whose gradients are already synchronized, pipelining steps.
+//!   The paper finds it "does not provide significant performance in a
+//!   single node setup" (and gradient clipping forbids it for Transformers
+//!   — Technical Issue 3); this module reproduces both conclusions.
+
+use crate::step::{message_time, ComputeProfile, LayerMsg, StepConfig, StepReport, SyncMode};
+
+/// Order in which queued gradient transfers are released to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MessageOrder {
+    /// Generation order (output-to-input) — the default engine behaviour.
+    #[default]
+    Fifo,
+    /// Forward-priority: among ready messages, the layer needed earliest
+    /// in the next forward pass goes first.
+    Priority,
+}
+
+/// Simulates one step with an explicit link queue honouring `order`.
+///
+/// Link model identical to the default step simulator: one message at a
+/// time; messages become ready as backward produces them; `order` picks
+/// which ready message transmits when the link frees.
+///
+/// # Panics
+///
+/// Panics if `cfg.sync_mode` is not [`SyncMode::PerLayerOverlap`].
+pub fn simulate_step_ordered(
+    cfg: &StepConfig,
+    layers: &[LayerMsg],
+    compute: ComputeProfile,
+    order: MessageOrder,
+) -> StepReport {
+    assert_eq!(
+        cfg.sync_mode,
+        SyncMode::PerLayerOverlap,
+        "ordered scheduling applies to per-layer overlap"
+    );
+    let total_gpus = cfg.machine.total_gpus();
+    if total_gpus <= 1 {
+        return crate::step::simulate_step(cfg, layers, compute);
+    }
+    let total_elems: usize = layers.iter().map(|l| l.elements).sum::<usize>().max(1);
+    let bwd = compute.backward_seconds();
+    let kernel_rounds = cfg.scheme.requantization_rounds(total_gpus) as f64;
+    let contention = cfg.backend.kernel_contention();
+    let stall = cfg.backend.host_sync_stall();
+    // Ready times in backward (reverse-forward) order.
+    let mut t_bwd = compute.forward_seconds();
+    // (ready_time, fwd_index, duration)
+    let mut msgs: Vec<(f64, usize, f64)> = Vec::with_capacity(layers.len());
+    let mut kernel_total = 0.0;
+    for (fwd_idx, l) in layers.iter().enumerate().rev() {
+        t_bwd += bwd * l.elements as f64 / total_elems as f64;
+        let kernel = l.kernel_seconds * kernel_rounds * contention;
+        kernel_total += kernel;
+        t_bwd += kernel + stall;
+        msgs.push((t_bwd, fwd_idx, message_time(cfg, l.wire_bytes)));
+    }
+    let t_bwd_end = t_bwd;
+    // Serve the link.
+    let mut pending = msgs;
+    let mut now: f64 = compute.forward_seconds();
+    let mut comm_busy = 0.0;
+    while !pending.is_empty() {
+        // Messages ready at `now`.
+        let ready: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _, _))| *r <= now + 1e-15)
+            .map(|(i, _)| i)
+            .collect();
+        let pick = if ready.is_empty() {
+            // Fast-forward to the earliest ready time.
+            let (i, _) = pending
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                .expect("non-empty pending");
+            now = pending[i].0;
+            i
+        } else {
+            match order {
+                MessageOrder::Fifo => ready[0],
+                MessageOrder::Priority => *ready
+                    .iter()
+                    .min_by_key(|&&i| pending[i].1)
+                    .expect("non-empty ready"),
+            }
+        };
+        let (_, _, dur) = pending.remove(pick);
+        comm_busy += dur;
+        now += dur;
+    }
+    let sync_done = now.max(t_bwd_end);
+    let step = sync_done + compute.optimizer_seconds() + framework_like_overhead(cfg, compute);
+    StepReport {
+        compute_seconds: compute.step_seconds,
+        comm_seconds: comm_busy,
+        exposed_comm_seconds: (sync_done - t_bwd_end).max(0.0),
+        kernel_seconds: kernel_total,
+        step_seconds: step,
+    }
+}
+
+fn framework_like_overhead(cfg: &StepConfig, compute: ComputeProfile) -> f64 {
+    crate::step::framework_overhead(cfg.machine.total_gpus(), compute.step_seconds)
+}
+
+/// Steady-state step time under cross-barrier pipelining: successive steps
+/// overlap, so the sustained period is the maximum of the compute timeline
+/// and the communication timeline (instead of their partial sum).
+///
+/// Returns `None` if `clipping` is required — gradient clipping needs the
+/// fully synchronized global gradient *before* the update, which "makes it
+/// hard to use scheduling techniques such as crossing the global barrier"
+/// (paper Technical Issue 3).
+pub fn cross_barrier_step(
+    cfg: &StepConfig,
+    layers: &[LayerMsg],
+    compute: ComputeProfile,
+    clipping: bool,
+) -> Option<StepReport> {
+    if clipping {
+        return None;
+    }
+    let within = crate::step::simulate_step(cfg, layers, compute);
+    if cfg.machine.total_gpus() <= 1 {
+        return Some(within);
+    }
+    let kernel_rounds = cfg
+        .scheme
+        .requantization_rounds(cfg.machine.total_gpus()) as f64;
+    let contention = cfg.backend.kernel_contention();
+    let kernels: f64 = layers
+        .iter()
+        .map(|l| l.kernel_seconds * kernel_rounds * contention)
+        .sum();
+    let comm_total: f64 = layers
+        .iter()
+        .map(|l| message_time(cfg, l.wire_bytes))
+        .sum();
+    let overhead = within.step_seconds
+        - within.compute_seconds
+        - within.exposed_comm_seconds
+        - kernels;
+    let period = (compute.step_seconds + kernels).max(comm_total) + overhead.max(0.0);
+    Some(StepReport {
+        step_seconds: period.min(within.step_seconds),
+        exposed_comm_seconds: (period.min(within.step_seconds)
+            - compute.step_seconds
+            - kernels
+            - overhead.max(0.0))
+        .max(0.0),
+        ..within
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    fn cfg() -> StepConfig {
+        StepConfig::cgx(MachineSpec::rtx3090())
+    }
+
+    fn layers(wire: &[usize]) -> Vec<LayerMsg> {
+        wire.iter()
+            .enumerate()
+            .map(|(i, w)| LayerMsg::new(format!("l{i}"), w * 2, *w, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn fifo_matches_the_linear_walk() {
+        let ls = layers(&[4_000_000, 2_000_000, 8_000_000, 1_000_000]);
+        let compute = ComputeProfile::new(0.03);
+        let a = crate::step::simulate_step(&cfg(), &ls, compute);
+        let b = simulate_step_ordered(&cfg(), &ls, compute, MessageOrder::Fifo);
+        assert!(
+            (a.step_seconds - b.step_seconds).abs() < 1e-9,
+            "{} vs {}",
+            a.step_seconds,
+            b.step_seconds
+        );
+    }
+
+    #[test]
+    fn priority_never_hurts_and_preserves_totals() {
+        let ls = layers(&[30_000_000, 1_000_000, 1_000_000, 20_000_000, 500_000]);
+        let compute = ComputeProfile::new(0.03);
+        let fifo = simulate_step_ordered(&cfg(), &ls, compute, MessageOrder::Fifo);
+        let prio = simulate_step_ordered(&cfg(), &ls, compute, MessageOrder::Priority);
+        assert!((fifo.comm_seconds - prio.comm_seconds).abs() < 1e-12);
+        assert!(prio.step_seconds <= fifo.step_seconds + 1e-9);
+    }
+
+    #[test]
+    fn cross_barrier_refused_under_clipping() {
+        let ls = layers(&[1_000_000]);
+        assert!(cross_barrier_step(&cfg(), &ls, ComputeProfile::new(0.03), true).is_none());
+    }
+
+    #[test]
+    fn cross_barrier_gain_is_small_when_comm_is_hidden() {
+        // The paper's single-node finding: with CGX compression the
+        // communication already hides behind backward, so crossing the
+        // barrier buys almost nothing.
+        let ls = layers(&[3_000_000, 2_000_000, 2_000_000]); // ~7 MB wire
+        let compute = ComputeProfile::new(0.04);
+        let within = crate::step::simulate_step(&cfg(), &ls, compute);
+        let cross =
+            cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
+        let gain = within.step_seconds / cross.step_seconds;
+        assert!(
+            (1.0..1.05).contains(&gain),
+            "single-node cross-barrier gain should be small: {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn cross_barrier_helps_when_comm_dominates() {
+        // Steady-state pipelining caps the period at max(compute, comm),
+        // which pays off when comm exceeds compute (e.g. uncompressed).
+        let base = StepConfig::nccl_baseline(MachineSpec::rtx3090());
+        let ls = layers(&[100_000_000]); // 100 MB on a ~1 GB/s fabric
+        let compute = ComputeProfile::new(0.03);
+        let within = crate::step::simulate_step(&base, &ls, compute);
+        let cross = cross_barrier_step(&base, &ls, compute, false).expect("no clipping");
+        assert!(
+            cross.step_seconds < 0.9 * within.step_seconds,
+            "{} vs {}",
+            cross.step_seconds,
+            within.step_seconds
+        );
+    }
+
+    #[test]
+    fn cross_barrier_never_exceeds_within_barrier() {
+        for wire in [100_000usize, 10_000_000, 200_000_000] {
+            let ls = layers(&[wire]);
+            let compute = ComputeProfile::new(0.02);
+            let within = crate::step::simulate_step(&cfg(), &ls, compute);
+            let cross =
+                cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
+            assert!(cross.step_seconds <= within.step_seconds + 1e-12);
+            assert!(cross.step_seconds >= compute.step_seconds);
+        }
+    }
+}

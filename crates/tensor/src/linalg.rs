@@ -1,0 +1,242 @@
+//! Small dense linear-algebra kernels.
+//!
+//! PowerSGD (gradient decomposition) needs `M·Q`, `Mᵀ·P`, and a Gram-Schmidt
+//! orthogonalization of a tall matrix's columns. The training engine needs
+//! plain matrix multiplication for dense layers. These routines operate on
+//! row-major [`Tensor`] matrices.
+
+use crate::Tensor;
+
+/// `C = A · B` where `A` is `m x k` and `B` is `k x n`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree or either input is not a matrix.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::from_vec(&[2, 1], vec![1.0, 1.0]);
+/// let c = matmul(&a, &b);
+/// assert_eq!(c.as_slice(), &[3.0, 7.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a);
+    let (kb, n) = dims2(b);
+    assert_eq!(ka, kb, "inner dimensions disagree: {ka} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    // i-k-j loop order: streams through B rows, cache-friendly for row-major.
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = av[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` where `A` is `k x m` and `B` is `k x n`.
+///
+/// # Panics
+///
+/// Panics if the row counts disagree or either input is not a matrix.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = dims2(a);
+    let (kb, n) = dims2(b);
+    assert_eq!(ka, kb, "row counts disagree: {ka} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, aki) in arow.iter().enumerate() {
+            if *aki == 0.0 {
+                continue;
+            }
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
+///
+/// # Panics
+///
+/// Panics if the column counts disagree or either input is not a matrix.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a);
+    let (n, kb) = dims2(b);
+    assert_eq!(ka, kb, "column counts disagree: {ka} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let orow = &mut ov[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Orthonormalizes the columns of an `m x r` matrix in place via modified
+/// Gram-Schmidt (the orthogonalization step of PowerSGD's power iteration).
+///
+/// Columns that collapse to (near-)zero norm are replaced by a deterministic
+/// unit basis vector so the factor matrix never degenerates.
+///
+/// # Panics
+///
+/// Panics if the input is not a matrix.
+pub fn orthogonalize_columns(mat: &mut Tensor) {
+    let (m, r) = dims2(mat);
+    let data = mat.as_mut_slice();
+    for j in 0..r {
+        // Subtract projections onto previous columns.
+        for p in 0..j {
+            let mut dot = 0.0f64;
+            for i in 0..m {
+                dot += data[i * r + j] as f64 * data[i * r + p] as f64;
+            }
+            for i in 0..m {
+                data[i * r + j] -= (dot as f32) * data[i * r + p];
+            }
+        }
+        let mut norm = 0.0f64;
+        for i in 0..m {
+            norm += (data[i * r + j] as f64).powi(2);
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-12 {
+            // Degenerate column: substitute e_{j mod m}.
+            for i in 0..m {
+                data[i * r + j] = if i == j % m { 1.0 } else { 0.0 };
+            }
+        } else {
+            let inv = (1.0 / norm) as f32;
+            for i in 0..m {
+                data[i * r + j] *= inv;
+            }
+        }
+    }
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "expected a matrix, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn matmul_dim_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Tensor::randn(&mut rng, &[5, 3]);
+        let b = Tensor::randn(&mut rng, &[5, 4]);
+        let c = matmul_tn(&a, &b);
+        // Build Aᵀ explicitly and compare.
+        let mut at = Tensor::zeros(&[3, 5]);
+        for i in 0..5 {
+            for j in 0..3 {
+                at[j * 5 + i] = a[i * 3 + j];
+            }
+        }
+        let c2 = matmul(&at, &b);
+        assert!(c.l2_distance(&c2) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(7);
+        let a = Tensor::randn(&mut rng, &[5, 3]);
+        let b = Tensor::randn(&mut rng, &[4, 3]);
+        let c = matmul_nt(&a, &b);
+        let mut bt = Tensor::zeros(&[3, 4]);
+        for i in 0..4 {
+            for j in 0..3 {
+                bt[j * 4 + i] = b[i * 3 + j];
+            }
+        }
+        let c2 = matmul(&a, &bt);
+        assert!(c.l2_distance(&c2) < 1e-5);
+    }
+
+    #[test]
+    fn orthogonalize_produces_orthonormal_columns() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut m = Tensor::randn(&mut rng, &[10, 4]);
+        orthogonalize_columns(&mut m);
+        let gram = matmul_tn(&m, &m);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[i * 4 + j] - expected).abs() < 1e-4,
+                    "gram[{i},{j}] = {}",
+                    gram[i * 4 + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonalize_handles_rank_deficiency() {
+        // Two identical columns: the second must be replaced, not NaN.
+        let mut m = Tensor::from_vec(&[3, 2], vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        orthogonalize_columns(&mut m);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        let gram = matmul_tn(&m, &m);
+        assert!((gram[0] - 1.0).abs() < 1e-5);
+        assert!((gram[3] - 1.0).abs() < 1e-5);
+        assert!(gram[1].abs() < 1e-5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`].
+///
+/// Shapes are small (rank ≤ 4 in practice) so they are stored inline in a
+/// `Vec<usize>`. A scalar has rank 0 and one element.
+///
+/// # Examples
+///
+/// ```
+/// use cgx_tensor::Shape;
+/// let s = Shape::new(vec![3, 4]);
+/// assert_eq!(s.len(), 12);
+/// assert_eq!(s.rank(), 2);
+/// assert_eq!(s.to_string(), "3x4");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (empty tensors are not supported).
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|d| *d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Shape { dims }
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// A flat vector shape of length `n`.
+    pub fn vector(n: usize) -> Self {
+        Shape::new(vec![n])
+    }
+
+    /// A matrix shape with `rows` x `cols`.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` only for the (impossible by construction) empty tensor; kept
+    /// for API completeness alongside [`Shape::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Interprets the shape as a matrix: rank-2 shapes map directly, rank-1
+    /// becomes a single row, and higher ranks keep the first dimension as
+    /// rows and fold the rest into columns — PowerSGD's matricization of a
+    /// convolution weight `(out, in, kh, kw)` into `(out, in*kh*kw)`.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            _ => {
+                let rows = self.dims[0];
+                (rows, self.len() / rows)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dims.is_empty() {
+            return write!(f, "scalar");
+        }
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_string(), "scalar");
+    }
+
+    #[test]
+    fn vector_and_matrix_constructors() {
+        assert_eq!(Shape::vector(5).dims(), &[5]);
+        assert_eq!(Shape::matrix(2, 3).dims(), &[2, 3]);
+        assert_eq!(Shape::matrix(2, 3).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_dim_panics() {
+        Shape::new(vec![3, 0]);
+    }
+
+    #[test]
+    fn as_matrix_folding() {
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+        assert_eq!(Shape::vector(7).as_matrix(), (1, 7));
+        assert_eq!(Shape::matrix(3, 4).as_matrix(), (3, 4));
+        // Conv-style 4D weight folds trailing dims into columns.
+        assert_eq!(Shape::new(vec![64, 3, 7, 7]).as_matrix(), (64, 3 * 7 * 7));
+    }
+
+    #[test]
+    fn display_joins_dims() {
+        assert_eq!(Shape::new(vec![64, 3, 7, 7]).to_string(), "64x3x7x7");
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let s: Shape = [2usize, 5].as_slice().into();
+        assert_eq!(s, Shape::matrix(2, 5));
+    }
+}

@@ -1,0 +1,67 @@
+//! Adaptive layer-wise compression on Transformer-XL (paper Section 5):
+//! profile the model's per-layer gradient statistics, run Algorithm 1
+//! (k-means over (size, norm)), and show the resulting bit-width map and
+//! what it buys.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_transformer
+//! ```
+
+use cgx::adaptive::{AdaptiveOptions, AdaptivePolicy};
+use cgx::core::adaptive::adaptive_compression_for;
+use cgx::core::estimate::{estimate, estimate_with_schemes, SystemSetup};
+use cgx::models::{ModelId, ModelSpec};
+use cgx::simnet::MachineSpec;
+
+fn main() {
+    let model = ModelSpec::build(ModelId::TransformerXl);
+    println!(
+        "Transformer-XL base: {} layers, {:.1}M parameters ({:.1}M in the embedding)",
+        model.layers().len(),
+        model.param_count() as f64 / 1e6,
+        model.largest_layer().elements() as f64 / 1e6,
+    );
+
+    let outcome = adaptive_compression_for(
+        &model,
+        AdaptivePolicy::KMeans,
+        &AdaptiveOptions::default(),
+        4,   // statistics accumulation steps
+        7,   // seed
+    );
+
+    println!("\nAlgorithm 1 (k-means) bit-width assignment (compressible layers):");
+    // Group the assignment for readability.
+    let mut by_bits: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();
+    for (pos, &layer_idx) in outcome.layer_indices.iter().enumerate() {
+        by_bits
+            .entry(outcome.assignment.bits[pos])
+            .or_default()
+            .push(model.layers()[layer_idx].name());
+    }
+    for (bits, names) in &by_bits {
+        let sample: Vec<&str> = names.iter().take(3).copied().collect();
+        println!(
+            "  {bits} bits: {} layers (e.g. {})",
+            names.len(),
+            sample.join(", ")
+        );
+    }
+    println!(
+        "\ncompressed size vs static 4-bit: {:.2}   estimated error vs static 4-bit: {:.2} (budget alpha = 2)",
+        outcome.size_ratio_vs_static4, outcome.error_ratio_vs_static4
+    );
+
+    for machine in [MachineSpec::rtx3090(), MachineSpec::genesis_cluster()] {
+        let stat = estimate(&machine, ModelId::TransformerXl, &SystemSetup::cgx());
+        let adapt = estimate_with_schemes(&machine, ModelId::TransformerXl, &outcome.schemes);
+        println!(
+            "{:<22} static 4-bit {:>7.0} tok/s -> adaptive {:>7.0} tok/s ({:.2}x)",
+            machine.name(),
+            stat.throughput,
+            adapt.throughput,
+            adapt.throughput / stat.throughput,
+        );
+    }
+    println!("\npaper Table 7: ~1.05x single-node, up to ~1.4x multi-node, without accuracy loss.");
+}

@@ -1,0 +1,66 @@
+//! Compressed data-parallel training of a causal self-attention language
+//! model — the Transformer computation the paper's workloads are built
+//! from, trained for real over the threaded compressed collectives.
+//!
+//! ```sh
+//! cargo run --release --example attention_lm
+//! ```
+
+use cgx::engine::data::MarkovChainLm;
+use cgx::engine::{train_data_parallel, AttentionLm, LayerCompression, TrainConfig};
+use cgx::tensor::Rng;
+
+fn main() {
+    let vocab = 30;
+    let chain = MarkovChainLm::new(vocab, 5.0, 11);
+    let mut rng = Rng::seed_from_u64(4);
+    let model = AttentionLm::new(&mut rng, vocab, 12, 8);
+    println!(
+        "single-head causal attention LM: vocab {vocab}, width 12, context 8 ({} params)",
+        model.params().iter().map(|p| p.len()).sum::<usize>()
+    );
+
+    let eval = |m: &AttentionLm| {
+        let mut r = Rng::seed_from_u64(55);
+        let mut seqs = Vec::new();
+        let mut tgts = Vec::new();
+        for _ in 0..40 {
+            let (c, t) = chain.sample_batch(&mut r, 8);
+            seqs.push(c);
+            tgts.push(t);
+        }
+        m.perplexity(&seqs, &tgts)
+    };
+    println!("untrained perplexity: {:.2} (uniform would be {vocab})", eval(&model));
+
+    for (name, compression) in [
+        ("fp32", LayerCompression::none()),
+        ("CGX 4-bit + filters", LayerCompression::cgx_default()),
+    ] {
+        let c = chain.clone();
+        let sample = move |r: &mut Rng| {
+            let mut seqs = Vec::new();
+            let mut tgts = Vec::new();
+            for _ in 0..6 {
+                let (ctx, tgt) = c.sample_batch(r, 8);
+                seqs.push(ctx);
+                tgts.push(tgt);
+            }
+            (seqs, tgts)
+        };
+        let cfg = TrainConfig {
+            lr: 0.4,
+            clip: Some(5.0),
+            compression,
+            ..TrainConfig::new(4, 300)
+        };
+        let (trained, report) = train_data_parallel(&model, sample, &cfg).expect("training");
+        println!(
+            "{name:<22} perplexity {:.2}   traffic {:>8} bytes/worker",
+            eval(&trained),
+            report.bytes_sent_per_worker
+        );
+    }
+    println!("\nattention gradients (q/k/v projections, embedding) survive 4-bit quantization,");
+    println!("with the norm/bias filter protecting the sensitive small tensors.");
+}

@@ -1,0 +1,30 @@
+//! Cloud cost efficiency (paper Table 4): is a cheap commodity-GPU cloud
+//! instance with CGX a better deal than a V100 instance?
+//!
+//! ```sh
+//! cargo run --release --example cloud_cost
+//! ```
+
+use cgx::core::cloud::{cost_efficiency, table4_offers};
+use cgx::models::ModelId;
+
+fn main() {
+    println!("BERT question-answering, tokens/second per dollar-hour:\n");
+    let rows: Vec<_> = table4_offers()
+        .iter()
+        .map(|o| cost_efficiency(o, ModelId::BertBase))
+        .collect();
+    for r in &rows {
+        println!(
+            "  {:<14} {:>8.0} tok/s   ${:>5.1}/h   {:>6.0} tok/s/$",
+            r.name, r.throughput, r.price_per_hour, r.items_per_second_per_dollar,
+        );
+    }
+    let aws = &rows[1];
+    let cgx = &rows[2];
+    println!(
+        "\nGenesis+CGX delivers {:.0}% of AWS's raw throughput at {:.1}x its cost efficiency.",
+        100.0 * cgx.throughput / aws.throughput,
+        cgx.items_per_second_per_dollar / aws.items_per_second_per_dollar,
+    );
+}

@@ -1,0 +1,39 @@
+//! Single-node case study (paper Section 6, Figure 3): can an 8x RTX 3090
+//! workstation match a DGX-1 once CGX removes its bandwidth bottleneck?
+//!
+//! Sweeps all four Table 2 machines and prints the scaling story.
+//!
+//! ```sh
+//! cargo run --release --example single_node_speedup
+//! ```
+
+use cgx::core::estimate::{estimate, SystemSetup};
+use cgx::models::ModelId;
+use cgx::simnet::MachineSpec;
+
+fn main() {
+    let models = [ModelId::ResNet50, ModelId::TransformerXl, ModelId::VitBase];
+    for model in models {
+        println!("--- {model} ({}) ---", model.unit());
+        for machine in MachineSpec::table2_systems() {
+            let base = estimate(&machine, model, &SystemSetup::BaselineNccl);
+            let cgx = estimate(&machine, model, &SystemSetup::cgx());
+            let ideal = estimate(&machine, model, &SystemSetup::Ideal);
+            println!(
+                "  {:>9}: NCCL {:>8.0} ({:>3.0}%)  CGX {:>8.0} ({:>3.0}%)  ideal {:>8.0}",
+                machine.name(),
+                base.throughput,
+                base.scaling * 100.0,
+                cgx.throughput,
+                cgx.scaling * 100.0,
+                ideal.throughput,
+            );
+        }
+        let rtx_cgx = estimate(&MachineSpec::rtx3090(), model, &SystemSetup::cgx());
+        let dgx = estimate(&MachineSpec::dgx1(), model, &SystemSetup::BaselineNccl);
+        println!(
+            "  => commodity 3090 box with CGX reaches {:.0}% of a DGX-1's throughput\n",
+            100.0 * rtx_cgx.throughput / dgx.throughput
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! `cgx` — command-line front end to the reproduction.
+//!
+//! ```text
+//! cgx estimate --machine rtx3090 --model txl --setup cgx
+//! cgx compare  --machine rtx3090 --model resnet50
+//! cgx adaptive --model txl [--policy kmeans|linear|bayes|timeaware] [--multinode]
+//! cgx memory   --model vit
+//! cgx machines
+//! cgx models
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies); every value has
+//! a sensible default so `cgx <subcommand>` alone always works.
+
+use cgx::adaptive::{AdaptiveOptions, AdaptivePolicy};
+use cgx::core::adaptive::adaptive_compression_for;
+use cgx::core::estimate::{estimate, estimate_with_schemes, SystemSetup};
+use cgx::models::{ModelId, ModelSpec};
+use cgx::simnet::{max_batch, training_memory_mb, GpuModel, MachineSpec, OptimizerKind};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" || args.get(i + 1).map(|v| v == "true").unwrap_or(false) {
+                i += 1;
+            }
+            out.insert(key.to_string(), value);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_model(s: &str) -> Option<ModelId> {
+    match s.to_ascii_lowercase().as_str() {
+        "resnet50" | "resnet" => Some(ModelId::ResNet50),
+        "vgg16" | "vgg" => Some(ModelId::Vgg16),
+        "vit" | "vit-base" => Some(ModelId::VitBase),
+        "txl" | "transformer-xl" | "transformerxl" => Some(ModelId::TransformerXl),
+        "bert" | "bert-base" => Some(ModelId::BertBase),
+        "gpt2" | "gpt-2" => Some(ModelId::Gpt2),
+        _ => None,
+    }
+}
+
+fn parse_machine(s: &str) -> Option<MachineSpec> {
+    match s.to_ascii_lowercase().as_str() {
+        "rtx3090" | "3090" => Some(MachineSpec::rtx3090()),
+        "rtx2080" | "2080" => Some(MachineSpec::rtx2080()),
+        "dgx1" | "dgx-1" => Some(MachineSpec::dgx1()),
+        "a6000" => Some(MachineSpec::a6000()),
+        "aws" | "p3.8xlarge" => Some(MachineSpec::aws_p3_8xlarge()),
+        "genesis" => Some(MachineSpec::genesis_3090()),
+        "cluster" | "multinode" => Some(MachineSpec::genesis_cluster()),
+        _ => None,
+    }
+}
+
+fn parse_setup(s: &str) -> Option<SystemSetup> {
+    match s.to_ascii_lowercase().as_str() {
+        "cgx" => Some(SystemSetup::cgx()),
+        "nccl" | "baseline" => Some(SystemSetup::BaselineNccl),
+        "qnccl" => Some(SystemSetup::Qnccl {
+            bits: 4,
+            bucket_size: 128,
+        }),
+        "grace" => Some(SystemSetup::Grace { bits: 4 }),
+        "powersgd" => Some(SystemSetup::PowerSgd { rank: 4 }),
+        "ideal" => Some(SystemSetup::Ideal),
+        _ => None,
+    }
+}
+
+fn parse_policy(s: &str) -> Option<AdaptivePolicy> {
+    match s.to_ascii_lowercase().as_str() {
+        "kmeans" => Some(AdaptivePolicy::KMeans),
+        "linear" => Some(AdaptivePolicy::Linear),
+        "bayes" => Some(AdaptivePolicy::BayesOpt { trials: 300 }),
+        "timeaware" | "time-aware" => Some(AdaptivePolicy::TimeAware),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cgx <subcommand> [flags]\n\
+         \n\
+         subcommands:\n\
+           estimate  --machine <m> --model <id> --setup <s>   one throughput estimate\n\
+           compare   --machine <m> --model <id>               all setups side by side\n\
+           adaptive  --model <id> [--policy p] [--multinode]  adaptive bit assignment\n\
+           memory    --model <id>                             memory footprint per GPU\n\
+           machines                                           list machines\n\
+           models                                             list models\n\
+         \n\
+         machines: rtx3090 rtx2080 dgx1 a6000 aws genesis cluster\n\
+         models:   resnet50 vgg16 vit txl bert gpt2\n\
+         setups:   cgx nccl qnccl grace powersgd ideal\n\
+         policies: kmeans linear bayes timeaware"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let model = flags
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("txl");
+    let machine_name = flags
+        .get("machine")
+        .map(String::as_str)
+        .unwrap_or("rtx3090");
+    match cmd.as_str() {
+        "estimate" => {
+            let (Some(model), Some(machine)) = (parse_model(model), parse_machine(machine_name))
+            else {
+                return usage();
+            };
+            let Some(setup) = parse_setup(flags.get("setup").map(String::as_str).unwrap_or("cgx"))
+            else {
+                return usage();
+            };
+            let e = estimate(&machine, model, &setup);
+            println!(
+                "{} | {} | {}: {:.0} {} ({:.0}% of linear), step {:.1} ms, exposed comm {:.1} ms, wire {:.1} MB",
+                machine.name(),
+                model,
+                setup.label(),
+                e.throughput,
+                model.unit(),
+                e.scaling * 100.0,
+                e.report.step_seconds * 1000.0,
+                e.report.exposed_comm_seconds * 1000.0,
+                e.wire_bytes as f64 / 1e6,
+            );
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let (Some(model), Some(machine)) = (parse_model(model), parse_machine(machine_name))
+            else {
+                return usage();
+            };
+            for setup in [
+                SystemSetup::Ideal,
+                SystemSetup::BaselineNccl,
+                SystemSetup::Qnccl {
+                    bits: 4,
+                    bucket_size: 128,
+                },
+                SystemSetup::Grace { bits: 4 },
+                SystemSetup::PowerSgd { rank: 4 },
+                SystemSetup::cgx(),
+            ] {
+                let e = estimate(&machine, model, &setup);
+                println!(
+                    "{:<14} {:>10.0} {} ({:>3.0}%)",
+                    setup.label(),
+                    e.throughput,
+                    model.unit(),
+                    e.scaling * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "adaptive" => {
+            let Some(model_id) = parse_model(model) else {
+                return usage();
+            };
+            let Some(policy) =
+                parse_policy(flags.get("policy").map(String::as_str).unwrap_or("kmeans"))
+            else {
+                return usage();
+            };
+            let machine = if flags.contains_key("multinode") {
+                MachineSpec::genesis_cluster()
+            } else {
+                MachineSpec::rtx3090()
+            };
+            let spec = ModelSpec::build(model_id);
+            let out =
+                adaptive_compression_for(&spec, policy, &AdaptiveOptions::default(), 2, 7);
+            let stat = estimate(&machine, model_id, &SystemSetup::cgx());
+            let adapt = estimate_with_schemes(&machine, model_id, &out.schemes);
+            let mut hist = std::collections::BTreeMap::new();
+            for b in &out.assignment.bits {
+                *hist.entry(*b).or_insert(0usize) += 1;
+            }
+            println!(
+                "{model_id} on {}: size {:.2} of static-4bit, error {:.2} of static-4bit",
+                machine.name(),
+                out.size_ratio_vs_static4,
+                out.error_ratio_vs_static4
+            );
+            for (bits, count) in hist {
+                println!("  {bits} bits: {count} layers");
+            }
+            println!(
+                "throughput: static {:.0} -> adaptive {:.0} {} ({:.2}x)",
+                stat.throughput,
+                adapt.throughput,
+                model_id.unit(),
+                adapt.throughput / stat.throughput
+            );
+            ExitCode::SUCCESS
+        }
+        "memory" => {
+            let Some(model_id) = parse_model(model) else {
+                return usage();
+            };
+            let spec = ModelSpec::build(model_id);
+            let opt = OptimizerKind::for_model(&spec);
+            println!(
+                "{model_id}: recipe batch {} / GPU, footprint {:.1} GB at recipe batch",
+                spec.per_gpu_batch(),
+                training_memory_mb(&spec, spec.per_gpu_batch(), opt) / 1024.0
+            );
+            for gpu in GpuModel::all() {
+                let mb = max_batch(&spec, gpu);
+                println!(
+                    "  {:<12} ({:>2} GB): max batch {}{}",
+                    gpu.to_string(),
+                    gpu.spec().ram_gb,
+                    mb,
+                    if mb < spec.per_gpu_batch() {
+                        "  <- recipe does not fit"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "machines" => {
+            for m in MachineSpec::table2_systems() {
+                println!(
+                    "{:<10} {}x{} ({})",
+                    m.name(),
+                    m.gpus_per_node(),
+                    m.gpu(),
+                    m.topology().name()
+                );
+            }
+            println!("plus cloud: aws (4xV100), genesis (4x3090), cluster (4x4x3090)");
+            ExitCode::SUCCESS
+        }
+        "models" => {
+            for id in ModelId::all() {
+                let m = ModelSpec::build(id);
+                println!(
+                    "{:<22} {:>6.1}M params, {} layers, batch {}/GPU, {}",
+                    id.to_string(),
+                    m.param_count() as f64 / 1e6,
+                    m.layers().len(),
+                    m.per_gpu_batch(),
+                    id.unit()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the adaptive compression solvers: budget
+//! feasibility, bit-choice validity, determinism, and dominance relations
+//! for randomized layer profiles.
+
+use cgx::adaptive::{
+    assign_bits, kmeans, uniform_assignment, AdaptiveOptions, AdaptivePolicy, LayerProfile,
+};
+use cgx::tensor::Rng;
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = Vec<LayerProfile>> {
+    prop::collection::vec((1usize..50_000_000, 0.01f64..100.0), 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (size, norm))| LayerProfile::new(format!("l{i}"), size, norm))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_is_feasible_and_valid(
+        profiles in profile_strategy(),
+        alpha in 1.1f64..3.0,
+        seed in 0u64..500,
+    ) {
+        let opts = AdaptiveOptions { alpha, seed, ..AdaptiveOptions::default() };
+        let budget = alpha * uniform_assignment(&profiles, 4).estimated_error(&profiles);
+        for policy in [
+            AdaptivePolicy::KMeans,
+            AdaptivePolicy::Linear,
+            AdaptivePolicy::BayesOpt { trials: 60 },
+            AdaptivePolicy::TimeAware,
+        ] {
+            let a = assign_bits(policy, &profiles, &opts);
+            prop_assert_eq!(a.bits.len(), profiles.len());
+            // Valid bit choices and matching bucket sizes.
+            for (b, bucket) in a.bits.iter().zip(&a.bucket_sizes) {
+                prop_assert!(opts.bit_choices.contains(b), "{policy:?}: bits {b}");
+                prop_assert!(*bucket > 0);
+            }
+            // The error budget holds (or every layer saturated at max bits,
+            // in which case the problem was infeasible to begin with).
+            let max_bits = *opts.bit_choices.iter().max().unwrap();
+            let feasible = a.estimated_error(&profiles) <= budget * (1.0 + 1e-9);
+            let saturated = a.bits.iter().all(|b| *b == max_bits);
+            prop_assert!(feasible || saturated, "{policy:?} violates budget");
+        }
+    }
+
+    #[test]
+    fn assignments_are_deterministic(
+        profiles in profile_strategy(),
+        seed in 0u64..500,
+    ) {
+        let opts = AdaptiveOptions { seed, ..AdaptiveOptions::default() };
+        for policy in [AdaptivePolicy::KMeans, AdaptivePolicy::BayesOpt { trials: 40 }] {
+            let a = assign_bits(policy, &profiles, &opts);
+            let b = assign_bits(policy, &profiles, &opts);
+            prop_assert_eq!(a, b, "{:?} not deterministic", policy);
+        }
+    }
+
+    #[test]
+    fn looser_budget_never_increases_size(
+        profiles in profile_strategy(),
+    ) {
+        let tight = assign_bits(
+            AdaptivePolicy::KMeans,
+            &profiles,
+            &AdaptiveOptions { alpha: 1.2, ..AdaptiveOptions::default() },
+        );
+        let loose = assign_bits(
+            AdaptivePolicy::KMeans,
+            &profiles,
+            &AdaptiveOptions { alpha: 2.8, ..AdaptiveOptions::default() },
+        );
+        prop_assert!(
+            loose.compressed_bits_total(&profiles)
+                <= tight.compressed_bits_total(&profiles) * (1.0 + 1e-9)
+        );
+    }
+
+    #[test]
+    fn kmeans_clusters_are_valid_partitions(
+        points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..80),
+        k in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let k = k.min(points.len());
+        let mut rng = Rng::seed_from_u64(seed);
+        let r = kmeans(&points, k, &mut rng, 60);
+        prop_assert_eq!(r.assignment.len(), points.len());
+        prop_assert!(r.assignment.iter().all(|a| *a < k));
+        prop_assert_eq!(r.centroids.len(), k);
+        // Each point is at least as close to its own centroid as to the
+        // others (Lloyd fixed point after convergence or cap).
+        if r.iterations < 60 {
+            for (p, &a) in points.iter().zip(&r.assignment) {
+                let d = |c: (f64, f64)| (p.0 - c.0).powi(2) + (p.1 - c.1).powi(2);
+                let own = d(r.centroids[a]);
+                for c in &r.centroids {
+                    prop_assert!(own <= d(*c) + 1e-9);
+                }
+            }
+        }
+    }
+}

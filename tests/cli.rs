@@ -1,0 +1,66 @@
+//! Smoke tests of the `cgx` CLI binary (exercised via `std::process`).
+
+use std::process::Command;
+
+fn cgx(args: &[&str]) -> (String, bool) {
+    let exe = env!("CARGO_BIN_EXE_cgx");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("cli binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn estimate_prints_a_throughput_line() {
+    let (out, ok) = cgx(&[
+        "estimate", "--machine", "rtx3090", "--model", "txl", "--setup", "cgx",
+    ]);
+    assert!(ok);
+    assert!(out.contains("RTX-3090"));
+    assert!(out.contains("tokens/s"));
+    assert!(out.contains("% of linear"));
+}
+
+#[test]
+fn compare_lists_all_setups() {
+    let (out, ok) = cgx(&["compare", "--machine", "rtx3090", "--model", "resnet50"]);
+    assert!(ok);
+    for label in ["ideal", "NCCL", "QNCCL", "Grace", "PowerSGD", "CGX"] {
+        assert!(out.contains(label), "missing {label} in:\n{out}");
+    }
+}
+
+#[test]
+fn adaptive_reports_assignment_and_speedup() {
+    let (out, ok) = cgx(&["adaptive", "--model", "txl", "--multinode"]);
+    assert!(ok);
+    assert!(out.contains("bits:"));
+    assert!(out.contains("static"));
+    assert!(out.contains("adaptive"));
+}
+
+#[test]
+fn memory_flags_the_2080_vit_limit() {
+    let (out, ok) = cgx(&["memory", "--model", "vit"]);
+    assert!(ok);
+    assert!(out.contains("recipe does not fit"), "{out}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (_, ok) = cgx(&["frobnicate"]);
+    assert!(!ok);
+}
+
+#[test]
+fn listing_commands_work() {
+    let (machines, ok1) = cgx(&["machines"]);
+    let (models, ok2) = cgx(&["models"]);
+    assert!(ok1 && ok2);
+    assert!(machines.contains("RTX-3090"));
+    assert!(models.contains("Transformer-XL-base"));
+}

@@ -1,0 +1,139 @@
+//! Property-based tests over the threaded collectives: for arbitrary world
+//! sizes and tensor lengths, every algorithm computes the exact sum under a
+//! lossless codec, reaches bit-exact consensus under quantization, and
+//! matches its analytic traffic accounting.
+
+use cgx::collectives::reduce::{allreduce, chunk_ranges, Algorithm};
+use cgx::collectives::ThreadCluster;
+use cgx::compress::{NoneCompressor, QsgdCompressor};
+use cgx::tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lossless_allreduce_is_exact_sum(
+        world in 2usize..7,
+        len in 1usize..300,
+        alg_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let alg = Algorithm::all()[alg_idx];
+        let results = ThreadCluster::run(world, |t| {
+            let mut rng = Rng::seed_from_u64(seed * 100 + t.rank() as u64);
+            let grad = Tensor::rand_uniform(&mut rng, &[len], -4.0, 4.0);
+            let mut c = NoneCompressor::new();
+            let (out, _) = allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap();
+            (grad, out)
+        }).unwrap();
+        let mut expected = Tensor::zeros(&[len]);
+        for (g, _) in &results {
+            expected.add_assign(g);
+        }
+        for (rank, (_, out)) in results.iter().enumerate() {
+            let err = out.l2_distance(&expected);
+            prop_assert!(
+                err < 1e-3 * expected.norm2().max(1.0),
+                "{alg:?} rank {rank}: err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_allreduce_reaches_bitwise_consensus(
+        world in 2usize..6,
+        len in 8usize..600,
+        alg_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let alg = Algorithm::all()[alg_idx];
+        let results = ThreadCluster::run(world, |t| {
+            let mut rng = Rng::seed_from_u64(seed * 37 + t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[len]);
+            let mut c = QsgdCompressor::new(4, 64);
+            allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap().0
+        }).unwrap();
+        for out in &results[1..] {
+            prop_assert_eq!(out.as_slice(), results[0].as_slice(), "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_always_partition(
+        len in 0usize..10_000,
+        n in 1usize..64,
+    ) {
+        let rs = chunk_ranges(len, n);
+        prop_assert_eq!(rs.len(), n);
+        let mut cursor = 0usize;
+        let mut max_sz = 0usize;
+        let mut min_sz = usize::MAX;
+        for r in &rs {
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+            max_sz = max_sz.max(r.len());
+            min_sz = min_sz.min(r.len());
+        }
+        prop_assert_eq!(cursor, len);
+        prop_assert!(max_sz - min_sz <= 1, "chunks must be balanced");
+    }
+
+    #[test]
+    fn sra_traffic_matches_closed_form(
+        world in 2usize..6,
+        chunks in 1usize..50,
+    ) {
+        // Lengths divisible by world so the closed form is exact.
+        let len = world * chunks * 4;
+        let stats = ThreadCluster::run(world, |t| {
+            let mut rng = Rng::seed_from_u64(t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[len]);
+            let mut c = NoneCompressor::new();
+            allreduce(Algorithm::ScatterReduceAllgather, &t, &grad, &mut c, &mut rng)
+                .unwrap()
+                .1
+        }).unwrap();
+        for s in &stats {
+            prop_assert_eq!(s.bytes_sent, 2 * (world - 1) * (len / world) * 4);
+        }
+    }
+}
+
+#[test]
+fn mean_of_quantized_allreduce_tracks_true_mean() {
+    // Averaged over repetitions, the quantized sum is unbiased.
+    let world = 4;
+    let len = 256;
+    let reps = 40;
+    let mut acc = Tensor::zeros(&[len]);
+    let mut expected = Tensor::zeros(&[len]);
+    for rep in 0..reps {
+        let results = ThreadCluster::run(world, |t| {
+            let mut rng = Rng::seed_from_u64(5000 + rep * 10 + t.rank() as u64);
+            // Same gradient per rank each rep (deterministic from seed).
+            let mut base_rng = Rng::seed_from_u64(777 + t.rank() as u64);
+            let grad = Tensor::randn(&mut base_rng, &[len]);
+            let mut c = QsgdCompressor::new(4, 64);
+            let (out, _) = allreduce(
+                Algorithm::ScatterReduceAllgather,
+                &t,
+                &grad,
+                &mut c,
+                &mut rng,
+            )
+            .unwrap();
+            (grad, out)
+        })
+        .unwrap();
+        if rep == 0 {
+            for (g, _) in &results {
+                expected.add_assign(g);
+            }
+        }
+        acc.add_assign(&results[0].1);
+    }
+    acc.scale(1.0 / reps as f32);
+    let rel = acc.l2_distance(&expected) / expected.norm2();
+    assert!(rel < 0.05, "bias {rel}");
+}

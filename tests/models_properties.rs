@@ -1,0 +1,122 @@
+//! Property/invariant tests over the model zoo and the synthetic gradient
+//! source.
+
+use cgx::models::{GradientSynth, LayerKind, ModelId, ModelSpec};
+use cgx::tensor::Rng;
+use proptest::prelude::*;
+
+#[test]
+fn zoo_invariants_hold_for_every_model() {
+    for id in ModelId::all() {
+        let m = ModelSpec::build(id);
+        // Non-degenerate.
+        assert!(!m.layers().is_empty(), "{id}");
+        assert!(m.per_gpu_batch() > 0 && m.items_per_sample() > 0, "{id}");
+        // Layer names unique.
+        let mut names: Vec<&str> = m.layers().iter().map(|l| l.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "{id}: duplicate layer names");
+        // Param count equals the sum of layer elements; grad bytes are
+        // elements x precision width.
+        let total: usize = m.layers().iter().map(|l| l.elements()).sum();
+        assert_eq!(total, m.param_count(), "{id}");
+        assert_eq!(
+            m.grad_bytes(),
+            m.param_count() * m.precision().bytes_per_grad_element(),
+            "{id}"
+        );
+        // The largest layer really is the max.
+        let max = m.layers().iter().map(|l| l.elements()).max().unwrap();
+        assert_eq!(m.largest_layer().elements(), max, "{id}");
+        // Norm/bias share is small but present.
+        let f = m.filtered_fraction();
+        assert!(f > 0.0 && f < 0.02, "{id}: filtered fraction {f}");
+        // Published parameter ranges (25M..200M).
+        let millions = m.param_count() as f64 / 1e6;
+        assert!((20.0..200.0).contains(&millions), "{id}: {millions}M");
+    }
+}
+
+#[test]
+fn gradient_decay_rates_are_kind_dependent() {
+    // Embeddings cool fastest, norms slowest — the structure that makes
+    // online adaptation worthwhile.
+    let m = ModelSpec::build(ModelId::TransformerXl);
+    let emb = m
+        .layers()
+        .iter()
+        .find(|l| l.kind() == LayerKind::Embedding)
+        .unwrap();
+    let lin = m
+        .layers()
+        .iter()
+        .find(|l| l.kind() == LayerKind::Linear)
+        .unwrap();
+    let norm = m
+        .layers()
+        .iter()
+        .find(|l| l.kind() == LayerKind::Norm)
+        .unwrap();
+    let ratio = |l: &cgx::models::LayerSpec| {
+        GradientSynth::layer_sigma(l, 1000) / GradientSynth::layer_sigma(l, 0)
+    };
+    assert!(ratio(emb) < ratio(lin), "embedding must decay fastest");
+    assert!(ratio(lin) < ratio(norm), "norms must decay slowest");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn expected_norms_are_positive_and_monotone_in_steps(
+        steps_a in 1usize..5,
+        extra in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        // More accumulation steps => larger expected accumulated norm,
+        // layer by layer (sigma decays slower than sqrt(steps) grows over
+        // small windows).
+        let m = ModelSpec::build(ModelId::ResNet50);
+        let mut a = GradientSynth::new(&m, seed);
+        let mut b = GradientSynth::new(&m, seed);
+        let na = a.expected_accumulated_norms(steps_a);
+        let nb = b.expected_accumulated_norms(steps_a + extra);
+        for (x, y) in na.iter().zip(&nb) {
+            prop_assert!(*x > 0.0 && *y > 0.0);
+            prop_assert!(y >= x, "{y} < {x}");
+        }
+    }
+
+    #[test]
+    fn layer_gradients_are_deterministic_and_shaped(
+        layer_pick in 0usize..30,
+        seed in 0u64..200,
+    ) {
+        let m = ModelSpec::build(ModelId::VitBase);
+        let idx = layer_pick % m.layers().len();
+        let mut a = GradientSynth::new(&m, seed);
+        let mut b = GradientSynth::new(&m, seed);
+        let ga = a.layer_gradient(idx);
+        let gb = b.layer_gradient(idx);
+        prop_assert_eq!(ga.shape(), m.layers()[idx].shape());
+        prop_assert_eq!(ga.as_slice(), gb.as_slice());
+        prop_assert!(ga.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigma_is_positive_and_decreasing(
+        step in 0u64..100_000,
+    ) {
+        let m = ModelSpec::build(ModelId::BertBase);
+        let mut check_rng = Rng::seed_from_u64(1);
+        for _ in 0..5 {
+            let l = &m.layers()[check_rng.index(m.layers().len())];
+            let now = GradientSynth::layer_sigma(l, step);
+            let later = GradientSynth::layer_sigma(l, step + 1000);
+            prop_assert!(now > 0.0);
+            prop_assert!(later < now);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the performance plane: cost-model
+//! monotonicity, step-simulator sanity, DES-vs-analytic agreement, and
+//! topology invariants, for randomized parameters.
+
+use cgx::simnet::{
+    allreduce_time, fuse_messages, simulate_step, CommCost, ComputeProfile, LayerMsg,
+    MachineSpec, NetworkDes, ReductionScheme, StepConfig,
+};
+use proptest::prelude::*;
+
+fn random_layers(sizes: &[u32]) -> Vec<LayerMsg> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let elems = (*s as usize) + 1;
+            LayerMsg::new(format!("l{i}"), elems, elems / 2 + 4, 0.0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collective_time_monotone_in_everything(
+        n in 2usize..32,
+        bytes in 1usize..1_000_000_000,
+        bw_gbps in 1u32..200,
+        scheme_idx in 0usize..4,
+    ) {
+        let scheme = ReductionScheme::all()[scheme_idx];
+        let cost = CommCost::new(bw_gbps as f64 * 1e9, 10e-6);
+        let t = allreduce_time(scheme, n, bytes, cost);
+        prop_assert!(t > 0.0 && t.is_finite());
+        // More bytes: slower. More bandwidth: faster.
+        prop_assert!(allreduce_time(scheme, n, bytes * 2, cost) >= t);
+        let faster = CommCost::new(bw_gbps as f64 * 2e9, 10e-6);
+        prop_assert!(allreduce_time(scheme, n, bytes, faster) <= t);
+    }
+
+    #[test]
+    fn step_time_bounded_below_by_compute_and_monotone_in_wire(
+        sizes in prop::collection::vec(1u32..2_000_000, 1..40),
+        compute_ms in 5u32..400,
+    ) {
+        let layers = random_layers(&sizes);
+        let compute = ComputeProfile::new(compute_ms as f64 / 1000.0);
+        let cfg = StepConfig::cgx(MachineSpec::rtx3090());
+        let r = simulate_step(&cfg, &layers, compute);
+        prop_assert!(r.step_seconds >= compute.step_seconds);
+        prop_assert!(r.exposed_comm_seconds >= 0.0);
+        // Doubling every wire size cannot make the step faster.
+        let bigger: Vec<LayerMsg> = layers
+            .iter()
+            .map(|l| LayerMsg::new(l.name.clone(), l.elements, l.wire_bytes * 2, 0.0))
+            .collect();
+        let r2 = simulate_step(&cfg, &bigger, compute);
+        prop_assert!(r2.step_seconds >= r.step_seconds - 1e-12);
+    }
+
+    #[test]
+    fn fusion_preserves_totals_and_respects_threshold(
+        sizes in prop::collection::vec(1u32..3_000_000, 1..60),
+        threshold in 1usize..8_000_000,
+    ) {
+        let layers = random_layers(&sizes);
+        let fused = fuse_messages(&layers, threshold);
+        prop_assert!(!fused.is_empty());
+        prop_assert!(fused.len() <= layers.len());
+        let (e0, w0): (usize, usize) = (
+            layers.iter().map(|l| l.elements).sum(),
+            layers.iter().map(|l| l.wire_bytes).sum(),
+        );
+        let (e1, w1): (usize, usize) = (
+            fused.iter().map(|l| l.elements).sum(),
+            fused.iter().map(|l| l.wire_bytes).sum(),
+        );
+        prop_assert_eq!(e0, e1);
+        prop_assert_eq!(w0, w1);
+        // Every bucket except possibly the last reaches the threshold.
+        for b in &fused[..fused.len() - 1] {
+            prop_assert!(b.wire_bytes >= threshold);
+        }
+    }
+
+    #[test]
+    fn des_and_analytic_sra_agree(
+        n in 2usize..10,
+        mb in 1u32..200,
+        bw_gbps in 1u32..50,
+    ) {
+        let bytes = mb as f64 * 1e6;
+        let bw = bw_gbps as f64 * 1e9;
+        let des = NetworkDes::new(n, bw, 10e-6).sra_allreduce(bytes);
+        let analytic = allreduce_time(
+            ReductionScheme::ScatterReduceAllgather,
+            n,
+            bytes as usize,
+            CommCost::new(bw, 10e-6),
+        );
+        let ratio = des / analytic;
+        prop_assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_subsets_scale_monotonically(
+        gpus in 1usize..=8,
+    ) {
+        // More GPUs never reduce aggregate CGX throughput on the 3090 box.
+        use cgx::core::estimate::{estimate, SystemSetup};
+        use cgx::models::ModelId;
+        let m = MachineSpec::rtx3090().with_gpus(gpus);
+        let e = estimate(&m, ModelId::ResNet50, &SystemSetup::cgx());
+        if gpus > 1 {
+            let fewer = MachineSpec::rtx3090().with_gpus(gpus - 1);
+            let e2 = estimate(&fewer, ModelId::ResNet50, &SystemSetup::cgx());
+            prop_assert!(e.throughput >= e2.throughput * 0.98);
+        }
+        prop_assert!(e.scaling <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn topology_p2p_is_symmetric_and_positive(
+        pcie in 4u32..40,
+        qpi in 4u32..40,
+    ) {
+        use cgx::simnet::topology::rtx_dual_numa;
+        let t = rtx_dual_numa("p", 8, pcie as f64 * 1e9, qpi as f64 * 1e9);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i == j { continue; }
+                let a = t.p2p_bandwidth(i, j);
+                let b = t.p2p_bandwidth(j, i);
+                prop_assert!(a > 0.0);
+                prop_assert_eq!(a, b);
+            }
+        }
+        prop_assert!(t.ring_allreduce_algbw() > 0.0);
+    }
+}
