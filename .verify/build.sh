@@ -1,0 +1,73 @@
+#!/bin/bash
+# Offline verification: compile the workspace crates against stub bytes /
+# crossbeam rlibs with plain rustc (the container cannot reach a cargo
+# registry). Usage: bash .verify/build.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+V=.verify
+L=$V/lib
+mkdir -p "$L"
+RUSTC="rustc --edition 2021 -O -L $L"
+
+echo "== stubs"
+$RUSTC --crate-type rlib --crate-name bytes $V/stubs/bytes.rs -o "$L/libbytes.rlib" -A dead_code
+$RUSTC --crate-type rlib --crate-name crossbeam $V/stubs/crossbeam.rs -o "$L/libcrossbeam.rlib" -A dead_code
+
+echo "== cgx_tensor"
+$RUSTC --crate-type rlib --crate-name cgx_tensor crates/tensor/src/lib.rs -o "$L/libcgx_tensor.rlib"
+
+echo "== cgx_compress"
+$RUSTC --crate-type rlib --crate-name cgx_compress crates/compress/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$L/libcgx_compress.rlib"
+
+echo "== cgx_collectives"
+$RUSTC --crate-type rlib --crate-name cgx_collectives crates/collectives/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern bytes="$L/libbytes.rlib" --extern crossbeam="$L/libcrossbeam.rlib" \
+  -o "$L/libcgx_collectives.rlib"
+
+echo "== cgx_models"
+$RUSTC --crate-type rlib --crate-name cgx_models crates/models/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" -o "$L/libcgx_models.rlib"
+
+echo "== cgx_engine"
+$RUSTC --crate-type rlib --crate-name cgx_engine crates/engine/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  -o "$L/libcgx_engine.rlib"
+
+echo "== cgx_qnccl"
+$RUSTC --crate-type rlib --crate-name cgx_qnccl crates/qnccl/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$L/libcgx_qnccl.rlib"
+
+echo "== unit test binaries"
+$RUSTC --test --crate-name cgx_compress_tests crates/compress/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$V/test_compress"
+$RUSTC --test --crate-name cgx_collectives_tests crates/collectives/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern bytes="$L/libbytes.rlib" --extern crossbeam="$L/libcrossbeam.rlib" \
+  -o "$V/test_collectives"
+$RUSTC --test --crate-name cgx_qnccl_tests crates/qnccl/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$V/test_qnccl"
+$RUSTC --test --crate-name cgx_engine_tests crates/engine/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  -o "$V/test_engine"
+$RUSTC --test --crate-name fused_training crates/qnccl/tests/fused_training.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_qnccl="$L/libcgx_qnccl.rlib" \
+  --extern cgx_engine="$L/libcgx_engine.rlib" \
+  -o "$V/test_fused_training"
+
+echo "== kernel_report bin"
+$RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  -o "$V/kernel_report"
+
+echo "BUILD OK"

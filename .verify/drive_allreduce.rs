@@ -1,0 +1,57 @@
+//! Verification driver: user-style multi-rank compressed allreduce through
+//! the public cgx_qnccl / cgx_collectives exports.
+
+use cgx_collectives::ThreadCluster;
+use cgx_qnccl::{FusedBuffer, QncclRing};
+use cgx_tensor::{Rng, Tensor};
+
+fn fnv(xs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in xs {
+        h = (h ^ v.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_case(world: usize, bits: u32, bucket: usize, n: usize, steps: usize, label: &str) {
+    let results = ThreadCluster::run(world, move |t| {
+        let mut rng = Rng::seed_from_u64(500 + t.rank() as u64);
+        let mut ring = QncclRing::new(bits, bucket);
+        let mut last = None;
+        for step in 0..steps {
+            let mut g = Tensor::randn(&mut rng, &[n]);
+            g.scale(1.0 / (step + 1) as f32);
+            let fused = FusedBuffer::pack(&[g]);
+            let (out, stats) = ring.allreduce_with_stats(&t, &fused, &mut rng).unwrap();
+            last = Some((out, stats));
+        }
+        last.unwrap()
+    })
+    .unwrap();
+    let (r0, stats0) = &results[0];
+    for (i, (r, _)) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            r.flat().as_slice(),
+            r0.flat().as_slice(),
+            "rank {i} diverged ({label})"
+        );
+    }
+    let xs = r0.flat().as_slice();
+    println!(
+        "{label}: world={world} bits={bits} bucket={bucket} n={n} steps={steps} \
+         consensus=OK digest={:016x} bytes_sent={} sample={:?}",
+        fnv(xs),
+        stats0.bytes_sent,
+        &xs[..3.min(xs.len())]
+    );
+}
+
+fn main() {
+    run_case(4, 4, 128, 65_536, 4, "default-4bit");
+    run_case(8, 4, 128, 65_537, 2, "odd-length");
+    run_case(4, 3, 128, 10_000, 2, "3bit-generic-fallback");
+    run_case(4, 2, 64, 1 << 20, 2, "2bit-1M");
+    run_case(4, 8, 512, 4_096, 2, "8bit");
+    run_case(2, 4, 128, 1, 1, "single-element");
+    run_case(4, 4, 128, 65_536, 4, "default-4bit-rerun");
+}

@@ -1,0 +1,493 @@
+//! Phase breakdown of QSGD compress at 4 bits / bucket 128 over 1M elems.
+
+use cgx_compress::{pack_fixed, BitWriter};
+use cgx_tensor::{Rng, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 1 << 20;
+
+fn best(mut f: impl FnMut()) -> f64 {
+    let mut b = f64::INFINITY;
+    for _ in 0..7 {
+        let t = Instant::now();
+        f();
+        b = b.min(t.elapsed().as_secs_f64());
+    }
+    N as f64 / b / 1e6
+}
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(1);
+    let grad = Tensor::randn(&mut rng, &[N]);
+    let data = grad.as_slice();
+    let bucket_size = 128usize;
+    let bits = 4u32;
+    let s = 7.0f64;
+    let offset = 7u32;
+    const SCALE_2_53: f64 = (1u64 << 53) as f64;
+
+    // Phase 1: norm pass (serial fold, as bucket_norm does).
+    let m = best(|| {
+        let mut acc = 0.0f64;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            acc += norm;
+        }
+        black_box(acc);
+    });
+    println!("norm serial fold: {m:.1} Melem/s");
+
+    // Phase 1b: norm pass, 4-way unrolled (bit-identical for max).
+    let m = best(|| {
+        let mut acc = 0.0f64;
+        for bucket in data.chunks(bucket_size) {
+            let mut m0 = 0.0f64;
+            let mut m1 = 0.0f64;
+            let mut m2 = 0.0f64;
+            let mut m3 = 0.0f64;
+            let mut it = bucket.chunks_exact(4);
+            for c in &mut it {
+                m0 = m0.max(c[0].abs() as f64);
+                m1 = m1.max(c[1].abs() as f64);
+                m2 = m2.max(c[2].abs() as f64);
+                m3 = m3.max(c[3].abs() as f64);
+            }
+            for &x in it.remainder() {
+                m0 = m0.max(x.abs() as f64);
+            }
+            acc += m0.max(m1).max(m2.max(m3));
+        }
+        black_box(acc);
+    });
+    println!("norm 4-way:       {m:.1} Melem/s");
+
+    // Phase 2: quantize to codes (RNG + rounding), no packing.
+    let mut codes = vec![0u32; N];
+    let mut qrng = Rng::seed_from_u64(2);
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                codes[i] = if v < 0.0 { offset - level } else { offset + level };
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("norm+quantize:    {m:.1} Melem/s");
+
+    // Phase 2a: branchless sign select.
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                let neg = u32::from(v < 0.0);
+                // offset - level when neg, offset + level otherwise.
+                codes[i] = offset + level - ((neg * level) << 1);
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("quantize brless:  {m:.1} Melem/s");
+
+    // Phase 2c: branchless + 2-wide rng interleave via chunks of 2.
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            let mut it = bucket.chunks_exact(2);
+            for pair in &mut it {
+                let (v0, v1) = (pair[0], pair[1]);
+                let s0 = (v0.abs() as f64 * scale).min(s);
+                let s1 = (v1.abs() as f64 * scale).min(s);
+                let l0 = s0 as u32;
+                let l1 = s1 as u32;
+                let t0 = ((s0 - l0 as f64) * SCALE_2_53) as u64;
+                let t1 = ((s1 - l1 as f64) * SCALE_2_53) as u64;
+                let lv0 = l0 + u32::from((qrng.next_u64() >> 11) < t0);
+                let lv1 = l1 + u32::from((qrng.next_u64() >> 11) < t1);
+                let n0 = u32::from(v0 < 0.0);
+                let n1 = u32::from(v1 < 0.0);
+                codes[i] = offset + lv0 - ((n0 * lv0) << 1);
+                codes[i + 1] = offset + lv1 - ((n1 * lv1) << 1);
+                i += 2;
+            }
+            for &v in it.remainder() {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                let neg = u32::from(v < 0.0);
+                codes[i] = offset + level - ((neg * level) << 1);
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("quantize 2-wide:  {m:.1} Melem/s");
+
+    // Phase 2b: RNG only.
+    let m = best(|| {
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc ^= qrng.next_u64();
+        }
+        black_box(acc);
+    });
+    println!("rng only:         {m:.1} Melem/s");
+
+    // Phase 2d: phase-split — pass 1 computes lower+threshold (no RNG, no
+    // branches on sign), pass 2 draws RNG in element order and selects.
+    let mut lowers = vec![0u32; bucket_size];
+    let mut thresholds = vec![0u64; bucket_size];
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for (j, &v) in bucket.iter().enumerate() {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                lowers[j] = lower;
+                thresholds[j] = ((scaled - lower as f64) * SCALE_2_53) as u64;
+            }
+            for (j, &v) in bucket.iter().enumerate() {
+                let level = lowers[j] + u32::from((qrng.next_u64() >> 11) < thresholds[j]);
+                codes[i] = if v < 0.0 { offset - level } else { offset + level };
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("quantize split:   {m:.1} Melem/s");
+
+    // Phase 2e: phase-split, pass 2 fused directly into u64 word packing.
+    let m = best(|| {
+        let mut out = bytes::BytesMut::with_capacity(N / 2 + 40_000);
+        use bytes::BufMut;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for (j, &v) in bucket.iter().enumerate() {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                lowers[j] = lower;
+                thresholds[j] = ((scaled - lower as f64) * SCALE_2_53) as u64;
+            }
+            // 16 codes per u64 word at 4 bits.
+            for (vc, (lc, tc)) in bucket
+                .chunks(16)
+                .zip(lowers.chunks(16).zip(thresholds.chunks(16)))
+            {
+                let mut acc = 0u64;
+                let mut shift = 0u32;
+                for ((&v, &lo), &th) in vc.iter().zip(lc).zip(tc) {
+                    let level = lo + u32::from((qrng.next_u64() >> 11) < th);
+                    let code = if v < 0.0 { offset - level } else { offset + level };
+                    acc |= (code as u64) << shift;
+                    shift += 4;
+                }
+                out.put_u64_le(acc);
+            }
+        }
+        black_box(out);
+    });
+    println!("quantize fusepk:  {m:.1} Melem/s");
+
+    // Phase 2f: integer-threshold quantize — decompose scaled's bit pattern
+    // instead of cvttsd2si/cvtsi2sd/subsd/mulsd/cvttsd2si. Bit-identical:
+    // t_all = floor(scaled * 2^53) computed exactly by shifting the mantissa.
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let b = scaled.to_bits();
+                let sh = ((b >> 52) as i32) - 1022;
+                let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+                let t_all = if sh >= 0 {
+                    mant << sh as u32
+                } else {
+                    mant >> (-sh).min(63) as u32
+                };
+                let lower = (t_all >> 53) as u32;
+                let threshold = t_all & ((1u64 << 53) - 1);
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                codes[i] = if v < 0.0 { offset - level } else { offset + level };
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("quantize intthr:  {m:.1} Melem/s");
+
+    // Phase 2g: split with integer-threshold pass 1 (no float->int casts,
+    // pure bitcast + shifts: vectorizable), pass 2 RNG + select + code.
+    let mut talls = vec![0u64; bucket_size];
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for (j, &v) in bucket.iter().enumerate() {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let b = scaled.to_bits();
+                let sh = ((b >> 52) as i32) - 1022;
+                let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+                talls[j] = if sh >= 0 {
+                    mant << (sh as u32 & 63)
+                } else {
+                    mant >> ((-sh) as u32).min(63)
+                };
+            }
+            for (j, &v) in bucket.iter().enumerate() {
+                let t_all = talls[j];
+                let lower = (t_all >> 53) as u32;
+                let threshold = t_all & ((1u64 << 53) - 1);
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                codes[i] = if v < 0.0 { offset - level } else { offset + level };
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("quantize isplit:  {m:.1} Melem/s");
+
+    // Pass 1 alone (vectorization probe).
+    let m = best(|| {
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for (j, &v) in bucket.iter().enumerate() {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let b = scaled.to_bits();
+                let sh = ((b >> 52) as i32) - 1022;
+                let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+                talls[j] = if sh >= 0 {
+                    mant << (sh as u32 & 63)
+                } else {
+                    mant >> ((-sh) as u32).min(63)
+                };
+            }
+            black_box(&talls);
+        }
+    });
+    println!("isplit pass1:     {m:.1} Melem/s");
+
+    // Pass 2 alone.
+    let m = best(|| {
+        let mut i = 0;
+        for bucket in data.chunks(bucket_size) {
+            for (j, &v) in bucket.iter().enumerate() {
+                let t_all = talls[j];
+                let lower = (t_all >> 53) as u32;
+                let threshold = t_all & ((1u64 << 53) - 1);
+                let level = lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                codes[i] = if v < 0.0 { offset - level } else { offset + level };
+                i += 1;
+            }
+        }
+        black_box(codes[0]);
+    });
+    println!("isplit pass2:     {m:.1} Melem/s");
+
+    // Phase 2h: AVX2 pass 1 (explicit intrinsics) + fused pass 2/pack.
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        #[target_feature(enable = "avx2")]
+        unsafe fn talls_avx2(bucket: &[f32], scale: f64, s: f64, out: &mut [u64]) {
+            let scale4 = _mm256_set1_pd(scale);
+            let s4 = _mm256_set1_pd(s);
+            let absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+            let mask52 = _mm256_set1_epi64x(0xF_FFFF_FFFF_FFFF);
+            let bit52 = _mm256_set1_epi64x(1i64 << 52);
+            let bias = _mm256_set1_epi64x(1022);
+            let mut j = 0;
+            while j + 4 <= bucket.len() {
+                let v4 = _mm_loadu_ps(bucket.as_ptr().add(j));
+                let d4 = _mm256_and_pd(_mm256_cvtps_pd(v4), absmask);
+                let scaled = _mm256_min_pd(_mm256_mul_pd(d4, scale4), s4);
+                let b = _mm256_castpd_si256(scaled);
+                let sh = _mm256_sub_epi64(_mm256_srli_epi64(b, 52), bias);
+                let mant = _mm256_or_si256(_mm256_and_si256(b, mask52), bit52);
+                // Out-of-range shift counts yield 0 in sllv/srlv, so the
+                // sh>=0 / sh<0 select collapses to an OR.
+                let left = _mm256_sllv_epi64(mant, sh);
+                let right = _mm256_srlv_epi64(mant, _mm256_sub_epi64(_mm256_setzero_si256(), sh));
+                let t = _mm256_or_si256(left, right);
+                _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, t);
+                j += 4;
+            }
+            for (o, &v) in out[j..bucket.len()].iter_mut().zip(&bucket[j..]) {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let b = scaled.to_bits();
+                let sh = ((b >> 52) as i32) - 1022;
+                let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+                *o = if sh >= 0 {
+                    mant << (sh as u32 & 63)
+                } else {
+                    mant >> ((-sh) as u32).min(63)
+                };
+            }
+        }
+
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // Pass 1 alone.
+            let m = best(|| {
+                for bucket in data.chunks(bucket_size) {
+                    let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+                    let scale = s / norm;
+                    unsafe { talls_avx2(bucket, scale, s, &mut talls[..bucket.len()]) };
+                    black_box(&talls);
+                }
+            });
+            println!("avx2 pass1:       {m:.1} Melem/s");
+
+            // Full compress: norm + avx2 pass1 + fused pass2/pack.
+            let m = best(|| {
+                use bytes::BufMut;
+                let mut out = bytes::BytesMut::with_capacity(N / 2 + 40_000);
+                for bucket in data.chunks(bucket_size) {
+                    let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+                    let scale = s / norm;
+                    unsafe { talls_avx2(bucket, scale, s, &mut talls[..bucket.len()]) };
+                    for (vc, tc) in bucket.chunks(16).zip(talls.chunks(16)) {
+                        let mut acc = 0u64;
+                        let mut shift = 0u32;
+                        for (&v, &t_all) in vc.iter().zip(tc) {
+                            let lower = (t_all >> 53) as u32;
+                            let threshold = t_all & ((1u64 << 53) - 1);
+                            let level =
+                                lower + u32::from((qrng.next_u64() >> 11) < threshold);
+                            let code =
+                                if v < 0.0 { offset - level } else { offset + level };
+                            acc |= (code as u64) << shift;
+                            shift += 4;
+                        }
+                        out.put_u64_le(acc);
+                    }
+                }
+                black_box(&out);
+                out.clear();
+            });
+            println!("avx2 full comp:   {m:.1} Melem/s");
+
+            // Correctness: avx2 talls must match the scalar float sequence.
+            let mut diffs = 0u64;
+            for bucket in data.chunks(bucket_size) {
+                let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+                let scale = s / norm;
+                unsafe { talls_avx2(bucket, scale, s, &mut talls[..bucket.len()]) };
+                for (j, &v) in bucket.iter().enumerate() {
+                    let scaled = (v.abs() as f64 * scale).min(s);
+                    let lower_f = scaled as u64;
+                    let thr_f = ((scaled - lower_f as f64) * SCALE_2_53) as u64;
+                    let t = talls[j];
+                    if (t >> 53) != lower_f || (t & ((1u64 << 53) - 1)) != thr_f {
+                        diffs += 1;
+                    }
+                }
+            }
+            println!("avx2 mismatches:  {diffs}");
+        }
+    }
+
+    // Sanity: integer-threshold must equal the float sequence exactly.
+    {
+        let mut ra = Rng::seed_from_u64(9);
+        let mut rb = Rng::seed_from_u64(9);
+        let mut diffs = 0u64;
+        for bucket in data.chunks(bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower_f = scaled as u32;
+                let thr_f = ((scaled - lower_f as f64) * SCALE_2_53) as u64;
+                let lvl_f = lower_f + u32::from((ra.next_u64() >> 11) < thr_f);
+                let b = scaled.to_bits();
+                let sh = ((b >> 52) as i32) - 1022;
+                let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+                let t_all = if sh >= 0 {
+                    mant << sh as u32
+                } else {
+                    mant >> (-sh).min(63) as u32
+                };
+                let lower_i = (t_all >> 53) as u32;
+                let thr_i = t_all & ((1u64 << 53) - 1);
+                let lvl_i = lower_i + u32::from((rb.next_u64() >> 11) < thr_i);
+                if lower_f != lower_i || thr_f != thr_i || lvl_f != lvl_i {
+                    diffs += 1;
+                }
+            }
+        }
+        println!("intthr mismatches: {diffs}");
+    }
+
+    // Decode LUT: 16-entry table per bucket, then table lookup + add.
+    let payload = {
+        let mut out = bytes::BytesMut::with_capacity(N / 2 + 40_000);
+        pack_fixed(&codes, bits, &mut out);
+        out
+    };
+    let mut accbuf = vec![0.0f32; N];
+    let norms: Vec<f64> = data
+        .chunks(bucket_size)
+        .map(|b| b.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64)))
+        .collect();
+    let m = best(|| {
+        let mut table = [0.0f32; 16];
+        let mut i = 0;
+        for (bi, norm) in norms.iter().enumerate() {
+            for (c, t) in table.iter_mut().enumerate() {
+                let signed = c as i64 - offset as i64;
+                *t = (norm * signed as f64 / s) as f32;
+            }
+            let start = bi * bucket_size / 2;
+            for &byte in &payload[start..start + bucket_size / 2] {
+                accbuf[i] += table[(byte & 0xF) as usize];
+                accbuf[i + 1] += table[(byte >> 4) as usize];
+                i += 2;
+            }
+            black_box(&table);
+        }
+        black_box(accbuf[0]);
+    });
+    println!("lut decode_add:   {m:.1} Melem/s");
+
+    // Phase 3: write_bits per element.
+    let m = best(|| {
+        let mut w = BitWriter::with_capacity(N / 2 + 40_000);
+        for &c in &codes {
+            w.write_bits(c, bits);
+        }
+        black_box(w.finish());
+    });
+    println!("write_bits:       {m:.1} Melem/s");
+
+    // Phase 3b: pack_fixed.
+    let m = best(|| {
+        let mut out = bytes::BytesMut::with_capacity(N / 2 + 40_000);
+        pack_fixed(&codes, bits, &mut out);
+        black_box(out);
+    });
+    println!("pack_fixed:       {m:.1} Melem/s");
+}

@@ -1,0 +1,43 @@
+//! Verification driver: wire-format digests through the public
+//! cgx_compress export. Compiled against both the seed rlibs and the
+//! working-tree rlibs; outputs must be byte-identical.
+
+use cgx_compress::{Compressor, NormKind, QsgdCompressor};
+use cgx_tensor::{Rng, Tensor};
+
+fn fnv_bytes(xs: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in xs {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv_f32(xs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in xs {
+        h = (h ^ v.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    for &(bits, bucket) in &[(2u32, 64usize), (3, 128), (4, 128), (8, 512)] {
+        for &n in &[1usize, 100, 128, 515, 65_536, 1 << 20] {
+            for norm in [NormKind::Max, NormKind::L2] {
+                let mut rng = Rng::seed_from_u64(42);
+                let grad = Tensor::randn(&mut rng, &[n]);
+                let mut c = QsgdCompressor::with_norm(bits, bucket, norm);
+                let enc = c.compress(&grad, &mut rng);
+                let dec = c.decompress(&enc);
+                println!(
+                    "bits={bits} bucket={bucket} n={n} norm={norm:?} \
+                     payload_len={} payload={:016x} decoded={:016x}",
+                    enc.payload_bytes(),
+                    fnv_bytes(enc.payload()),
+                    fnv_f32(dec.as_slice())
+                );
+            }
+        }
+    }
+}

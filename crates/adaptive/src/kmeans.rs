@@ -29,7 +29,11 @@ fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
 /// Panics if `points` is empty, `k` is zero, or `k > points.len()`.
 pub fn kmeans(points: &[(f64, f64)], k: usize, rng: &mut Rng, max_iters: usize) -> KMeansResult {
     assert!(!points.is_empty(), "no points to cluster");
-    assert!(k >= 1 && k <= points.len(), "invalid k={k} for {} points", points.len());
+    assert!(
+        k >= 1 && k <= points.len(),
+        "invalid k={k} for {} points",
+        points.len()
+    );
     // k-means++ init.
     let mut centroids: Vec<(f64, f64)> = Vec::with_capacity(k);
     centroids.push(points[rng.index(points.len())]);
@@ -134,9 +138,7 @@ mod tests {
     #[test]
     fn assignment_is_valid_and_total() {
         let mut rng = Rng::seed_from_u64(2);
-        let points: Vec<(f64, f64)> = (0..50)
-            .map(|_| (rng.uniform(), rng.uniform()))
-            .collect();
+        let points: Vec<(f64, f64)> = (0..50).map(|_| (rng.uniform(), rng.uniform())).collect();
         let r = kmeans(&points, 5, &mut rng, 50);
         assert_eq!(r.assignment.len(), 50);
         assert!(r.assignment.iter().all(|a| *a < 5));
@@ -149,9 +151,7 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let points: Vec<(f64, f64)> = (0..40)
-            .map(|i| ((i % 7) as f64, (i % 5) as f64))
-            .collect();
+        let points: Vec<(f64, f64)> = (0..40).map(|i| ((i % 7) as f64, (i % 5) as f64)).collect();
         let a = kmeans(&points, 3, &mut Rng::seed_from_u64(7), 100);
         let b = kmeans(&points, 3, &mut Rng::seed_from_u64(7), 100);
         assert_eq!(a, b);

@@ -40,6 +40,5 @@ pub mod policy;
 
 pub use kmeans::{kmeans, KMeansResult};
 pub use policy::{
-    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment,
-    LayerProfile,
+    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment, LayerProfile,
 };

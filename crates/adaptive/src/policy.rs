@@ -120,9 +120,7 @@ impl BitAssignment {
             .iter()
             .zip(&self.bucket_sizes)
             .zip(profiles)
-            .map(|((b, bucket), p)| {
-                p.size as f64 * (*b as f64 + 32.0 / *bucket as f64)
-            })
+            .map(|((b, bucket), p)| p.size as f64 * (*b as f64 + 32.0 / *bucket as f64))
             .sum()
     }
 
@@ -193,7 +191,13 @@ pub fn assign_bits(
     };
     match policy {
         AdaptivePolicy::TimeAware => {
-            enforce_budget(&mut assignment, profiles, &choices, budget, Repair::SizeAware);
+            enforce_budget(
+                &mut assignment,
+                profiles,
+                &choices,
+                budget,
+                Repair::SizeAware,
+            );
             exploit_budget_time_aware(&mut assignment, profiles, &choices, budget);
         }
         AdaptivePolicy::KMeans | AdaptivePolicy::BayesOpt { .. } => {
@@ -202,7 +206,13 @@ pub fn assign_bits(
             // layers (embeddings) keep their low bit-widths, and small
             // noisy layers absorb the promotions. This is why the k-means
             // method "tends to compress large layers more".
-            enforce_budget(&mut assignment, profiles, &choices, budget, Repair::SizeAware);
+            enforce_budget(
+                &mut assignment,
+                profiles,
+                &choices,
+                budget,
+                Repair::SizeAware,
+            );
             if policy == AdaptivePolicy::KMeans {
                 exploit_budget_by_groups(&mut assignment, profiles, &choices, budget);
             }
@@ -213,7 +223,13 @@ pub fn assign_bits(
             // but surrenders exactly the layers (embeddings) whose
             // compression buys speedup — the paper's "performance gains
             // are minor" observation.
-            enforce_budget(&mut assignment, profiles, &choices, budget, Repair::ErrorGreedy);
+            enforce_budget(
+                &mut assignment,
+                profiles,
+                &choices,
+                budget,
+                Repair::ErrorGreedy,
+            );
         }
     }
     assignment
@@ -258,8 +274,8 @@ fn exploit_budget_by_groups(
             if trial.estimated_error(profiles) > budget {
                 continue;
             }
-            let gain = assignment.compressed_bits_total(profiles)
-                - trial.compressed_bits_total(profiles);
+            let gain =
+                assignment.compressed_bits_total(profiles) - trial.compressed_bits_total(profiles);
             if gain > 0.0 && best.as_ref().map(|(g, _, _)| gain > *g).unwrap_or(true) {
                 best = Some((gain, from, to));
             }
@@ -286,7 +302,10 @@ fn kmeans_bits(profiles: &[LayerProfile], choices: &[u32], seed: u64) -> BitAssi
     // Min-max normalize each dimension (log-scale sizes: they span orders
     // of magnitude).
     let xs: Vec<f64> = profiles.iter().map(|p| (p.size as f64).ln()).collect();
-    let ys: Vec<f64> = profiles.iter().map(|p| (p.grad_norm + 1e-12).ln()).collect();
+    let ys: Vec<f64> = profiles
+        .iter()
+        .map(|p| (p.grad_norm + 1e-12).ln())
+        .collect();
     let norm = |v: &[f64]| -> Vec<f64> {
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -328,13 +347,7 @@ fn kmeans_bits(profiles: &[LayerProfile], choices: &[u32], seed: u64) -> BitAssi
         };
         cluster_bits[cluster] = choices[choice_idx];
     }
-    BitAssignment::from_bits(
-        result
-            .assignment
-            .iter()
-            .map(|&c| cluster_bits[c])
-            .collect(),
-    )
+    BitAssignment::from_bits(result.assignment.iter().map(|&c| cluster_bits[c]).collect())
 }
 
 /// The linear heuristic: sort by `norm/size` ascending and interpolate
@@ -504,10 +517,17 @@ mod tests {
     #[test]
     fn kmeans_gives_embedding_the_fewest_bits() {
         let profiles = txl_like();
-        let a = assign_bits(AdaptivePolicy::KMeans, &profiles, &AdaptiveOptions::default());
+        let a = assign_bits(
+            AdaptivePolicy::KMeans,
+            &profiles,
+            &AdaptiveOptions::default(),
+        );
         let emb_bits = a.bits[0];
         let max_bits = *a.bits.iter().max().unwrap();
-        assert!(emb_bits < max_bits, "embedding bits {emb_bits} vs max {max_bits}");
+        assert!(
+            emb_bits < max_bits,
+            "embedding bits {emb_bits} vs max {max_bits}"
+        );
         assert_eq!(emb_bits, *a.bits.iter().min().unwrap());
     }
 
@@ -532,7 +552,11 @@ mod tests {
     #[test]
     fn kmeans_compresses_more_than_uniform_4bit() {
         let profiles = txl_like();
-        let a = assign_bits(AdaptivePolicy::KMeans, &profiles, &AdaptiveOptions::default());
+        let a = assign_bits(
+            AdaptivePolicy::KMeans,
+            &profiles,
+            &AdaptiveOptions::default(),
+        );
         let uniform = uniform_assignment(&profiles, 4);
         let ratio = a.size_ratio_vs(&uniform, &profiles);
         // Paper Table 7: ~0.68 relative size for KMEANS.
@@ -554,8 +578,7 @@ mod tests {
         let budget = opts.alpha * uniform.estimated_error(&profiles);
         assert!(km.estimated_error(&profiles) <= budget * (1.0 + 1e-9));
         assert!(
-            km.size_ratio_vs(&uniform, &profiles)
-                <= lin.size_ratio_vs(&uniform, &profiles) + 1e-9,
+            km.size_ratio_vs(&uniform, &profiles) <= lin.size_ratio_vs(&uniform, &profiles) + 1e-9,
             "kmeans {} vs linear {}",
             km.size_ratio_vs(&uniform, &profiles),
             lin.size_ratio_vs(&uniform, &profiles)
@@ -582,12 +605,9 @@ mod tests {
                 ..AdaptiveOptions::default()
             },
         );
+        assert!(tight.estimated_error(&profiles) <= loose.estimated_error(&profiles) + 1e-9);
         assert!(
-            tight.estimated_error(&profiles) <= loose.estimated_error(&profiles) + 1e-9
-        );
-        assert!(
-            tight.compressed_bits_total(&profiles)
-                >= loose.compressed_bits_total(&profiles) - 1e-9
+            tight.compressed_bits_total(&profiles) >= loose.compressed_bits_total(&profiles) - 1e-9
         );
     }
 

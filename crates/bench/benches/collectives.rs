@@ -7,11 +7,11 @@
 
 use cgx_collectives::reduce::{allreduce, Algorithm};
 use cgx_collectives::ThreadCluster;
-use cgx_compress::{Compressor, CompressionScheme};
+use cgx_compress::{CompressionScheme, Compressor};
 use cgx_tensor::{Rng, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 const WORLD: usize = 4;
 const LEN: usize = 1 << 18; // 256k floats = 1 MB
@@ -35,10 +35,14 @@ fn bench_allreduce(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(LEN as u64));
-        for alg in Algorithm::all() {
-        group.bench_with_input(BenchmarkId::new("fp32", format!("{alg:?}")), &alg, |b, a| {
-            b.iter(|| run_once(*a, CompressionScheme::None));
-        });
+    for alg in Algorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::new("fp32", format!("{alg:?}")),
+            &alg,
+            |b, a| {
+                b.iter(|| run_once(*a, CompressionScheme::None));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("qsgd-4b", format!("{alg:?}")),
             &alg,

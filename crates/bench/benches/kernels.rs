@@ -5,13 +5,15 @@
 //! widths the adaptive policies use, TopK selection, PowerSGD
 //! factorization, and the raw bit-packer.
 
+use bytes::BytesMut;
 use cgx_compress::{
-    BitReader, BitWriter, Compressor, PowerSgdCompressor, QsgdCompressor, TopKCompressor,
+    pack_fixed, unpack_fixed_with, BitReader, BitWriter, Compressor, PowerSgdCompressor,
+    QsgdCompressor, ScratchPool, TopKCompressor,
 };
 use cgx_tensor::{Rng, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 const N: usize = 1 << 20; // 1M elements = 4 MB fp32
 
@@ -114,8 +116,96 @@ fn bench_bitpack(c: &mut Criterion) {
             black_box(acc)
         });
     });
+    // The word-wide fast path: same stream, whole u64s at a time.
+    let codes: Vec<u32> = (0..N).map(|i| (i % 16) as u32).collect();
+    group.bench_function("pack-fixed-4bit", |b| {
+        b.iter(|| {
+            let mut out = BytesMut::with_capacity(N / 2);
+            pack_fixed(black_box(&codes), 4, &mut out);
+            black_box(out)
+        });
+    });
+    group.bench_function("unpack-fixed-4bit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            unpack_fixed_with(black_box(&bytes), 4, N, |v| acc += v as u64);
+            black_box(acc)
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_qsgd, bench_topk, bench_powersgd, bench_bitpack);
+fn bench_fused_decode(c: &mut Criterion) {
+    // Fused decode-accumulate vs decompress-then-add: the allreduce
+    // summation hot path before and after this PR.
+    let mut rng = Rng::seed_from_u64(4);
+    let grad = Tensor::randn(&mut rng, &[N]);
+    let mut group = c.benchmark_group("decode-add");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    for (bits, bucket) in [(2u32, 1024usize), (4, 128), (8, 64)] {
+        let mut comp = QsgdCompressor::new(bits, bucket);
+        let enc = comp.compress(&grad, &mut rng);
+        let mut acc = vec![0.0f32; N];
+        group.bench_with_input(
+            BenchmarkId::new("materialize-then-add", format!("{bits}b-{bucket}")),
+            &enc,
+            |b, e| {
+                b.iter(|| {
+                    let decoded = comp.decompress(black_box(e));
+                    for (a, d) in acc.iter_mut().zip(decoded.as_slice()) {
+                        *a += *d;
+                    }
+                    black_box(acc[0])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{bits}b-{bucket}")),
+            &enc,
+            |b, e| {
+                b.iter(|| {
+                    comp.decompress_add_into(black_box(e), &mut acc);
+                    black_box(acc[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pooled_compress(c: &mut Criterion) {
+    // Steady-state encode with scratch reuse vs allocating per call.
+    let mut rng = Rng::seed_from_u64(5);
+    let grad = Tensor::randn(&mut rng, &[N]);
+    let pool = ScratchPool::new();
+    let mut group = c.benchmark_group("pooled-compress");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    let mut comp = QsgdCompressor::new(4, 128);
+    group.bench_function("alloc-4b-128", |b| {
+        b.iter(|| black_box(comp.compress(black_box(&grad), &mut rng)));
+    });
+    group.bench_function("pooled-4b-128", |b| {
+        b.iter(|| {
+            let enc = comp.compress_pooled(black_box(&grad), &mut rng, &pool);
+            pool.recycle(black_box(enc));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qsgd,
+    bench_topk,
+    bench_powersgd,
+    bench_bitpack,
+    bench_fused_decode,
+    bench_pooled_compress
+);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use cgx_bench::{note, render_table};
 use cgx_compress::{
-    Compressor, CompressionScheme, ErrorFeedback, NuqsgdCompressor, OneBitCompressor,
+    CompressionScheme, Compressor, ErrorFeedback, NuqsgdCompressor, OneBitCompressor,
     QsgdCompressor, TopKCompressor,
 };
 use cgx_engine::data::GaussianMixture;
@@ -47,7 +47,10 @@ fn main() {
         let err = q.decompress(&enc).l2_distance(&grad) / grad.norm2();
         rows.push(vec![
             bucket.to_string(),
-            format!("{:.3}", 32.0 * enc.payload_bytes() as f64 * 8.0 / (grad.len() * 32) as f64 / 8.0),
+            format!(
+                "{:.3}",
+                32.0 * enc.payload_bytes() as f64 * 8.0 / (grad.len() * 32) as f64 / 8.0
+            ),
             format!("{:.4}", err),
         ]);
     }
@@ -102,11 +105,17 @@ fn main() {
             "{}",
             render_table(
                 "Ablation 2: what the small-layer filter protects (ResNet50, 4-bit)",
-                &["layer kind", "relative quantization error", "share of traffic"],
+                &[
+                    "layer kind",
+                    "relative quantization error",
+                    "share of traffic"
+                ],
                 &rows,
             )
         );
-        note("the filtered layers carry ~0.2% of the traffic: exactness for them is (almost) free,");
+        note(
+            "the filtered layers carry ~0.2% of the traffic: exactness for them is (almost) free,",
+        );
         note("and skipping their compression kernels avoids many tiny launches — the paper's filter rationale.");
     }
 
@@ -117,12 +126,14 @@ fn main() {
         (
             "topk(5%)",
             Box::new(TopKCompressor::new(0.05)) as Box<dyn Compressor>,
-            Box::new(ErrorFeedback::new(Box::new(TopKCompressor::new(0.05)))) as Box<dyn Compressor>,
+            Box::new(ErrorFeedback::new(Box::new(TopKCompressor::new(0.05))))
+                as Box<dyn Compressor>,
         ),
         (
             "onebit(256)",
             Box::new(OneBitCompressor::new(256)) as Box<dyn Compressor>,
-            Box::new(ErrorFeedback::new(Box::new(OneBitCompressor::new(256)))) as Box<dyn Compressor>,
+            Box::new(ErrorFeedback::new(Box::new(OneBitCompressor::new(256))))
+                as Box<dyn Compressor>,
         ),
     ];
     for (name, plain, ef) in cases {

@@ -17,10 +17,7 @@ fn fig1() {
             .step_seconds;
         for gamma in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
             let e = estimate(&machine, model, &SystemSetup::Fake { gamma });
-            println!(
-                "{model},{gamma},{:.6},{:.6}",
-                e.report.step_seconds, ideal
-            );
+            println!("{model},{gamma},{:.6},{:.6}", e.report.step_seconds, ideal);
         }
     }
 }

@@ -27,10 +27,7 @@ fn main() {
             times.push(r.step_seconds);
             row.push(fmt_ms(r.step_seconds));
         }
-        row.push(format!(
-            "+{:.0}%",
-            100.0 * (times[2] / times[0] - 1.0)
-        ));
+        row.push(format!("+{:.0}%", 100.0 * (times[2] / times[0] - 1.0)));
         rows.push(row);
     }
     print!(

@@ -51,13 +51,9 @@ fn main() {
     // paying.
     let mut sat_rows = Vec::new();
     for model in models {
-        let ceiling = estimate(
-            &machine,
-            model,
-            &SystemSetup::Fake { gamma: 1_000_000.0 },
-        )
-        .report
-        .step_seconds;
+        let ceiling = estimate(&machine, model, &SystemSetup::Fake { gamma: 1_000_000.0 })
+            .report
+            .step_seconds;
         let sat = gammas.iter().find(|&&g| {
             estimate(&machine, model, &SystemSetup::Fake { gamma: g })
                 .report

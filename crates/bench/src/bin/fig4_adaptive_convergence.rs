@@ -11,7 +11,7 @@
 use cgx_adaptive::{AdaptiveOptions, AdaptivePolicy};
 use cgx_bench::{note, render_table};
 use cgx_core::adaptive::adaptive_compression_for;
-use cgx_core::estimate::{estimate_with_schemes, estimate, SystemSetup};
+use cgx_core::estimate::{estimate, estimate_with_schemes, SystemSetup};
 use cgx_engine::data::MarkovChainLm;
 use cgx_engine::nn::EmbeddingLm;
 use cgx_engine::{train_data_parallel, LayerCompression, TrainConfig};
@@ -85,12 +85,10 @@ fn main() {
         train_ppl_curve(LayerCompression::cgx_default(), 1000),
     ));
     for (name, policy) in schemes {
-        let outcome =
-            adaptive_compression_for(&model, policy, &AdaptiveOptions::default(), 2, 7);
-        let step =
-            estimate_with_schemes(&cluster, ModelId::TransformerXl, &outcome.schemes)
-                .report
-                .step_seconds;
+        let outcome = adaptive_compression_for(&model, policy, &AdaptiveOptions::default(), 2, 7);
+        let step = estimate_with_schemes(&cluster, ModelId::TransformerXl, &outcome.schemes)
+            .report
+            .step_seconds;
         // Map the policy's embedding assignment onto the real LM.
         let emb_pos = outcome
             .layer_indices

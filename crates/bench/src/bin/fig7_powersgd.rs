@@ -29,10 +29,7 @@ fn main() {
             model.to_string(),
             fmt_ms(cgx.report.step_seconds),
             fmt_ms(psgd.report.step_seconds),
-            format!(
-                "{:.2}x",
-                psgd.report.step_seconds / cgx.report.step_seconds
-            ),
+            format!("{:.2}x", psgd.report.step_seconds / cgx.report.step_seconds),
         ]);
     }
     print!(

@@ -12,10 +12,9 @@ fn main() {
         println!("{}", topo.render_ascii());
         let matrix = topo.bandwidth_matrix();
         let n = matrix.len();
-        let headers: Vec<String> =
-            std::iter::once("GB/s".to_string())
-                .chain((0..n).map(|j| format!("GPU{j}")))
-                .collect();
+        let headers: Vec<String> = std::iter::once("GB/s".to_string())
+            .chain((0..n).map(|j| format!("GPU{j}")))
+            .collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = (0..n)
             .map(|i| {
@@ -44,5 +43,7 @@ fn main() {
             topo.ring_allreduce_algbw() / 1e9,
         );
     }
-    note("paper: 13-16 GB/s pairwise on the 3090 box, ~1 GB/s Allreduce; NVLink machines ~100 GB/s.");
+    note(
+        "paper: 13-16 GB/s pairwise on the 3090 box, ~1 GB/s Allreduce; NVLink machines ~100 GB/s.",
+    );
 }

@@ -28,10 +28,7 @@ fn main() {
                 format!("{} ({})", fmt_items(base.throughput), fmt_pct(base.scaling)),
                 format!("{} ({})", fmt_items(cgx.throughput), fmt_pct(cgx.scaling)),
                 fmt_items(ideal.throughput),
-                format!(
-                    "+{:.0}%",
-                    100.0 * (cgx.throughput / base.throughput - 1.0)
-                ),
+                format!("+{:.0}%", 100.0 * (cgx.throughput / base.throughput - 1.0)),
             ]);
         }
     }

@@ -9,9 +9,7 @@
 use cgx_bench::{note, render_table};
 use cgx_engine::data::GaussianMixture;
 use cgx_engine::nn::Mlp;
-use cgx_engine::{
-    train_data_parallel, train_local_sgd, LayerCompression, TrainConfig,
-};
+use cgx_engine::{train_data_parallel, train_local_sgd, LayerCompression, TrainConfig};
 use cgx_tensor::Rng;
 
 const WORKERS: usize = 4;
@@ -60,8 +58,7 @@ fn main() {
             };
             let t = task.clone();
             let (m, rep) =
-                train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, period)
-                    .unwrap();
+                train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, period).unwrap();
             rows.push(vec![
                 format!("local SGD ({compression})"),
                 format!("every {period} steps"),

@@ -1,0 +1,196 @@
+//! Kernel fast-path report: generic bit-at-a-time codecs vs the word-wide
+//! packing + fused decode-accumulate kernels, at the bit widths the
+//! adaptive policies use.
+//!
+//! Emits `BENCH_kernels.json` with elements/sec for compress, decompress
+//! and decode-add at 2/4/8 bits over 1M elements, plus the speedup of the
+//! fast path over the generic one. The generic baselines replicate the
+//! pre-fast-path kernels arithmetic-for-arithmetic (same stochastic
+//! rounding, same wire format), so the payloads are asserted byte-equal
+//! before anything is timed.
+
+use cgx_compress::{BitReader, BitWriter, Compressor, Encoded, QsgdCompressor, ScratchPool};
+use cgx_tensor::{Rng, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 1 << 20; // 1M elements
+const REPS: usize = 7;
+
+/// The pre-fast-path QSGD encode: identical arithmetic to
+/// `QsgdCompressor::compress`, but element-at-a-time `write_bits` instead
+/// of staged `write_run`.
+fn generic_compress(bits: u32, bucket_size: usize, data: &[f32], rng: &mut Rng) -> Encoded {
+    let s = ((1u32 << (bits - 1)) - 1) as f64;
+    let offset = (1u32 << (bits - 1)) - 1;
+    const SCALE_2_53: f64 = (1u64 << 53) as f64;
+    let comp = QsgdCompressor::new(bits, bucket_size);
+    let mut w = BitWriter::with_capacity(comp.compressed_bytes(data.len()));
+    for bucket in data.chunks(bucket_size) {
+        let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+        w.write_f32(norm as f32);
+        if norm == 0.0 {
+            for _ in bucket {
+                w.write_bits(offset, bits);
+            }
+        } else {
+            let scale = s / norm;
+            for &v in bucket {
+                let scaled = (v.abs() as f64 * scale).min(s);
+                let lower = scaled as u32;
+                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                let level = lower + u32::from((rng.next_u64() >> 11) < threshold);
+                let signed = if v < 0.0 {
+                    offset - level
+                } else {
+                    offset + level
+                };
+                w.write_bits(signed, bits);
+            }
+        }
+    }
+    Encoded::new(cgx_tensor::Shape::vector(data.len()), w.finish())
+}
+
+/// The pre-fast-path QSGD decode: element-at-a-time `read_bits`.
+fn generic_decompress(bits: u32, bucket_size: usize, enc: &Encoded, out: &mut [f32]) {
+    let s = ((1u32 << (bits - 1)) - 1) as f64;
+    let offset = ((1u32 << (bits - 1)) - 1) as i64;
+    let mut r = BitReader::new(enc.payload());
+    for chunk in out.chunks_mut(bucket_size) {
+        let norm = r.read_f32() as f64;
+        for o in chunk.iter_mut() {
+            let signed = r.read_bits(bits) as i64 - offset;
+            *o = (norm * signed as f64 / s) as f32;
+        }
+    }
+}
+
+/// Best-of-`REPS` wall clock of `f`, in elements per second.
+fn measure(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    N as f64 / best
+}
+
+struct Row {
+    kernel: &'static str,
+    bits: u32,
+    generic_eps: f64,
+    fast_eps: f64,
+}
+
+fn main() {
+    let mut seed_rng = Rng::seed_from_u64(1);
+    let grad = Tensor::randn(&mut seed_rng, &[N]);
+    let pool = ScratchPool::new();
+    let mut rows = Vec::new();
+
+    for (bits, bucket) in [(2u32, 1024usize), (4, 128), (8, 64)] {
+        let mut comp = QsgdCompressor::new(bits, bucket);
+
+        // Sanity: identical RNG streams must give byte-identical payloads.
+        let mut rng_a = Rng::seed_from_u64(42);
+        let mut rng_b = Rng::seed_from_u64(42);
+        let enc_generic = generic_compress(bits, bucket, grad.as_slice(), &mut rng_a);
+        let enc = comp.compress_slice(grad.as_slice(), &mut rng_b, &pool);
+        assert_eq!(
+            enc_generic.payload(),
+            enc.payload(),
+            "fast path diverged from generic at {bits} bits"
+        );
+
+        let mut rng = Rng::seed_from_u64(7);
+        let generic_c = measure(|| {
+            black_box(generic_compress(
+                bits,
+                bucket,
+                black_box(grad.as_slice()),
+                &mut rng,
+            ));
+        });
+        let fast_c = measure(|| {
+            let e = comp.compress_slice(black_box(grad.as_slice()), &mut rng, &pool);
+            pool.recycle(black_box(e));
+        });
+        rows.push(Row {
+            kernel: "compress",
+            bits,
+            generic_eps: generic_c,
+            fast_eps: fast_c,
+        });
+
+        let mut out = vec![0.0f32; N];
+        let generic_d = measure(|| {
+            generic_decompress(bits, bucket, black_box(&enc), &mut out);
+            black_box(out[0]);
+        });
+        let fast_d = measure(|| {
+            comp.decompress_into(black_box(&enc), &mut out);
+            black_box(out[0]);
+        });
+        rows.push(Row {
+            kernel: "decompress",
+            bits,
+            generic_eps: generic_d,
+            fast_eps: fast_d,
+        });
+
+        // Decode-add: the allreduce summation step. Generic = materialize
+        // the decode, then a second pass to add (what reduce.rs used to
+        // do); fast = the fused decompress_add_into.
+        let mut acc = vec![0.0f32; N];
+        let generic_a = measure(|| {
+            let mut decoded = vec![0.0f32; N];
+            generic_decompress(bits, bucket, black_box(&enc), &mut decoded);
+            for (a, d) in acc.iter_mut().zip(&decoded) {
+                *a += *d;
+            }
+            black_box(acc[0]);
+        });
+        let fast_a = measure(|| {
+            comp.decompress_add_into(black_box(&enc), &mut acc);
+            black_box(acc[0]);
+        });
+        rows.push(Row {
+            kernel: "decode_add",
+            bits,
+            generic_eps: generic_a,
+            fast_eps: fast_a,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"elements\": {N},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"bits\": {}, \"generic_elements_per_sec\": {:.0}, \
+             \"fast_elements_per_sec\": {:.0}, \"speedup\": {:.2}}}{sep}\n",
+            r.kernel,
+            r.bits,
+            r.generic_eps,
+            r.fast_eps,
+            r.fast_eps / r.generic_eps,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    for r in &rows {
+        println!(
+            "{:<10} {}b: generic {:>7.1} Melem/s, fast {:>7.1} Melem/s ({:.2}x)",
+            r.kernel,
+            r.bits,
+            r.generic_eps / 1e6,
+            r.fast_eps / 1e6,
+            r.fast_eps / r.generic_eps,
+        );
+    }
+}

@@ -61,7 +61,10 @@ fn main() {
             };
             let mut bar = String::new();
             bar.push_str(&" ".repeat(start));
-            bar.push_str(&ch.to_string().repeat(len.max(1).min(WIDTH - start.min(WIDTH - 1))));
+            bar.push_str(
+                &ch.to_string()
+                    .repeat(len.max(1).min(WIDTH - start.min(WIDTH - 1))),
+            );
             let name: String = e.name.chars().take(25).collect();
             println!("{name:<26} |{bar:<WIDTH$}|");
         }

@@ -50,5 +50,5 @@ pub mod transport;
 pub use cluster::ThreadCluster;
 pub use error::CommError;
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
-pub use reduce::{allreduce, AllreduceStats};
+pub use reduce::{allreduce, allreduce_scratch, AllreduceStats};
 pub use transport::{ShmFabric, ShmTransport};

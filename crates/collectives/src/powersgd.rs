@@ -7,9 +7,9 @@
 //! comparison point for Table 6 / Figure 7.
 
 use crate::error::CommError;
-use crate::reduce::{allreduce_sra, AllreduceStats};
+use crate::reduce::{allreduce_sra_scratch, AllreduceStats};
 use crate::transport::ShmTransport;
-use cgx_compress::NoneCompressor;
+use cgx_compress::{NoneCompressor, ScratchPool};
 use cgx_tensor::{matmul, matmul_tn, orthogonalize_columns, Rng, Tensor};
 
 /// Per-layer PowerSGD state: the warm-started right factor.
@@ -42,6 +42,25 @@ pub fn allreduce_powersgd(
     seed: u64,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_powersgd_scratch(t, grad, rank_r, state, seed, rng, &ScratchPool::new())
+}
+
+/// [`allreduce_powersgd`] with explicit scratch: both factor all-reduces
+/// draw their encode buffers from `pool`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_powersgd_scratch(
+    t: &ShmTransport,
+    grad: &Tensor,
+    rank_r: usize,
+    state: &mut PowerSgdState,
+    seed: u64,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
     let n = t.world() as f32;
     let (m, ncols) = grad.shape().as_matrix();
     let r = rank_r.min(m).min(ncols).max(1);
@@ -61,12 +80,12 @@ pub fn allreduce_powersgd(
     let mut raw = NoneCompressor::new();
     // P = M Q, all-reduced and averaged.
     let p_local = matmul(&mat, q_prev);
-    let (mut p, s1) = allreduce_sra(t, &p_local, &mut raw, rng)?;
+    let (mut p, s1) = allreduce_sra_scratch(t, &p_local, &mut raw, rng, pool)?;
     p.scale(1.0 / n);
     orthogonalize_columns(&mut p);
     // Q = Mᵀ P, all-reduced and averaged.
     let q_local = matmul_tn(&mat, &p);
-    let (mut q, s2) = allreduce_sra(t, &q_local, &mut raw, rng)?;
+    let (mut q, s2) = allreduce_sra_scratch(t, &q_local, &mut raw, rng, pool)?;
     q.scale(1.0 / n);
     state.q = Some(q.clone());
     // Reconstruct mean gradient = P Qᵀ.

@@ -264,7 +264,10 @@ mod tests {
             let mut rng = Rng::seed_from_u64(10 + t.rank() as u64);
             let g = Tensor::randn(&mut rng, &[512]);
             let mut q = QsgdCompressor::new(8, 64);
-            (g.clone(), reduce_to_root(&t, &g, 0, &mut q, &mut rng).unwrap())
+            (
+                g.clone(),
+                reduce_to_root(&t, &g, 0, &mut q, &mut rng).unwrap(),
+            )
         })
         .unwrap();
         let mut expected = Tensor::zeros(&[512]);
@@ -292,8 +295,11 @@ mod tests {
     #[test]
     fn scatter_delivers_per_rank_parts() {
         let results = ThreadCluster::run(4, |t| {
-            let parts: Option<Vec<Tensor>> = (t.rank() == 2)
-                .then(|| (0..4).map(|i| Tensor::full(&[3], i as f32 * 10.0)).collect());
+            let parts: Option<Vec<Tensor>> = (t.rank() == 2).then(|| {
+                (0..4)
+                    .map(|i| Tensor::full(&[3], i as f32 * 10.0))
+                    .collect()
+            });
             scatter(&t, parts.as_deref(), 2).unwrap()
         })
         .unwrap();
@@ -317,8 +323,7 @@ mod tests {
     #[should_panic(expected = "one part per rank")]
     fn scatter_validates_part_count() {
         let _ = ThreadCluster::run(2, |t| {
-            let parts: Option<Vec<Tensor>> =
-                (t.rank() == 0).then(|| vec![Tensor::zeros(&[1])]);
+            let parts: Option<Vec<Tensor>> = (t.rank() == 0).then(|| vec![Tensor::zeros(&[1])]);
             match scatter(&t, parts.as_deref(), 0) {
                 Ok(v) => v,
                 Err(_) => Tensor::zeros(&[1]), // non-root sees disconnect

@@ -15,10 +15,22 @@
 //! because final values always travel as (relayed) encoded chunks that all
 //! ranks decode identically. Error magnitude differs by scheme — the basis
 //! of Figure 10's finding that SRA is preferable.
+//!
+//! # Fused fast path
+//!
+//! Peer payloads are summed straight into one accumulator slice via
+//! [`Compressor::decompress_add_into`] — no intermediate `Tensor` per
+//! payload — and every encode buffer and `f32` accumulator is drawn from a
+//! [`ScratchPool`], so steady-state rounds allocate nothing in the
+//! compression path. Decode order is unchanged from the scalar path (global
+//! rank/range order, one `+=` per element in index order), which keeps
+//! `f32` sums — and therefore cross-rank consensus — bit-identical to the
+//! unfused implementation. The `*_scratch` entry points accept a shared
+//! pool; the plain entry points create a transient one per call.
 
 use crate::error::CommError;
 use crate::transport::ShmTransport;
-use cgx_compress::{Compressor, Encoded};
+use cgx_compress::{Compressor, Encoded, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 use std::ops::Range;
 
@@ -76,14 +88,6 @@ pub fn chunk_ranges(len: usize, n: usize) -> Vec<Range<usize>> {
     out
 }
 
-fn sub_tensor(grad: &Tensor, r: &Range<usize>) -> Tensor {
-    Tensor::from_slice(&grad.as_slice()[r.clone()])
-}
-
-fn write_back(out: &mut Tensor, r: &Range<usize>, part: &Tensor) {
-    out.as_mut_slice()[r.clone()].copy_from_slice(part.as_slice());
-}
-
 /// Dispatches to the requested algorithm.
 ///
 /// # Errors
@@ -96,11 +100,30 @@ pub fn allreduce(
     comp: &mut dyn Compressor,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_scratch(alg, t, grad, comp, rng, &ScratchPool::new())
+}
+
+/// Dispatches to the requested algorithm, drawing all encode buffers and
+/// accumulator scratch from `pool`. Chunk ranges are computed once here and
+/// shared by the chunked schemes rather than recomputed per scheme.
+///
+/// # Errors
+///
+/// Propagates transport failures ([`CommError`]).
+pub fn allreduce_scratch(
+    alg: Algorithm,
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let ranges = chunk_ranges(grad.len(), t.world());
     match alg {
-        Algorithm::ScatterReduceAllgather => allreduce_sra(t, grad, comp, rng),
-        Algorithm::Ring => allreduce_ring(t, grad, comp, rng),
-        Algorithm::Tree => allreduce_tree(t, grad, comp, rng),
-        Algorithm::AllgatherBroadcast => allreduce_gather(t, grad, comp, rng),
+        Algorithm::ScatterReduceAllgather => sra_with_ranges(t, grad, comp, rng, pool, &ranges),
+        Algorithm::Ring => ring_with_ranges(t, grad, comp, rng, pool, &ranges),
+        Algorithm::Tree => allreduce_tree_scratch(t, grad, comp, rng, pool),
+        Algorithm::AllgatherBroadcast => allreduce_gather_scratch(t, grad, comp, rng, pool),
     }
 }
 
@@ -115,62 +138,95 @@ pub fn allreduce_sra(
     comp: &mut dyn Compressor,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_sra_scratch(t, grad, comp, rng, &ScratchPool::new())
+}
+
+/// [`allreduce_sra`] with explicit scratch: encode buffers and the chunk
+/// accumulator come from (and return to) `pool`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_sra_scratch(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let ranges = chunk_ranges(grad.len(), t.world());
+    sra_with_ranges(t, grad, comp, rng, pool, &ranges)
+}
+
+fn sra_with_ranges(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+    ranges: &[Range<usize>],
+) -> Result<(Tensor, AllreduceStats), CommError> {
     let n = t.world();
     let me = t.rank();
     let mut stats = AllreduceStats::default();
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
-    let ranges = chunk_ranges(grad.len(), n);
+    let gslice = grad.as_slice();
     // Phase 1: send each peer its chunk of my gradient.
     for (j, range) in ranges.iter().enumerate() {
         if j == me || range.is_empty() {
             continue;
         }
-        let enc = comp.compress(&sub_tensor(grad, range), rng);
+        let enc = comp.compress_slice(&gslice[range.clone()], rng, pool);
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes();
         t.send(j, enc)?;
     }
-    // Aggregate my chunk.
+    // Aggregate my chunk: peers' payloads decode-accumulate straight into
+    // pooled scratch, in global rank order (float addition is not
+    // associative — the fixed order keeps every rank's sums bit-equal).
     let mut out = grad.clone();
     if !ranges[me].is_empty() {
-        let mut mine = sub_tensor(grad, &ranges[me]);
+        let mut mine = pool.take_f32(ranges[me].len());
+        mine.copy_from_slice(&gslice[ranges[me].clone()]);
         for j in 0..n {
             if j == me {
                 continue;
             }
             let enc = t.recv(j)?;
-            mine.add_assign(&comp.decompress(&enc));
+            comp.decompress_add_into(&enc, &mut mine);
             stats.decompress_calls += 1;
+            pool.recycle(enc);
         }
-        // Phase 2: broadcast the aggregate; use my own decompressed copy so
+        // Phase 2: broadcast the aggregate; decode my own encoding so
         // every rank holds bit-identical values (consensus).
-        let enc = comp.compress(&mine, rng);
+        let enc = comp.compress_slice(&mine, rng, pool);
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes() * (n - 1);
         t.broadcast(&enc)?;
-        let consensus = comp.decompress(&enc);
+        comp.decompress_into(&enc, &mut out.as_mut_slice()[ranges[me].clone()]);
         stats.decompress_calls += 1;
-        write_back(&mut out, &ranges[me], &consensus);
+        pool.recycle(enc);
+        pool.put_f32(mine);
     }
     for (j, range) in ranges.iter().enumerate() {
         if j == me || range.is_empty() {
             continue;
         }
         let enc = t.recv(j)?;
-        let part = comp.decompress(&enc);
-        stats.decompress_calls += 1;
-        if part.len() != range.len() {
+        if enc.shape().len() != range.len() {
             return Err(CommError::ShapeMismatch {
                 detail: format!(
                     "chunk {j}: expected {} elements, got {}",
                     range.len(),
-                    part.len()
+                    enc.shape().len()
                 ),
             });
         }
-        write_back(&mut out, range, &part);
+        comp.decompress_into(&enc, &mut out.as_mut_slice()[range.clone()]);
+        stats.decompress_calls += 1;
+        pool.recycle(enc);
     }
     Ok((out, stats))
 }
@@ -187,6 +243,33 @@ pub fn allreduce_ring(
     comp: &mut dyn Compressor,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_ring_scratch(t, grad, comp, rng, &ScratchPool::new())
+}
+
+/// [`allreduce_ring`] with explicit scratch.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_ring_scratch(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
+    let ranges = chunk_ranges(grad.len(), t.world());
+    ring_with_ranges(t, grad, comp, rng, pool, &ranges)
+}
+
+fn ring_with_ranges(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+    ranges: &[Range<usize>],
+) -> Result<(Tensor, AllreduceStats), CommError> {
     let n = t.world();
     let me = t.rank();
     let mut stats = AllreduceStats::default();
@@ -195,29 +278,32 @@ pub fn allreduce_ring(
     }
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
-    let ranges = chunk_ranges(grad.len(), n);
-    let mut chunks: Vec<Option<Tensor>> = ranges
+    let gslice = grad.as_slice();
+    let mut chunks: Vec<Option<Vec<f32>>> = ranges
         .iter()
-        .map(|r| (!r.is_empty()).then(|| sub_tensor(grad, r)))
+        .map(|r| {
+            (!r.is_empty()).then(|| {
+                let mut v = pool.take_f32(r.len());
+                v.copy_from_slice(&gslice[r.clone()]);
+                v
+            })
+        })
         .collect();
     // Reduce-scatter: after step s, chunk (me - s) has absorbed s+1 inputs.
     for s in 0..n - 1 {
         let send_idx = (me + n - s) % n;
         let recv_idx = (me + n - s - 1) % n;
         if let Some(c) = &chunks[send_idx] {
-            let enc = comp.compress(c, rng);
+            let enc = comp.compress_slice(c, rng, pool);
             stats.compress_calls += 1;
             stats.bytes_sent += enc.payload_bytes();
             t.send(right, enc)?;
         }
-        if chunks[recv_idx].is_some() {
+        if let Some(c) = chunks[recv_idx].as_mut() {
             let enc = t.recv(left)?;
-            let part = comp.decompress(&enc);
+            comp.decompress_add_into(&enc, c);
             stats.decompress_calls += 1;
-            chunks[recv_idx]
-                .as_mut()
-                .expect("non-empty chunk")
-                .add_assign(&part);
+            pool.recycle(enc);
         }
     }
     // I now own the fully-reduced chunk (me + 1) % n. Compress it once and
@@ -225,7 +311,7 @@ pub fn allreduce_ring(
     let owned_idx = (me + 1) % n;
     let mut encs: Vec<Option<Encoded>> = vec![None; n];
     if let Some(c) = &chunks[owned_idx] {
-        let enc = comp.compress(c, rng);
+        let enc = comp.compress_slice(c, rng, pool);
         stats.compress_calls += 1;
         encs[owned_idx] = Some(enc);
     }
@@ -249,9 +335,14 @@ pub fn allreduce_ring(
             continue;
         }
         let enc = encs[i].as_ref().expect("all chunks gathered");
-        let part = comp.decompress(enc);
+        comp.decompress_into(enc, &mut out.as_mut_slice()[r.clone()]);
         stats.decompress_calls += 1;
-        write_back(&mut out, r, &part);
+    }
+    for enc in encs.into_iter().flatten() {
+        pool.recycle(enc);
+    }
+    for c in chunks.into_iter().flatten() {
+        pool.put_f32(c);
     }
     Ok((out, stats))
 }
@@ -268,18 +359,35 @@ pub fn allreduce_tree(
     comp: &mut dyn Compressor,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_tree_scratch(t, grad, comp, rng, &ScratchPool::new())
+}
+
+/// [`allreduce_tree`] with explicit scratch.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_tree_scratch(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
     let n = t.world();
     let me = t.rank();
     let mut stats = AllreduceStats::default();
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
+    // Full-shape compression (compress_pooled, not compress_slice) so
+    // shape-sensitive codecs see the original tensor geometry.
     let mut acc = grad.clone();
     // Reduce up the tree.
     let mut span = 1;
     while span < n {
         if me % (2 * span) == span {
-            let enc = comp.compress(&acc, rng);
+            let enc = comp.compress_pooled(&acc, rng, pool);
             stats.compress_calls += 1;
             stats.bytes_sent += enc.payload_bytes();
             t.send(me - span, enc)?;
@@ -287,8 +395,9 @@ pub fn allreduce_tree(
         }
         if me.is_multiple_of(2 * span) && me + span < n {
             let enc = t.recv(me + span)?;
-            acc.add_assign(&comp.decompress(&enc));
+            comp.decompress_add_into(&enc, acc.as_mut_slice());
             stats.decompress_calls += 1;
+            pool.recycle(enc);
         }
         span *= 2;
     }
@@ -298,7 +407,7 @@ pub fn allreduce_tree(
         top *= 2;
     }
     let root_enc: Encoded = if me == 0 {
-        let enc = comp.compress(&acc, rng);
+        let enc = comp.compress_pooled(&acc, rng, pool);
         stats.compress_calls += 1;
         enc
     } else {
@@ -330,6 +439,7 @@ pub fn allreduce_tree(
     }
     let out = comp.decompress(&root_enc);
     stats.decompress_calls += 1;
+    pool.recycle(root_enc);
     Ok((out, stats))
 }
 
@@ -345,13 +455,28 @@ pub fn allreduce_gather(
     comp: &mut dyn Compressor,
     rng: &mut Rng,
 ) -> Result<(Tensor, AllreduceStats), CommError> {
+    allreduce_gather_scratch(t, grad, comp, rng, &ScratchPool::new())
+}
+
+/// [`allreduce_gather`] with explicit scratch.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn allreduce_gather_scratch(
+    t: &ShmTransport,
+    grad: &Tensor,
+    comp: &mut dyn Compressor,
+    rng: &mut Rng,
+    pool: &ScratchPool,
+) -> Result<(Tensor, AllreduceStats), CommError> {
     let n = t.world();
     let me = t.rank();
     let mut stats = AllreduceStats::default();
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
-    let enc = comp.compress(grad, rng);
+    let enc = comp.compress_pooled(grad, rng, pool);
     stats.compress_calls += 1;
     stats.bytes_sent += enc.payload_bytes() * (n - 1);
     t.broadcast(&enc)?;
@@ -367,8 +492,11 @@ pub fn allreduce_gather(
     }
     let mut out = Tensor::zeros(grad.shape().dims());
     for e in encs.iter().flatten() {
-        out.add_assign(&comp.decompress(e));
+        comp.decompress_add_into(e, out.as_mut_slice());
         stats.decompress_calls += 1;
+    }
+    for e in encs.into_iter().flatten() {
+        pool.recycle(e);
     }
     Ok((out, stats))
 }
@@ -382,10 +510,7 @@ mod tests {
     fn run_exact(alg: Algorithm, n: usize, len: usize) {
         let results = ThreadCluster::run(n, |t| {
             let mut rng = Rng::seed_from_u64(100 + t.rank() as u64);
-            let grad = Tensor::from_vec(
-                &[len],
-                (0..len).map(|i| (t.rank() + i) as f32).collect(),
-            );
+            let grad = Tensor::from_vec(&[len], (0..len).map(|i| (t.rank() + i) as f32).collect());
             let mut c = NoneCompressor::new();
             allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap().0
         })
@@ -518,6 +643,105 @@ mod tests {
     }
 
     #[test]
+    fn kernel_call_counts_are_analytic() {
+        // The fused path must invoke compress/decompress exactly as often
+        // as the unfused implementation did.
+        let n = 4usize;
+        let len = 4096usize;
+        for (alg, compress, decompress) in [
+            // SRA: (n-1) chunk sends + 1 aggregate; (n-1) peer chunks +
+            // 1 own consensus decode + (n-1) gathered chunks.
+            (Algorithm::ScatterReduceAllgather, n, 2 * n - 1),
+            // Ring: (n-1) reduce-scatter hops + 1 relay encode; (n-1)
+            // reduce-scatter decodes + n final chunk decodes.
+            (Algorithm::Ring, n, 2 * n - 1),
+            // Gather: 1 broadcast; all n encodings decoded.
+            (Algorithm::AllgatherBroadcast, 1, n),
+        ] {
+            let stats = ThreadCluster::run(n, |t| {
+                let mut rng = Rng::seed_from_u64(40 + t.rank() as u64);
+                let grad = Tensor::randn(&mut rng, &[len]);
+                let mut c = QsgdCompressor::new(4, 128);
+                allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap().1
+            })
+            .unwrap();
+            for s in &stats {
+                assert_eq!(s.compress_calls, compress, "{alg:?}");
+                assert_eq!(s.decompress_calls, decompress, "{alg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_sra_is_allocation_free() {
+        // With a sufficiently prewarmed shared pool, multiple allreduce
+        // steps across 4 ranks must never allocate an encode buffer or f32
+        // accumulator: the allocation counter stays at zero.
+        let n = 4usize;
+        let len = 1024usize;
+        let pool = ScratchPool::new();
+        let cap = QsgdCompressor::new(4, 128).compressed_bytes(len);
+        // Generous margin over the worst-case number of simultaneously
+        // outstanding buffers (ranks overlap by at most ~2 steps).
+        pool.prewarm(128, cap);
+        pool.prewarm_f32(16, len / n);
+        let shared = pool.clone();
+        ThreadCluster::run(n, move |t| {
+            let pool = shared.clone();
+            let mut rng = Rng::seed_from_u64(700 + t.rank() as u64);
+            let grad = Tensor::randn(&mut rng, &[len]);
+            let mut c = QsgdCompressor::new(4, 128);
+            for _ in 0..5 {
+                allreduce_scratch(
+                    Algorithm::ScatterReduceAllgather,
+                    &t,
+                    &grad,
+                    &mut c,
+                    &mut rng,
+                    &pool,
+                )
+                .unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            pool.allocations(),
+            0,
+            "steady-state allreduce allocated in the compression path"
+        );
+        assert!(pool.reuses() > 0, "pool was never used");
+    }
+
+    #[test]
+    fn pooled_and_unpooled_allreduce_agree_bitwise() {
+        // Same seeds, same gradients: the fused/pooled path must decode to
+        // exactly the bytes the per-call-pool path does.
+        for alg in Algorithm::all() {
+            let shared = ScratchPool::new();
+            let pooled = ThreadCluster::run(4, move |t| {
+                let pool = shared.clone();
+                let mut rng = Rng::seed_from_u64(60 + t.rank() as u64);
+                let grad = Tensor::randn(&mut rng, &[513]);
+                let mut c = QsgdCompressor::new(4, 128);
+                allreduce_scratch(alg, &t, &grad, &mut c, &mut rng, &pool)
+                    .unwrap()
+                    .0
+            })
+            .unwrap();
+            let plain = ThreadCluster::run(4, move |t| {
+                let mut rng = Rng::seed_from_u64(60 + t.rank() as u64);
+                let grad = Tensor::randn(&mut rng, &[513]);
+                let mut c = QsgdCompressor::new(4, 128);
+                allreduce(alg, &t, &grad, &mut c, &mut rng).unwrap().0
+            })
+            .unwrap();
+            for (a, b) in pooled.iter().zip(&plain) {
+                assert_eq!(a.as_slice(), b.as_slice(), "{alg:?}");
+            }
+        }
+    }
+
+    #[test]
     fn chunk_ranges_partition_exactly() {
         for (len, n) in [(10usize, 3usize), (3, 5), (0, 4), (100, 1), (7, 7)] {
             let rs = chunk_ranges(len, n);
@@ -538,5 +762,26 @@ mod tests {
         let rs = chunk_ranges(10, 3);
         let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn chunk_ranges_len_below_n_yields_singletons_then_empties() {
+        // Exhaustive over the len < n edge: the first `len` ranges are
+        // singletons i..i+1 and the remaining n-len ranges are empty,
+        // pinned at `len` so starts stay monotone.
+        for n in 1usize..12 {
+            for len in 0..n {
+                let rs = chunk_ranges(len, n);
+                assert_eq!(rs.len(), n);
+                for (i, r) in rs.iter().enumerate() {
+                    if i < len {
+                        assert_eq!(r.clone(), i..i + 1, "len={len} n={n} i={i}");
+                    } else {
+                        assert!(r.is_empty(), "len={len} n={n} i={i}");
+                        assert_eq!(r.start, len, "len={len} n={n} i={i}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -117,12 +117,10 @@ impl ShmFabric {
     pub fn build(n: usize) -> Vec<ShmTransport> {
         assert!(n > 0, "fabric needs at least one rank");
         // senders[i][j] sends i -> j; receivers[j][i] receives that.
-        let mut to: Vec<Vec<Option<Sender<Encoded>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
-        let mut from: Vec<Vec<Option<Receiver<Encoded>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
+        let mut to: Vec<Vec<Option<Sender<Encoded>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut from: Vec<Vec<Option<Receiver<Encoded>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for i in 0..n {
             for j in 0..n {
                 if i == j {

@@ -4,8 +4,164 @@
 //! (plus per-bucket norms) — shipping whole bytes would forfeit most of the
 //! compression for `b < 8`. [`BitWriter`] and [`BitReader`] provide an
 //! LSB-first bit stream over a byte buffer.
+//!
+//! # Word-wide fast path
+//!
+//! The general writer/reader move one element at a time and flush byte by
+//! byte — correct for any width 1..=32, but far from "line rate" (paper
+//! Appendix A). For the widths the quantizers actually use (2/4/8 bits, and
+//! any width dividing 64), [`pack_fixed`] and [`unpack_fixed_with`] process
+//! a whole `u64` word per iteration. Because the stream is LSB-first and
+//! words are emitted little-endian, the fast path is **bit-identical** to
+//! the scalar path; [`BitWriter::write_run`] and [`BitReader::read_run`]
+//! dispatch between them automatically based on width and alignment.
 
 use bytes::{BufMut, Bytes, BytesMut};
+
+/// Whether `width` is handled by the word-wide kernels ([`pack_fixed`] /
+/// [`unpack_fixed_with`]): a whole number of values must fit in a `u64`.
+#[inline]
+pub fn is_word_packable(width: u32) -> bool {
+    matches!(width, 1 | 2 | 4 | 8 | 16 | 32)
+}
+
+/// Appends `values` (each `width` bits, LSB-first) to `out`, packing one
+/// `u64` word at a time. Produces exactly the bytes `BitWriter::write_bits`
+/// would, provided the stream is byte-aligned at entry.
+///
+/// # Panics
+///
+/// Panics if `width` is not word-packable. Debug builds also check that
+/// every value fits in `width` bits.
+pub fn pack_fixed(values: &[u32], width: u32, out: &mut BytesMut) {
+    assert!(is_word_packable(width), "width {width} not word-packable");
+    let per_word = (64 / width) as usize;
+    out.reserve((values.len() * width as usize).div_ceil(8));
+    let mut chunks = values.chunks_exact(per_word);
+    for chunk in &mut chunks {
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        for &v in chunk {
+            debug_assert!(
+                width == 32 || v < (1u32 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            acc |= (v as u64) << shift;
+            shift += width;
+        }
+        out.put_u64_le(acc);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        for &v in rem {
+            debug_assert!(
+                width == 32 || v < (1u32 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            acc |= (v as u64) << shift;
+            shift += width;
+        }
+        let nbytes = (rem.len() * width as usize).div_ceil(8);
+        out.put_slice(&acc.to_le_bytes()[..nbytes]);
+    }
+}
+
+/// Decodes `count` values of `width` bits from `bytes` (LSB-first, starting
+/// byte-aligned), invoking `f` once per value in stream order. Reads whole
+/// `u64` words where possible; bit-identical to `BitReader::read_bits`.
+///
+/// # Panics
+///
+/// Panics if `width` is not word-packable or `bytes` is too short.
+#[inline]
+pub fn unpack_fixed_with(bytes: &[u8], width: u32, count: usize, mut f: impl FnMut(u32)) {
+    assert!(is_word_packable(width), "width {width} not word-packable");
+    let needed = (count * width as usize).div_ceil(8);
+    assert!(bytes.len() >= needed, "bit stream exhausted");
+    let per_word = (64 / width) as usize;
+    let mask = if width == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut remaining = count;
+    let mut chunks = bytes[..needed].chunks_exact(8);
+    for word in &mut chunks {
+        let mut acc = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        let take = per_word.min(remaining);
+        for _ in 0..take {
+            f((acc & mask) as u32);
+            acc >>= width;
+        }
+        remaining -= take;
+    }
+    if remaining > 0 {
+        let mut acc = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            acc |= (b as u64) << (8 * i as u32);
+        }
+        for _ in 0..remaining {
+            f((acc & mask) as u32);
+            acc >>= width;
+        }
+    }
+}
+
+/// Generator-driven variant of [`pack_fixed`]: calls `f` exactly `count`
+/// times in stream order and packs each returned `width`-bit value a `u64`
+/// word at a time. Lets producers (e.g. the stochastic-rounding level
+/// select) feed the packer directly instead of staging codes in a slice.
+/// Byte-for-byte identical to [`pack_fixed`] over the same values.
+///
+/// # Panics
+///
+/// Panics if `width` is not word-packable. Debug builds also check that
+/// every value fits in `width` bits.
+pub fn pack_fixed_with(count: usize, width: u32, out: &mut BytesMut, mut f: impl FnMut() -> u32) {
+    assert!(is_word_packable(width), "width {width} not word-packable");
+    let per_word = (64 / width) as usize;
+    out.reserve((count * width as usize).div_ceil(8));
+    let mut remaining = count;
+    while remaining >= per_word {
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        for _ in 0..per_word {
+            let v = f();
+            debug_assert!(
+                width == 32 || v < (1u32 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            acc |= (v as u64) << shift;
+            shift += width;
+        }
+        out.put_u64_le(acc);
+        remaining -= per_word;
+    }
+    if remaining > 0 {
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        for _ in 0..remaining {
+            let v = f();
+            debug_assert!(
+                width == 32 || v < (1u32 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            acc |= (v as u64) << shift;
+            shift += width;
+        }
+        let nbytes = (remaining * width as usize).div_ceil(8);
+        out.put_slice(&acc.to_le_bytes()[..nbytes]);
+    }
+}
+
+/// Convenience wrapper around [`unpack_fixed_with`] collecting into a `Vec`.
+pub fn unpack_fixed(bytes: &[u8], width: u32, count: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    unpack_fixed_with(bytes, width, count, |v| out.push(v));
+    out
+}
 
 /// Appends values of arbitrary bit width (1..=32) to a byte buffer.
 ///
@@ -28,7 +184,7 @@ pub struct BitWriter {
     buf: BytesMut,
     /// Bits accumulated but not yet flushed to `buf`.
     acc: u64,
-    /// Number of valid bits in `acc`.
+    /// Number of valid bits in `acc` (always < 8 between calls).
     acc_bits: u32,
 }
 
@@ -39,9 +195,25 @@ impl BitWriter {
     }
 
     /// Creates a writer with an initial capacity hint (bytes).
+    /// `with_capacity(0)` is identical to [`BitWriter::new`].
     pub fn with_capacity(bytes: usize) -> Self {
+        if bytes == 0 {
+            return Self::new();
+        }
         BitWriter {
             buf: BytesMut::with_capacity(bytes),
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Creates a writer over a caller-provided buffer (e.g. one recycled
+    /// through a [`ScratchPool`](crate::ScratchPool)), clearing any
+    /// previous contents but keeping the allocation.
+    pub fn from_buf(mut buf: BytesMut) -> Self {
+        buf.clear();
+        BitWriter {
+            buf,
             acc: 0,
             acc_bits: 0,
         }
@@ -53,6 +225,7 @@ impl BitWriter {
     ///
     /// Panics if `width` is 0 or exceeds 32, or if `value` has bits set above
     /// `width`.
+    #[inline]
     pub fn write_bits(&mut self, value: u32, width: u32) {
         assert!((1..=32).contains(&width), "invalid width {width}");
         assert!(
@@ -65,6 +238,40 @@ impl BitWriter {
             self.buf.put_u8((self.acc & 0xFF) as u8);
             self.acc >>= 8;
             self.acc_bits -= 8;
+        }
+    }
+
+    /// Appends a run of equal-width values, using the word-wide
+    /// [`pack_fixed`] kernel when the stream is byte-aligned, the width is
+    /// word-packable, and the run covers whole bytes (a partial trailing
+    /// byte must stay in the accumulator for the *next* write, which the
+    /// fixed kernel cannot do). Falls back to [`BitWriter::write_bits`]
+    /// otherwise. The payload is bit-identical either way.
+    pub fn write_run(&mut self, values: &[u32], width: u32) {
+        let run_bits = values.len() * width as usize;
+        if self.acc_bits == 0 && is_word_packable(width) && run_bits % 8 == 0 {
+            pack_fixed(values, width, &mut self.buf);
+        } else {
+            for &v in values {
+                self.write_bits(v, width);
+            }
+        }
+    }
+
+    /// Generator-driven variant of [`BitWriter::write_run`]: calls `f`
+    /// exactly `count` times in stream order, dispatching to the word-wide
+    /// [`pack_fixed_with`] kernel under the same conditions as `write_run`
+    /// and falling back to per-value [`BitWriter::write_bits`] otherwise.
+    /// The payload is bit-identical either way.
+    pub fn write_run_with(&mut self, count: usize, width: u32, mut f: impl FnMut() -> u32) {
+        let run_bits = count * width as usize;
+        if self.acc_bits == 0 && is_word_packable(width) && run_bits % 8 == 0 {
+            pack_fixed_with(count, width, &mut self.buf, f);
+        } else {
+            for _ in 0..count {
+                let v = f();
+                self.write_bits(v, width);
+            }
         }
     }
 
@@ -85,10 +292,16 @@ impl BitWriter {
     }
 
     /// Flushes any partial byte (zero-padded) and returns the payload.
+    /// The result's length always equals [`BitWriter::byte_len`].
     pub fn finish(mut self) -> Bytes {
+        // write_bits flushes whole bytes eagerly, so at most one partial
+        // byte (< 8 bits) can remain — exactly what byte_len() accounts for.
+        debug_assert!(self.acc_bits < 8, "unflushed whole byte in accumulator");
+        let expected = self.byte_len();
         if self.acc_bits > 0 {
             self.buf.put_u8((self.acc & 0xFF) as u8);
         }
+        debug_assert_eq!(self.buf.len(), expected, "finish/byte_len asymmetry");
         self.buf.freeze()
     }
 }
@@ -119,6 +332,7 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if the payload is exhausted or `width` is invalid.
+    #[inline]
     pub fn read_bits(&mut self, width: u32) -> u32 {
         assert!((1..=32).contains(&width), "invalid width {width}");
         while self.acc_bits < width {
@@ -136,6 +350,30 @@ impl<'a> BitReader<'a> {
         self.acc >>= width;
         self.acc_bits -= width;
         value
+    }
+
+    /// Reads a run of `count` equal-width values, invoking `f` once per
+    /// value in stream order. Dispatches to the word-wide
+    /// [`unpack_fixed_with`] kernel when the reader is byte-aligned, the
+    /// width is word-packable, and the run covers whole bytes; falls back
+    /// to [`BitReader::read_bits`] otherwise. Decoded values are identical
+    /// either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is exhausted.
+    #[inline]
+    pub fn read_run(&mut self, width: u32, count: usize, mut f: impl FnMut(u32)) {
+        let run_bits = count * width as usize;
+        if self.acc_bits == 0 && is_word_packable(width) && run_bits % 8 == 0 {
+            let nbytes = run_bits / 8;
+            unpack_fixed_with(&self.bytes[self.pos..], width, count, f);
+            self.pos += nbytes;
+        } else {
+            for _ in 0..count {
+                f(self.read_bits(width));
+            }
+        }
     }
 
     /// Reads an `f32` bit pattern.
@@ -179,6 +417,36 @@ mod tests {
         assert_eq!(w.byte_len(), 1);
         w.write_bits(1, 1);
         assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn finish_len_equals_byte_len_for_every_partial_state() {
+        // 0..8 leftover bits beyond a byte boundary: every partial-byte
+        // state the accumulator can be in.
+        for extra_bits in 0..8u32 {
+            let mut w = BitWriter::new();
+            w.write_bits(0xA5, 8);
+            for _ in 0..extra_bits {
+                w.write_bits(1, 1);
+            }
+            let predicted = w.byte_len();
+            let payload = w.finish();
+            assert_eq!(payload.len(), predicted, "extra_bits={extra_bits}");
+        }
+        // And the empty writer.
+        let w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        assert_eq!(w.finish().len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_zero_behaves_like_new() {
+        let mut a = BitWriter::with_capacity(0);
+        let mut b = BitWriter::new();
+        a.write_bits(3, 2);
+        b.write_bits(3, 2);
+        assert_eq!(a.byte_len(), b.byte_len());
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]
@@ -234,6 +502,174 @@ mod tests {
             let mut r = BitReader::new(&bytes);
             for (v, wd) in &items {
                 assert_eq!(r.read_bits(*wd), *v);
+            }
+        }
+    }
+
+    fn random_values(rng: &mut Rng, width: u32, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                if width == 32 {
+                    rng.next_u32()
+                } else {
+                    rng.next_u32() & ((1 << width) - 1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_fixed_is_bit_identical_to_bitwriter() {
+        let mut rng = Rng::seed_from_u64(7);
+        for width in [1u32, 2, 4, 8, 16, 32] {
+            for n in [0usize, 1, 3, 15, 16, 17, 63, 64, 65, 1000] {
+                let values = random_values(&mut rng, width, n);
+                let mut scalar = BitWriter::new();
+                for &v in &values {
+                    scalar.write_bits(v, width);
+                }
+                let mut packed = BytesMut::new();
+                pack_fixed(&values, width, &mut packed);
+                assert_eq!(packed.freeze(), scalar.finish(), "width={width} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_fixed_roundtrips_pack_fixed() {
+        let mut rng = Rng::seed_from_u64(11);
+        for width in [1u32, 2, 4, 8, 16, 32] {
+            for n in [0usize, 1, 5, 64, 129, 777] {
+                let values = random_values(&mut rng, width, n);
+                let mut packed = BytesMut::new();
+                pack_fixed(&values, width, &mut packed);
+                assert_eq!(
+                    unpack_fixed(&packed, width, n),
+                    values,
+                    "width={width} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_run_falls_back_when_misaligned() {
+        // A 3-bit prefix leaves the stream misaligned; write_run must still
+        // produce the same payload as scalar writes.
+        let mut rng = Rng::seed_from_u64(13);
+        for width in [2u32, 4, 8] {
+            let values = random_values(&mut rng, width, 37);
+            let mut a = BitWriter::new();
+            a.write_bits(5, 3);
+            a.write_run(&values, width);
+            let mut b = BitWriter::new();
+            b.write_bits(5, 3);
+            for &v in &values {
+                b.write_bits(v, width);
+            }
+            assert_eq!(a.finish(), b.finish(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn read_run_matches_scalar_reads_with_trailing_data() {
+        // A run followed by more data: read_run must leave the reader
+        // positioned exactly where scalar reads would.
+        let mut rng = Rng::seed_from_u64(17);
+        for width in [1u32, 2, 4, 8] {
+            for n in [8usize, 16, 24, 120] {
+                let values = random_values(&mut rng, width, n);
+                let mut w = BitWriter::new();
+                w.write_run(&values, width);
+                w.write_f32(1.25);
+                let bytes = w.finish();
+                let mut r = BitReader::new(&bytes);
+                let mut got = Vec::with_capacity(n);
+                r.read_run(width, n, |v| got.push(v));
+                assert_eq!(got, values, "width={width} n={n}");
+                assert_eq!(r.read_f32(), 1.25);
+            }
+        }
+    }
+
+    #[test]
+    fn write_run_partial_byte_run_carries_bits_into_next_write() {
+        // 3 values of 2 bits leave 6 bits in the accumulator; the next
+        // write must share that byte, exactly as scalar writes would.
+        let mut a = BitWriter::new();
+        a.write_run(&[1, 2, 3], 2);
+        a.write_f32(0.5);
+        let mut b = BitWriter::new();
+        for v in [1u32, 2, 3] {
+            b.write_bits(v, 2);
+        }
+        b.write_f32(0.5);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn read_run_partial_byte_run_falls_back() {
+        // 3 values of 2 bits = 6 bits: not a whole number of bytes, so the
+        // fast path is skipped, but results must be identical.
+        let mut w = BitWriter::new();
+        for v in [1u32, 2, 3] {
+            w.write_bits(v, 2);
+        }
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut got = Vec::new();
+        r.read_run(2, 3, |v| got.push(v));
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(r.read_bits(2), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-packable")]
+    fn pack_fixed_rejects_odd_width() {
+        pack_fixed(&[1, 2], 3, &mut BytesMut::new());
+    }
+
+    #[test]
+    fn pack_fixed_with_matches_pack_fixed() {
+        let mut rng = Rng::seed_from_u64(19);
+        for width in [1u32, 2, 4, 8, 16, 32] {
+            for n in [0usize, 1, 3, 15, 16, 17, 64, 65, 1000] {
+                let values = random_values(&mut rng, width, n);
+                let mut by_slice = BytesMut::new();
+                pack_fixed(&values, width, &mut by_slice);
+                let mut by_gen = BytesMut::new();
+                let mut it = values.iter();
+                pack_fixed_with(n, width, &mut by_gen, || *it.next().unwrap());
+                assert_eq!(by_gen.freeze(), by_slice.freeze(), "width={width} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_run_with_matches_write_run_aligned_and_misaligned() {
+        let mut rng = Rng::seed_from_u64(23);
+        for width in [2u32, 3, 4, 8] {
+            for prefix_bits in [0u32, 3] {
+                for n in [0usize, 5, 37, 128] {
+                    let values = random_values(&mut rng, width, n);
+                    let mut a = BitWriter::new();
+                    let mut b = BitWriter::new();
+                    if prefix_bits > 0 {
+                        a.write_bits(5, prefix_bits);
+                        b.write_bits(5, prefix_bits);
+                    }
+                    let mut it = values.iter();
+                    a.write_run_with(n, width, || *it.next().unwrap());
+                    a.write_f32(1.5);
+                    b.write_run(&values, width);
+                    b.write_f32(1.5);
+                    assert_eq!(
+                        a.finish(),
+                        b.finish(),
+                        "width={width} prefix={prefix_bits} n={n}"
+                    );
+                }
             }
         }
     }

@@ -15,11 +15,7 @@ pub fn compression_error(c: &mut dyn Compressor, grad: &Tensor, rng: &mut Rng) -
 
 /// Compression error normalized by the gradient norm (0 for a zero
 /// gradient).
-pub fn relative_compression_error(
-    c: &mut dyn Compressor,
-    grad: &Tensor,
-    rng: &mut Rng,
-) -> f64 {
+pub fn relative_compression_error(c: &mut dyn Compressor, grad: &Tensor, rng: &mut Rng) -> f64 {
     let norm = grad.norm2();
     if norm == 0.0 {
         0.0

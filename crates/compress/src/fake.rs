@@ -6,7 +6,7 @@
 //! only transmitted bytes matter — and produces Figure 1 and the bandwidth
 //! ceiling of Table 8.
 
-use crate::{f32s_to_bytes, bytes_to_f32s, Compressor, Encoded};
+use crate::{bytes_to_f32s, f32s_to_bytes, Compressor, Encoded};
 use cgx_tensor::{Rng, Tensor};
 
 /// Transmits only the first `N/γ` elements of the buffer.
@@ -55,10 +55,7 @@ impl Compressor for FakeCompressor {
 
     fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
         let k = self.k_for(grad.len());
-        Encoded::new(
-            grad.shape().clone(),
-            f32s_to_bytes(&grad.as_slice()[..k]),
-        )
+        Encoded::new(grad.shape().clone(), f32s_to_bytes(&grad.as_slice()[..k]))
     }
 
     fn decompress(&self, enc: &Encoded) -> Tensor {

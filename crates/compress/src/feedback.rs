@@ -6,7 +6,7 @@
 //! paper applies it to TopK on embedding layers. The wrapper composes with
 //! any inner [`Compressor`].
 
-use crate::{Compressor, Encoded};
+use crate::{Compressor, Encoded, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
 /// Wraps a compressor with an error-feedback residual buffer.
@@ -79,8 +79,35 @@ impl Compressor for ErrorFeedback {
         enc
     }
 
+    fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut corrected = grad.clone();
+        if let Some(res) = &self.residual {
+            corrected.add_assign(res);
+        }
+        let enc = self.inner.compress_pooled(&corrected, rng, pool);
+        // Subtract the reconstruction through pooled scratch instead of
+        // materializing a tensor; arithmetic matches `sub_assign`.
+        let mut recon = pool.take_f32(grad.len());
+        self.inner.decompress_into(&enc, &mut recon);
+        let mut new_residual = corrected;
+        for (r, v) in new_residual.as_mut_slice().iter_mut().zip(&recon) {
+            *r -= *v;
+        }
+        pool.put_f32(recon);
+        self.residual = Some(new_residual);
+        enc
+    }
+
     fn decompress(&self, enc: &Encoded) -> Tensor {
         self.inner.decompress(enc)
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        self.inner.decompress_into(enc, out);
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        self.inner.decompress_add_into(enc, out);
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {

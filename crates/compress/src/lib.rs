@@ -48,8 +48,11 @@ pub mod onebit;
 pub mod powersgd;
 pub mod qsgd;
 pub mod scheme;
+pub mod scratch;
+mod simd;
 pub mod topk;
 
+pub use bitpack::{is_word_packable, pack_fixed, pack_fixed_with, unpack_fixed, unpack_fixed_with};
 pub use bitpack::{BitReader, BitWriter};
 pub use error::{compression_error, relative_compression_error};
 pub use fake::FakeCompressor;
@@ -60,6 +63,7 @@ pub use onebit::OneBitCompressor;
 pub use powersgd::PowerSgdCompressor;
 pub use qsgd::{NormKind, QsgdCompressor};
 pub use scheme::CompressionScheme;
+pub use scratch::ScratchPool;
 pub use topk::TopKCompressor;
 
 use bytes::Bytes;
@@ -92,6 +96,12 @@ impl Encoded {
     /// Size of the payload in bytes — what a transport would transmit.
     pub fn payload_bytes(&self) -> usize {
         self.payload.len()
+    }
+
+    /// Consumes the chunk, returning the payload (e.g. for recycling its
+    /// buffer through a [`ScratchPool`]).
+    pub fn into_payload(self) -> Bytes {
+        self.payload
     }
 }
 
@@ -141,6 +151,52 @@ pub trait Compressor: Send {
     /// 1-3% of step time); decomposition is costlier.
     fn kernel_cost_per_element(&self) -> f64 {
         0.0
+    }
+
+    /// Compresses a flat `f32` slice (vector shape), drawing the encode
+    /// buffer from `pool` when the implementation supports buffer reuse.
+    /// The default ignores the pool and delegates to
+    /// [`Compressor::compress`]; the wire format is identical either way.
+    fn compress_slice(&mut self, data: &[f32], rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let _ = pool;
+        self.compress(&Tensor::from_slice(data), rng)
+    }
+
+    /// Compresses a tensor (preserving its shape), drawing the encode buffer
+    /// from `pool` when supported. Default ignores the pool.
+    fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let _ = pool;
+        self.compress(grad, rng)
+    }
+
+    /// Decodes a wire chunk into an existing slice, overwriting it. The
+    /// default materializes a tensor via [`Compressor::decompress`] and
+    /// copies; overrides decode in place without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the encoded element count.
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        let t = self.decompress(enc);
+        assert_eq!(t.len(), out.len(), "decompress_into length mismatch");
+        out.copy_from_slice(t.as_slice());
+    }
+
+    /// Fused decode-accumulate: adds the decoded values of `enc` into `out`
+    /// element-wise. The default decompresses then adds; overrides must be
+    /// arithmetically identical (`out[i] += decoded[i]` with the exact same
+    /// decoded `f32` values, in the same element order), because allreduce
+    /// consensus depends on every rank computing bit-equal sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the encoded element count.
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        let t = self.decompress(enc);
+        assert_eq!(t.len(), out.len(), "decompress_add_into length mismatch");
+        for (o, v) in out.iter_mut().zip(t.as_slice()) {
+            *o += *v;
+        }
     }
 }
 

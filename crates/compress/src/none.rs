@@ -1,7 +1,7 @@
 //! Lossless passthrough "compression" — the FP32 baseline.
 
-use crate::{bytes_to_f32s, f32s_to_bytes, Compressor, Encoded};
-use cgx_tensor::{Rng, Tensor};
+use crate::{bytes_to_f32s, f32s_to_bytes, Compressor, Encoded, ScratchPool};
+use cgx_tensor::{Rng, Shape, Tensor};
 
 /// Identity codec: ships raw `f32`s. This is the uncompressed NCCL/Horovod
 /// baseline in every experiment.
@@ -37,8 +37,46 @@ impl Compressor for NoneCompressor {
         Encoded::new(grad.shape().clone(), f32s_to_bytes(grad.as_slice()))
     }
 
+    fn compress_slice(&mut self, data: &[f32], _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut buf = pool.take_buf(data.len() * 4);
+        buf.reserve(data.len() * 4);
+        for x in data {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Encoded::new(Shape::vector(data.len()), buf.freeze())
+    }
+
+    fn compress_pooled(&mut self, grad: &Tensor, _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut buf = pool.take_buf(grad.len() * 4);
+        buf.reserve(grad.len() * 4);
+        for x in grad.as_slice() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Encoded::new(grad.shape().clone(), buf.freeze())
+    }
+
     fn decompress(&self, enc: &Encoded) -> Tensor {
         Tensor::from_vec(enc.shape().dims(), bytes_to_f32s(enc.payload()))
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        let b = enc.payload();
+        assert_eq!(b.len(), out.len() * 4, "decompress_into length mismatch");
+        for (o, c) in out.iter_mut().zip(b.chunks_exact(4)) {
+            *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        let b = enc.payload();
+        assert_eq!(
+            b.len(),
+            out.len() * 4,
+            "decompress_add_into length mismatch"
+        );
+        for (o, c) in out.iter_mut().zip(b.chunks_exact(4)) {
+            *o += f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {

@@ -12,8 +12,8 @@
 //! component (sign + level index), identical size to QSGD — only the
 //! codebook differs.
 
-use crate::{BitReader, BitWriter, Compressor, Encoded};
-use cgx_tensor::{Rng, Tensor};
+use crate::{BitReader, BitWriter, Compressor, Encoded, ScratchPool};
+use cgx_tensor::{Rng, Shape, Tensor};
 
 /// Non-uniform (exponential-grid) stochastic quantizer with bucketing.
 ///
@@ -34,6 +34,8 @@ pub struct NuqsgdCompressor {
     bucket_size: usize,
     /// Level values in `[0, 1]`, descending: `1, 1/2, ..., 2^-(s-1), 0`.
     levels: Vec<f64>,
+    /// Per-bucket code scratch, reused across calls.
+    codes: Vec<u32>,
 }
 
 impl NuqsgdCompressor {
@@ -54,6 +56,7 @@ impl NuqsgdCompressor {
             bits,
             bucket_size,
             levels,
+            codes: Vec::new(),
         }
     }
 
@@ -81,10 +84,61 @@ impl NuqsgdCompressor {
             let lo = self.levels[i + 1];
             if a <= hi && a >= lo {
                 let p = if hi > lo { (a - lo) / (hi - lo) } else { 0.0 };
-                return if rng.bernoulli(p) { i as u32 } else { (i + 1) as u32 };
+                return if rng.bernoulli(p) {
+                    i as u32
+                } else {
+                    (i + 1) as u32
+                };
             }
         }
         (self.levels.len() - 1) as u32
+    }
+
+    /// Quantizes `data` into `w`. Because the stream is LSB-first, writing
+    /// the sign bit then the `bits-1` index bits is bit-identical to
+    /// writing one combined code `sign | (idx << 1)` of width `bits` — so
+    /// each bucket can be staged in the `codes` scratch and emitted through
+    /// the word-wide [`BitWriter::write_run`] kernel.
+    fn encode_into(&mut self, data: &[f32], rng: &mut Rng, w: &mut BitWriter) {
+        let zero_idx = (self.levels.len() - 1) as u32;
+        let mut codes = std::mem::take(&mut self.codes);
+        for bucket in data.chunks(self.bucket_size) {
+            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
+            w.write_f32(norm as f32);
+            codes.clear();
+            if norm == 0.0 {
+                codes.resize(bucket.len(), zero_idx << 1);
+            } else {
+                for &v in bucket {
+                    let a = (v.abs() as f64 / norm).min(1.0);
+                    let idx = self.quantize_magnitude(a, rng);
+                    codes.push(u32::from(v < 0.0) | (idx << 1));
+                }
+            }
+            w.write_run(&codes, self.bits);
+        }
+        self.codes = codes;
+    }
+
+    /// Decodes a payload, invoking `f(index, value)` per element in stream
+    /// order; the shared kernel behind all decompression entry points.
+    fn decode_with(&self, enc: &Encoded, mut f: impl FnMut(usize, f32)) {
+        let n = enc.shape().len();
+        let mut r = BitReader::new(enc.payload());
+        let mut remaining = n;
+        let mut i = 0usize;
+        while remaining > 0 {
+            let bucket_len = remaining.min(self.bucket_size);
+            let norm = r.read_f32() as f64;
+            r.read_run(self.bits, bucket_len, |code| {
+                let neg = code & 1 == 1;
+                let idx = (code >> 1) as usize;
+                let mag = norm * self.levels[idx.min(self.levels.len() - 1)];
+                f(i, if neg { -mag as f32 } else { mag as f32 });
+                i += 1;
+            });
+            remaining -= bucket_len;
+        }
     }
 }
 
@@ -95,45 +149,44 @@ impl Compressor for NuqsgdCompressor {
 
     fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded {
         let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
-        let idx_bits = self.bits - 1;
-        for bucket in grad.as_slice().chunks(self.bucket_size) {
-            let norm = bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64));
-            w.write_f32(norm as f32);
-            if norm == 0.0 {
-                for _ in bucket {
-                    w.write_bits(0, 1);
-                    w.write_bits((self.levels.len() - 1) as u32, idx_bits);
-                }
-                continue;
-            }
-            for &v in bucket {
-                let a = (v.abs() as f64 / norm).min(1.0);
-                let idx = self.quantize_magnitude(a, rng);
-                w.write_bits(u32::from(v < 0.0), 1);
-                w.write_bits(idx, idx_bits);
-            }
-        }
+        self.encode_into(grad.as_slice(), rng, &mut w);
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn compress_slice(&mut self, data: &[f32], rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(data.len())));
+        self.encode_into(data, rng, &mut w);
+        Encoded::new(Shape::vector(data.len()), w.finish())
+    }
+
+    fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(grad.len())));
+        self.encode_into(grad.as_slice(), rng, &mut w);
         Encoded::new(grad.shape().clone(), w.finish())
     }
 
     fn decompress(&self, enc: &Encoded) -> Tensor {
-        let n = enc.shape().len();
-        let mut out = Vec::with_capacity(n);
-        let mut r = BitReader::new(enc.payload());
-        let idx_bits = self.bits - 1;
-        let mut remaining = n;
-        while remaining > 0 {
-            let bucket_len = remaining.min(self.bucket_size);
-            let norm = r.read_f32() as f64;
-            for _ in 0..bucket_len {
-                let neg = r.read_bits(1) == 1;
-                let idx = r.read_bits(idx_bits) as usize;
-                let mag = norm * self.levels[idx.min(self.levels.len() - 1)];
-                out.push(if neg { -mag as f32 } else { mag as f32 });
-            }
-            remaining -= bucket_len;
-        }
+        let mut out = Vec::with_capacity(enc.shape().len());
+        self.decode_with(enc, |_, v| out.push(v));
         Tensor::from_vec(enc.shape().dims(), out)
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] = v);
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_add_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] += v);
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {
@@ -239,5 +292,42 @@ mod tests {
     #[test]
     fn name_reflects_parameters() {
         assert_eq!(NuqsgdCompressor::new(4, 128).name(), "nuqsgd(4b,128)");
+    }
+
+    #[test]
+    fn pooled_compress_is_bit_identical() {
+        let mut seed_rng = Rng::seed_from_u64(31);
+        let pool = ScratchPool::new();
+        for n in [1usize, 127, 128, 1000] {
+            for bits in [2u32, 3, 4, 8] {
+                let g = Tensor::randn(&mut seed_rng, &[n]);
+                let mut q = NuqsgdCompressor::new(bits, 128);
+                let mut rng_a = Rng::seed_from_u64(8);
+                let mut rng_b = Rng::seed_from_u64(8);
+                let plain = q.compress(&g, &mut rng_a);
+                let pooled = q.compress_slice(g.as_slice(), &mut rng_b, &pool);
+                assert_eq!(plain.payload(), pooled.payload(), "n={n} bits={bits}");
+                pool.recycle(pooled);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_decompress() {
+        let mut rng = Rng::seed_from_u64(33);
+        for bits in [2u32, 3, 4, 8] {
+            let g = Tensor::randn(&mut rng, &[300]);
+            let mut q = NuqsgdCompressor::new(bits, 128);
+            let enc = q.compress(&g, &mut rng);
+            let dense = q.decompress(&enc);
+            let mut overwrite = vec![5.0f32; g.len()];
+            q.decompress_into(&enc, &mut overwrite);
+            assert_eq!(overwrite, dense.as_slice(), "bits={bits}");
+            let mut fused = vec![1.0f32; g.len()];
+            q.decompress_add_into(&enc, &mut fused);
+            for (f, d) in fused.iter().zip(dense.as_slice()) {
+                assert_eq!(*f, 1.0 + *d, "bits={bits}");
+            }
+        }
     }
 }

@@ -6,8 +6,8 @@
 //! is scale-aware. Biased — pair with
 //! [`ErrorFeedback`](crate::ErrorFeedback) to recover accuracy.
 
-use crate::{BitReader, BitWriter, Compressor, Encoded};
-use cgx_tensor::{Rng, Tensor};
+use crate::{BitReader, BitWriter, Compressor, Encoded, ScratchPool};
+use cgx_tensor::{Rng, Shape, Tensor};
 
 /// Sign compressor with two per-bucket scales.
 ///
@@ -26,6 +26,8 @@ use cgx_tensor::{Rng, Tensor};
 #[derive(Debug, Clone)]
 pub struct OneBitCompressor {
     bucket_size: usize,
+    /// Per-bucket sign-code scratch, reused across calls.
+    codes: Vec<u32>,
 }
 
 impl OneBitCompressor {
@@ -36,23 +38,23 @@ impl OneBitCompressor {
     /// Panics if `bucket_size` is zero.
     pub fn new(bucket_size: usize) -> Self {
         assert!(bucket_size > 0, "bucket size must be positive");
-        OneBitCompressor { bucket_size }
+        OneBitCompressor {
+            bucket_size,
+            codes: Vec::new(),
+        }
     }
 
     /// Bucket size.
     pub fn bucket_size(&self) -> usize {
         self.bucket_size
     }
-}
 
-impl Compressor for OneBitCompressor {
-    fn name(&self) -> String {
-        format!("onebit({})", self.bucket_size)
-    }
-
-    fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
-        let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
-        for bucket in grad.as_slice().chunks(self.bucket_size) {
+    /// Encodes `data` into `w`, staging each bucket's sign bits in the
+    /// `codes` scratch so they can flow through the word-wide
+    /// [`BitWriter::write_run`] kernel.
+    fn encode_into(&mut self, data: &[f32], w: &mut BitWriter) {
+        let mut codes = std::mem::take(&mut self.codes);
+        for bucket in data.chunks(self.bucket_size) {
             let (mut pos_sum, mut pos_n) = (0.0f64, 0u32);
             let (mut neg_sum, mut neg_n) = (0.0f64, 0u32);
             for &v in bucket {
@@ -64,33 +66,90 @@ impl Compressor for OneBitCompressor {
                     neg_n += 1;
                 }
             }
-            let pos_mean = if pos_n > 0 { pos_sum / pos_n as f64 } else { 0.0 };
-            let neg_mean = if neg_n > 0 { neg_sum / neg_n as f64 } else { 0.0 };
+            let pos_mean = if pos_n > 0 {
+                pos_sum / pos_n as f64
+            } else {
+                0.0
+            };
+            let neg_mean = if neg_n > 0 {
+                neg_sum / neg_n as f64
+            } else {
+                0.0
+            };
             w.write_f32(pos_mean as f32);
             w.write_f32(neg_mean as f32);
-            for &v in bucket {
-                w.write_bits(if v >= 0.0 { 1 } else { 0 }, 1);
-            }
+            codes.clear();
+            codes.extend(bucket.iter().map(|&v| u32::from(v >= 0.0)));
+            w.write_run(&codes, 1);
         }
-        Encoded::new(grad.shape().clone(), w.finish())
+        self.codes = codes;
     }
 
-    fn decompress(&self, enc: &Encoded) -> Tensor {
+    /// Decodes a payload, invoking `f(index, value)` per element in stream
+    /// order; the shared kernel behind all decompression entry points.
+    fn decode_with(&self, enc: &Encoded, mut f: impl FnMut(usize, f32)) {
         let n = enc.shape().len();
-        let mut out = Vec::with_capacity(n);
         let mut r = BitReader::new(enc.payload());
         let mut remaining = n;
+        let mut i = 0usize;
         while remaining > 0 {
             let bucket_len = remaining.min(self.bucket_size);
             let pos_mean = r.read_f32();
             let neg_mean = r.read_f32();
-            for _ in 0..bucket_len {
-                let sign = r.read_bits(1);
-                out.push(if sign == 1 { pos_mean } else { -neg_mean });
-            }
+            r.read_run(1, bucket_len, |sign| {
+                f(i, if sign == 1 { pos_mean } else { -neg_mean });
+                i += 1;
+            });
             remaining -= bucket_len;
         }
+    }
+}
+
+impl Compressor for OneBitCompressor {
+    fn name(&self) -> String {
+        format!("onebit({})", self.bucket_size)
+    }
+
+    fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
+        let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
+        self.encode_into(grad.as_slice(), &mut w);
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn compress_slice(&mut self, data: &[f32], _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(data.len())));
+        self.encode_into(data, &mut w);
+        Encoded::new(Shape::vector(data.len()), w.finish())
+    }
+
+    fn compress_pooled(&mut self, grad: &Tensor, _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(grad.len())));
+        self.encode_into(grad.as_slice(), &mut w);
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn decompress(&self, enc: &Encoded) -> Tensor {
+        let mut out = Vec::with_capacity(enc.shape().len());
+        self.decode_with(enc, |_, v| out.push(v));
         Tensor::from_vec(enc.shape().dims(), out)
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] = v);
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_add_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] += v);
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {
@@ -150,6 +209,37 @@ mod tests {
         let n = 1 << 20;
         let ratio = (n * 4) as f64 / c.compressed_bytes(n) as f64;
         assert!(ratio > 30.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pooled_compress_is_bit_identical() {
+        let mut rng = Rng::seed_from_u64(7);
+        let pool = ScratchPool::new();
+        for n in [1usize, 63, 64, 1000] {
+            let g = Tensor::randn(&mut rng, &[n]);
+            let mut c = OneBitCompressor::new(64);
+            let plain = c.compress(&g, &mut rng);
+            let pooled = c.compress_slice(g.as_slice(), &mut rng, &pool);
+            assert_eq!(plain.payload(), pooled.payload(), "n={n}");
+            pool.recycle(pooled);
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_decompress() {
+        let mut rng = Rng::seed_from_u64(8);
+        let g = Tensor::randn(&mut rng, &[777]);
+        let mut c = OneBitCompressor::new(64);
+        let enc = c.compress(&g, &mut rng);
+        let dense = c.decompress(&enc);
+        let mut overwrite = vec![3.0f32; g.len()];
+        c.decompress_into(&enc, &mut overwrite);
+        assert_eq!(overwrite, dense.as_slice());
+        let mut fused = vec![0.5f32; g.len()];
+        c.decompress_add_into(&enc, &mut fused);
+        for (f, d) in fused.iter().zip(dense.as_slice()) {
+            assert_eq!(*f, 0.5 + *d);
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! The paper's accuracy baseline is 4 bits with bucket size 128 (Transformers)
 //! or 1024 (CNNs).
 
-use crate::{BitReader, BitWriter, Compressor, Encoded};
-use cgx_tensor::{Rng, Tensor};
+use crate::simd;
+use crate::{BitReader, BitWriter, Compressor, Encoded, ScratchPool};
+use cgx_tensor::{Rng, Shape, Tensor};
 
 /// Which per-bucket norm scales the quantization grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -42,6 +43,9 @@ pub struct QsgdCompressor {
     bits: u32,
     bucket_size: usize,
     norm: NormKind,
+    /// Per-bucket scratch for the vectorized quantization pass, reused
+    /// across calls so steady-state compression allocates nothing.
+    talls: Vec<u64>,
 }
 
 impl QsgdCompressor {
@@ -71,6 +75,7 @@ impl QsgdCompressor {
             bits,
             bucket_size,
             norm,
+            talls: Vec::new(),
         }
     }
 
@@ -91,8 +96,99 @@ impl QsgdCompressor {
 
     fn bucket_norm(&self, bucket: &[f32]) -> f64 {
         match self.norm {
-            NormKind::L2 => bucket.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt(),
+            NormKind::L2 => bucket
+                .iter()
+                .map(|x| (*x as f64).powi(2))
+                .sum::<f64>()
+                .sqrt(),
             NormKind::Max => bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64)),
+        }
+    }
+
+    /// Quantizes `data` into `w` in two passes per bucket. Pass 1
+    /// ([`simd::quantize_talls`], vectorized) computes the exact integer
+    /// decomposition `t = floor(min(|v| * s/norm, s) * 2^53)` of the
+    /// stochastic-rounding pair `(lower, threshold)` for every element.
+    /// Pass 2 draws the RNG in element order, selects the level — accept
+    /// the upper grid point when the top 53 bits of a raw draw fall below
+    /// `threshold` (the "line rate" kernel of paper Appendix A) — and
+    /// feeds codes straight into [`BitWriter::write_run_with`], which
+    /// packs 2/4/8-bit buckets a `u64` word at a time. The payload is
+    /// bit-identical to the element-wise float reference (see
+    /// `encode_matches_float_reference`).
+    fn encode_into(&mut self, data: &[f32], rng: &mut Rng, w: &mut BitWriter) {
+        let s = self.levels() as f64;
+        let offset = self.levels(); // shift signed level into unsigned storage
+        let bits = self.bits;
+        let max_bucket = self.bucket_size.min(data.len());
+        if self.talls.len() < max_bucket {
+            self.talls.resize(max_bucket, 0);
+        }
+        for bucket in data.chunks(self.bucket_size) {
+            let norm = self.bucket_norm(bucket);
+            w.write_f32(norm as f32);
+            if norm == 0.0 {
+                // All-zero bucket: every element encodes the zero level
+                // and draws no randomness.
+                w.write_run_with(bucket.len(), bits, || offset);
+                continue;
+            }
+            let scale = s / norm;
+            simd::quantize_talls(bucket, scale, s, &mut self.talls);
+            let mut it = bucket.iter().zip(self.talls.iter());
+            w.write_run_with(bucket.len(), bits, || {
+                let (&v, &t) = it.next().expect("bucket element");
+                let lower = (t >> 53) as u32;
+                let threshold = t & ((1u64 << 53) - 1);
+                let level = lower + u32::from((rng.next_u64() >> 11) < threshold);
+                if v < 0.0 {
+                    offset - level
+                } else {
+                    offset + level
+                }
+            });
+        }
+    }
+
+    /// Decodes a payload, invoking `f(index, value)` for every element in
+    /// stream order. All decompression entry points funnel through this so
+    /// fused and unfused decodes produce bit-equal values.
+    fn decode_with(&self, enc: &Encoded, mut f: impl FnMut(usize, f32)) {
+        let n = enc.shape().len();
+        let s = self.levels() as f64;
+        let offset = self.levels() as i64;
+        // Codebook lookup: a bucket decodes every code to one of 2^bits
+        // values, so materializing the table once per bucket replaces the
+        // per-element i64->f64 convert / multiply / divide with one load.
+        // Entries are computed with the exact per-element formula, keeping
+        // lookup decode bit-identical to direct decode; skipped when the
+        // table would rival the bucket itself in size.
+        let table_len = 1usize << self.bits;
+        let use_lut = table_len <= 64.max(self.bucket_size / 2);
+        let mut table = [0.0f32; 256];
+        let mut r = BitReader::new(enc.payload());
+        let mut remaining = n;
+        let mut i = 0usize;
+        while remaining > 0 {
+            let bucket_len = remaining.min(self.bucket_size);
+            let norm = r.read_f32() as f64;
+            if use_lut {
+                for (c, t) in table[..table_len].iter_mut().enumerate() {
+                    let signed = c as i64 - offset;
+                    *t = (norm * signed as f64 / s) as f32;
+                }
+                r.read_run(self.bits, bucket_len, |code| {
+                    f(i, table[code as usize]);
+                    i += 1;
+                });
+            } else {
+                r.read_run(self.bits, bucket_len, |code| {
+                    let signed = code as i64 - offset;
+                    f(i, (norm * signed as f64 / s) as f32);
+                    i += 1;
+                });
+            }
+            remaining -= bucket_len;
         }
     }
 }
@@ -107,57 +203,45 @@ impl Compressor for QsgdCompressor {
     }
 
     fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded {
-        let s = self.levels() as f64;
-        let offset = self.levels(); // shift signed level into unsigned storage
         let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
-        // Stochastic rounding via an integer threshold: accept when the top
-        // 53 bits of a raw draw fall below p * 2^53 — one u64 compare per
-        // element instead of a float conversion (the "line rate" kernel of
-        // paper Appendix A).
-        const SCALE_2_53: f64 = (1u64 << 53) as f64;
-        for bucket in grad.as_slice().chunks(self.bucket_size) {
-            let norm = self.bucket_norm(bucket);
-            w.write_f32(norm as f32);
-            if norm == 0.0 {
-                for _ in bucket {
-                    w.write_bits(offset, self.bits);
-                }
-                continue;
-            }
-            let scale = s / norm;
-            for &v in bucket {
-                let scaled = (v.abs() as f64 * scale).min(s);
-                let lower = scaled as u32; // scaled >= 0: truncation == floor
-                let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
-                let level = lower + u32::from((rng.next_u64() >> 11) < threshold);
-                let signed = if v < 0.0 {
-                    offset - level
-                } else {
-                    offset + level
-                };
-                w.write_bits(signed, self.bits);
-            }
-        }
+        self.encode_into(grad.as_slice(), rng, &mut w);
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn compress_slice(&mut self, data: &[f32], rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(data.len())));
+        self.encode_into(data, rng, &mut w);
+        Encoded::new(Shape::vector(data.len()), w.finish())
+    }
+
+    fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(grad.len())));
+        self.encode_into(grad.as_slice(), rng, &mut w);
         Encoded::new(grad.shape().clone(), w.finish())
     }
 
     fn decompress(&self, enc: &Encoded) -> Tensor {
-        let n = enc.shape().len();
-        let s = self.levels() as f64;
-        let offset = self.levels() as i64;
-        let mut out = Vec::with_capacity(n);
-        let mut r = BitReader::new(enc.payload());
-        let mut remaining = n;
-        while remaining > 0 {
-            let bucket_len = remaining.min(self.bucket_size);
-            let norm = r.read_f32() as f64;
-            for _ in 0..bucket_len {
-                let signed = r.read_bits(self.bits) as i64 - offset;
-                out.push((norm * signed as f64 / s) as f32);
-            }
-            remaining -= bucket_len;
-        }
+        let mut out = Vec::with_capacity(enc.shape().len());
+        self.decode_with(enc, |_, v| out.push(v));
         Tensor::from_vec(enc.shape().dims(), out)
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] = v);
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_add_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] += v);
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {
@@ -235,15 +319,13 @@ mod tests {
             let mut q = QsgdCompressor::with_norm(4, 128, norm);
             let rt = round_trip(&mut q, &grad, &mut rng);
             let s = q.levels() as f64;
-            for (bucket, rt_bucket) in grad
-                .as_slice()
-                .chunks(128)
-                .zip(rt.as_slice().chunks(128))
-            {
+            for (bucket, rt_bucket) in grad.as_slice().chunks(128).zip(rt.as_slice().chunks(128)) {
                 let bnorm = match norm {
-                    NormKind::L2 => {
-                        bucket.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt()
-                    }
+                    NormKind::L2 => bucket
+                        .iter()
+                        .map(|x| (*x as f64).powi(2))
+                        .sum::<f64>()
+                        .sqrt(),
                     NormKind::Max => bucket.iter().fold(0.0f64, |m, x| m.max(x.abs() as f64)),
                 };
                 let step = bnorm / s;
@@ -316,6 +398,130 @@ mod tests {
     #[test]
     fn name_reflects_parameters() {
         assert_eq!(QsgdCompressor::new(4, 128).name(), "qsgd(4b,128,max)");
+    }
+
+    #[test]
+    fn encode_matches_float_reference() {
+        // The original element-wise float encoder, kept verbatim: the
+        // two-pass SIMD kernel must reproduce it byte for byte on the
+        // same RNG stream.
+        const SCALE_2_53: f64 = (1u64 << 53) as f64;
+        let mut seed_rng = Rng::seed_from_u64(31);
+        for norm_kind in [NormKind::Max, NormKind::L2] {
+            for bits in [2u32, 3, 4, 8] {
+                for n in [1usize, 100, 128, 515] {
+                    let g = Tensor::randn(&mut seed_rng, &[n]);
+                    let mut q = QsgdCompressor::with_norm(bits, 128, norm_kind);
+                    let mut rng_a = Rng::seed_from_u64(77);
+                    let enc = q.compress(&g, &mut rng_a);
+                    let s = q.levels() as f64;
+                    let offset = q.levels();
+                    let mut rng_b = Rng::seed_from_u64(77);
+                    let mut w = crate::BitWriter::new();
+                    for bucket in g.as_slice().chunks(128) {
+                        let norm = q.bucket_norm(bucket);
+                        w.write_f32(norm as f32);
+                        if norm == 0.0 {
+                            for _ in bucket {
+                                w.write_bits(offset, bits);
+                            }
+                            continue;
+                        }
+                        let scale = s / norm;
+                        for &v in bucket {
+                            let scaled = (v.abs() as f64 * scale).min(s);
+                            let lower = scaled as u32;
+                            let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+                            let level = lower + u32::from((rng_b.next_u64() >> 11) < threshold);
+                            let signed = if v < 0.0 {
+                                offset - level
+                            } else {
+                                offset + level
+                            };
+                            w.write_bits(signed, bits);
+                        }
+                    }
+                    assert_eq!(
+                        enc.payload(),
+                        &w.finish(),
+                        "bits={bits} n={n} norm={norm_kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_decode_matches_direct_formula() {
+        // Decode by hand with the per-element formula; the LUT path in
+        // decode_with must be bit-identical.
+        let mut rng = Rng::seed_from_u64(37);
+        for (bits, bucket_size) in [(2u32, 1024usize), (4, 128), (8, 64), (8, 1024)] {
+            let g = Tensor::randn(&mut rng, &[1000]);
+            let mut q = QsgdCompressor::new(bits, bucket_size);
+            let enc = q.compress(&g, &mut rng);
+            let got = q.decompress(&enc);
+            let s = q.levels() as f64;
+            let offset = q.levels() as i64;
+            let mut r = crate::BitReader::new(enc.payload());
+            let mut want = Vec::with_capacity(g.len());
+            let mut remaining = g.len();
+            while remaining > 0 {
+                let bucket_len = remaining.min(bucket_size);
+                let norm = r.read_f32() as f64;
+                for _ in 0..bucket_len {
+                    let signed = r.read_bits(bits) as i64 - offset;
+                    want.push((norm * signed as f64 / s) as f32);
+                }
+                remaining -= bucket_len;
+            }
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "bits={bits} bucket={bucket_size}");
+        }
+    }
+
+    #[test]
+    fn pooled_compress_is_bit_identical() {
+        // Same rng stream → same stochastic rounding → the pooled/fused
+        // writer must produce byte-for-byte the same payload.
+        let mut seed_rng = Rng::seed_from_u64(21);
+        let pool = ScratchPool::new();
+        for n in [1usize, 100, 129, 1000] {
+            for bits in [2u32, 3, 4, 8] {
+                let g = Tensor::randn(&mut seed_rng, &[n]);
+                let mut q = QsgdCompressor::new(bits, 128);
+                let mut rng_a = Rng::seed_from_u64(5);
+                let mut rng_b = Rng::seed_from_u64(5);
+                let plain = q.compress(&g, &mut rng_a);
+                let pooled = q.compress_slice(g.as_slice(), &mut rng_b, &pool);
+                assert_eq!(plain.payload(), pooled.payload(), "n={n} bits={bits}");
+                pool.recycle(pooled);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_decompress() {
+        let mut rng = Rng::seed_from_u64(23);
+        for bits in [2u32, 3, 4, 8] {
+            let g = Tensor::randn(&mut rng, &[515]);
+            let mut q = QsgdCompressor::new(bits, 128);
+            let enc = q.compress(&g, &mut rng);
+            let dense = q.decompress(&enc);
+            let mut overwrite = vec![9.0f32; g.len()];
+            q.decompress_into(&enc, &mut overwrite);
+            assert_eq!(overwrite, dense.as_slice(), "decompress_into bits={bits}");
+            let base: Vec<f32> = (0..g.len()).map(|i| i as f32 * 0.25).collect();
+            let mut fused = base.clone();
+            q.decompress_add_into(&enc, &mut fused);
+            let unfused: Vec<f32> = base
+                .iter()
+                .zip(dense.as_slice())
+                .map(|(b, d)| b + d)
+                .collect();
+            assert_eq!(fused, unfused, "decompress_add_into bits={bits}");
+        }
     }
 
     #[test]

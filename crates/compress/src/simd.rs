@@ -1,0 +1,235 @@
+//! SIMD quantization kernel for stochastic rounding.
+//!
+//! The QSGD hot loop spends most of its time on the per-element float
+//! sequence
+//!
+//! ```text
+//! scaled    = (|v| as f64 * scale).min(s)
+//! lower     = scaled as u32
+//! threshold = ((scaled - lower as f64) * 2^53) as u64
+//! ```
+//!
+//! which LLVM cannot auto-vectorize: the saturating float->int casts and
+//! the serial RNG draw that follows defeat the loop vectorizer. This
+//! module computes the same quantities through an exact integer
+//! decomposition that vectorizes cleanly, leaving only the (inherently
+//! serial) RNG draw and level select to a scalar second pass.
+//!
+//! # Exactness
+//!
+//! Let `t = floor(scaled * 2^53)`. Then
+//!
+//! * `lower == t >> 53`, because `floor(floor(x * 2^53) / 2^53) ==
+//!   floor(x)` and `scaled >= 0` makes the truncating cast a floor.
+//! * `threshold == t & (2^53 - 1)`. `scaled - lower` is an exact f64
+//!   subtraction (the integer part of a float is always representable and
+//!   its removal cannot need more mantissa bits), and multiplying an f64
+//!   by the power of two `2^53` is exact for any product below `2^53`
+//!   (only the exponent changes). So the float sequence computes exactly
+//!   `floor(frac(scaled) * 2^53) = t mod 2^53`.
+//!
+//! And `t` itself needs no float->int conversion: writing `scaled`'s bit
+//! pattern as mantissa `m` (with the implicit bit) and unbiased exponent
+//! `e`, we have `scaled * 2^53 = m * 2^(e+1)`, so `t` is one left shift of
+//! `m` when `e + 1 >= 0` and one right shift otherwise. Shifts, masks and
+//! compares all vectorize; on x86-64 the AVX2 variable shifts
+//! (`vpsllvq`/`vpsrlvq`) even define out-of-range counts to produce 0,
+//! which collapses the sign-of-shift select into a bitwise OR.
+//!
+//! Domain note: `scaled` is never negative or NaN — `|v| * scale` is
+//! either `>= 0` or NaN (`inf * 0`), and `.min(s)` maps NaN to `s` in
+//! both the scalar (`f64::min` returns the other operand on NaN) and the
+//! vector (`vminpd(x, s)` returns the second operand on NaN) form — so
+//! no saturating-cast edge case can diverge. Zeros and subnormals fall
+//! out of the shift clamp: their huge right-shift counts produce 0,
+//! matching `floor(scaled * 2^53) = 0`.
+
+/// `floor(min(|v| as f64 * scale, s) * 2^53)` for one element — the scalar
+/// reference for [`quantize_talls`], also used on vector tails and
+/// non-x86 targets.
+#[inline]
+pub(crate) fn quantize_tall_scalar(v: f32, scale: f64, s: f64) -> u64 {
+    let scaled = (v.abs() as f64 * scale).min(s);
+    let b = scaled.to_bits();
+    let sh = ((b >> 52) as i32) - 1022; // unbiased exponent + 1
+    let mant = (b & ((1u64 << 52) - 1)) | (1u64 << 52);
+    if sh >= 0 {
+        // scaled < 2^10 in practice (s <= 127), so mant << sh cannot
+        // overflow; the mask only guards the shift against UB.
+        mant << (sh as u32 & 63)
+    } else {
+        mant >> ((-sh) as u32).min(63)
+    }
+}
+
+/// Fills `out[j] = floor(min(|bucket[j]| as f64 * scale, s) * 2^53)`,
+/// bit-identical to [`quantize_tall_scalar`] on every element. Uses AVX2
+/// when the CPU has it, four lanes at a time.
+///
+/// The caller splits the result into the stochastic-rounding pair with
+/// `lower = t >> 53` and `threshold = t & (2^53 - 1)`.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `bucket`.
+pub(crate) fn quantize_talls(bucket: &[f32], scale: f64, s: f64, out: &mut [u64]) {
+    assert!(out.len() >= bucket.len(), "tall scratch too short");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { quantize_talls_avx2(bucket, scale, s, out) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(bucket) {
+        *o = quantize_tall_scalar(v, scale, s);
+    }
+}
+
+/// AVX2 body of [`quantize_talls`]: four f64 lanes per iteration, scalar
+/// tail. Every lane performs the identical IEEE-754 operation sequence,
+/// so results are bit-equal to the scalar reference.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_talls_avx2(bucket: &[f32], scale: f64, s: f64, out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let scale4 = _mm256_set1_pd(scale);
+    let s4 = _mm256_set1_pd(s);
+    let absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+    let mask52 = _mm256_set1_epi64x(0xF_FFFF_FFFF_FFFF);
+    let bit52 = _mm256_set1_epi64x(1i64 << 52);
+    let bias = _mm256_set1_epi64x(1022);
+    let mut j = 0;
+    while j + 4 <= bucket.len() {
+        let v4 = _mm_loadu_ps(bucket.as_ptr().add(j));
+        // |v| as f64: cvtps2pd is exact and sign-symmetric, so clearing
+        // the sign bit after widening equals widening |v|.
+        let d4 = _mm256_and_pd(_mm256_cvtps_pd(v4), absmask);
+        // Operand order matters: vminpd returns its *second* operand when
+        // the first is NaN, matching f64::min(NaN, s) == s.
+        let scaled = _mm256_min_pd(_mm256_mul_pd(d4, scale4), s4);
+        let b = _mm256_castpd_si256(scaled);
+        // sh = unbiased exponent + 1 (sign bit is clear, so the raw
+        // shift-by-52 is the biased exponent).
+        let sh = _mm256_sub_epi64(_mm256_srli_epi64(b, 52), bias);
+        let mant = _mm256_or_si256(_mm256_and_si256(b, mask52), bit52);
+        // vpsllvq/vpsrlvq define out-of-range counts (incl. negative ones
+        // viewed as u64) to yield 0, so exactly one side survives and the
+        // sh >= 0 select becomes an OR. At sh == 0 both sides equal mant.
+        let left = _mm256_sllv_epi64(mant, sh);
+        let right = _mm256_srlv_epi64(mant, _mm256_sub_epi64(_mm256_setzero_si256(), sh));
+        let t = _mm256_or_si256(left, right);
+        _mm256_storeu_si256(out.as_mut_ptr().add(j).cast::<__m256i>(), t);
+        j += 4;
+    }
+    for (o, &v) in out[j..bucket.len()].iter_mut().zip(&bucket[j..]) {
+        *o = quantize_tall_scalar(v, scale, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgx_tensor::Rng;
+
+    /// The original float sequence, kept verbatim as the reference.
+    fn float_reference(v: f32, scale: f64, s: f64) -> (u32, u64) {
+        const SCALE_2_53: f64 = (1u64 << 53) as f64;
+        let scaled = (v.abs() as f64 * scale).min(s);
+        let lower = scaled as u32;
+        let threshold = ((scaled - lower as f64) * SCALE_2_53) as u64;
+        (lower, threshold)
+    }
+
+    fn split(t: u64) -> (u32, u64) {
+        ((t >> 53) as u32, t & ((1u64 << 53) - 1))
+    }
+
+    #[test]
+    fn scalar_matches_float_reference_on_random_inputs() {
+        let mut rng = Rng::seed_from_u64(41);
+        for s in [1.0f64, 3.0, 7.0, 127.0] {
+            for _ in 0..20_000 {
+                let v = (rng.normal() * 3.0) as f32;
+                let norm = rng.uniform() * 10.0 + 1e-6;
+                let scale = s / norm;
+                assert_eq!(
+                    split(quantize_tall_scalar(v, scale, s)),
+                    float_reference(v, scale, s),
+                    "v={v} scale={scale} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_matches_float_reference_on_edge_cases() {
+        let s = 7.0f64;
+        let cases: &[(f32, f64)] = &[
+            (0.0, 1.0),
+            (-0.0, 1.0),
+            (1.0, 7.0),         // scaled exactly at the clamp
+            (1.0, 6.999999999), // just below
+            (f32::MIN_POSITIVE, 1.0),
+            (1.0e-38, 1.0e-280),  // subnormal scaled
+            (1.0e-30, 1.0e-290),  // zero after underflow
+            (f32::INFINITY, 0.0), // inf * 0 = NaN -> clamped to s
+            (f32::MAX, 0.0),      // 0 * finite = 0
+            (3.0, 1.0),           // integer scaled: threshold 0
+            (0.5, 1.0),
+        ];
+        for &(v, scale) in cases {
+            assert_eq!(
+                split(quantize_tall_scalar(v, scale, s)),
+                float_reference(v, scale, s),
+                "v={v} scale={scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_matches_scalar_lane_for_lane() {
+        let mut rng = Rng::seed_from_u64(43);
+        for s in [1.0f64, 7.0, 127.0] {
+            // Lengths around the 4-lane boundary exercise the tail loop.
+            for n in [0usize, 1, 3, 4, 5, 7, 8, 127, 128, 1000] {
+                let bucket: Vec<f32> = (0..n).map(|_| (rng.normal() * 2.0) as f32).collect();
+                let norm = bucket.iter().fold(1e-9f64, |m, x| m.max(x.abs() as f64));
+                let scale = s / norm;
+                let mut fast = vec![0u64; n];
+                quantize_talls(&bucket, scale, s, &mut fast);
+                for (j, &v) in bucket.iter().enumerate() {
+                    assert_eq!(
+                        fast[j],
+                        quantize_tall_scalar(v, scale, s),
+                        "lane {j} of {n}, s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_handles_special_values_in_lanes() {
+        let bucket = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -1.0,
+            7.5,
+            1.0e-38,
+        ];
+        for scale in [0.0f64, 1.0, 1.0e-300] {
+            let mut fast = vec![0u64; bucket.len()];
+            quantize_talls(&bucket, scale, 7.0, &mut fast);
+            for (j, &v) in bucket.iter().enumerate() {
+                assert_eq!(fast[j], quantize_tall_scalar(v, scale, 7.0), "lane {j}");
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! it only for naturally-sparse layers such as Transformer embeddings
 //! (Section 6, "Heterogeneous compression").
 
-use crate::{BitReader, BitWriter, Compressor, Encoded};
+use crate::{BitReader, BitWriter, Compressor, Encoded, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
 /// Sparsifier that keeps the top `ratio` fraction of components by
@@ -55,6 +55,30 @@ impl TopKCompressor {
     pub fn k_for(&self, n: usize) -> usize {
         ((n as f64 * self.ratio).round() as usize).clamp(1, n.max(1))
     }
+
+    fn encode_into(&self, grad: &Tensor, w: &mut BitWriter) {
+        let k = self.k_for(grad.len());
+        let idx = grad.top_k_indices(k);
+        w.write_u32(k as u32);
+        for i in idx {
+            w.write_u32(i as u32);
+            w.write_f32(grad[i]);
+        }
+    }
+
+    /// Decodes the sparse payload, invoking `f(index, value)` for each of
+    /// the `k` stored pairs in stream order.
+    fn decode_with(&self, enc: &Encoded, mut f: impl FnMut(usize, f32)) {
+        let n = enc.shape().len();
+        let mut r = BitReader::new(enc.payload());
+        let k = r.read_u32() as usize;
+        for _ in 0..k {
+            let i = r.read_u32() as usize;
+            let v = r.read_f32();
+            assert!(i < n, "index {i} out of bounds in TopK payload");
+            f(i, v);
+        }
+    }
 }
 
 impl Compressor for TopKCompressor {
@@ -63,28 +87,54 @@ impl Compressor for TopKCompressor {
     }
 
     fn compress(&mut self, grad: &Tensor, _rng: &mut Rng) -> Encoded {
-        let k = self.k_for(grad.len());
-        let idx = grad.top_k_indices(k);
-        let mut w = BitWriter::with_capacity(4 + 8 * k);
-        w.write_u32(k as u32);
-        for i in idx {
-            w.write_u32(i as u32);
-            w.write_f32(grad[i]);
-        }
+        let mut w = BitWriter::with_capacity(self.compressed_bytes(grad.len()));
+        self.encode_into(grad, &mut w);
+        Encoded::new(grad.shape().clone(), w.finish())
+    }
+
+    fn compress_slice(&mut self, data: &[f32], _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        // Selection still materializes a tensor view; only the encode
+        // buffer is pooled.
+        let t = Tensor::from_slice(data);
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(data.len())));
+        self.encode_into(&t, &mut w);
+        Encoded::new(t.shape().clone(), w.finish())
+    }
+
+    fn compress_pooled(&mut self, grad: &Tensor, _rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        let mut w = BitWriter::from_buf(pool.take_buf(self.compressed_bytes(grad.len())));
+        self.encode_into(grad, &mut w);
         Encoded::new(grad.shape().clone(), w.finish())
     }
 
     fn decompress(&self, enc: &Encoded) -> Tensor {
         let mut out = Tensor::zeros(enc.shape().dims());
-        let mut r = BitReader::new(enc.payload());
-        let k = r.read_u32() as usize;
-        for _ in 0..k {
-            let i = r.read_u32() as usize;
-            let v = r.read_f32();
-            assert!(i < out.len(), "index {i} out of bounds in TopK payload");
-            out[i] = v;
-        }
+        let slice = out.as_mut_slice();
+        self.decode_with(enc, |i, v| slice[i] = v);
         out
+    }
+
+    fn decompress_into(&self, enc: &Encoded, out: &mut [f32]) {
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_into length mismatch"
+        );
+        out.fill(0.0);
+        self.decode_with(enc, |i, v| out[i] = v);
+    }
+
+    fn decompress_add_into(&self, enc: &Encoded, out: &mut [f32]) {
+        // Sparse fusion: only the k stored slots are touched. Untouched
+        // slots keep their value instead of gaining `+ 0.0`; the only
+        // observable difference is an accumulator of -0.0 staying -0.0,
+        // and -0.0 == 0.0 under f32 comparison, so consensus checks hold.
+        assert_eq!(
+            enc.shape().len(),
+            out.len(),
+            "decompress_add_into length mismatch"
+        );
+        self.decode_with(enc, |i, v| out[i] += v);
     }
 
     fn compressed_bytes(&self, n: usize) -> usize {
@@ -152,6 +202,39 @@ mod tests {
     #[should_panic(expected = "ratio must be in (0, 1]")]
     fn zero_ratio_panics() {
         TopKCompressor::new(0.0);
+    }
+
+    #[test]
+    fn pooled_compress_is_bit_identical() {
+        let mut rng = Rng::seed_from_u64(6);
+        let pool = ScratchPool::new();
+        let g = Tensor::randn(&mut rng, &[200]);
+        let mut c = TopKCompressor::new(0.1);
+        let plain = c.compress(&g, &mut rng);
+        let pooled = c.compress_slice(g.as_slice(), &mut rng, &pool);
+        assert_eq!(plain.payload(), pooled.payload());
+        pool.recycle(pooled);
+    }
+
+    #[test]
+    fn fused_decode_matches_decompress() {
+        let mut rng = Rng::seed_from_u64(7);
+        let g = Tensor::randn(&mut rng, &[100]);
+        let mut c = TopKCompressor::new(0.2);
+        let enc = c.compress(&g, &mut rng);
+        let dense = c.decompress(&enc);
+        let mut overwrite = vec![2.0f32; g.len()];
+        c.decompress_into(&enc, &mut overwrite);
+        assert_eq!(overwrite, dense.as_slice());
+        let base: Vec<f32> = (0..g.len()).map(|i| 0.1 * i as f32).collect();
+        let mut fused = base.clone();
+        c.decompress_add_into(&enc, &mut fused);
+        let unfused: Vec<f32> = base
+            .iter()
+            .zip(dense.as_slice())
+            .map(|(b, d)| b + d)
+            .collect();
+        assert_eq!(fused, unfused);
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! source.
 
 use cgx_adaptive::{
-    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment,
-    LayerProfile,
+    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment, LayerProfile,
 };
 use cgx_compress::CompressionScheme;
 use cgx_models::{GradientSynth, ModelSpec};
@@ -63,8 +62,7 @@ pub fn adaptive_compression_for(
         // cannot hide behind remaining compute.
         let exposure = 1.0 - i as f64 / total;
         profiles.push(
-            LayerProfile::new(layer.name(), layer.elements(), norms[i])
-                .with_exposure(exposure),
+            LayerProfile::new(layer.name(), layer.elements(), norms[i]).with_exposure(exposure),
         );
     }
     let assignment = assign_bits(policy, &profiles, opts);

@@ -160,7 +160,11 @@ impl Cgx {
 
     /// Resolves the effective compression scheme for one registered layer.
     pub fn scheme_for(&self, layer: &RegisteredLayer) -> CompressionScheme {
-        if self.excludes.iter().any(|p| layer.name.contains(p.as_str())) {
+        if self
+            .excludes
+            .iter()
+            .any(|p| layer.name.contains(p.as_str()))
+        {
             return CompressionScheme::None;
         }
         for (p, s) in self.overrides.iter().rev() {
@@ -223,8 +227,13 @@ impl Cgx {
                 }
                 _ => comp.compressed_bytes(layer.elements),
             };
-                let kernel = comp.kernel_cost_per_element() * layer.elements as f64;
-            msgs.push(LayerMsg::new(layer.name.clone(), layer.elements, wire, kernel));
+            let kernel = comp.kernel_cost_per_element() * layer.elements as f64;
+            msgs.push(LayerMsg::new(
+                layer.name.clone(),
+                layer.elements,
+                wire,
+                kernel,
+            ));
         }
         if fused_fp > 0 {
             // Fused full-precision buffer, positioned first in forward

@@ -87,8 +87,7 @@ mod tests {
         let aws = &rows[1];
         let genesis_cgx = &rows[2];
         assert!(
-            genesis_cgx.items_per_second_per_dollar
-                > 1.5 * aws.items_per_second_per_dollar,
+            genesis_cgx.items_per_second_per_dollar > 1.5 * aws.items_per_second_per_dollar,
             "cgx {} vs aws {}",
             genesis_cgx.items_per_second_per_dollar,
             aws.items_per_second_per_dollar

@@ -16,11 +16,11 @@
 //! | `PowerSgd { .. }` | associative DDP hook | tiny factors, fp32-only compute, GEMM overhead |
 
 use crate::api::{Cgx, CgxBuilder};
-use cgx_compress::{Compressor, CompressionScheme, QsgdCompressor};
+use cgx_compress::{CompressionScheme, Compressor, QsgdCompressor};
 use cgx_models::{ModelId, ModelSpec};
 use cgx_simnet::{
-    fuse_messages, simulate_step, CommBackend, ComputeProfile, GpuModel, LayerMsg,
-    MachineSpec, ReductionScheme, StepConfig, StepReport, SyncMode, TransportQuality,
+    fuse_messages, simulate_step, CommBackend, ComputeProfile, GpuModel, LayerMsg, MachineSpec,
+    ReductionScheme, StepConfig, StepReport, SyncMode, TransportQuality,
 };
 
 /// PyTorch-DDP style gradient-bucket size for the uncompressed baseline.
@@ -250,7 +250,12 @@ fn build_config(
                 .layers()
                 .iter()
                 .map(|l| {
-                    LayerMsg::new(l.name().to_string(), l.elements(), l.grad_bytes(precision), 0.0)
+                    LayerMsg::new(
+                        l.name().to_string(),
+                        l.elements(),
+                        l.grad_bytes(precision),
+                        0.0,
+                    )
                 })
                 .collect();
             // DDP/Horovod fuse gradients into buckets to amortize per-call
@@ -359,7 +364,12 @@ fn build_config(
                 .layers()
                 .iter()
                 .map(|l| {
-                    LayerMsg::new(l.name().to_string(), l.elements(), l.grad_bytes(precision), 0.0)
+                    LayerMsg::new(
+                        l.name().to_string(),
+                        l.elements(),
+                        l.grad_bytes(precision),
+                        0.0,
+                    )
                 })
                 .collect();
             let msgs = fuse_messages(&full, DDP_BUCKET_BYTES)
@@ -392,7 +402,11 @@ mod tests {
                 speedup > 1.8 && speedup < 5.0,
                 "{model}: speedup {speedup:.2}"
             );
-            assert!(base.scaling < 0.55, "{model}: baseline scaling {}", base.scaling);
+            assert!(
+                base.scaling < 0.55,
+                "{model}: baseline scaling {}",
+                base.scaling
+            );
             assert!(cgx.scaling > 0.7, "{model}: CGX scaling {}", cgx.scaling);
         }
     }
@@ -482,10 +496,7 @@ mod tests {
             let base = estimate(&cluster, model, &SystemSetup::BaselineNccl);
             let cgx = estimate(&cluster, model, &SystemSetup::cgx());
             let speedup = cgx.throughput / base.throughput;
-            assert!(
-                speedup > 3.0,
-                "{model}: multi-node speedup {speedup:.1}"
-            );
+            assert!(speedup > 3.0, "{model}: multi-node speedup {speedup:.1}");
         }
     }
 

@@ -11,8 +11,7 @@
 
 use crate::estimate::{estimate, estimate_with_schemes, SystemSetup};
 use cgx_adaptive::{
-    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment,
-    LayerProfile,
+    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment, LayerProfile,
 };
 use cgx_compress::CompressionScheme;
 use cgx_models::{GradientSynth, ModelId, ModelSpec};
@@ -98,8 +97,8 @@ pub fn simulate_adaptive_session(
         let assignment = assign_bits(policy, &profiles, opts);
         let static4 = uniform_assignment(&profiles, 4);
         let size_ratio = assignment.size_ratio_vs(&static4, &profiles);
-        let error_ratio = assignment.estimated_error(&profiles)
-            / static4.estimated_error(&profiles).max(1e-12);
+        let error_ratio =
+            assignment.estimated_error(&profiles) / static4.estimated_error(&profiles).max(1e-12);
         // Expand to the full layer list and price the step.
         let mut schemes = vec![CompressionScheme::None; model.layers().len()];
         for (slot, scheme) in layer_indices.iter().zip(assignment.to_schemes()) {
@@ -186,11 +185,7 @@ mod tests {
         // recorded with possibly-equal assignments) and that wall-clock
         // accounting is consistent.
         let r = quick_session(AdaptivePolicy::KMeans);
-        let total: f64 = r
-            .epochs
-            .iter()
-            .map(|e| e.step_seconds * 8.0)
-            .sum();
+        let total: f64 = r.epochs.iter().map(|e| e.step_seconds * 8.0).sum();
         assert!((total - r.adaptive_seconds).abs() < 1e-9);
     }
 

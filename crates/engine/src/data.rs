@@ -121,7 +121,12 @@ impl MarkovChainLm {
         let v = self.vocab() as f64;
         self.transitions
             .iter()
-            .map(|row| -row.iter().filter(|p| **p > 0.0).map(|p| p * p.ln()).sum::<f64>())
+            .map(|row| {
+                -row.iter()
+                    .filter(|p| **p > 0.0)
+                    .map(|p| p * p.ln())
+                    .sum::<f64>()
+            })
             .sum::<f64>()
             / v
     }

@@ -10,9 +10,9 @@
 
 use crate::optimizer::SgdMomentum;
 use crate::trainer::{TrainConfig, TrainableModel};
-use cgx_collectives::reduce::allreduce;
+use cgx_collectives::reduce::allreduce_scratch;
 use cgx_collectives::{CommError, ThreadCluster};
-use cgx_compress::{Compressor, NoneCompressor};
+use cgx_compress::{Compressor, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
 /// Result of a local-SGD run.
@@ -55,11 +55,12 @@ where
     assert!(sync_period > 0, "sync period must be at least 1");
     assert!(cfg.workers > 0 && cfg.steps > 0, "degenerate config");
     let specs = model.param_specs();
+    let pool = ScratchPool::new();
     let outputs = ThreadCluster::try_run(cfg.workers, |t| {
+        let pool = pool.clone();
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
-        let mut comp_rng =
-            Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
+        let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
         let mut compressors = cfg.compression.build_all(&specs);
         let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut raw = NoneCompressor::new();
@@ -88,7 +89,7 @@ where
                         &mut raw
                     };
                     let (mut mean_delta, stats) =
-                        allreduce(cfg.algorithm, &t, &delta, comp, &mut comp_rng)?;
+                        allreduce_scratch(cfg.algorithm, &t, &delta, comp, &mut comp_rng, &pool)?;
                     mean_delta.scale(1.0 / world);
                     bytes += stats.bytes_sent;
                     *p = anchor[i].clone();
@@ -99,8 +100,7 @@ where
         }
         Ok::<_, CommError>((local, losses, bytes, sync_rounds))
     })?;
-    let (model0, losses, bytes, sync_rounds) =
-        outputs.into_iter().next().expect("rank 0 output");
+    let (model0, losses, bytes, sync_rounds) = outputs.into_iter().next().expect("rank 0 output");
     Ok((
         model0,
         LocalSgdReport {
@@ -117,6 +117,7 @@ mod tests {
     use crate::data::GaussianMixture;
     use crate::nn::Mlp;
     use crate::trainer::LayerCompression;
+    use cgx_collectives::reduce::allreduce;
 
     fn setup() -> (GaussianMixture, Mlp) {
         let task = GaussianMixture::new(5, 10, 1.3);
@@ -179,8 +180,7 @@ mod tests {
         let specs = model.param_specs();
         let replicas = ThreadCluster::try_run(3, |t| {
             let mut local = model.clone();
-            let mut data_rng =
-                Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
+            let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
             let mut comp_rng =
                 Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
             let mut comps = cfg.compression.build_all(&specs);
@@ -194,13 +194,8 @@ mod tests {
                     for (i, p) in local.params_mut().iter_mut().enumerate() {
                         let mut delta = p.clone();
                         delta.sub_assign(&anchor[i]);
-                        let (mut mean, _) = allreduce(
-                            cfg.algorithm,
-                            &t,
-                            &delta,
-                            comps[i].as_mut(),
-                            &mut comp_rng,
-                        )?;
+                        let (mut mean, _) =
+                            allreduce(cfg.algorithm, &t, &delta, comps[i].as_mut(), &mut comp_rng)?;
                         mean.scale(1.0 / t.world() as f32);
                         *p = anchor[i].clone();
                         p.add_assign(&mean);

@@ -181,8 +181,7 @@ impl MlpNorm {
     /// Logits for a `batch x input` tensor.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let h0 = Self::affine(&self.params[0], &self.params[1], x);
-        let (mut h1, _, _) =
-            layer_norm_forward(&h0, &self.params[2], &self.params[3], 1e-5);
+        let (mut h1, _, _) = layer_norm_forward(&h0, &self.params[2], &self.params[3], 1e-5);
         for v in h1.as_mut_slice() {
             if *v < 0.0 {
                 *v = 0.0;

@@ -123,7 +123,10 @@ impl Adam {
     /// Panics if any parameter is out of range.
     pub fn with_params(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
         Adam {
@@ -162,8 +165,14 @@ impl Adam {
     pub fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "params/grads mismatch");
         if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Tensor::zeros(g.shape().dims())).collect();
-            self.v = grads.iter().map(|g| Tensor::zeros(g.shape().dims())).collect();
+            self.m = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().dims()))
+                .collect();
+            self.v = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().dims()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter count changed");
         self.t += 1;
@@ -349,11 +358,17 @@ mod tests {
     fn schedules_have_expected_shapes() {
         let base = 1.0;
         assert_eq!(LrSchedule::Constant.lr_at(base, 1000), 1.0);
-        let sd = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let sd = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(sd.lr_at(base, 0), 1.0);
         assert_eq!(sd.lr_at(base, 10), 0.5);
         assert_eq!(sd.lr_at(base, 25), 0.25);
-        let cos = LrSchedule::Cosine { total: 100, min_lr: 0.1 };
+        let cos = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.1,
+        };
         assert!((cos.lr_at(base, 0) - 1.0).abs() < 1e-6);
         assert!((cos.lr_at(base, 100) - 0.1).abs() < 1e-6);
         assert!(cos.lr_at(base, 50) < 1.0 && cos.lr_at(base, 50) > 0.1);
@@ -365,7 +380,10 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing() {
-        let cos = LrSchedule::Cosine { total: 50, min_lr: 0.0 };
+        let cos = LrSchedule::Cosine {
+            total: 50,
+            min_lr: 0.0,
+        };
         let mut last = f32::INFINITY;
         for s in 0..=50 {
             let lr = cos.lr_at(1.0, s);

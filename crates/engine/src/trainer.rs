@@ -12,9 +12,9 @@
 
 use crate::nn::ParamSpec;
 use crate::optimizer::{clip_global_norm, SgdMomentum};
-use cgx_collectives::reduce::{allreduce, Algorithm};
+use cgx_collectives::reduce::{allreduce_scratch, Algorithm};
 use cgx_collectives::{CommError, ShmTransport, ThreadCluster};
-use cgx_compress::{Compressor, CompressionScheme};
+use cgx_compress::{CompressionScheme, Compressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
 /// A model trainable by [`train_data_parallel`].
@@ -250,7 +250,11 @@ where
     assert!(cfg.steps > 0, "need at least one step");
     assert!(cfg.accumulation > 0, "accumulation must be at least 1");
     let specs = model.param_specs();
+    // One pool shared by all workers: encode buffers recycled by whichever
+    // rank drops the last reference get reused fleet-wide.
+    let pool = ScratchPool::new();
     let outputs = ThreadCluster::try_run(cfg.workers, |t: ShmTransport| {
+        let pool = pool.clone();
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
         let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
@@ -282,8 +286,14 @@ where
             }
             losses.push(loss);
             for (i, g) in grads.iter_mut().enumerate() {
-                let (mut summed, stats) =
-                    allreduce(cfg.algorithm, &t, g, compressors[i].as_mut(), &mut comp_rng)?;
+                let (mut summed, stats) = allreduce_scratch(
+                    cfg.algorithm,
+                    &t,
+                    g,
+                    compressors[i].as_mut(),
+                    &mut comp_rng,
+                    &pool,
+                )?;
                 summed.scale(1.0 / world);
                 *g = summed;
                 bytes += stats.bytes_sent;
@@ -312,6 +322,7 @@ mod tests {
     use super::*;
     use crate::data::{GaussianMixture, MarkovChainLm};
     use crate::nn::{EmbeddingLm, Mlp};
+    use cgx_collectives::reduce::allreduce;
     use cgx_models::LayerKind;
 
     fn mixture_eval(model: &Mlp, task: &GaussianMixture) -> f64 {
@@ -345,10 +356,7 @@ mod tests {
         // small-layer filter matches the FP32 baseline within 1%.
         let base = train_mixture(LayerCompression::none(), 4);
         let cgx = train_mixture(LayerCompression::cgx_default(), 4);
-        assert!(
-            cgx >= base - 0.01,
-            "cgx accuracy {cgx} vs baseline {base}"
-        );
+        assert!(cgx >= base - 0.01, "cgx accuracy {cgx} vs baseline {base}");
     }
 
     #[test]
@@ -397,8 +405,7 @@ mod tests {
         let model = Mlp::new(&mut rng, &[6, 10, 3]);
         let cfg = TrainConfig::new(1, 40);
         let t2 = task.clone();
-        let (par, _) =
-            train_data_parallel(&model, move |r| t2.sample_batch(r, 8), &cfg).unwrap();
+        let (par, _) = train_data_parallel(&model, move |r| t2.sample_batch(r, 8), &cfg).unwrap();
         // Sequential reference with the identical RNG stream.
         let mut seq = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ 0xD00D);
@@ -457,11 +464,13 @@ mod tests {
 
     #[test]
     fn overrides_take_precedence() {
-        let lc = LayerCompression::cgx_default()
-            .with_override("word_emb", CompressionScheme::Qsgd {
+        let lc = LayerCompression::cgx_default().with_override(
+            "word_emb",
+            CompressionScheme::Qsgd {
                 bits: 2,
                 bucket_size: 1024,
-            });
+            },
+        );
         let spec = ParamSpec {
             name: "word_emb.weight".into(),
             kind: LayerKind::Embedding,
@@ -507,8 +516,8 @@ mod tests {
             ..TrainConfig::new(1, 30)
         };
         let t1 = task.clone();
-        let (a, _) = train_data_parallel(&model, move |r| t1.sample_batch(r, 8), &accum_cfg)
-            .unwrap();
+        let (a, _) =
+            train_data_parallel(&model, move |r| t1.sample_batch(r, 8), &accum_cfg).unwrap();
         // Reference: same RNG stream consumed in 4 draws of 8, concatenated.
         let big_cfg = TrainConfig::new(1, 30);
         let t2 = task.clone();
@@ -522,10 +531,7 @@ mod tests {
                     xs.extend_from_slice(x.as_slice());
                     ys.extend(y);
                 }
-                (
-                    cgx_tensor::Tensor::from_vec(&[32, 6], xs),
-                    ys,
-                )
+                (cgx_tensor::Tensor::from_vec(&[32, 6], xs), ys)
             },
             &big_cfg,
         )

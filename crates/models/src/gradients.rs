@@ -68,9 +68,7 @@ impl GradientSynth {
         };
         let t = step as f64;
         match layer.kind() {
-            LayerKind::Conv | LayerKind::Linear => {
-                (1.0 / fan_in.sqrt()) / (1.0 + t / 200.0).sqrt()
-            }
+            LayerKind::Conv | LayerKind::Linear => (1.0 / fan_in.sqrt()) / (1.0 + t / 200.0).sqrt(),
             // Embedding rows are mostly untouched; active rows carry
             // moderate gradient that decays fastest as the table settles.
             LayerKind::Embedding => {
@@ -232,9 +230,7 @@ mod tests {
     fn norm_layers_have_larger_per_element_scale() {
         let norm = LayerSpec::new("bn", LayerKind::Norm, &[512]);
         let conv = LayerSpec::new("c", LayerKind::Conv, &[512, 512, 3, 3]);
-        assert!(
-            GradientSynth::layer_sigma(&norm, 0) > 3.0 * GradientSynth::layer_sigma(&conv, 0)
-        );
+        assert!(GradientSynth::layer_sigma(&norm, 0) > 3.0 * GradientSynth::layer_sigma(&conv, 0));
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl LayerList {
 
     /// Convolution weight.
     fn conv(&mut self, name: &str, out_c: usize, in_c: usize, k: usize) {
-        self.push(format!("{name}.weight"), LayerKind::Conv, &[out_c, in_c, k, k]);
+        self.push(
+            format!("{name}.weight"),
+            LayerKind::Conv,
+            &[out_c, in_c, k, k],
+        );
     }
 
     /// Batch/layer norm: weight + bias of width `c`.
@@ -54,7 +58,11 @@ impl LayerList {
 
     /// Embedding table.
     fn embedding(&mut self, name: &str, vocab: usize, dim: usize) {
-        self.push(format!("{name}.weight"), LayerKind::Embedding, &[vocab, dim]);
+        self.push(
+            format!("{name}.weight"),
+            LayerKind::Embedding,
+            &[vocab, dim],
+        );
     }
 }
 
@@ -90,17 +98,19 @@ pub fn resnet50() -> ModelSpec {
 /// VGG16 (configuration D) — ~138 M parameters, dominated by the FC head.
 pub fn vgg16() -> ModelSpec {
     let mut l = LayerList::new();
-    let cfg: [&[usize]; 5] = [&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let cfg: [&[usize]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     let mut in_c = 3;
     let mut idx = 0;
     for stage in cfg {
         for &out_c in stage {
             l.conv(&format!("features.{idx}"), out_c, in_c, 3);
-            l.push(
-                format!("features.{idx}.bias"),
-                LayerKind::Bias,
-                &[out_c],
-            );
+            l.push(format!("features.{idx}.bias"), LayerKind::Bias, &[out_c]);
             in_c = out_c;
             idx += 1;
         }
@@ -117,11 +127,7 @@ pub fn vit_base() -> ModelSpec {
     let mut l = LayerList::new();
     l.push("cls_token", LayerKind::Other, &[d]);
     l.push("pos_embed", LayerKind::Other, &[197, d]);
-    l.push(
-        "patch_embed.proj.weight",
-        LayerKind::Conv,
-        &[d, 3, 16, 16],
-    );
+    l.push("patch_embed.proj.weight", LayerKind::Conv, &[d, 3, 16, 16]);
     l.push("patch_embed.proj.bias", LayerKind::Bias, &[d]);
     for b in 0..12 {
         let p = format!("blocks.{b}");

@@ -37,7 +37,7 @@
 //!         Tensor::randn(&mut rng, &[40, 5]),
 //!     ];
 //!     let fused = FusedBuffer::pack(&grads);
-//!     let ring = QncclRing::new(4, 128);
+//!     let mut ring = QncclRing::new(4, 128);
 //!     let reduced = ring.allreduce(&t, &fused, &mut rng).unwrap();
 //!     reduced.unpack()
 //! })
@@ -46,9 +46,9 @@
 //! assert_eq!(results[0][1].shape().dims(), &[40, 5]);
 //! ```
 
-use cgx_collectives::reduce::{allreduce_ring, AllreduceStats};
+use cgx_collectives::reduce::{allreduce_ring_scratch, AllreduceStats};
 use cgx_collectives::{CommError, ShmTransport};
-use cgx_compress::QsgdCompressor;
+use cgx_compress::{QsgdCompressor, ScratchPool};
 use cgx_tensor::{Rng, Shape, Tensor};
 
 /// A DDP-style fused gradient bucket: one flat buffer plus the layer
@@ -134,10 +134,15 @@ impl FusedBuffer {
 
 /// The QNCCL collective: a chunked ring Allreduce whose every transfer is
 /// uniformly quantized, oblivious to the layer structure inside the buffer.
+///
+/// The ring owns its quantizer and a scratch pool, so repeated calls reuse
+/// encode buffers instead of allocating per step.
 #[derive(Debug, Clone)]
 pub struct QncclRing {
     bits: u32,
     bucket_size: usize,
+    comp: QsgdCompressor,
+    pool: ScratchPool,
 }
 
 impl QncclRing {
@@ -148,9 +153,12 @@ impl QncclRing {
     ///
     /// Panics on parameters [`QsgdCompressor::new`] rejects.
     pub fn new(bits: u32, bucket_size: usize) -> Self {
-        // Validate eagerly.
-        let _ = QsgdCompressor::new(bits, bucket_size);
-        QncclRing { bits, bucket_size }
+        QncclRing {
+            bits,
+            bucket_size,
+            comp: QsgdCompressor::new(bits, bucket_size),
+            pool: ScratchPool::new(),
+        }
     }
 
     /// Quantization bit-width.
@@ -170,7 +178,7 @@ impl QncclRing {
     ///
     /// Propagates transport failures.
     pub fn allreduce(
-        &self,
+        &mut self,
         t: &ShmTransport,
         fused: &FusedBuffer,
         rng: &mut Rng,
@@ -185,13 +193,13 @@ impl QncclRing {
     ///
     /// Propagates transport failures.
     pub fn allreduce_with_stats(
-        &self,
+        &mut self,
         t: &ShmTransport,
         fused: &FusedBuffer,
         rng: &mut Rng,
     ) -> Result<(FusedBuffer, AllreduceStats), CommError> {
-        let mut comp = QsgdCompressor::new(self.bits, self.bucket_size);
-        let (mut sum, stats) = allreduce_ring(t, fused.flat(), &mut comp, rng)?;
+        let (mut sum, stats) =
+            allreduce_ring_scratch(t, fused.flat(), &mut self.comp, rng, &self.pool)?;
         sum.scale(1.0 / t.world() as f32);
         Ok((fused.with_flat(sum), stats))
     }
@@ -201,7 +209,7 @@ impl QncclRing {
 mod tests {
     use super::*;
     use cgx_collectives::ThreadCluster;
-    use cgx_compress::{Compressor, CompressionScheme};
+    use cgx_compress::{CompressionScheme, Compressor};
 
     fn layer_set(rng: &mut Rng) -> Vec<Tensor> {
         // Deliberately heterogeneous scales: a big quiet matrix, a loud
@@ -235,7 +243,7 @@ mod tests {
             let mut rng = Rng::seed_from_u64(10 + t.rank() as u64);
             let grads = layer_set(&mut rng);
             let fused = FusedBuffer::pack(&grads);
-            let ring = QncclRing::new(8, 64); // high precision: near-exact
+            let mut ring = QncclRing::new(8, 64); // high precision: near-exact
             let out = ring.allreduce(&t, &fused, &mut rng).unwrap();
             (fused, out)
         })
@@ -296,7 +304,7 @@ mod tests {
             let mut rng = Rng::seed_from_u64(t.rank() as u64);
             let grads = vec![Tensor::randn(&mut rng, &[4096])];
             let fused = FusedBuffer::pack(&grads);
-            let ring = QncclRing::new(4, 128);
+            let mut ring = QncclRing::new(4, 128);
             ring.allreduce_with_stats(&t, &fused, &mut rng).unwrap().1
         })
         .unwrap();

@@ -28,7 +28,7 @@ fn train_qnccl(task: &GaussianMixture, model: &Mlp, bits: u32, bucket: usize) ->
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(0xD00D + t.rank() as u64 * 7919);
         let mut comp_rng = Rng::seed_from_u64(0xC0FFEE + t.rank() as u64 * 104_729);
-        let ring = QncclRing::new(bits, bucket);
+        let mut ring = QncclRing::new(bits, bucket);
         let mut opt = SgdMomentum::new(0.2, 0.9, 0.0);
         for _ in 0..STEPS {
             let (x, y) = task.sample_batch(&mut data_rng, 16);
@@ -58,8 +58,7 @@ fn qnccl_with_small_buckets_recovers_accuracy() {
         ..TrainConfig::new(WORKERS, STEPS)
     };
     let t2 = task.clone();
-    let (baseline, _) =
-        train_data_parallel(&model, move |r| t2.sample_batch(r, 16), &cfg).unwrap();
+    let (baseline, _) = train_data_parallel(&model, move |r| t2.sample_batch(r, 16), &cfg).unwrap();
     let base_acc = eval(&baseline, &task);
     let qnccl_acc = eval(&train_qnccl(&task, &model, 4, 128), &task);
     assert!(
@@ -79,7 +78,7 @@ fn qnccl_replicas_stay_consistent() {
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(100 + t.rank() as u64);
         let mut comp_rng = Rng::seed_from_u64(200 + t.rank() as u64);
-        let ring = QncclRing::new(4, 512);
+        let mut ring = QncclRing::new(4, 512);
         let mut opt = SgdMomentum::new(0.1, 0.9, 0.0);
         for _ in 0..25 {
             let (x, y) = task.sample_batch(&mut data_rng, 8);

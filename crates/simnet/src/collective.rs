@@ -96,12 +96,7 @@ impl CommCost {
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn allreduce_time(
-    scheme: ReductionScheme,
-    n: usize,
-    full_bytes: usize,
-    cost: CommCost,
-) -> f64 {
+pub fn allreduce_time(scheme: ReductionScheme, n: usize, full_bytes: usize, cost: CommCost) -> f64 {
     assert!(n > 0, "need at least one rank");
     if n == 1 {
         return 0.0;
@@ -188,12 +183,7 @@ mod tests {
     #[test]
     fn sra_matches_closed_form() {
         // 8 ranks, 80 MB, 2 GB/s: 2 * 7 * 10MB / 2e9 + 2a = 70 ms + 20 us.
-        let t = allreduce_time(
-            ReductionScheme::ScatterReduceAllgather,
-            8,
-            80 * MB,
-            c(2.0),
-        );
+        let t = allreduce_time(ReductionScheme::ScatterReduceAllgather, 8, 80 * MB, c(2.0));
         assert!((t - (0.07 + 2.0 * 10e-6)).abs() < 1e-9, "t={t}");
     }
 

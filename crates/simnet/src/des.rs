@@ -112,7 +112,10 @@ impl NetworkDes {
     /// forward dependencies that would deadlock.
     pub fn run(&self, ops: &[SendOp]) -> (Vec<f64>, f64) {
         for (i, op) in ops.iter().enumerate() {
-            assert!(op.src < self.ranks && op.dst < self.ranks, "op {i}: bad rank");
+            assert!(
+                op.src < self.ranks && op.dst < self.ranks,
+                "op {i}: bad rank"
+            );
             assert!(op.src != op.dst, "op {i}: self-send");
         }
         let n_ops = ops.len();

@@ -49,11 +49,11 @@ pub mod step;
 pub mod topology;
 
 pub use backend::CommBackend;
-pub use des::{NetworkDes, SendOp};
 pub use collective::{
     allreduce_time, flat_multinode_allreduce_time, hierarchical_allreduce_time, CommCost,
     ReductionScheme,
 };
+pub use des::{NetworkDes, SendOp};
 pub use hardware::{GpuModel, GpuSpec};
 pub use machine::MachineSpec;
 pub use memory::{max_batch, recipe_batch_fits, training_memory_mb, OptimizerKind};

@@ -314,11 +314,7 @@ mod tests {
     #[test]
     fn backend_efficiency_orders_stream_bandwidth() {
         let m = MachineSpec::rtx3090();
-        assert!(
-            m.stream_bandwidth(CommBackend::Shm) > m.stream_bandwidth(CommBackend::Nccl)
-        );
-        assert!(
-            m.stream_bandwidth(CommBackend::Nccl) > m.stream_bandwidth(CommBackend::Mpi)
-        );
+        assert!(m.stream_bandwidth(CommBackend::Shm) > m.stream_bandwidth(CommBackend::Nccl));
+        assert!(m.stream_bandwidth(CommBackend::Nccl) > m.stream_bandwidth(CommBackend::Mpi));
     }
 }

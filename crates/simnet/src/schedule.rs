@@ -137,22 +137,15 @@ pub fn cross_barrier_step(
     if cfg.machine.total_gpus() <= 1 {
         return Some(within);
     }
-    let kernel_rounds = cfg
-        .scheme
-        .requantization_rounds(cfg.machine.total_gpus()) as f64;
+    let kernel_rounds = cfg.scheme.requantization_rounds(cfg.machine.total_gpus()) as f64;
     let contention = cfg.backend.kernel_contention();
     let kernels: f64 = layers
         .iter()
         .map(|l| l.kernel_seconds * kernel_rounds * contention)
         .sum();
-    let comm_total: f64 = layers
-        .iter()
-        .map(|l| message_time(cfg, l.wire_bytes))
-        .sum();
-    let overhead = within.step_seconds
-        - within.compute_seconds
-        - within.exposed_comm_seconds
-        - kernels;
+    let comm_total: f64 = layers.iter().map(|l| message_time(cfg, l.wire_bytes)).sum();
+    let overhead =
+        within.step_seconds - within.compute_seconds - within.exposed_comm_seconds - kernels;
     let period = (compute.step_seconds + kernels).max(comm_total) + overhead.max(0.0);
     Some(StepReport {
         step_seconds: period.min(within.step_seconds),
@@ -219,8 +212,7 @@ mod tests {
         let ls = layers(&[3_000_000, 2_000_000, 2_000_000]); // ~7 MB wire
         let compute = ComputeProfile::new(0.04);
         let within = crate::step::simulate_step(&cfg(), &ls, compute);
-        let cross =
-            cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
+        let cross = cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
         let gain = within.step_seconds / cross.step_seconds;
         assert!(
             (1.0..1.05).contains(&gain),
@@ -251,8 +243,7 @@ mod tests {
             let ls = layers(&[wire]);
             let compute = ComputeProfile::new(0.02);
             let within = crate::step::simulate_step(&cfg(), &ls, compute);
-            let cross =
-                cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
+            let cross = cross_barrier_step(&cfg(), &ls, compute, false).expect("no clipping");
             assert!(cross.step_seconds <= within.step_seconds + 1e-12);
             assert!(cross.step_seconds >= compute.step_seconds);
         }

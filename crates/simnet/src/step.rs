@@ -13,9 +13,7 @@
 //! bandwidth-optimization ceiling.
 
 use crate::backend::CommBackend;
-use crate::collective::{
-    allreduce_time, hierarchical_allreduce_time, CommCost, ReductionScheme,
-};
+use crate::collective::{allreduce_time, hierarchical_allreduce_time, CommCost, ReductionScheme};
 use crate::machine::MachineSpec;
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +36,12 @@ pub struct LayerMsg {
 
 impl LayerMsg {
     /// Creates a message descriptor.
-    pub fn new(name: impl Into<String>, elements: usize, wire_bytes: usize, kernel_seconds: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        elements: usize,
+        wire_bytes: usize,
+        kernel_seconds: f64,
+    ) -> Self {
         LayerMsg {
             name: name.into(),
             elements,
@@ -198,7 +201,11 @@ pub fn fuse_messages(msgs: &[LayerMsg], threshold: usize) -> Vec<LayerMsg> {
                 c.name = format!("bucket[..{}]", m.name);
             }
         }
-        if cur.as_ref().map(|c| c.wire_bytes >= threshold).unwrap_or(false) {
+        if cur
+            .as_ref()
+            .map(|c| c.wire_bytes >= threshold)
+            .unwrap_or(false)
+        {
             out.push(cur.take().expect("bucket present"));
         }
     }
@@ -477,8 +484,7 @@ mod tests {
         let (report, trace) = simulate_step_traced(&cfg, &layers, ComputeProfile::new(0.04));
         // Events are within [0, step]; per-lane events never overlap.
         for lane in [Lane::Compute, Lane::Link] {
-            let mut evs: Vec<&TraceEvent> =
-                trace.iter().filter(|e| e.lane == lane).collect();
+            let mut evs: Vec<&TraceEvent> = trace.iter().filter(|e| e.lane == lane).collect();
             evs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
             for w in evs.windows(2) {
                 assert!(
@@ -519,7 +525,11 @@ mod tests {
     #[test]
     fn single_gpu_has_no_comm() {
         let cfg = StepConfig::cgx(MachineSpec::rtx3090().with_gpus(1));
-        let r = simulate_step(&cfg, &layers_even(10, 1000, 4000), ComputeProfile::new(0.04));
+        let r = simulate_step(
+            &cfg,
+            &layers_even(10, 1000, 4000),
+            ComputeProfile::new(0.04),
+        );
         assert_eq!(r.step_seconds, 0.04);
         assert_eq!(r.exposed_comm_seconds, 0.0);
         assert_eq!(r.scaling_efficiency(), 1.0);
@@ -609,7 +619,10 @@ mod tests {
         let base = simulate_step(&StepConfig::nccl_baseline(m.clone()), &fp32, compute);
         let qn = simulate_step(&StepConfig::qnccl(m.clone()), &q, compute);
         let cgx = simulate_step(&StepConfig::cgx(m), &q, compute);
-        assert!(qn.step_seconds < base.step_seconds, "QNCCL improves on NCCL");
+        assert!(
+            qn.step_seconds < base.step_seconds,
+            "QNCCL improves on NCCL"
+        );
         assert!(cgx.step_seconds < qn.step_seconds, "CGX beats QNCCL");
     }
 

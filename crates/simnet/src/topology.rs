@@ -102,7 +102,10 @@ impl Topology {
     /// Panics if an endpoint index is out of range or bandwidth is not
     /// positive.
     pub fn add_link(&mut self, a: usize, b: usize, bandwidth: f64, kind: LinkKind) {
-        assert!(a < self.devices.len() && b < self.devices.len(), "bad endpoint");
+        assert!(
+            a < self.devices.len() && b < self.devices.len(),
+            "bad endpoint"
+        );
         assert!(bandwidth > 0.0, "bandwidth must be positive");
         self.links.push(Link {
             a,
@@ -212,7 +215,13 @@ impl Topology {
         (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|j| if i == j { 0.0 } else { self.p2p_bandwidth(i, j) })
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            self.p2p_bandwidth(i, j)
+                        }
+                    })
                     .collect()
             })
             .collect()
@@ -303,7 +312,10 @@ impl Topology {
 /// `pcie_bw` is the per-hop PCIe bandwidth (3090: ~16 GB/s; 2080 Ti:
 /// ~8 GB/s), `qpi_bw` the socket bridge.
 pub fn rtx_dual_numa(name: &str, n_gpus: u32, pcie_bw: f64, qpi_bw: f64) -> Topology {
-    assert!(n_gpus.is_multiple_of(4), "dual-NUMA layout needs multiples of 4 GPUs");
+    assert!(
+        n_gpus.is_multiple_of(4),
+        "dual-NUMA layout needs multiples of 4 GPUs"
+    );
     let mut t = Topology::new(name);
     let numa0 = t.add_device(Device::NumaRoot(0));
     let numa1 = t.add_device(Device::NumaRoot(1));
@@ -357,10 +369,7 @@ pub fn dgx1_hypercube(name: &str, nvlink_bw: f64) -> Topology {
         for i in base..base + 4 {
             for j in (i + 1)..base + 4 {
                 // Backbone-ring edges carry double links.
-                let doubled = matches!(
-                    (i - base, j - base),
-                    (0, 1) | (2, 3) | (0, 3) | (1, 2)
-                );
+                let doubled = matches!((i - base, j - base), (0, 1) | (2, 3) | (0, 3) | (1, 2));
                 let bw = if doubled { 2.0 * nvlink_bw } else { nvlink_bw };
                 t.add_link(gpus[i], gpus[j], bw, LinkKind::NvLink);
             }

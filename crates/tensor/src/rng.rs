@@ -17,6 +17,7 @@
 /// let b = cgx_tensor::rng::split_mix64(&mut state);
 /// assert_ne!(a, b);
 /// ```
+#[inline]
 pub fn split_mix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;
@@ -66,11 +67,9 @@ impl Rng {
     }
 
     /// Returns the next raw 64-bit output.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -82,11 +81,13 @@ impl Rng {
     }
 
     /// Returns the next 32-bit output.
+    #[inline]
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }

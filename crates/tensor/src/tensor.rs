@@ -116,7 +116,11 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn reshape(mut self, dims: &[usize]) -> Self {
         let shape = Shape::from(dims);
-        assert_eq!(shape.len(), self.data.len(), "reshape changes element count");
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape changes element count"
+        );
         self.shape = shape;
         self
     }
@@ -250,13 +254,16 @@ impl Tensor {
         assert!(k <= self.len(), "k={k} exceeds length {}", self.len());
         let mut idx: Vec<usize> = (0..self.len()).collect();
         // Partial selection: sort by descending |value|, stable on index.
-        idx.select_nth_unstable_by(k.saturating_sub(1).min(self.len().saturating_sub(1)), |&a, &b| {
-            self.data[b]
-                .abs()
-                .partial_cmp(&self.data[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        idx.select_nth_unstable_by(
+            k.saturating_sub(1).min(self.len().saturating_sub(1)),
+            |&a, &b| {
+                self.data[b]
+                    .abs()
+                    .partial_cmp(&self.data[a].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            },
+        );
         let mut out = idx[..k].to_vec();
         out.sort_unstable();
         out

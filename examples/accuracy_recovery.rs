@@ -37,8 +37,7 @@ fn main() {
         };
         let t = task.clone();
         let (trained, report) =
-            train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg)
-                .expect("training");
+            train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg).expect("training");
         let mut eval_rng = Rng::seed_from_u64(777);
         let (x, y) = task.sample_batch(&mut eval_rng, 2048);
         println!(

@@ -26,8 +26,8 @@ fn main() {
         &model,
         AdaptivePolicy::KMeans,
         &AdaptiveOptions::default(),
-        4,   // statistics accumulation steps
-        7,   // seed
+        4, // statistics accumulation steps
+        7, // seed
     );
 
     println!("\nAlgorithm 1 (k-means) bit-width assignment (compressible layers):");

@@ -31,7 +31,10 @@ fn main() {
         }
         m.perplexity(&seqs, &tgts)
     };
-    println!("untrained perplexity: {:.2} (uniform would be {vocab})", eval(&model));
+    println!(
+        "untrained perplexity: {:.2} (uniform would be {vocab})",
+        eval(&model)
+    );
 
     for (name, compression) in [
         ("fp32", LayerCompression::none()),

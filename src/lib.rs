@@ -56,7 +56,7 @@
 pub mod prelude {
     pub use cgx_adaptive::{assign_bits, AdaptiveOptions, AdaptivePolicy, LayerProfile};
     pub use cgx_collectives::{reduce::allreduce, reduce::Algorithm, ThreadCluster};
-    pub use cgx_compress::{Compressor, CompressionScheme, QsgdCompressor};
+    pub use cgx_compress::{CompressionScheme, Compressor, QsgdCompressor};
     pub use cgx_core::api::{Cgx, CgxBuilder};
     pub use cgx_core::estimate::{estimate, SystemSetup};
     pub use cgx_engine::{train_data_parallel, LayerCompression, TrainConfig};

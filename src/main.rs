@@ -116,10 +116,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let flags = parse_flags(&args[1..]);
-    let model = flags
-        .get("model")
-        .map(String::as_str)
-        .unwrap_or("txl");
+    let model = flags.get("model").map(String::as_str).unwrap_or("txl");
     let machine_name = flags
         .get("machine")
         .map(String::as_str)
@@ -191,8 +188,7 @@ fn main() -> ExitCode {
                 MachineSpec::rtx3090()
             };
             let spec = ModelSpec::build(model_id);
-            let out =
-                adaptive_compression_for(&spec, policy, &AdaptiveOptions::default(), 2, 7);
+            let out = adaptive_compression_for(&spec, policy, &AdaptiveOptions::default(), 2, 7);
             let stat = estimate(&machine, model_id, &SystemSetup::cgx());
             let adapt = estimate_with_schemes(&machine, model_id, &out.schemes);
             let mut hist = std::collections::BTreeMap::new();

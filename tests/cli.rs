@@ -17,7 +17,13 @@ fn cgx(args: &[&str]) -> (String, bool) {
 #[test]
 fn estimate_prints_a_throughput_line() {
     let (out, ok) = cgx(&[
-        "estimate", "--machine", "rtx3090", "--model", "txl", "--setup", "cgx",
+        "estimate",
+        "--machine",
+        "rtx3090",
+        "--model",
+        "txl",
+        "--setup",
+        "cgx",
     ]);
     assert!(ok);
     assert!(out.contains("RTX-3090"));

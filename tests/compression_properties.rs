@@ -2,19 +2,13 @@
 //! predictions are exact, round-trips preserve shape, error bounds hold,
 //! and the codecs are robust to adversarial inputs.
 
-use cgx::compress::{
-    compression_error, CompressionScheme, Compressor, NormKind, QsgdCompressor,
-};
+use cgx::compress::{compression_error, CompressionScheme, Compressor, NormKind, QsgdCompressor};
 use cgx::tensor::{Rng, Tensor};
 use proptest::prelude::*;
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(
-        prop_oneof![
-            (-1e3f32..1e3f32),
-            (-1e-4f32..1e-4f32),
-            Just(0.0f32),
-        ],
+        prop_oneof![(-1e3f32..1e3f32), (-1e-4f32..1e-4f32), Just(0.0f32),],
         1..max_len,
     )
 }

@@ -14,7 +14,9 @@ use cgx::simnet::MachineSpec;
 fn figure1_compression_approaches_ideal_monotonically() {
     let machine = MachineSpec::rtx3090();
     for model in ModelId::all() {
-        let ideal = estimate(&machine, model, &SystemSetup::Ideal).report.step_seconds;
+        let ideal = estimate(&machine, model, &SystemSetup::Ideal)
+            .report
+            .step_seconds;
         let mut last = f64::INFINITY;
         for gamma in [1.0, 4.0, 16.0, 64.0, 256.0] {
             let t = estimate(&machine, model, &SystemSetup::Fake { gamma })
@@ -63,9 +65,7 @@ fn table4_cgx_wins_cost_efficiency() {
     let (genesis_nccl, aws, genesis_cgx) = (&rows[0], &rows[1], &rows[2]);
     assert!(aws.throughput > genesis_nccl.throughput);
     assert!(genesis_cgx.throughput > 0.8 * aws.throughput);
-    assert!(
-        genesis_cgx.items_per_second_per_dollar > 1.5 * aws.items_per_second_per_dollar
-    );
+    assert!(genesis_cgx.items_per_second_per_dollar > 1.5 * aws.items_per_second_per_dollar);
 }
 
 #[test]
@@ -111,11 +111,9 @@ fn table7_adaptive_ordering_and_magnitudes() {
     let static_multi = estimate(&multi, ModelId::TransformerXl, &SystemSetup::cgx());
     let speedups = |policy| {
         let out = adaptive_compression_for(&model, policy, &opts, 2, 7);
-        let s1 = estimate_with_schemes(&single, ModelId::TransformerXl, &out.schemes)
-            .throughput
+        let s1 = estimate_with_schemes(&single, ModelId::TransformerXl, &out.schemes).throughput
             / static_single.throughput;
-        let sm = estimate_with_schemes(&multi, ModelId::TransformerXl, &out.schemes)
-            .throughput
+        let sm = estimate_with_schemes(&multi, ModelId::TransformerXl, &out.schemes).throughput
             / static_multi.throughput;
         (out.size_ratio_vs_static4, s1, sm)
     };
@@ -126,7 +124,10 @@ fn table7_adaptive_ordering_and_magnitudes() {
     assert!((1.0..1.15).contains(&km_1), "kmeans 1-node {km_1:.2}");
     assert!((1.2..1.6).contains(&km_m), "kmeans multi {km_m:.2}");
     // KMEANS >= Linear on both axes; multi-node gain >> single-node gain.
-    assert!(km_m >= lin_m - 1e-9, "kmeans {km_m:.2} vs linear {lin_m:.2}");
+    assert!(
+        km_m >= lin_m - 1e-9,
+        "kmeans {km_m:.2} vs linear {lin_m:.2}"
+    );
     assert!(km_1 >= lin_1 - 1e-9);
     assert!(km_m > km_1 + 0.1, "multi-node gain must dominate");
 }
@@ -142,7 +143,10 @@ fn table8_ceiling_in_paper_band() {
         );
         // CGX approaches (never exceeds by much) the ceiling.
         let cgx = estimate(&rtx, model, &SystemSetup::cgx()).scaling;
-        assert!(cgx <= ceiling + 0.02, "{model}: CGX {cgx:.2} vs {ceiling:.2}");
+        assert!(
+            cgx <= ceiling + 0.02,
+            "{model}: CGX {cgx:.2} vs {ceiling:.2}"
+        );
         assert!(cgx > 0.6, "{model}: CGX too far from ceiling");
     }
 }

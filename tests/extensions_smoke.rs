@@ -10,8 +10,8 @@ use cgx::engine::nn::Mlp;
 use cgx::engine::{train_data_parallel, train_local_sgd, LayerCompression, TrainConfig};
 use cgx::models::{ModelId, ModelSpec};
 use cgx::simnet::{
-    cross_barrier_step, max_batch, simulate_step_ordered, ComputeProfile, GpuModel,
-    MachineSpec, MessageOrder, StepConfig,
+    cross_barrier_step, max_batch, simulate_step_ordered, ComputeProfile, GpuModel, MachineSpec,
+    MessageOrder, StepConfig,
 };
 use cgx::tensor::Rng;
 
@@ -20,9 +20,7 @@ fn cgx_msgs(model: ModelId) -> (Vec<cgx::simnet::LayerMsg>, ComputeProfile) {
     let mut session = CgxBuilder::new().build();
     session.register_model_spec(&spec);
     let msgs = session.layer_messages(spec.precision());
-    let compute = ComputeProfile::new(
-        MachineSpec::rtx3090().gpu().step_compute_seconds(&spec),
-    );
+    let compute = ComputeProfile::new(MachineSpec::rtx3090().gpu().step_compute_seconds(&spec));
     (msgs, compute)
 }
 
@@ -108,7 +106,10 @@ fn memory_model_reproduces_the_2080_batch_limit() {
     // Every recipe fits the machines the paper ran it on (24 GB cards).
     for id in ModelId::all() {
         let m = ModelSpec::build(id);
-        assert!(max_batch(&m, GpuModel::Rtx3090) >= m.per_gpu_batch(), "{id}");
+        assert!(
+            max_batch(&m, GpuModel::Rtx3090) >= m.per_gpu_batch(),
+            "{id}"
+        );
     }
 }
 
@@ -120,7 +121,7 @@ fn qnccl_fused_ring_reduces_exactly_like_a_mean() {
     let results = ThreadCluster::run(4, |t| {
         let grads = vec![Tensor::full(&[64], t.rank() as f32)];
         let fused = FusedBuffer::pack(&grads);
-        let ring = QncclRing::new(8, 64);
+        let mut ring = QncclRing::new(8, 64);
         let mut rng = Rng::seed_from_u64(t.rank() as u64);
         ring.allreduce(&t, &fused, &mut rng).unwrap().unpack()[0].clone()
     })

@@ -3,8 +3,8 @@
 //! topology invariants, for randomized parameters.
 
 use cgx::simnet::{
-    allreduce_time, fuse_messages, simulate_step, CommCost, ComputeProfile, LayerMsg,
-    MachineSpec, NetworkDes, ReductionScheme, StepConfig,
+    allreduce_time, fuse_messages, simulate_step, CommCost, ComputeProfile, LayerMsg, MachineSpec,
+    NetworkDes, ReductionScheme, StepConfig,
 };
 use proptest::prelude::*;
 
