@@ -64,10 +64,21 @@ $RUSTC --test --crate-name fused_training crates/qnccl/tests/fused_training.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_qnccl="$L/libcgx_qnccl.rlib" \
   --extern cgx_engine="$L/libcgx_engine.rlib" \
   -o "$V/test_fused_training"
+$RUSTC --test --crate-name engine_stress crates/collectives/tests/engine_stress.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$V/test_engine_stress"
 
 echo "== kernel_report bin"
 $RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$V/kernel_report"
+
+echo "== pipeline_report bin"
+$RUSTC --crate-name pipeline_report crates/bench/src/bin/pipeline_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$V/pipeline_report"
 
 echo "BUILD OK"

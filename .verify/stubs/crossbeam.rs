@@ -6,6 +6,8 @@ pub mod channel {
     use std::time::Duration;
 
     pub use std::sync::mpsc::RecvTimeoutError;
+    pub use std::sync::mpsc::TryRecvError;
+    pub use std::sync::mpsc::TrySendError;
 
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
@@ -23,6 +25,10 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|e| SendError(e.0))
         }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
+        }
     }
 
     #[derive(Debug)]
@@ -35,6 +41,10 @@ pub mod channel {
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             self.0.recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
         }
     }
 

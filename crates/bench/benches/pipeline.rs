@@ -1,0 +1,91 @@
+//! Criterion benchmark for the layer-parallel communication engine: one
+//! synchronization step of a mixed large/small layer inventory across 8
+//! worker threads, blocking per-layer loop vs [`CommEngine`].
+//!
+//! `pipeline_report` (the checked-in JSON artifact) measures the same
+//! comparison over full model inventories; this bench is the statistically
+//! disciplined version over a reduced inventory for regression tracking.
+
+use cgx_collectives::reduce::{allreduce_scratch, Algorithm};
+use cgx_collectives::{CommEngine, EngineOptions, ThreadCluster};
+use cgx_compress::{CompressionScheme, Compressor, ScratchPool};
+use cgx_tensor::{Rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+
+/// A reduced transformer-block-like census: 6 quantized projection
+/// weights interleaved with 10 tiny FP32 norm/bias tensors, twice over.
+fn inventory() -> Vec<(usize, CompressionScheme)> {
+    let mut layers = Vec::new();
+    for _ in 0..2 {
+        for _ in 0..3 {
+            layers.push((16_384, CompressionScheme::cgx_default()));
+            layers.push((512, CompressionScheme::None));
+            layers.push((512, CompressionScheme::None));
+        }
+        for _ in 0..4 {
+            layers.push((256, CompressionScheme::None));
+        }
+    }
+    layers
+}
+
+fn run_once(engine: bool) {
+    let layers = inventory();
+    let pool = ScratchPool::new();
+    let out = ThreadCluster::run(WORLD, |t| {
+        let pool = pool.clone();
+        let mut rng = Rng::seed_from_u64(100 + t.rank() as u64);
+        let grads: Vec<Tensor> = layers.iter().map(|(n, _)| Tensor::randn(&mut rng, &[*n])).collect();
+        let mut comp_rng = Rng::seed_from_u64(7);
+        let alg = Algorithm::ScatterReduceAllgather;
+        if engine {
+            let mut eng = CommEngine::new(&t, pool.clone(), EngineOptions::default());
+            let handles: Vec<_> = grads
+                .iter()
+                .zip(&layers)
+                .map(|(g, (_, s))| eng.submit(alg, g, s.build(), &mut comp_rng))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| eng.wait(h).expect("wait").0)
+                .collect::<Vec<_>>()
+        } else {
+            grads
+                .iter()
+                .zip(&layers)
+                .map(|(g, (_, s))| {
+                    let mut comp: Box<dyn Compressor> = s.build();
+                    let mut lrng = Rng::seed_from_u64(comp_rng.next_u64());
+                    allreduce_scratch(alg, &t, g, comp.as_mut(), &mut lrng, &pool)
+                        .expect("allreduce")
+                        .0
+                })
+                .collect::<Vec<_>>()
+        }
+    })
+    .unwrap();
+    black_box(out);
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let elements: usize = inventory().iter().map(|(n, _)| *n).sum();
+    let mut group = c.benchmark_group("pipeline-8workers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(elements as u64));
+    group.bench_function(BenchmarkId::new("sequential", "mixed"), |b| {
+        b.iter(|| run_once(false));
+    });
+    group.bench_function(BenchmarkId::new("engine", "mixed"), |b| {
+        b.iter(|| run_once(true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

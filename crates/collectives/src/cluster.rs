@@ -157,6 +157,51 @@ mod tests {
     }
 
     #[test]
+    fn engine_pipeline_contains_mid_run_worker_death() {
+        // A worker dying while its peers have several collectives in
+        // flight through the CommEngine must not hang anyone: every
+        // survivor's pending handle resolves to a CommError, and the
+        // panic still dominates the cluster report.
+        use crate::engine::CommEngine;
+        use crate::reduce::Algorithm;
+        use cgx_compress::{NoneCompressor, ScratchPool};
+        use cgx_tensor::{Rng, Tensor};
+        use std::sync::{Arc, Mutex};
+
+        let survivors: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = survivors.clone();
+        let r = ThreadCluster::run(3, |mut t| {
+            t.set_timeout(Duration::from_secs(2));
+            let rank = t.rank();
+            if rank == 2 {
+                panic!("simulated GPU failure");
+            }
+            let mut rng = Rng::seed_from_u64(rank as u64);
+            let mut eng = CommEngine::with_defaults(&t, ScratchPool::new());
+            // Large enough to bypass coalescing: two real pipelined
+            // machines are mid-flight when the peer's death is noticed.
+            let g = Tensor::full(&[8192], 1.0 + rank as f32);
+            let h1 = eng.submit(
+                Algorithm::ScatterReduceAllgather,
+                &g,
+                Box::new(NoneCompressor::new()),
+                &mut rng,
+            );
+            let h2 = eng.submit(Algorithm::Ring, &g, Box::new(NoneCompressor::new()), &mut rng);
+            assert!(eng.wait(h1).is_err(), "rank {rank}: h1 should poison");
+            assert!(eng.wait(h2).is_err(), "rank {rank}: h2 should poison");
+            sink.lock().expect("sink").push(rank);
+            rank
+        });
+        // The panic from rank 2 dominates the report...
+        assert!(matches!(r, Err(CommError::WorkerPanicked { rank: 2, .. })));
+        // ...but both survivors ran to completion without deadlocking.
+        let mut seen = survivors.lock().expect("sink").clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
     fn try_run_propagates_worker_errors() {
         let r: Result<Vec<()>, CommError> = ThreadCluster::try_run(2, |t| {
             if t.rank() == 0 {

@@ -1,0 +1,1634 @@
+//! The per-rank communication engine: layer-parallel, chunk-pipelined
+//! compressed allreduce (paper Section 4, Fig. 2).
+//!
+//! `train_data_parallel` used to reduce gradients with one blocking
+//! [`crate::reduce::allreduce_scratch`] call per layer, so every layer paid
+//! the full SRA round-trip latency before the next layer's chunks even hit
+//! the wire, and every tiny filtered FP32 layer paid a whole per-message
+//! latency alone. The engine removes both serializations while keeping the
+//! results byte-identical to the sequential loop:
+//!
+//! * **Nonblocking submit/wait.** [`CommEngine::submit`] enqueues a
+//!   reduction and returns a [`Handle`]; [`CommEngine::wait`] drives *all*
+//!   in-flight reductions cooperatively from the worker thread until the
+//!   requested one completes. While one collective is blocked on a peer,
+//!   others keep compressing, sending and decoding.
+//! * **Chunk pipelining.** Layers larger than
+//!   [`EngineOptions::segment_elems`] are split into pipeline segments;
+//!   decode-accumulate of segment *k−1* overlaps compress/send of segment
+//!   *k* (and of other layers).
+//! * **Small-layer coalescing.** Consecutive lossless (FP32) submissions at
+//!   or below [`EngineOptions::coalesce_elems`] elements are batched into a
+//!   single concatenated SRA collective, amortizing per-message latency
+//!   across the dozens of norm/bias layers of a real model.
+//!
+//! # Why consensus and byte-equality survive
+//!
+//! Cross-rank bit-exact consensus needs every rank to perform the same
+//! float additions in the same order and decode the same bytes. The engine
+//! guarantees this with three invariants:
+//!
+//! 1. **Deterministic compression order.** Each submission derives a
+//!    private RNG from one `next_u64()` draw of the caller's RNG and owns
+//!    its compressor, so no interleaving of *other* collectives can perturb
+//!    its stochastic rounding. Within a collective, phase-1 chunks are
+//!    compressed eagerly at submit in fixed (segment, peer) order, and
+//!    phase-2 aggregate compressions run in strict segment order — the
+//!    exact call sequence of the sequential loop.
+//! 2. **Fixed accumulation order.** Peer contributions decode-accumulate in
+//!    global rank order 0..n (the same order [`crate::reduce`] uses), never
+//!    in arrival order. Because that order is rank-indexed — independent of
+//!    chunk boundaries — re-chunking by segmentation or coalescing leaves
+//!    every lossless per-element sum bit-identical.
+//! 3. **Tag isolation.** Every message carries a
+//!    [`crate::transport::collective_tag`] (collective id + segment +
+//!    phase); per-tag demux inboxes mean concurrent collectives cannot
+//!    steal each other's payloads. Collective ids are issued by a rank-local
+//!    counter, which stays rank-aligned because all ranks submit in the
+//!    same order (the standard communicator-ordering requirement).
+//!
+//! Deadlock freedom: sends go through per-collective output queues flushed
+//! with nonblocking `try_send`, receives never wait on sends, and a
+//! collective does not complete until its queue drains — so any rank that
+//! finished waiting on collective *k* has pushed everything its peers need
+//! for *k*, and the slowest rank always makes progress.
+//!
+//! Any transport failure (peer death, timeout) **poisons** the engine:
+//! every in-flight and subsequent `wait` returns the same [`CommError`]
+//! instead of hanging, so a mid-pipeline worker crash surfaces on all
+//! peers' handles.
+
+use crate::error::CommError;
+use crate::reduce::{
+    allreduce_gather_scratch, allreduce_tree_scratch, chunk_ranges, Algorithm, AllreduceStats,
+};
+use crate::transport::{collective_tag, ShmTransport, Tag};
+use cgx_compress::{Compressor, Encoded, NoneCompressor, ScratchPool};
+use cgx_tensor::{Rng, Tensor};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the communication engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Layers larger than this many elements are split into pipeline
+    /// segments of at most this size. `0` disables segmentation. Segment
+    /// boundaries change lossy codecs' bucket geometry, so runs with
+    /// different `segment_elems` are not byte-comparable (each setting is
+    /// still deterministic and consensus-exact).
+    pub segment_elems: usize,
+    /// Lossless submissions of at most this many elements are coalesced
+    /// into one concatenated SRA collective. `0` disables coalescing.
+    /// Only applies to [`Algorithm::ScatterReduceAllgather`]: the ring's
+    /// accumulation order depends on chunk indices, so re-chunking there
+    /// would perturb float sums.
+    pub coalesce_elems: usize,
+    /// Flush the pending coalesce group once it holds this many elements.
+    pub coalesce_budget: usize,
+    /// At most this many pipelined machines run concurrently; further
+    /// submissions queue and launch FIFO as earlier collectives finish.
+    /// `0` means unlimited. Bounding the live set keeps the engine's
+    /// progress scan O(`max_live`) instead of O(submitted), which
+    /// dominates when a whole model's layers are submitted at once.
+    /// Launch order is the (rank-invariant) submit order, so the cap
+    /// changes timing only — never bytes.
+    pub max_live: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            segment_elems: 1 << 16,
+            coalesce_elems: 4096,
+            coalesce_budget: 1 << 20,
+            max_live: 8,
+        }
+    }
+}
+
+/// Identifies one submitted reduction; redeem with [`CommEngine::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(usize);
+
+/// An entry in a machine's output queue: destination rank, wire tag,
+/// payload.
+type Outgoing = (usize, Tag, Encoded);
+
+/// Member of a coalesced group: which op it redeems, its slice of the
+/// concatenated buffer, and its original tensor dims.
+struct Member {
+    op: usize,
+    range: Range<usize>,
+    dims: Vec<usize>,
+}
+
+/// A submission parked behind [`EngineOptions::max_live`]: everything
+/// needed to build its machine when a live slot frees up. The op id is
+/// already allocated (at submit), so tags stay rank-aligned no matter
+/// when the launch happens.
+struct QueuedLaunch {
+    alg: Algorithm,
+    grad: Tensor,
+    comp: Box<dyn Compressor>,
+    rng: Rng,
+    op_id: u32,
+}
+
+/// Per-submission bookkeeping.
+struct OpState {
+    /// Finished result, parked until `wait` collects it.
+    result: Option<(Tensor, AllreduceStats)>,
+    /// The caller's compressor, returned at `wait`. For machine-driven ops
+    /// it lives inside the machine while running.
+    comp: Option<Box<dyn Compressor>>,
+    machine: Option<Machine>,
+    /// Submission parked behind the live-machine cap.
+    queued: Option<QueuedLaunch>,
+    /// Gradient parked while the op sits in the pending coalesce group.
+    pending: Option<Tensor>,
+    /// Set on coalesce-group driver ops (which have no external handle).
+    members: Option<Vec<Member>>,
+    /// High-water mark of concurrently in-flight collectives observed over
+    /// this op's lifetime.
+    hwm: usize,
+    /// True once the op produced (or delivered) its result.
+    completed: bool,
+}
+
+impl OpState {
+    fn new() -> Self {
+        OpState {
+            result: None,
+            comp: None,
+            machine: None,
+            queued: None,
+            pending: None,
+            members: None,
+            hwm: 0,
+            completed: false,
+        }
+    }
+}
+
+/// The per-rank communication engine. Borrows the rank's transport; create
+/// one per worker (they are not `Sync` — a rank drives its own engine).
+pub struct CommEngine<'a> {
+    t: &'a ShmTransport,
+    pool: ScratchPool,
+    opts: EngineOptions,
+    ops: Vec<OpState>,
+    next_op_id: u32,
+    /// Op indices queued for coalescing, in submit order.
+    pending: Vec<usize>,
+    pending_elems: usize,
+    /// Op indices waiting for a live-machine slot, in submit order.
+    launch_queue: VecDeque<usize>,
+    /// Machines currently constructed and progressing.
+    live: usize,
+    poisoned: Option<CommError>,
+    in_flight: usize,
+}
+
+impl<'a> CommEngine<'a> {
+    /// Creates an engine over `transport`, drawing scratch from `pool`.
+    pub fn new(transport: &'a ShmTransport, pool: ScratchPool, opts: EngineOptions) -> Self {
+        CommEngine {
+            t: transport,
+            pool,
+            opts,
+            ops: Vec::new(),
+            next_op_id: 0,
+            pending: Vec::new(),
+            pending_elems: 0,
+            launch_queue: VecDeque::new(),
+            live: 0,
+            poisoned: None,
+            in_flight: 0,
+        }
+    }
+
+    /// Engine with default options.
+    pub fn with_defaults(transport: &'a ShmTransport, pool: ScratchPool) -> Self {
+        Self::new(transport, pool, EngineOptions::default())
+    }
+
+    /// Number of collectives currently in flight (submitted, not finished).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Enqueues an allreduce of `grad` and returns immediately. All ranks
+    /// must submit (and later wait) their collectives in the same order.
+    /// The compressor is owned by the collective until [`CommEngine::wait`]
+    /// returns it; exactly one `next_u64` is drawn from `rng` to seed the
+    /// collective's private RNG (the sequential reference loop can
+    /// reproduce the stream by deriving per-layer RNGs the same way).
+    ///
+    /// [`Algorithm::Tree`] and [`Algorithm::AllgatherBroadcast`] have no
+    /// pipelined machine; they run eagerly (blocking) at submit, which is
+    /// safe because every rank reaches the same submit in program order.
+    pub fn submit(
+        &mut self,
+        alg: Algorithm,
+        grad: &Tensor,
+        comp: Box<dyn Compressor>,
+        rng: &mut Rng,
+    ) -> Handle {
+        let mut op_rng = Rng::seed_from_u64(rng.next_u64());
+        let idx = self.ops.len();
+        let mut op = OpState::new();
+
+        if self.t.world() == 1 || grad.is_empty() {
+            op.result = Some((grad.clone(), AllreduceStats::default()));
+            op.comp = Some(comp);
+            op.completed = true;
+            self.ops.push(op);
+            return Handle(idx);
+        }
+        if self.poisoned.is_some() {
+            // Park the compressor; wait() will surface the poison.
+            op.comp = Some(comp);
+            self.ops.push(op);
+            return Handle(idx);
+        }
+
+        let coalescible = alg == Algorithm::ScatterReduceAllgather
+            && self.opts.coalesce_elems > 0
+            && grad.len() <= self.opts.coalesce_elems
+            && comp.is_lossless();
+        if coalescible {
+            if self.pending_elems + grad.len() > self.opts.coalesce_budget {
+                self.flush_pending();
+            }
+            // The flush may have appended the group-driver op, so this
+            // op's slot is re-derived here, not taken from `idx` above.
+            let idx = self.ops.len();
+            op.pending = Some(grad.clone());
+            op.comp = Some(comp);
+            self.ops.push(op);
+            self.pending.push(idx);
+            self.pending_elems += grad.len();
+            self.note_in_flight();
+            return Handle(idx);
+        }
+
+        match alg {
+            Algorithm::ScatterReduceAllgather | Algorithm::Ring => {
+                // The op id is claimed now (submit order is rank-aligned);
+                // the machine itself launches when a live slot is free.
+                let op_id = self.alloc_op_id();
+                op.queued = Some(QueuedLaunch {
+                    alg,
+                    grad: grad.clone(),
+                    comp,
+                    rng: op_rng,
+                    op_id,
+                });
+                self.ops.push(op);
+                self.launch_queue.push_back(idx);
+                self.note_in_flight();
+                // Launching pumps the new machine's sends; a full
+                // progress round would rescan every live machine on every
+                // submit, which is pure overhead — receives drain in
+                // `wait`, and submit never blocks on them.
+                self.pump_launch_queue();
+            }
+            Algorithm::Tree | Algorithm::AllgatherBroadcast => {
+                // Eager path: these run one-at-a-time on the legacy lane.
+                self.ops.push(op);
+                self.note_in_flight();
+                let mut comp = comp;
+                let run = match alg {
+                    Algorithm::Tree => {
+                        allreduce_tree_scratch(self.t, grad, &mut *comp, &mut op_rng, &self.pool)
+                    }
+                    _ => {
+                        allreduce_gather_scratch(self.t, grad, &mut *comp, &mut op_rng, &self.pool)
+                    }
+                };
+                match run {
+                    Ok((out, mut stats)) => {
+                        stats.max_in_flight = self.ops[idx].hwm;
+                        self.ops[idx].result = Some((out, stats));
+                        self.ops[idx].comp = Some(comp);
+                        self.ops[idx].completed = true;
+                        self.in_flight -= 1;
+                    }
+                    Err(e) => {
+                        self.ops[idx].comp = Some(comp);
+                        self.poison(e);
+                    }
+                }
+            }
+        }
+        Handle(idx)
+    }
+
+    /// Blocks until the collective behind `h` completes, driving every
+    /// in-flight collective meanwhile. Returns the reduced tensor, its
+    /// stats and the compressor lent at submit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the poisoning [`CommError`] if any collective on this
+    /// engine failed (peer death, timeout) — once poisoned, every wait
+    /// returns that same error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` was already waited on.
+    pub fn wait(&mut self, h: Handle) -> Result<(Tensor, AllreduceStats, Box<dyn Compressor>), CommError> {
+        self.flush_pending();
+        let mut idle_ns: u64 = 0;
+        let mut last_progress = Instant::now();
+        loop {
+            if self.ops[h.0].result.is_some() {
+                let (tensor, mut stats) = self.ops[h.0].result.take().expect("checked above");
+                stats.wait_ns += idle_ns;
+                let comp = self.ops[h.0].comp.take().expect("compressor present");
+                return Ok((tensor, stats, comp));
+            }
+            if let Some(e) = &self.poisoned {
+                return Err(e.clone());
+            }
+            assert!(!self.ops[h.0].completed, "handle {h:?} waited twice");
+            match self.progress_all() {
+                Ok(true) => {
+                    last_progress = Instant::now();
+                    continue;
+                }
+                Ok(false) => {}
+                Err(e) => return Err(e),
+            }
+            if self.t.drain_inbound() > 0 {
+                last_progress = Instant::now();
+                continue;
+            }
+            if last_progress.elapsed() >= self.t.timeout() {
+                let e = CommError::Timeout {
+                    from: self.blocked_peer(),
+                    waited: self.t.timeout(),
+                };
+                self.poison(e.clone());
+                return Err(e);
+            }
+            // Nothing to do anywhere: park on the most-stalled machine's
+            // expected inbound message so the sender's handoff wakes us
+            // directly (same latency as a blocking recv), instead of
+            // sleep-polling. Any arrival on that channel wakes us — it is
+            // stashed and almost certainly unblocks some machine. The
+            // short cap keeps send retries and the engine timeout live.
+            let t0 = Instant::now();
+            let park = self
+                .ops
+                .iter()
+                .find_map(|o| o.machine.as_ref().and_then(Machine::expected_inbound));
+            match park {
+                Some((peer, tag)) => {
+                    match self.t.wait_inbound(peer, tag, Duration::from_millis(1)) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            idle_ns += t0.elapsed().as_nanos() as u64;
+                            self.poison(e.clone());
+                            return Err(e);
+                        }
+                    }
+                }
+                None => std::thread::sleep(Duration::from_micros(20)),
+            }
+            idle_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Submits then immediately waits — the engine equivalent of one
+    /// sequential `allreduce_scratch` call.
+    ///
+    /// # Errors
+    ///
+    /// As [`CommEngine::wait`].
+    pub fn allreduce(
+        &mut self,
+        alg: Algorithm,
+        grad: &Tensor,
+        comp: Box<dyn Compressor>,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, AllreduceStats, Box<dyn Compressor>), CommError> {
+        let h = self.submit(alg, grad, comp, rng);
+        self.wait(h)
+    }
+
+    fn alloc_op_id(&mut self) -> u32 {
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        id
+    }
+
+    /// Records a newly in-flight collective and refreshes every live op's
+    /// concurrency high-water mark.
+    fn note_in_flight(&mut self) {
+        self.in_flight += 1;
+        for op in &mut self.ops {
+            if !op.completed {
+                op.hwm = op.hwm.max(self.in_flight);
+            }
+        }
+    }
+
+    /// Builds one SRA collective over the concatenation of all pending
+    /// coalesced layers. Called at deterministic program points only
+    /// (budget overflow at submit, entry to wait), so the flush — and the
+    /// collective id it consumes — lines up across ranks.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() || self.poisoned.is_some() {
+            return;
+        }
+        let total = self.pending_elems;
+        let mut buf = self.pool.take_f32(total);
+        let mut members = Vec::with_capacity(self.pending.len());
+        let mut at = 0;
+        for &idx in &self.pending {
+            let grad = self.ops[idx].pending.take().expect("pending gradient");
+            let len = grad.len();
+            buf[at..at + len].copy_from_slice(grad.as_slice());
+            members.push(Member {
+                op: idx,
+                range: at..at + len,
+                dims: grad.shape().dims().to_vec(),
+            });
+            at += len;
+        }
+        self.pending.clear();
+        self.pending_elems = 0;
+
+        let op_id = self.alloc_op_id();
+        let concat = Tensor::from_vec(&[total], buf);
+        // Members are all lossless, so the group travels as raw FP32; the
+        // RNG is never consulted but the seed is rank-invariant anyway.
+        let m = SraMachine::new(
+            self.t,
+            op_id,
+            concat,
+            Box::new(NoneCompressor::new()),
+            Rng::seed_from_u64(0xC0A1_E5CE ^ u64::from(op_id)),
+            &self.pool,
+            self.opts.segment_elems,
+        );
+        let mut m = Machine::Sra(m);
+        // The driver launches immediately (the flush point is where the
+        // caller starts blocking), even if it briefly overshoots the
+        // live-machine cap; pumping it puts the group's chunks on the
+        // wire before the wait loop takes over.
+        let pumped = m.progress(self.t, &self.pool);
+        let mut driver = OpState::new();
+        driver.machine = Some(m);
+        driver.members = Some(members);
+        self.ops.push(driver);
+        self.live += 1;
+        if let Err(e) = pumped {
+            self.poison(e);
+        }
+    }
+
+    /// Launches queued machines FIFO while live slots are available. Each
+    /// launch pumps the new machine's phase-1 sends immediately so peers
+    /// can progress; receives wait for the next `progress_all` round.
+    fn pump_launch_queue(&mut self) {
+        while self.opts.max_live == 0 || self.live < self.opts.max_live {
+            let Some(idx) = self.launch_queue.pop_front() else {
+                return;
+            };
+            let q = self.ops[idx].queued.take().expect("queued launch");
+            let mut m = match q.alg {
+                Algorithm::Ring => Machine::Ring(RingMachine::new(
+                    self.t, q.op_id, q.grad, q.comp, q.rng, &self.pool,
+                )),
+                _ => Machine::Sra(SraMachine::new(
+                    self.t,
+                    q.op_id,
+                    q.grad,
+                    q.comp,
+                    q.rng,
+                    &self.pool,
+                    self.opts.segment_elems,
+                )),
+            };
+            if let Err(e) = m.progress(self.t, &self.pool) {
+                self.ops[idx].machine = Some(m);
+                self.live += 1;
+                self.poison(e);
+                return;
+            }
+            if m.finished() {
+                // Possible when every peer chunk was already stashed
+                // (tiny layer, fast peers): finalize reclaims the slot
+                // and pumps the queue further before we continue.
+                self.live += 1;
+                self.finalize(idx, m);
+                continue;
+            }
+            self.ops[idx].machine = Some(m);
+            self.live += 1;
+        }
+    }
+
+    /// Drives every machine one round; returns whether anything moved.
+    ///
+    /// # Errors
+    ///
+    /// The first transport failure poisons the engine and is returned.
+    fn progress_all(&mut self) -> Result<bool, CommError> {
+        let mut progressed = false;
+        for i in 0..self.ops.len() {
+            let Some(mut m) = self.ops[i].machine.take() else {
+                continue;
+            };
+            match m.progress(self.t, &self.pool) {
+                Ok(p) => progressed |= p,
+                Err(e) => {
+                    self.ops[i].machine = Some(m);
+                    self.poison(e.clone());
+                    return Err(e);
+                }
+            }
+            if m.finished() {
+                self.finalize(i, m);
+                progressed = true;
+            } else {
+                self.ops[i].machine = Some(m);
+            }
+        }
+        Ok(progressed)
+    }
+
+    fn finalize(&mut self, i: usize, m: Machine) {
+        self.live -= 1;
+        let (out, mut stats, comp) = m.into_parts();
+        if let Some(members) = self.ops[i].members.take() {
+            // Coalesce-group driver: scatter slices back to the members.
+            // Wire traffic is attributed to the first member (the group
+            // was one collective; double-counting would inflate totals).
+            let data = out.as_slice();
+            for (k, mb) in members.iter().enumerate() {
+                let tensor = Tensor::from_vec(&mb.dims, data[mb.range.clone()].to_vec());
+                let mut s = if k == 0 {
+                    stats
+                } else {
+                    AllreduceStats::default()
+                };
+                s.max_in_flight = self.ops[mb.op].hwm;
+                self.ops[mb.op].result = Some((tensor, s));
+                self.ops[mb.op].completed = true;
+                self.in_flight -= 1;
+            }
+            self.pool.put_f32(out.into_vec());
+            self.ops[i].completed = true;
+        } else {
+            stats.max_in_flight = self.ops[i].hwm;
+            self.ops[i].result = Some((out, stats));
+            self.ops[i].comp = Some(comp);
+            self.ops[i].completed = true;
+            self.in_flight -= 1;
+        }
+        self.pump_launch_queue();
+    }
+
+    /// Best guess at which peer the engine is stalled on, for timeout
+    /// reporting.
+    fn blocked_peer(&self) -> usize {
+        self.ops
+            .iter()
+            .find_map(|o| o.machine.as_ref().map(Machine::blocked_on))
+            .unwrap_or(0)
+    }
+
+    fn poison(&mut self, e: CommError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(e);
+        }
+    }
+}
+
+impl std::fmt::Debug for CommEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommEngine")
+            .field("rank", &self.t.rank())
+            .field("ops", &self.ops.len())
+            .field("in_flight", &self.in_flight)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+enum Machine {
+    Sra(SraMachine),
+    Ring(RingMachine),
+}
+
+impl Machine {
+    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+        match self {
+            Machine::Sra(m) => m.progress(t, pool),
+            Machine::Ring(m) => m.progress(t, pool),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        match self {
+            Machine::Sra(m) => m.finished(),
+            Machine::Ring(m) => m.finished(),
+        }
+    }
+
+    fn blocked_on(&self) -> usize {
+        match self {
+            Machine::Sra(m) => m.blocked_on(),
+            Machine::Ring(m) => m.blocked_on(),
+        }
+    }
+
+    fn expected_inbound(&self) -> Option<(usize, Tag)> {
+        match self {
+            Machine::Sra(m) => m.expected_inbound(),
+            Machine::Ring(m) => m.expected_inbound(),
+        }
+    }
+
+    fn into_parts(self) -> (Tensor, AllreduceStats, Box<dyn Compressor>) {
+        match self {
+            Machine::Sra(m) => (m.out, m.stats, m.comp),
+            Machine::Ring(m) => (m.out, m.stats, m.comp),
+        }
+    }
+}
+
+/// Flushes as much of an output queue as the channels accept, preserving
+/// per-peer FIFO order (an entry to a blocked peer blocks later entries to
+/// that peer only).
+fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &ShmTransport) -> Result<bool, CommError> {
+    let mut progressed = false;
+    let mut blocked: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < outq.len() {
+        let peer = outq[i].0;
+        if blocked.contains(&peer) {
+            i += 1;
+            continue;
+        }
+        let (p, tag, enc) = outq.remove(i).expect("index in bounds");
+        match t.try_send_tagged(p, tag, enc)? {
+            None => progressed = true,
+            Some(enc) => {
+                outq.insert(i, (p, tag, enc));
+                blocked.push(p);
+                i += 1;
+            }
+        }
+    }
+    Ok(progressed)
+}
+
+/// Adds `f`'s wall time to `slot` (mirrors the sequential paths' timing).
+#[inline]
+fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    *slot += t0.elapsed().as_nanos() as u64;
+    out
+}
+
+const PHASE_SCATTER: u8 = 1;
+const PHASE_BCAST: u8 = 2;
+
+/// One pipeline segment of an SRA collective.
+struct Seg {
+    /// Absolute offset of this segment in the flat gradient.
+    base: usize,
+    /// Per-rank chunk ranges, relative to `base`.
+    ranges: Vec<Range<usize>>,
+    /// Pooled accumulator for my chunk; `None` when my chunk is empty or
+    /// after phase 2 consumed it.
+    mine: Option<Vec<f32>>,
+    /// Next rank (0..n) whose contribution the accumulator absorbs.
+    next_acc: usize,
+    phase2_done: bool,
+    gathered: Vec<bool>,
+    gather_left: usize,
+}
+
+/// Incremental Scatter-Reduce-Allgather over tagged messages. Mirrors
+/// [`crate::reduce::allreduce_sra_scratch`] arithmetic step for step; the
+/// only new freedom is segment-level interleaving, constrained so the
+/// compressor and RNG observe the sequential call order.
+struct SraMachine {
+    op_id: u32,
+    me: usize,
+    n: usize,
+    out: Tensor,
+    comp: Box<dyn Compressor>,
+    rng: Rng,
+    segs: Vec<Seg>,
+    /// Phase-2 (aggregate) compressions must run in segment order so the
+    /// stateful compressor/RNG stream is interleaving-invariant.
+    next_phase2: usize,
+    outq: VecDeque<Outgoing>,
+    stats: AllreduceStats,
+}
+
+impl SraMachine {
+    fn new(
+        t: &ShmTransport,
+        op_id: u32,
+        grad: Tensor,
+        mut comp: Box<dyn Compressor>,
+        mut rng: Rng,
+        pool: &ScratchPool,
+        segment_elems: usize,
+    ) -> Self {
+        let n = t.world();
+        let me = t.rank();
+        let len = grad.len();
+        let nsegs = if segment_elems == 0 {
+            1
+        } else {
+            len.div_ceil(segment_elems).clamp(1, usize::from(u16::MAX))
+        };
+        let seg_ranges = chunk_ranges(len, nsegs);
+        let mut stats = AllreduceStats {
+            max_in_flight: 1,
+            ..AllreduceStats::default()
+        };
+        let mut outq = VecDeque::new();
+        let mut segs = Vec::with_capacity(nsegs);
+        {
+            let gslice = grad.as_slice();
+            for (s, seg_range) in seg_ranges.iter().enumerate() {
+                let base = seg_range.start;
+                let ranges = chunk_ranges(seg_range.len(), n);
+                // Phase 1, eagerly at submit: compress each peer's chunk in
+                // (segment, peer) order — the deterministic RNG/compressor
+                // call sequence every rank shares regardless of how
+                // collectives later interleave.
+                for (j, r) in ranges.iter().enumerate() {
+                    if j == me || r.is_empty() {
+                        continue;
+                    }
+                    let abs = base + r.start..base + r.end;
+                    let enc = timed(&mut stats.compress_ns, || {
+                        comp.compress_slice(&gslice[abs], &mut rng, pool)
+                    });
+                    stats.compress_calls += 1;
+                    stats.bytes_sent += enc.payload_bytes();
+                    outq.push_back((j, collective_tag(op_id, s as u16, PHASE_SCATTER), enc));
+                }
+                let my_empty = ranges[me].is_empty();
+                let mine = (!my_empty).then(|| pool.take_f32(ranges[me].len()));
+                let gathered: Vec<bool> = ranges
+                    .iter()
+                    .enumerate()
+                    .map(|(j, r)| j == me || r.is_empty())
+                    .collect();
+                let gather_left = gathered.iter().filter(|g| !**g).count();
+                segs.push(Seg {
+                    base,
+                    ranges,
+                    mine,
+                    // An empty own chunk skips accumulation and phase 2
+                    // entirely (matching the sequential path).
+                    next_acc: if my_empty { n } else { 0 },
+                    phase2_done: my_empty,
+                    gathered,
+                    gather_left,
+                });
+            }
+        }
+        SraMachine {
+            op_id,
+            me,
+            n,
+            out: grad,
+            comp,
+            rng,
+            segs,
+            next_phase2: 0,
+            outq,
+            stats,
+        }
+    }
+
+    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+        let mut progressed = pump_outq(&mut self.outq, t)?;
+        let (n, me, op_id) = (self.n, self.me, self.op_id);
+
+        // Decode-accumulate arriving phase-1 chunks, strictly in global
+        // rank order per segment (float sums must be rank-order-exact).
+        {
+            let out_slice = self.out.as_slice();
+            for (s, seg) in self.segs.iter_mut().enumerate() {
+                let Some(mine) = seg.mine.as_mut() else {
+                    continue;
+                };
+                while seg.next_acc < n {
+                    let j = seg.next_acc;
+                    if j == me {
+                        let abs =
+                            seg.base + seg.ranges[me].start..seg.base + seg.ranges[me].end;
+                        let own = &out_slice[abs];
+                        if j == 0 {
+                            mine.copy_from_slice(own);
+                        } else {
+                            for (m, g) in mine.iter_mut().zip(own) {
+                                *m += *g;
+                            }
+                        }
+                        seg.next_acc += 1;
+                        progressed = true;
+                        continue;
+                    }
+                    let tag = collective_tag(op_id, s as u16, PHASE_SCATTER);
+                    match t.try_recv_tagged(j, tag)? {
+                        Some(enc) => {
+                            timed(&mut self.stats.decode_ns, || {
+                                if j == 0 {
+                                    self.comp.decompress_into(&enc, mine);
+                                } else {
+                                    self.comp.decompress_add_into(&enc, mine);
+                                }
+                            });
+                            self.stats.decompress_calls += 1;
+                            pool.recycle(enc);
+                            seg.next_acc += 1;
+                            progressed = true;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // Phase 2 in segment order: compress the aggregate, broadcast it,
+        // decode my own copy (consensus).
+        while self.next_phase2 < self.segs.len() {
+            let s = self.next_phase2;
+            let seg = &mut self.segs[s];
+            if seg.phase2_done {
+                self.next_phase2 += 1;
+                continue;
+            }
+            if seg.next_acc < n {
+                break;
+            }
+            let mine = seg.mine.take().expect("accumulator live until phase 2");
+            let enc = timed(&mut self.stats.compress_ns, || {
+                self.comp.compress_slice(&mine, &mut self.rng, pool)
+            });
+            self.stats.compress_calls += 1;
+            self.stats.bytes_sent += enc.payload_bytes() * (n - 1);
+            let tag = collective_tag(op_id, s as u16, PHASE_BCAST);
+            for j in 0..n {
+                if j != me {
+                    self.outq.push_back((j, tag, enc.clone()));
+                }
+            }
+            let abs = seg.base + seg.ranges[me].start..seg.base + seg.ranges[me].end;
+            timed(&mut self.stats.decode_ns, || {
+                self.comp
+                    .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
+            });
+            self.stats.decompress_calls += 1;
+            pool.recycle(enc);
+            pool.put_f32(mine);
+            seg.phase2_done = true;
+            self.next_phase2 += 1;
+            progressed = true;
+        }
+
+        // Gather peers' broadcast aggregates into their chunks of the
+        // output (stateless decode — arrival order is free).
+        for (s, seg) in self.segs.iter_mut().enumerate() {
+            if seg.gather_left == 0 {
+                continue;
+            }
+            let tag = collective_tag(op_id, s as u16, PHASE_BCAST);
+            for j in 0..n {
+                if seg.gathered[j] {
+                    continue;
+                }
+                let Some(enc) = t.try_recv_tagged(j, tag)? else {
+                    continue;
+                };
+                let r = &seg.ranges[j];
+                if enc.shape().len() != r.len() {
+                    return Err(CommError::ShapeMismatch {
+                        detail: format!(
+                            "op {op_id} segment {s} chunk {j}: expected {} elements, got {}",
+                            r.len(),
+                            enc.shape().len()
+                        ),
+                    });
+                }
+                let abs = seg.base + r.start..seg.base + r.end;
+                timed(&mut self.stats.decode_ns, || {
+                    self.comp
+                        .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
+                });
+                self.stats.decompress_calls += 1;
+                pool.recycle(enc);
+                seg.gathered[j] = true;
+                seg.gather_left -= 1;
+                progressed = true;
+            }
+        }
+
+        progressed |= pump_outq(&mut self.outq, t)?;
+        Ok(progressed)
+    }
+
+    fn finished(&self) -> bool {
+        self.outq.is_empty()
+            && self
+                .segs
+                .iter()
+                .all(|s| s.next_acc >= self.n && s.phase2_done && s.gather_left == 0)
+    }
+
+    fn blocked_on(&self) -> usize {
+        for seg in &self.segs {
+            if seg.next_acc < self.n {
+                return if seg.next_acc == self.me {
+                    (self.me + 1) % self.n
+                } else {
+                    seg.next_acc
+                };
+            }
+            if seg.gather_left > 0 {
+                if let Some(j) = seg.gathered.iter().position(|g| !*g) {
+                    return j;
+                }
+            }
+        }
+        if let Some(&(p, _, _)) = self.outq.front() {
+            return p;
+        }
+        0
+    }
+
+    /// The (peer, tag) of the next inbound message this machine needs, or
+    /// `None` when it can advance without one (then `progress` moves it).
+    fn expected_inbound(&self) -> Option<(usize, Tag)> {
+        for (s, seg) in self.segs.iter().enumerate() {
+            if seg.next_acc < self.n {
+                if seg.next_acc == self.me {
+                    return None;
+                }
+                return Some((
+                    seg.next_acc,
+                    collective_tag(self.op_id, s as u16, PHASE_SCATTER),
+                ));
+            }
+            if seg.gather_left > 0 {
+                if let Some(j) = seg.gathered.iter().position(|g| !*g) {
+                    return Some((j, collective_tag(self.op_id, s as u16, PHASE_BCAST)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Incremental ring allreduce. The ring's data dependency chain (each hop
+/// consumes the previous hop's sum) forces strictly sequential steps
+/// within one collective; pipelining happens *across* collectives.
+struct RingMachine {
+    op_id: u32,
+    me: usize,
+    n: usize,
+    out: Tensor,
+    comp: Box<dyn Compressor>,
+    rng: Rng,
+    ranges: Vec<Range<usize>>,
+    chunks: Vec<Option<Vec<f32>>>,
+    encs: Vec<Option<Encoded>>,
+    phase: RingPhase,
+    outq: VecDeque<Outgoing>,
+    stats: AllreduceStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RingPhase {
+    Reduce { step: usize, sent: bool },
+    Relay,
+    Gather { step: usize, sent: bool },
+    Decode,
+    Done,
+}
+
+impl RingMachine {
+    fn new(
+        t: &ShmTransport,
+        op_id: u32,
+        grad: Tensor,
+        comp: Box<dyn Compressor>,
+        rng: Rng,
+        pool: &ScratchPool,
+    ) -> Self {
+        let n = t.world();
+        let me = t.rank();
+        let ranges = chunk_ranges(grad.len(), n);
+        let gslice = grad.as_slice();
+        let chunks: Vec<Option<Vec<f32>>> = ranges
+            .iter()
+            .map(|r| {
+                (!r.is_empty()).then(|| {
+                    let mut v = pool.take_f32(r.len());
+                    v.copy_from_slice(&gslice[r.clone()]);
+                    v
+                })
+            })
+            .collect();
+        RingMachine {
+            op_id,
+            me,
+            n,
+            out: grad,
+            comp,
+            rng,
+            ranges,
+            chunks,
+            encs: vec![None; n],
+            phase: RingPhase::Reduce {
+                step: 0,
+                sent: false,
+            },
+            outq: VecDeque::new(),
+            stats: AllreduceStats {
+                max_in_flight: 1,
+                ..AllreduceStats::default()
+            },
+        }
+    }
+
+    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+        let mut progressed = pump_outq(&mut self.outq, t)?;
+        let (n, me) = (self.n, self.me);
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        loop {
+            match self.phase {
+                RingPhase::Reduce { step, sent } => {
+                    if !sent {
+                        let send_idx = (me + n - step) % n;
+                        if let Some(c) = &self.chunks[send_idx] {
+                            let enc = timed(&mut self.stats.compress_ns, || {
+                                self.comp.compress_slice(c, &mut self.rng, pool)
+                            });
+                            self.stats.compress_calls += 1;
+                            self.stats.bytes_sent += enc.payload_bytes();
+                            self.outq.push_back((
+                                right,
+                                collective_tag(self.op_id, step as u16, PHASE_SCATTER),
+                                enc,
+                            ));
+                        }
+                        self.phase = RingPhase::Reduce { step, sent: true };
+                        progressed = true;
+                        continue;
+                    }
+                    let recv_idx = (me + n - step - 1) % n;
+                    if self.chunks[recv_idx].is_some() {
+                        let tag = collective_tag(self.op_id, step as u16, PHASE_SCATTER);
+                        match t.try_recv_tagged(left, tag)? {
+                            Some(enc) => {
+                                let c = self.chunks[recv_idx].as_mut().expect("checked above");
+                                timed(&mut self.stats.decode_ns, || {
+                                    self.comp.decompress_add_into(&enc, c)
+                                });
+                                self.stats.decompress_calls += 1;
+                                pool.recycle(enc);
+                            }
+                            None => break,
+                        }
+                    }
+                    self.phase = if step + 1 < n - 1 {
+                        RingPhase::Reduce {
+                            step: step + 1,
+                            sent: false,
+                        }
+                    } else {
+                        RingPhase::Relay
+                    };
+                    progressed = true;
+                }
+                RingPhase::Relay => {
+                    let owned = (me + 1) % n;
+                    if let Some(c) = &self.chunks[owned] {
+                        let enc = timed(&mut self.stats.compress_ns, || {
+                            self.comp.compress_slice(c, &mut self.rng, pool)
+                        });
+                        self.stats.compress_calls += 1;
+                        self.encs[owned] = Some(enc);
+                    }
+                    self.phase = RingPhase::Gather {
+                        step: 0,
+                        sent: false,
+                    };
+                    progressed = true;
+                }
+                RingPhase::Gather { step, sent } => {
+                    if !sent {
+                        let send_idx = (me + 1 + n - step) % n;
+                        if let Some(enc) = &self.encs[send_idx] {
+                            self.stats.bytes_sent += enc.payload_bytes();
+                            self.outq.push_back((
+                                right,
+                                collective_tag(self.op_id, step as u16, PHASE_BCAST),
+                                enc.clone(),
+                            ));
+                        }
+                        self.phase = RingPhase::Gather { step, sent: true };
+                        progressed = true;
+                        continue;
+                    }
+                    let recv_idx = (me + n - step) % n;
+                    if !self.ranges[recv_idx].is_empty() {
+                        let tag = collective_tag(self.op_id, step as u16, PHASE_BCAST);
+                        match t.try_recv_tagged(left, tag)? {
+                            Some(enc) => self.encs[recv_idx] = Some(enc),
+                            None => break,
+                        }
+                    }
+                    self.phase = if step + 1 < n - 1 {
+                        RingPhase::Gather {
+                            step: step + 1,
+                            sent: false,
+                        }
+                    } else {
+                        RingPhase::Decode
+                    };
+                    progressed = true;
+                }
+                RingPhase::Decode => {
+                    for (i, r) in self.ranges.iter().enumerate() {
+                        if r.is_empty() {
+                            continue;
+                        }
+                        let enc = self.encs[i].as_ref().expect("all chunks gathered");
+                        timed(&mut self.stats.decode_ns, || {
+                            self.comp
+                                .decompress_into(enc, &mut self.out.as_mut_slice()[r.clone()])
+                        });
+                        self.stats.decompress_calls += 1;
+                    }
+                    for enc in self.encs.iter_mut().filter_map(Option::take) {
+                        pool.recycle(enc);
+                    }
+                    for c in self.chunks.iter_mut().filter_map(Option::take) {
+                        pool.put_f32(c);
+                    }
+                    self.phase = RingPhase::Done;
+                    progressed = true;
+                }
+                RingPhase::Done => break,
+            }
+            // Newly queued messages should hit the wire promptly.
+            progressed |= pump_outq(&mut self.outq, t)?;
+        }
+        Ok(progressed)
+    }
+
+    fn finished(&self) -> bool {
+        self.phase == RingPhase::Done && self.outq.is_empty()
+    }
+
+    fn blocked_on(&self) -> usize {
+        if let Some(&(p, _, _)) = self.outq.front() {
+            p
+        } else {
+            (self.me + self.n - 1) % self.n
+        }
+    }
+
+    /// The (peer, tag) of the next inbound message this machine needs.
+    /// Ring hops always receive from the left neighbour with the current
+    /// step's tag; between phases the machine self-advances.
+    fn expected_inbound(&self) -> Option<(usize, Tag)> {
+        if self.n < 2 {
+            return None;
+        }
+        let left = (self.me + self.n - 1) % self.n;
+        match self.phase {
+            RingPhase::Reduce { step, .. } => Some((
+                left,
+                collective_tag(self.op_id, step as u16, PHASE_SCATTER),
+            )),
+            RingPhase::Gather { step, .. } => {
+                Some((left, collective_tag(self.op_id, step as u16, PHASE_BCAST)))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ThreadCluster;
+    use crate::reduce::allreduce_scratch;
+    use cgx_compress::CompressionScheme;
+    use std::time::Duration;
+
+    /// The mixed-scheme inventory the equality tests reduce: odd lengths,
+    /// stochastic + sparsifying + lossless codecs side by side.
+    fn layer_specs() -> Vec<(usize, CompressionScheme)> {
+        vec![
+            (513, CompressionScheme::Qsgd { bits: 4, bucket_size: 128 }),
+            (37, CompressionScheme::None),
+            (1023, CompressionScheme::Nuqsgd { bits: 4, bucket_size: 64 }),
+            (129, CompressionScheme::None),
+            (771, CompressionScheme::TopK { ratio: 0.25 }),
+            (255, CompressionScheme::Qsgd { bits: 2, bucket_size: 256 }),
+            (63, CompressionScheme::None),
+        ]
+    }
+
+    fn rank_grads(rank: usize, specs: &[(usize, CompressionScheme)]) -> Vec<Tensor> {
+        let mut grng = Rng::seed_from_u64(9000 + rank as u64);
+        specs
+            .iter()
+            .map(|(len, _)| Tensor::randn(&mut grng, &[*len]))
+            .collect()
+    }
+
+    /// Sequential reference: per-layer blocking allreduce with the same
+    /// per-layer RNG derivation the engine uses at submit.
+    fn run_sequential(
+        alg: Algorithm,
+        n: usize,
+        specs: &[(usize, CompressionScheme)],
+    ) -> Vec<Vec<Tensor>> {
+        let specs = specs.to_vec();
+        ThreadCluster::run(n, move |t| {
+            let pool = ScratchPool::new();
+            let grads = rank_grads(t.rank(), &specs);
+            let mut master = Rng::seed_from_u64(777);
+            let mut outs = Vec::new();
+            for (g, (_, scheme)) in grads.iter().zip(&specs) {
+                let mut comp = scheme.build();
+                let mut layer_rng = Rng::seed_from_u64(master.next_u64());
+                let (out, _) =
+                    allreduce_scratch(alg, &t, g, &mut *comp, &mut layer_rng, &pool).unwrap();
+                outs.push(out);
+            }
+            outs
+        })
+        .unwrap()
+    }
+
+    fn run_engine(
+        alg: Algorithm,
+        n: usize,
+        specs: &[(usize, CompressionScheme)],
+        opts: EngineOptions,
+    ) -> Vec<Vec<Tensor>> {
+        let specs = specs.to_vec();
+        ThreadCluster::run(n, move |t| {
+            let pool = ScratchPool::new();
+            let grads = rank_grads(t.rank(), &specs);
+            let mut master = Rng::seed_from_u64(777);
+            let mut eng = CommEngine::new(&t, pool, opts);
+            let handles: Vec<Handle> = grads
+                .iter()
+                .zip(&specs)
+                .map(|(g, (_, scheme))| eng.submit(alg, g, scheme.build(), &mut master))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| eng.wait(h).unwrap().0)
+                .collect::<Vec<_>>()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_loop_bitwise() {
+        // The acceptance property: N concurrent tagged allreduces over
+        // mixed schemes == the sequential per-layer loop, byte for byte,
+        // on every rank — including the coalesced lossless layers.
+        let specs = layer_specs();
+        for n in [2usize, 3, 5, 8] {
+            for alg in [Algorithm::ScatterReduceAllgather, Algorithm::Ring] {
+                let seq = run_sequential(alg, n, &specs);
+                let eng = run_engine(alg, n, &specs, EngineOptions::default());
+                for (rank, (s, e)) in seq.iter().zip(&eng).enumerate() {
+                    for (l, (a, b)) in s.iter().zip(e).enumerate() {
+                        assert_eq!(
+                            a.as_slice(),
+                            b.as_slice(),
+                            "{alg:?} n={n} rank={rank} layer={l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_algorithms_match_sequential_through_engine() {
+        let specs = layer_specs();
+        for alg in [Algorithm::Tree, Algorithm::AllgatherBroadcast] {
+            let seq = run_sequential(alg, 4, &specs);
+            let eng = run_engine(alg, 4, &specs, EngineOptions::default());
+            assert_eq!(seq, eng, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_reach_consensus_through_engine() {
+        let specs = layer_specs();
+        let results = run_engine(
+            Algorithm::ScatterReduceAllgather,
+            8,
+            &specs,
+            EngineOptions::default(),
+        );
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn coalescing_batches_small_lossless_layers() {
+        // Five small FP32 layers must travel as ONE collective: only the
+        // first member carries wire stats, and results still match the
+        // sequential per-layer loop exactly.
+        let specs: Vec<(usize, CompressionScheme)> = vec![
+            (64, CompressionScheme::None),
+            (33, CompressionScheme::None),
+            (128, CompressionScheme::None),
+            (7, CompressionScheme::None),
+            (255, CompressionScheme::None),
+        ];
+        let n = 4;
+        let seq = run_sequential(Algorithm::ScatterReduceAllgather, n, &specs);
+        let specs2 = specs.clone();
+        let engine_out = ThreadCluster::run(n, move |t| {
+            let grads = rank_grads(t.rank(), &specs2);
+            let mut master = Rng::seed_from_u64(777);
+            let mut eng = CommEngine::with_defaults(&t, ScratchPool::new());
+            let handles: Vec<Handle> = grads
+                .iter()
+                .zip(&specs2)
+                .map(|(g, (_, s))| {
+                    eng.submit(Algorithm::ScatterReduceAllgather, g, s.build(), &mut master)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| eng.wait(h).unwrap())
+                .map(|(out, stats, _)| (out, stats))
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        for (rank, per_rank) in engine_out.iter().enumerate() {
+            let carriers = per_rank.iter().filter(|(_, s)| s.bytes_sent > 0).count();
+            assert_eq!(carriers, 1, "rank {rank}: group should be one collective");
+            for (l, ((out, _), expect)) in per_rank.iter().zip(&seq[rank]).enumerate() {
+                assert_eq!(out.as_slice(), expect.as_slice(), "rank {rank} layer {l}");
+                assert_eq!(out.shape(), expect.shape());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_overflow_flush_mid_submit_matches_sequential() {
+        // A coalesce budget smaller than the inventory forces flushes
+        // *during* submit. Each flush appends the group-driver op, so a
+        // member submitted right after one must not alias the driver's
+        // slot (regression: the member's handle used to point at the
+        // driver, leaving a stale index in the next pending group).
+        let specs: Vec<(usize, CompressionScheme)> = (0..24)
+            .map(|i| {
+                if i % 5 == 3 {
+                    (257, CompressionScheme::Qsgd { bits: 4, bucket_size: 128 })
+                } else {
+                    (64 + (i % 7) * 33, CompressionScheme::None)
+                }
+            })
+            .collect();
+        let opts = EngineOptions {
+            coalesce_budget: 300,
+            ..EngineOptions::default()
+        };
+        let seq = run_sequential(Algorithm::ScatterReduceAllgather, 4, &specs);
+        let eng = run_engine(Algorithm::ScatterReduceAllgather, 4, &specs, opts);
+        for (rank, (s, e)) in seq.iter().zip(&eng).enumerate() {
+            for (l, (a, b)) in s.iter().zip(e).enumerate() {
+                assert_eq!(a.as_slice(), b.as_slice(), "rank={rank} layer={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_reduction_is_interleaving_invariant() {
+        // A layer large enough to split into many pipeline segments must
+        // produce identical bytes whether it runs alone or interleaved
+        // with other collectives — the determinism invariant that makes
+        // pipelining safe for stochastic codecs.
+        let opts = EngineOptions {
+            segment_elems: 128,
+            ..EngineOptions::default()
+        };
+        let run = |batched: bool| {
+            ThreadCluster::run(4, move |t| {
+                let mut grng = Rng::seed_from_u64(40 + t.rank() as u64);
+                let big = Tensor::randn(&mut grng, &[1000]);
+                let other = Tensor::randn(&mut grng, &[333]);
+                let mut master = Rng::seed_from_u64(5);
+                let mut eng = CommEngine::new(&t, ScratchPool::new(), opts);
+                let scheme = CompressionScheme::Qsgd { bits: 4, bucket_size: 64 };
+                if batched {
+                    let h1 = eng.submit(
+                        Algorithm::ScatterReduceAllgather,
+                        &big,
+                        scheme.build(),
+                        &mut master,
+                    );
+                    let h2 = eng.submit(
+                        Algorithm::ScatterReduceAllgather,
+                        &other,
+                        scheme.build(),
+                        &mut master,
+                    );
+                    let a = eng.wait(h1).unwrap().0;
+                    let b = eng.wait(h2).unwrap().0;
+                    (a, b)
+                } else {
+                    let a = eng
+                        .allreduce(
+                            Algorithm::ScatterReduceAllgather,
+                            &big,
+                            scheme.build(),
+                            &mut master,
+                        )
+                        .unwrap()
+                        .0;
+                    let b = eng
+                        .allreduce(
+                            Algorithm::ScatterReduceAllgather,
+                            &other,
+                            scheme.build(),
+                            &mut master,
+                        )
+                        .unwrap()
+                        .0;
+                    (a, b)
+                }
+            })
+            .unwrap()
+        };
+        let batched = run(true);
+        let serial = run(false);
+        for (rank, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            assert_eq!(b.0.as_slice(), s.0.as_slice(), "big layer, rank {rank}");
+            assert_eq!(b.1.as_slice(), s.1.as_slice(), "other layer, rank {rank}");
+        }
+    }
+
+    #[test]
+    fn batch_submission_overlaps_collectives() {
+        // With several layers submitted before any wait, the recorded
+        // in-flight depth must exceed 1 — layers genuinely overlapped.
+        let stats = ThreadCluster::run(4, |t| {
+            let mut grng = Rng::seed_from_u64(t.rank() as u64);
+            let grads: Vec<Tensor> = (0..6).map(|_| Tensor::randn(&mut grng, &[700])).collect();
+            let mut master = Rng::seed_from_u64(3);
+            // Disable coalescing so each layer is its own collective.
+            let opts = EngineOptions {
+                coalesce_elems: 0,
+                ..EngineOptions::default()
+            };
+            let mut eng = CommEngine::new(&t, ScratchPool::new(), opts);
+            let handles: Vec<Handle> = grads
+                .iter()
+                .map(|g| {
+                    eng.submit(
+                        Algorithm::ScatterReduceAllgather,
+                        g,
+                        CompressionScheme::None.build(),
+                        &mut master,
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| eng.wait(h).unwrap().1)
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        for per_rank in &stats {
+            let depth = per_rank.iter().map(|s| s.max_in_flight).max().unwrap();
+            assert_eq!(depth, 6, "all six layers should have been in flight");
+        }
+    }
+
+    #[test]
+    fn single_rank_world_short_circuits() {
+        let out = ThreadCluster::run(1, |t| {
+            let mut master = Rng::seed_from_u64(1);
+            let g = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+            let mut eng = CommEngine::with_defaults(&t, ScratchPool::new());
+            eng.allreduce(
+                Algorithm::ScatterReduceAllgather,
+                &g,
+                CompressionScheme::None.build(),
+                &mut master,
+            )
+            .unwrap()
+            .0
+        })
+        .unwrap();
+        assert_eq!(out[0].as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn compressor_is_returned_at_wait() {
+        let names = ThreadCluster::run(2, |t| {
+            let mut master = Rng::seed_from_u64(1);
+            let mut grng = Rng::seed_from_u64(t.rank() as u64);
+            let g = Tensor::randn(&mut grng, &[512]);
+            let mut eng = CommEngine::with_defaults(&t, ScratchPool::new());
+            let scheme = CompressionScheme::Qsgd { bits: 4, bucket_size: 128 };
+            let (_, _, comp) = eng
+                .allreduce(Algorithm::ScatterReduceAllgather, &g, scheme.build(), &mut master)
+                .unwrap();
+            comp.name()
+        })
+        .unwrap();
+        assert_eq!(names[0], names[1]);
+        assert!(names[0].contains("qsgd"));
+    }
+
+    #[test]
+    fn dead_peer_poisons_all_in_flight_handles() {
+        // Rank 1 vanishes before participating; rank 0's in-flight handles
+        // must all surface the same CommError instead of hanging, and the
+        // engine must stay poisoned for later submissions.
+        let observed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = observed.clone();
+        let _ = ThreadCluster::run(2, move |mut t| {
+            if t.rank() == 1 {
+                return; // drops the transport: rank 0 sees Disconnected
+            }
+            t.set_timeout(Duration::from_secs(5));
+            let mut master = Rng::seed_from_u64(1);
+            let mut grng = Rng::seed_from_u64(7);
+            let g = Tensor::randn(&mut grng, &[600]);
+            let opts = EngineOptions {
+                coalesce_elems: 0,
+                ..EngineOptions::default()
+            };
+            let mut eng = CommEngine::new(&t, ScratchPool::new(), opts);
+            let h1 = eng.submit(
+                Algorithm::ScatterReduceAllgather,
+                &g,
+                CompressionScheme::None.build(),
+                &mut master,
+            );
+            let h2 = eng.submit(
+                Algorithm::Ring,
+                &g,
+                CompressionScheme::None.build(),
+                &mut master,
+            );
+            let e1 = eng.wait(h1).err().expect("h1 should fail");
+            let e2 = eng.wait(h2).err().expect("h2 should fail");
+            // Submitting after poisoning still yields the error, not a hang.
+            let h3 = eng.submit(
+                Algorithm::ScatterReduceAllgather,
+                &g,
+                CompressionScheme::None.build(),
+                &mut master,
+            );
+            let e3 = eng.wait(h3).err().expect("h3 should fail");
+            sink.lock().unwrap().push((e1, e2, e3));
+        });
+        let seen = observed.lock().unwrap();
+        assert_eq!(seen.len(), 1, "rank 0 should have recorded its errors");
+        let (e1, e2, e3) = &seen[0];
+        assert!(
+            matches!(e1, CommError::Disconnected { peer: 1 } | CommError::Timeout { from: 1, .. }),
+            "unexpected first error {e1:?}"
+        );
+        assert_eq!(e1, e2, "all in-flight handles surface the same poison");
+        assert_eq!(e1, e3, "engine stays poisoned for later submissions");
+    }
+
+    #[test]
+    fn options_default_values_are_sane() {
+        let o = EngineOptions::default();
+        assert!(o.segment_elems > 0);
+        assert!(o.coalesce_elems > 0);
+        assert!(o.coalesce_budget >= o.coalesce_elems);
+        assert!(o.max_live > 0, "default should bound the progress scan");
+    }
+}

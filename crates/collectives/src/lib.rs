@@ -17,6 +17,9 @@
 //!   Allgather-broadcast reductions parameterized by any
 //!   [`cgx_compress::Compressor`], faithfully reproducing where each scheme
 //!   re-quantizes (the compression-error differences of paper Figure 10),
+//! * [`engine`] — the layer-parallel communication engine: nonblocking
+//!   submit/wait over tag-multiplexed channels, chunk-pipelined SRA, and
+//!   small-layer coalescing (paper Section 4),
 //! * [`powersgd`] — the factored PowerSGD Allreduce (associative path),
 //! * [`primitives`] — broadcast / reduce / gather / scatter / barrier.
 //!
@@ -41,6 +44,7 @@
 //! ```
 
 pub mod cluster;
+pub mod engine;
 pub mod error;
 pub mod powersgd;
 pub mod primitives;
@@ -48,6 +52,7 @@ pub mod reduce;
 pub mod transport;
 
 pub use cluster::ThreadCluster;
+pub use engine::{CommEngine, EngineOptions, Handle};
 pub use error::CommError;
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
 pub use reduce::{allreduce, allreduce_scratch, AllreduceStats};

@@ -96,11 +96,8 @@ pub fn allreduce_powersgd_scratch(
         }
     }
     let out = matmul(&p, &qt).reshape(grad.shape().dims());
-    let stats = AllreduceStats {
-        bytes_sent: s1.bytes_sent + s2.bytes_sent,
-        compress_calls: s1.compress_calls + s2.compress_calls,
-        decompress_calls: s1.decompress_calls + s2.decompress_calls,
-    };
+    let mut stats = s1;
+    stats.merge(&s2);
     Ok((out, stats))
 }
 

@@ -43,6 +43,44 @@ pub struct AllreduceStats {
     pub compress_calls: usize,
     /// Number of decompression-kernel invocations on this rank.
     pub decompress_calls: usize,
+    /// Wall time spent inside compression kernels, nanoseconds.
+    pub compress_ns: u64,
+    /// Wall time spent blocked on the transport (waiting for peer
+    /// payloads), nanoseconds. Under the communication engine this is idle
+    /// time attributed to the collective being waited on — the quantity
+    /// layer-parallelism exists to hide.
+    pub wait_ns: u64,
+    /// Wall time spent inside decode / decode-accumulate kernels,
+    /// nanoseconds.
+    pub decode_ns: u64,
+    /// Maximum number of collectives simultaneously in flight on this rank
+    /// while this one ran. Always 1 for the sequential entry points; > 1
+    /// indicates the communication engine actually overlapped layers.
+    pub max_in_flight: usize,
+}
+
+impl AllreduceStats {
+    /// Folds another collective's stats into this one (used when a step
+    /// aggregates per-layer stats). `max_in_flight` takes the maximum;
+    /// everything else sums.
+    pub fn merge(&mut self, other: &AllreduceStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.compress_calls += other.compress_calls;
+        self.decompress_calls += other.decompress_calls;
+        self.compress_ns += other.compress_ns;
+        self.wait_ns += other.wait_ns;
+        self.decode_ns += other.decode_ns;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
+/// Runs `f`, adding its wall time in nanoseconds to `slot`.
+#[inline]
+fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    *slot += t0.elapsed().as_nanos() as u64;
+    out
 }
 
 /// The reduction algorithm to execute.
@@ -172,40 +210,65 @@ fn sra_with_ranges(
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
+    stats.max_in_flight = 1;
     let gslice = grad.as_slice();
     // Phase 1: send each peer its chunk of my gradient.
     for (j, range) in ranges.iter().enumerate() {
         if j == me || range.is_empty() {
             continue;
         }
-        let enc = comp.compress_slice(&gslice[range.clone()], rng, pool);
+        let enc = timed(&mut stats.compress_ns, || {
+            comp.compress_slice(&gslice[range.clone()], rng, pool)
+        });
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes();
         t.send(j, enc)?;
     }
     // Aggregate my chunk: peers' payloads decode-accumulate straight into
-    // pooled scratch, in global rank order (float addition is not
-    // associative — the fixed order keeps every rank's sums bit-equal).
+    // pooled scratch, in strict global rank order *including my own
+    // contribution* (float addition is not associative — the fixed order
+    // keeps every rank's sums bit-equal). Because the order is purely
+    // rank-indexed and never depends on which rank owns the chunk, the
+    // per-element sum is invariant under re-chunking — the property that
+    // lets the communication engine coalesce small layers and segment
+    // large ones without perturbing lossless results.
     let mut out = grad.clone();
     if !ranges[me].is_empty() {
         let mut mine = pool.take_f32(ranges[me].len());
-        mine.copy_from_slice(&gslice[ranges[me].clone()]);
         for j in 0..n {
             if j == me {
+                let own = &gslice[ranges[me].clone()];
+                if j == 0 {
+                    mine.copy_from_slice(own);
+                } else {
+                    for (m, g) in mine.iter_mut().zip(own) {
+                        *m += *g;
+                    }
+                }
                 continue;
             }
-            let enc = t.recv(j)?;
-            comp.decompress_add_into(&enc, &mut mine);
+            let enc = timed(&mut stats.wait_ns, || t.recv(j))?;
+            timed(&mut stats.decode_ns, || {
+                if j == 0 {
+                    comp.decompress_into(&enc, &mut mine);
+                } else {
+                    comp.decompress_add_into(&enc, &mut mine);
+                }
+            });
             stats.decompress_calls += 1;
             pool.recycle(enc);
         }
         // Phase 2: broadcast the aggregate; decode my own encoding so
         // every rank holds bit-identical values (consensus).
-        let enc = comp.compress_slice(&mine, rng, pool);
+        let enc = timed(&mut stats.compress_ns, || {
+            comp.compress_slice(&mine, rng, pool)
+        });
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes() * (n - 1);
         t.broadcast(&enc)?;
-        comp.decompress_into(&enc, &mut out.as_mut_slice()[ranges[me].clone()]);
+        timed(&mut stats.decode_ns, || {
+            comp.decompress_into(&enc, &mut out.as_mut_slice()[ranges[me].clone()])
+        });
         stats.decompress_calls += 1;
         pool.recycle(enc);
         pool.put_f32(mine);
@@ -214,7 +277,7 @@ fn sra_with_ranges(
         if j == me || range.is_empty() {
             continue;
         }
-        let enc = t.recv(j)?;
+        let enc = timed(&mut stats.wait_ns, || t.recv(j))?;
         if enc.shape().len() != range.len() {
             return Err(CommError::ShapeMismatch {
                 detail: format!(
@@ -224,7 +287,9 @@ fn sra_with_ranges(
                 ),
             });
         }
-        comp.decompress_into(&enc, &mut out.as_mut_slice()[range.clone()]);
+        timed(&mut stats.decode_ns, || {
+            comp.decompress_into(&enc, &mut out.as_mut_slice()[range.clone()])
+        });
         stats.decompress_calls += 1;
         pool.recycle(enc);
     }
@@ -276,6 +341,7 @@ fn ring_with_ranges(
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
+    stats.max_in_flight = 1;
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
     let gslice = grad.as_slice();
@@ -294,14 +360,14 @@ fn ring_with_ranges(
         let send_idx = (me + n - s) % n;
         let recv_idx = (me + n - s - 1) % n;
         if let Some(c) = &chunks[send_idx] {
-            let enc = comp.compress_slice(c, rng, pool);
+            let enc = timed(&mut stats.compress_ns, || comp.compress_slice(c, rng, pool));
             stats.compress_calls += 1;
             stats.bytes_sent += enc.payload_bytes();
             t.send(right, enc)?;
         }
         if let Some(c) = chunks[recv_idx].as_mut() {
-            let enc = t.recv(left)?;
-            comp.decompress_add_into(&enc, c);
+            let enc = timed(&mut stats.wait_ns, || t.recv(left))?;
+            timed(&mut stats.decode_ns, || comp.decompress_add_into(&enc, c));
             stats.decompress_calls += 1;
             pool.recycle(enc);
         }
@@ -311,7 +377,7 @@ fn ring_with_ranges(
     let owned_idx = (me + 1) % n;
     let mut encs: Vec<Option<Encoded>> = vec![None; n];
     if let Some(c) = &chunks[owned_idx] {
-        let enc = comp.compress_slice(c, rng, pool);
+        let enc = timed(&mut stats.compress_ns, || comp.compress_slice(c, rng, pool));
         stats.compress_calls += 1;
         encs[owned_idx] = Some(enc);
     }
@@ -325,7 +391,7 @@ fn ring_with_ranges(
             unreachable!("chunk {send_idx} should have an encoding by step {s}");
         }
         if !ranges[recv_idx].is_empty() {
-            let enc = t.recv(left)?;
+            let enc = timed(&mut stats.wait_ns, || t.recv(left))?;
             encs[recv_idx] = Some(enc);
         }
     }
@@ -335,7 +401,9 @@ fn ring_with_ranges(
             continue;
         }
         let enc = encs[i].as_ref().expect("all chunks gathered");
-        comp.decompress_into(enc, &mut out.as_mut_slice()[r.clone()]);
+        timed(&mut stats.decode_ns, || {
+            comp.decompress_into(enc, &mut out.as_mut_slice()[r.clone()])
+        });
         stats.decompress_calls += 1;
     }
     for enc in encs.into_iter().flatten() {
@@ -380,6 +448,7 @@ pub fn allreduce_tree_scratch(
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
+    stats.max_in_flight = 1;
     // Full-shape compression (compress_pooled, not compress_slice) so
     // shape-sensitive codecs see the original tensor geometry.
     let mut acc = grad.clone();
@@ -387,15 +456,19 @@ pub fn allreduce_tree_scratch(
     let mut span = 1;
     while span < n {
         if me % (2 * span) == span {
-            let enc = comp.compress_pooled(&acc, rng, pool);
+            let enc = timed(&mut stats.compress_ns, || {
+                comp.compress_pooled(&acc, rng, pool)
+            });
             stats.compress_calls += 1;
             stats.bytes_sent += enc.payload_bytes();
             t.send(me - span, enc)?;
             break;
         }
         if me.is_multiple_of(2 * span) && me + span < n {
-            let enc = t.recv(me + span)?;
-            comp.decompress_add_into(&enc, acc.as_mut_slice());
+            let enc = timed(&mut stats.wait_ns, || t.recv(me + span))?;
+            timed(&mut stats.decode_ns, || {
+                comp.decompress_add_into(&enc, acc.as_mut_slice())
+            });
             stats.decompress_calls += 1;
             pool.recycle(enc);
         }
@@ -407,7 +480,9 @@ pub fn allreduce_tree_scratch(
         top *= 2;
     }
     let root_enc: Encoded = if me == 0 {
-        let enc = comp.compress_pooled(&acc, rng, pool);
+        let enc = timed(&mut stats.compress_ns, || {
+            comp.compress_pooled(&acc, rng, pool)
+        });
         stats.compress_calls += 1;
         enc
     } else {
@@ -417,7 +492,7 @@ pub fn allreduce_tree_scratch(
         let mut s = top / 2;
         while s >= 1 {
             if s == recv_span {
-                enc = Some(t.recv(me - s)?);
+                enc = Some(timed(&mut stats.wait_ns, || t.recv(me - s))?);
                 break;
             }
             s /= 2;
@@ -437,7 +512,7 @@ pub fn allreduce_tree_scratch(
         }
         s /= 2;
     }
-    let out = comp.decompress(&root_enc);
+    let out = timed(&mut stats.decode_ns, || comp.decompress(&root_enc));
     stats.decompress_calls += 1;
     pool.recycle(root_enc);
     Ok((out, stats))
@@ -476,7 +551,10 @@ pub fn allreduce_gather_scratch(
     if n == 1 {
         return Ok((grad.clone(), stats));
     }
-    let enc = comp.compress_pooled(grad, rng, pool);
+    stats.max_in_flight = 1;
+    let enc = timed(&mut stats.compress_ns, || {
+        comp.compress_pooled(grad, rng, pool)
+    });
     stats.compress_calls += 1;
     stats.bytes_sent += enc.payload_bytes() * (n - 1);
     t.broadcast(&enc)?;
@@ -487,12 +565,14 @@ pub fn allreduce_gather_scratch(
     encs[me] = Some(enc);
     for (j, slot) in encs.iter_mut().enumerate() {
         if j != me {
-            *slot = Some(t.recv(j)?);
+            *slot = Some(timed(&mut stats.wait_ns, || t.recv(j))?);
         }
     }
     let mut out = Tensor::zeros(grad.shape().dims());
     for e in encs.iter().flatten() {
-        comp.decompress_add_into(e, out.as_mut_slice());
+        timed(&mut stats.decode_ns, || {
+            comp.decompress_add_into(e, out.as_mut_slice())
+        });
         stats.decompress_calls += 1;
     }
     for e in encs.into_iter().flatten() {

@@ -1,0 +1,142 @@
+//! Property tests for the communication engine: for arbitrary world
+//! sizes, layer inventories, and compression schemes, driving all layers
+//! concurrently through [`CommEngine`] must be bit-identical to the
+//! blocking one-allreduce-per-layer reference, and every rank must agree.
+
+use cgx_collectives::reduce::{allreduce, Algorithm};
+use cgx_collectives::{CommEngine, EngineOptions, ThreadCluster};
+use cgx_compress::{CompressionScheme, Compressor, ScratchPool};
+use cgx_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = CompressionScheme> {
+    prop_oneof![
+        Just(CompressionScheme::None),
+        Just(CompressionScheme::Qsgd {
+            bits: 4,
+            bucket_size: 128
+        }),
+        Just(CompressionScheme::Qsgd {
+            bits: 2,
+            bucket_size: 64
+        }),
+        Just(CompressionScheme::Nuqsgd {
+            bits: 4,
+            bucket_size: 64
+        }),
+        Just(CompressionScheme::TopK { ratio: 0.25 }),
+    ]
+}
+
+/// A layer: odd-biased length (including lengths smaller than the world
+/// size) plus a scheme.
+fn layer_strategy() -> impl Strategy<Value = (usize, CompressionScheme)> {
+    ((1usize..700).prop_map(|n| n | 1), scheme_strategy())
+}
+
+fn run_engine(
+    world: usize,
+    seed: u64,
+    layers: &[(usize, CompressionScheme)],
+    alg: Algorithm,
+) -> Vec<Vec<Tensor>> {
+    ThreadCluster::run(world, |t| {
+        let mut data = Rng::seed_from_u64(seed ^ (0x9E37 + t.rank() as u64));
+        let grads: Vec<Tensor> = layers
+            .iter()
+            .map(|(n, _)| Tensor::randn(&mut data, &[*n]))
+            .collect();
+        let mut master = Rng::seed_from_u64(seed);
+        let mut eng = CommEngine::new(&t, ScratchPool::new(), EngineOptions::default());
+        let handles: Vec<_> = grads
+            .iter()
+            .zip(layers)
+            .map(|(g, (_, s))| eng.submit(alg, g, s.build(), &mut master))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| eng.wait(h).expect("engine wait").0)
+            .collect::<Vec<_>>()
+    })
+    .expect("engine cluster")
+}
+
+fn run_sequential(
+    world: usize,
+    seed: u64,
+    layers: &[(usize, CompressionScheme)],
+    alg: Algorithm,
+) -> Vec<Vec<Tensor>> {
+    ThreadCluster::run(world, |t| {
+        let mut data = Rng::seed_from_u64(seed ^ (0x9E37 + t.rank() as u64));
+        let grads: Vec<Tensor> = layers
+            .iter()
+            .map(|(n, _)| Tensor::randn(&mut data, &[*n]))
+            .collect();
+        let mut master = Rng::seed_from_u64(seed);
+        grads
+            .iter()
+            .zip(layers)
+            .map(|(g, (_, s))| {
+                let mut lrng = Rng::seed_from_u64(master.next_u64());
+                let mut comp: Box<dyn Compressor> = s.build();
+                allreduce(alg, &t, g, comp.as_mut(), &mut lrng)
+                    .expect("allreduce")
+                    .0
+            })
+            .collect::<Vec<_>>()
+    })
+    .expect("sequential cluster")
+}
+
+fn check(
+    world: usize,
+    seed: u64,
+    layers: &[(usize, CompressionScheme)],
+    alg: Algorithm,
+) -> Result<(), TestCaseError> {
+    let eng = run_engine(world, seed, layers, alg);
+    let seq = run_sequential(world, seed, layers, alg);
+    for (r, replica) in eng.iter().enumerate() {
+        for (i, (a, b)) in replica.iter().zip(&seq[0]).enumerate() {
+            for (j, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "rank {} layer {} elem {}: engine {} vs sequential {}",
+                    r,
+                    i,
+                    j,
+                    x,
+                    y
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Thread clusters are expensive; a couple dozen cases still explore
+    // world size x inventory x scheme space well because each case runs
+    // up to 10 concurrent collectives.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_is_bitwise_equal_to_sequential_sra(
+        world in 2usize..=8,
+        seed in 0u64..1_000_000,
+        layers in prop::collection::vec(layer_strategy(), 1..10),
+    ) {
+        check(world, seed, &layers, Algorithm::ScatterReduceAllgather)?;
+    }
+
+    #[test]
+    fn engine_is_bitwise_equal_to_sequential_ring(
+        world in 2usize..=8,
+        seed in 0u64..1_000_000,
+        layers in prop::collection::vec(layer_strategy(), 1..6),
+    ) {
+        check(world, seed, &layers, Algorithm::Ring)?;
+    }
+}

@@ -59,6 +59,17 @@ impl ErrorFeedback {
     pub fn reset(&mut self) {
         self.residual = None;
     }
+
+    /// The stored residual, but only if it matches the incoming gradient's
+    /// element count. Chunked allreduce schemes feed one compressor slices
+    /// of varying length (near-equal chunks differ by one element, and the
+    /// aggregate chunk differs from the scatter chunks), so a stale
+    /// residual of another length is dropped rather than zip-panicking —
+    /// deterministically, hence identically on every rank and in both the
+    /// sequential and engine paths.
+    fn residual_for(&self, len: usize) -> Option<&Tensor> {
+        self.residual.as_ref().filter(|r| r.len() == len)
+    }
 }
 
 impl Compressor for ErrorFeedback {
@@ -68,7 +79,7 @@ impl Compressor for ErrorFeedback {
 
     fn compress(&mut self, grad: &Tensor, rng: &mut Rng) -> Encoded {
         let mut corrected = grad.clone();
-        if let Some(res) = &self.residual {
+        if let Some(res) = self.residual_for(grad.len()) {
             corrected.add_assign(res);
         }
         let enc = self.inner.compress(&corrected, rng);
@@ -81,7 +92,7 @@ impl Compressor for ErrorFeedback {
 
     fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {
         let mut corrected = grad.clone();
-        if let Some(res) = &self.residual {
+        if let Some(res) = self.residual_for(grad.len()) {
             corrected.add_assign(res);
         }
         let enc = self.inner.compress_pooled(&corrected, rng, pool);
@@ -186,5 +197,22 @@ mod tests {
     fn name_wraps_inner() {
         let ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.01)));
         assert_eq!(ef.name(), "ef[topk(1%)]");
+    }
+
+    #[test]
+    fn mismatched_length_drops_residual_instead_of_panicking() {
+        // Chunked allreduce feeds one compressor slices of different
+        // lengths (e.g. 257-element then 256-element chunks). The stale
+        // residual must be ignored, not zipped against the wrong length.
+        let mut rng = Rng::seed_from_u64(4);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let _ = ef.compress(&Tensor::from_slice(&[1.0, 0.4, 0.2]), &mut rng);
+        let enc = ef.compress(&Tensor::from_slice(&[1.0, 0.4]), &mut rng);
+        // Fresh-start behavior: identical to a wrapper with no residual.
+        let mut fresh = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let fresh_enc = fresh.compress(&Tensor::from_slice(&[1.0, 0.4]), &mut rng);
+        assert_eq!(enc.payload(), fresh_enc.payload());
+        // And the new residual has the new length.
+        assert_eq!(ef.residual().unwrap().len(), 2);
     }
 }

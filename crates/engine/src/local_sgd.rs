@@ -11,7 +11,7 @@
 use crate::optimizer::SgdMomentum;
 use crate::trainer::{TrainConfig, TrainableModel};
 use cgx_collectives::reduce::allreduce_scratch;
-use cgx_collectives::{CommError, ThreadCluster};
+use cgx_collectives::{CommEngine, CommError, ThreadCluster};
 use cgx_compress::{Compressor, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
@@ -61,7 +61,12 @@ where
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
         let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
-        let mut compressors = cfg.compression.build_all(&specs);
+        let mut compressors: Vec<Option<Box<dyn Compressor>>> = cfg
+            .compression
+            .build_all(&specs)
+            .into_iter()
+            .map(Some)
+            .collect();
         let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut raw = NoneCompressor::new();
         let mut losses = Vec::with_capacity(cfg.steps);
@@ -80,20 +85,62 @@ where
                 sync_rounds += 1;
                 // Compressed model averaging: all-reduce the deltas from
                 // the shared anchor, then rebuild params = anchor + mean.
-                for (i, p) in local.params_mut().iter_mut().enumerate() {
-                    let mut delta = p.clone();
-                    delta.sub_assign(&anchor[i]);
-                    let comp: &mut dyn Compressor = if world > 1.0 {
-                        compressors[i].as_mut()
-                    } else {
-                        &mut raw
-                    };
-                    let (mut mean_delta, stats) =
-                        allreduce_scratch(cfg.algorithm, &t, &delta, comp, &mut comp_rng, &pool)?;
-                    mean_delta.scale(1.0 / world);
-                    bytes += stats.bytes_sent;
-                    *p = anchor[i].clone();
-                    p.add_assign(&mean_delta);
+                if cfg.layer_parallel {
+                    // Layer-parallel path: every layer's delta is in
+                    // flight at once; the engine coalesces the small
+                    // FP32 ones. Byte-identical to the loop below.
+                    let deltas: Vec<Tensor> = local
+                        .params()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            let mut d = p.clone();
+                            d.sub_assign(&anchor[i]);
+                            d
+                        })
+                        .collect();
+                    let mut eng = CommEngine::new(&t, pool.clone(), cfg.engine);
+                    let handles: Vec<_> = deltas
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| {
+                            let comp = compressors[i].take().expect("compressor present");
+                            eng.submit(cfg.algorithm, d, comp, &mut comp_rng)
+                        })
+                        .collect();
+                    for (i, h) in handles.into_iter().enumerate() {
+                        let (mut mean_delta, stats, comp) = eng.wait(h)?;
+                        compressors[i] = Some(comp);
+                        mean_delta.scale(1.0 / world);
+                        bytes += stats.bytes_sent;
+                        let p = &mut local.params_mut()[i];
+                        *p = anchor[i].clone();
+                        p.add_assign(&mean_delta);
+                    }
+                } else {
+                    for (i, p) in local.params_mut().iter_mut().enumerate() {
+                        let mut delta = p.clone();
+                        delta.sub_assign(&anchor[i]);
+                        let comp: &mut dyn Compressor = if world > 1.0 {
+                            compressors[i].as_deref_mut().expect("compressor present")
+                        } else {
+                            &mut raw
+                        };
+                        // One RNG draw per layer, matching the engine.
+                        let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
+                        let (mut mean_delta, stats) = allreduce_scratch(
+                            cfg.algorithm,
+                            &t,
+                            &delta,
+                            comp,
+                            &mut layer_rng,
+                            &pool,
+                        )?;
+                        mean_delta.scale(1.0 / world);
+                        bytes += stats.bytes_sent;
+                        *p = anchor[i].clone();
+                        p.add_assign(&mean_delta);
+                    }
                 }
                 anchor = local.params().to_vec();
             }
@@ -117,7 +164,6 @@ mod tests {
     use crate::data::GaussianMixture;
     use crate::nn::Mlp;
     use crate::trainer::LayerCompression;
-    use cgx_collectives::reduce::allreduce;
 
     fn setup() -> (GaussianMixture, Mlp) {
         let task = GaussianMixture::new(5, 10, 1.3);
@@ -178,7 +224,9 @@ mod tests {
             ..TrainConfig::new(3, 21)
         };
         let specs = model.param_specs();
+        let pool = ScratchPool::new();
         let replicas = ThreadCluster::try_run(3, |t| {
+            let pool = pool.clone();
             let mut local = model.clone();
             let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
             let mut comp_rng =
@@ -194,8 +242,14 @@ mod tests {
                     for (i, p) in local.params_mut().iter_mut().enumerate() {
                         let mut delta = p.clone();
                         delta.sub_assign(&anchor[i]);
-                        let (mut mean, _) =
-                            allreduce(cfg.algorithm, &t, &delta, comps[i].as_mut(), &mut comp_rng)?;
+                        let (mut mean, _) = allreduce_scratch(
+                            cfg.algorithm,
+                            &t,
+                            &delta,
+                            comps[i].as_mut(),
+                            &mut comp_rng,
+                            &pool,
+                        )?;
                         mean.scale(1.0 / t.world() as f32);
                         *p = anchor[i].clone();
                         p.add_assign(&mean);
@@ -225,6 +279,28 @@ mod tests {
         let (trained, _) =
             train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, 8).unwrap();
         assert!(eval(&trained, &task) > 0.85);
+    }
+
+    #[test]
+    fn engine_and_sequential_sync_paths_agree_bitwise() {
+        let (task, model) = setup();
+        let run = |layer_parallel: bool| {
+            let cfg = TrainConfig {
+                lr: 0.1,
+                layer_parallel,
+                compression: LayerCompression::cgx_default(),
+                ..TrainConfig::new(3, 21)
+            };
+            let t = task.clone();
+            train_local_sgd(&model, move |r| t.sample_batch(r, 8), &cfg, 7)
+                .unwrap()
+                .0
+        };
+        let eng = run(true);
+        let seq = run(false);
+        for (a, b) in eng.params().iter().zip(seq.params()) {
+            assert_eq!(a.as_slice(), b.as_slice(), "sync paths diverged");
+        }
     }
 
     #[test]
