@@ -68,6 +68,10 @@ $RUSTC --test --crate-name engine_stress crates/collectives/tests/engine_stress.
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$V/test_engine_stress"
+$RUSTC --test --crate-name chaos crates/collectives/tests/chaos.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$V/test_chaos"
 
 echo "== kernel_report bin"
 $RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
@@ -80,5 +84,13 @@ $RUSTC --crate-name pipeline_report crates/bench/src/bin/pipeline_report.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$V/pipeline_report"
+
+echo "== chaos_report bin"
+$RUSTC --crate-type rlib --crate-name cgx_bench crates/bench/src/lib.rs -o "$L/libcgx_bench.rlib"
+$RUSTC --crate-name chaos_report crates/bench/src/bin/chaos_report.rs \
+  --extern cgx_bench="$L/libcgx_bench.rlib" --extern cgx_tensor="$L/libcgx_tensor.rlib" \
+  --extern cgx_compress="$L/libcgx_compress.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  -o "$V/chaos_report"
 
 echo "BUILD OK"

@@ -6,6 +6,7 @@ use std::sync::Arc;
 pub trait BufMut {
     fn put_u64_le(&mut self, v: u64);
     fn put_u32_le(&mut self, v: u32);
+    fn put_u16_le(&mut self, v: u16);
     fn put_slice(&mut self, s: &[u8]);
 }
 
@@ -73,6 +74,10 @@ impl BufMut for BytesMut {
         self.vec.extend_from_slice(&v.to_le_bytes());
     }
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_slice(&mut self, s: &[u8]) {
         self.vec.extend_from_slice(s);
     }
@@ -128,6 +133,23 @@ impl Bytes {
 
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Bytes {
+            data: Arc::new(self.data[start..end].to_vec()),
+        }
     }
 
     pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {

@@ -1,9 +1,18 @@
 //! Minimal stand-in for `crossbeam` (channel module only), backed by
 //! std::sync::mpsc. Used only for offline local verification.
+//!
+//! `Select` is a polling emulation of crossbeam's selector: registered
+//! receivers are probed round-robin (ready messages are parked in a
+//! per-receiver buffer that the normal recv paths drain first), which
+//! preserves the real API's semantics — a disconnected channel counts as
+//! ready, and `SelectedOperation::recv` returns its error — at the cost
+//! of a short poll interval instead of a true multi-channel wait.
 
 pub mod channel {
+    use std::collections::VecDeque;
     use std::sync::mpsc;
-    use std::time::Duration;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
 
     pub use std::sync::mpsc::RecvTimeoutError;
     pub use std::sync::mpsc::TryRecvError;
@@ -31,25 +40,136 @@ pub mod channel {
         }
     }
 
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        /// Messages pulled off the channel by a `Select` probe, delivered
+        /// ahead of the channel by every recv flavour.
+        buf: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn pop_buffered(&self) -> Option<T> {
+            self.buf.lock().expect("select buffer poisoned").pop_front()
+        }
+
         pub fn recv(&self) -> Result<T, mpsc::RecvError> {
-            self.0.recv()
+            if let Some(v) = self.pop_buffered() {
+                return Ok(v);
+            }
+            self.rx.recv()
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            if let Some(v) = self.pop_buffered() {
+                return Ok(v);
+            }
+            self.rx.recv_timeout(timeout)
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            if let Some(v) = self.pop_buffered() {
+                return Ok(v);
+            }
+            self.rx.try_recv()
         }
     }
 
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (s, r) = mpsc::sync_channel(cap);
-        (Sender(s), Receiver(r))
+        (
+            Sender(s),
+            Receiver {
+                rx: r,
+                buf: Mutex::new(VecDeque::new()),
+            },
+        )
+    }
+
+    enum Poll {
+        Ready,
+        Empty,
+    }
+
+    trait Pollable {
+        fn poll_ready(&self) -> Poll;
+    }
+
+    impl<T> Pollable for Receiver<T> {
+        fn poll_ready(&self) -> Poll {
+            let mut buf = self.buf.lock().expect("select buffer poisoned");
+            if !buf.is_empty() {
+                return Poll::Ready;
+            }
+            match self.rx.try_recv() {
+                Ok(v) => {
+                    buf.push_back(v);
+                    Poll::Ready
+                }
+                Err(TryRecvError::Empty) => Poll::Empty,
+                // Disconnected channels are "ready": the selected recv
+                // will surface the error, as with real crossbeam.
+                Err(TryRecvError::Disconnected) => Poll::Ready,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct SelectTimeoutError;
+
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, mpsc::RecvError> {
+            match r.try_recv() {
+                Ok(v) => Ok(v),
+                Err(_) => Err(mpsc::RecvError),
+            }
+        }
+    }
+
+    pub struct Select<'a> {
+        ops: Vec<&'a dyn Pollable>,
+    }
+
+    impl<'a> Select<'a> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Select { ops: Vec::new() }
+        }
+
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.ops.push(r);
+            self.ops.len() - 1
+        }
+
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation, SelectTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            loop {
+                for (i, op) in self.ops.iter().enumerate() {
+                    if let Poll::Ready = op.poll_ready() {
+                        return Ok(SelectedOperation { index: i });
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(SelectTimeoutError);
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
     }
 }

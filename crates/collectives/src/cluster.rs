@@ -31,13 +31,20 @@ impl ThreadCluster {
         Self::try_run(n, |t| Ok::<R, CommError>(f(t)))
     }
 
-    /// Like [`ThreadCluster::run`] but each worker returns a `Result`;
-    /// the first `Err` (by rank order) is propagated.
+    /// Like [`ThreadCluster::run`] but each worker returns a `Result`.
+    ///
+    /// Every rank's outcome is inspected before the cluster reports:
+    /// a lone failing rank propagates its error (or panic) as-is, while
+    /// multiple failures aggregate into [`CommError::MultipleFailures`]
+    /// listing each failing rank — so a cascading fault (one death
+    /// poisoning several survivors) is diagnosable from the report
+    /// instead of collapsing to whichever rank happened to join first.
     ///
     /// # Errors
     ///
-    /// Worker panics map to [`CommError::WorkerPanicked`]; worker errors
-    /// are returned as-is.
+    /// Worker panics map to [`CommError::WorkerPanicked`]; a single
+    /// worker error is returned as-is; several become
+    /// [`CommError::MultipleFailures`].
     ///
     /// # Panics
     ///
@@ -46,7 +53,7 @@ impl ThreadCluster {
     where
         F: Fn(ShmTransport) -> Result<R, E> + Send + Sync,
         R: Send,
-        E: Send + From<CommError>,
+        E: Send + From<CommError> + std::fmt::Debug,
     {
         assert!(n > 0, "cluster needs at least one worker");
         let endpoints = ShmFabric::build(n);
@@ -70,16 +77,37 @@ impl ThreadCluster {
                 .collect()
         });
         let mut results = Vec::with_capacity(n);
+        let mut failures: Vec<(usize, Result<E, String>)> = Vec::new();
         for (rank, o) in outcomes.into_iter().enumerate() {
             match o {
                 Ok(Ok(r)) => results.push(r),
-                Ok(Err(e)) => return Err(e),
-                Err(message) => {
-                    return Err(CommError::WorkerPanicked { rank, message }.into());
-                }
+                Ok(Err(e)) => failures.push((rank, Ok(e))),
+                Err(message) => failures.push((rank, Err(message))),
             }
         }
-        Ok(results)
+        match failures.len() {
+            0 => Ok(results),
+            1 => {
+                let (rank, failure) = failures.pop().expect("len checked");
+                Err(match failure {
+                    Ok(e) => e,
+                    Err(message) => CommError::WorkerPanicked { rank, message }.into(),
+                })
+            }
+            _ => Err(CommError::MultipleFailures {
+                failures: failures
+                    .into_iter()
+                    .map(|(rank, failure)| {
+                        let detail = match failure {
+                            Ok(e) => format!("{e:?}"),
+                            Err(message) => format!("panicked: {message}"),
+                        };
+                        (rank, detail)
+                    })
+                    .collect(),
+            }
+            .into()),
+        }
     }
 }
 
@@ -213,6 +241,29 @@ mod tests {
             }
         });
         assert!(matches!(r, Err(CommError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn multiple_failing_ranks_are_all_reported() {
+        // Two ranks fail (one error, one panic) while one succeeds: the
+        // report must name both failing ranks, not just the first joined.
+        let r: Result<Vec<()>, CommError> = ThreadCluster::try_run(3, |t| match t.rank() {
+            0 => Err(CommError::ShapeMismatch {
+                detail: "rank zero synthetic".into(),
+            }),
+            2 => panic!("rank two synthetic"),
+            _ => Ok(()),
+        });
+        match r {
+            Err(CommError::MultipleFailures { failures }) => {
+                assert_eq!(failures.len(), 2);
+                assert_eq!(failures[0].0, 0);
+                assert!(failures[0].1.contains("rank zero synthetic"));
+                assert_eq!(failures[1].0, 2);
+                assert!(failures[1].1.contains("rank two synthetic"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

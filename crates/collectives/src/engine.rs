@@ -59,10 +59,11 @@
 //! peers' handles.
 
 use crate::error::CommError;
+use crate::fault::FaultStats;
 use crate::reduce::{
     allreduce_gather_scratch, allreduce_tree_scratch, chunk_ranges, Algorithm, AllreduceStats,
 };
-use crate::transport::{collective_tag, ShmTransport, Tag};
+use crate::transport::{collective_tag_in_epoch, Tag, Transport};
 use cgx_compress::{Compressor, Encoded, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 use std::collections::VecDeque;
@@ -94,6 +95,12 @@ pub struct EngineOptions {
     /// Launch order is the (rank-invariant) submit order, so the cap
     /// changes timing only — never bytes.
     pub max_live: usize,
+    /// Membership epoch stamped into every wire tag
+    /// ([`crate::transport::collective_tag_in_epoch`]). Elastic trainers
+    /// bump it after each recovery so a straggler's pre-recovery frames
+    /// cannot alias post-recovery collectives. Epoch 0 keeps the
+    /// historical wire format byte-identical.
+    pub epoch: u8,
 }
 
 impl Default for EngineOptions {
@@ -103,6 +110,7 @@ impl Default for EngineOptions {
             coalesce_elems: 4096,
             coalesce_budget: 1 << 20,
             max_live: 8,
+            epoch: 0,
         }
     }
 }
@@ -174,7 +182,7 @@ impl OpState {
 /// The per-rank communication engine. Borrows the rank's transport; create
 /// one per worker (they are not `Sync` — a rank drives its own engine).
 pub struct CommEngine<'a> {
-    t: &'a ShmTransport,
+    t: &'a dyn Transport,
     pool: ScratchPool,
     opts: EngineOptions,
     ops: Vec<OpState>,
@@ -188,11 +196,14 @@ pub struct CommEngine<'a> {
     live: usize,
     poisoned: Option<CommError>,
     in_flight: usize,
+    /// Transport fault counters already attributed to a completed wait;
+    /// each wait reports the delta accrued since the previous one.
+    faults_seen: FaultStats,
 }
 
 impl<'a> CommEngine<'a> {
     /// Creates an engine over `transport`, drawing scratch from `pool`.
-    pub fn new(transport: &'a ShmTransport, pool: ScratchPool, opts: EngineOptions) -> Self {
+    pub fn new(transport: &'a dyn Transport, pool: ScratchPool, opts: EngineOptions) -> Self {
         CommEngine {
             t: transport,
             pool,
@@ -205,11 +216,12 @@ impl<'a> CommEngine<'a> {
             live: 0,
             poisoned: None,
             in_flight: 0,
+            faults_seen: transport.fault_stats(),
         }
     }
 
     /// Engine with default options.
-    pub fn with_defaults(transport: &'a ShmTransport, pool: ScratchPool) -> Self {
+    pub fn with_defaults(transport: &'a dyn Transport, pool: ScratchPool) -> Self {
         Self::new(transport, pool, EngineOptions::default())
     }
 
@@ -346,6 +358,9 @@ impl<'a> CommEngine<'a> {
             if self.ops[h.0].result.is_some() {
                 let (tensor, mut stats) = self.ops[h.0].result.take().expect("checked above");
                 stats.wait_ns += idle_ns;
+                let cur = self.t.fault_stats();
+                stats.faults = cur.since(&self.faults_seen);
+                self.faults_seen = cur;
                 let comp = self.ops[h.0].comp.take().expect("compressor present");
                 return Ok((tensor, stats, comp));
             }
@@ -368,10 +383,10 @@ impl<'a> CommEngine<'a> {
             if last_progress.elapsed() >= self.t.timeout() {
                 let e = CommError::Timeout {
                     from: self.blocked_peer(),
-                    waited: self.t.timeout(),
+                    waited: last_progress.elapsed(),
+                    in_flight: self.in_flight,
                 };
-                self.poison(e.clone());
-                return Err(e);
+                return Err(self.poison(e));
             }
             // Nothing to do anywhere: park on the most-stalled machine's
             // expected inbound message so the sender's handoff wakes us
@@ -388,14 +403,15 @@ impl<'a> CommEngine<'a> {
                 Some((peer, tag)) => {
                     match self.t.wait_inbound(peer, tag, Duration::from_millis(1)) {
                         Ok(_) => {}
-                        Err(e) => {
-                            idle_ns += t0.elapsed().as_nanos() as u64;
-                            self.poison(e.clone());
-                            return Err(e);
-                        }
+                        Err(e) => return Err(self.poison(e)),
                     }
                 }
-                None => std::thread::sleep(Duration::from_micros(20)),
+                None => {
+                    // No machine knows what it wants next (all are
+                    // mid-send or queued): park on *any* inbound arrival
+                    // instead of sleep-polling a fixed interval.
+                    self.t.wait_any_inbound(Duration::from_millis(1));
+                }
             }
             idle_ns += t0.elapsed().as_nanos() as u64;
         }
@@ -468,6 +484,7 @@ impl<'a> CommEngine<'a> {
         let m = SraMachine::new(
             self.t,
             op_id,
+            self.opts.epoch,
             concat,
             Box::new(NoneCompressor::new()),
             Rng::seed_from_u64(0xC0A1_E5CE ^ u64::from(op_id)),
@@ -501,11 +518,18 @@ impl<'a> CommEngine<'a> {
             let q = self.ops[idx].queued.take().expect("queued launch");
             let mut m = match q.alg {
                 Algorithm::Ring => Machine::Ring(RingMachine::new(
-                    self.t, q.op_id, q.grad, q.comp, q.rng, &self.pool,
+                    self.t,
+                    q.op_id,
+                    self.opts.epoch,
+                    q.grad,
+                    q.comp,
+                    q.rng,
+                    &self.pool,
                 )),
                 _ => Machine::Sra(SraMachine::new(
                     self.t,
                     q.op_id,
+                    self.opts.epoch,
                     q.grad,
                     q.comp,
                     q.rng,
@@ -547,8 +571,7 @@ impl<'a> CommEngine<'a> {
                 Ok(p) => progressed |= p,
                 Err(e) => {
                     self.ops[i].machine = Some(m);
-                    self.poison(e.clone());
-                    return Err(e);
+                    return Err(self.poison(e));
                 }
             }
             if m.finished() {
@@ -602,10 +625,25 @@ impl<'a> CommEngine<'a> {
             .unwrap_or(0)
     }
 
-    fn poison(&mut self, e: CommError) {
+    /// Records the first failure, promoting peer-scoped transport faults
+    /// to the recoverable [`CommError::PeerLost`] shape so elastic
+    /// callers can tell "a peer is gone, shrink and continue" apart from
+    /// programming errors. Returns the (possibly promoted) stored poison
+    /// so error paths surface exactly what later waits will see.
+    fn poison(&mut self, e: CommError) -> CommError {
         if self.poisoned.is_none() {
-            self.poisoned = Some(e);
+            let promoted = match e {
+                CommError::Disconnected { peer }
+                | CommError::Timeout { from: peer, .. }
+                | CommError::Lost { peer, .. } => CommError::PeerLost {
+                    peer,
+                    cause: Box::new(e),
+                },
+                other => other,
+            };
+            self.poisoned = Some(promoted);
         }
+        self.poisoned.clone().expect("just set")
     }
 }
 
@@ -626,7 +664,7 @@ enum Machine {
 }
 
 impl Machine {
-    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+    fn progress(&mut self, t: &dyn Transport, pool: &ScratchPool) -> Result<bool, CommError> {
         match self {
             Machine::Sra(m) => m.progress(t, pool),
             Machine::Ring(m) => m.progress(t, pool),
@@ -665,7 +703,7 @@ impl Machine {
 /// Flushes as much of an output queue as the channels accept, preserving
 /// per-peer FIFO order (an entry to a blocked peer blocks later entries to
 /// that peer only).
-fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &ShmTransport) -> Result<bool, CommError> {
+fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &dyn Transport) -> Result<bool, CommError> {
     let mut progressed = false;
     let mut blocked: Vec<usize> = Vec::new();
     let mut i = 0;
@@ -722,6 +760,7 @@ struct Seg {
 /// compressor and RNG observe the sequential call order.
 struct SraMachine {
     op_id: u32,
+    epoch: u8,
     me: usize,
     n: usize,
     out: Tensor,
@@ -736,9 +775,11 @@ struct SraMachine {
 }
 
 impl SraMachine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
-        t: &ShmTransport,
+        t: &dyn Transport,
         op_id: u32,
+        epoch: u8,
         grad: Tensor,
         mut comp: Box<dyn Compressor>,
         mut rng: Rng,
@@ -779,7 +820,11 @@ impl SraMachine {
                     });
                     stats.compress_calls += 1;
                     stats.bytes_sent += enc.payload_bytes();
-                    outq.push_back((j, collective_tag(op_id, s as u16, PHASE_SCATTER), enc));
+                    outq.push_back((
+                        j,
+                        collective_tag_in_epoch(op_id, s as u16, PHASE_SCATTER, epoch),
+                        enc,
+                    ));
                 }
                 let my_empty = ranges[me].is_empty();
                 let mine = (!my_empty).then(|| pool.take_f32(ranges[me].len()));
@@ -804,6 +849,7 @@ impl SraMachine {
         }
         SraMachine {
             op_id,
+            epoch,
             me,
             n,
             out: grad,
@@ -816,9 +862,9 @@ impl SraMachine {
         }
     }
 
-    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+    fn progress(&mut self, t: &dyn Transport, pool: &ScratchPool) -> Result<bool, CommError> {
         let mut progressed = pump_outq(&mut self.outq, t)?;
-        let (n, me, op_id) = (self.n, self.me, self.op_id);
+        let (n, me, op_id, epoch) = (self.n, self.me, self.op_id, self.epoch);
 
         // Decode-accumulate arriving phase-1 chunks, strictly in global
         // rank order per segment (float sums must be rank-order-exact).
@@ -845,7 +891,7 @@ impl SraMachine {
                         progressed = true;
                         continue;
                     }
-                    let tag = collective_tag(op_id, s as u16, PHASE_SCATTER);
+                    let tag = collective_tag_in_epoch(op_id, s as u16, PHASE_SCATTER, epoch);
                     match t.try_recv_tagged(j, tag)? {
                         Some(enc) => {
                             timed(&mut self.stats.decode_ns, || {
@@ -884,7 +930,7 @@ impl SraMachine {
             });
             self.stats.compress_calls += 1;
             self.stats.bytes_sent += enc.payload_bytes() * (n - 1);
-            let tag = collective_tag(op_id, s as u16, PHASE_BCAST);
+            let tag = collective_tag_in_epoch(op_id, s as u16, PHASE_BCAST, epoch);
             for j in 0..n {
                 if j != me {
                     self.outq.push_back((j, tag, enc.clone()));
@@ -909,7 +955,7 @@ impl SraMachine {
             if seg.gather_left == 0 {
                 continue;
             }
-            let tag = collective_tag(op_id, s as u16, PHASE_BCAST);
+            let tag = collective_tag_in_epoch(op_id, s as u16, PHASE_BCAST, epoch);
             for j in 0..n {
                 if seg.gathered[j] {
                     continue;
@@ -983,12 +1029,15 @@ impl SraMachine {
                 }
                 return Some((
                     seg.next_acc,
-                    collective_tag(self.op_id, s as u16, PHASE_SCATTER),
+                    collective_tag_in_epoch(self.op_id, s as u16, PHASE_SCATTER, self.epoch),
                 ));
             }
             if seg.gather_left > 0 {
                 if let Some(j) = seg.gathered.iter().position(|g| !*g) {
-                    return Some((j, collective_tag(self.op_id, s as u16, PHASE_BCAST)));
+                    return Some((
+                        j,
+                        collective_tag_in_epoch(self.op_id, s as u16, PHASE_BCAST, self.epoch),
+                    ));
                 }
             }
         }
@@ -1001,6 +1050,7 @@ impl SraMachine {
 /// within one collective; pipelining happens *across* collectives.
 struct RingMachine {
     op_id: u32,
+    epoch: u8,
     me: usize,
     n: usize,
     out: Tensor,
@@ -1025,8 +1075,9 @@ enum RingPhase {
 
 impl RingMachine {
     fn new(
-        t: &ShmTransport,
+        t: &dyn Transport,
         op_id: u32,
+        epoch: u8,
         grad: Tensor,
         comp: Box<dyn Compressor>,
         rng: Rng,
@@ -1048,6 +1099,7 @@ impl RingMachine {
             .collect();
         RingMachine {
             op_id,
+            epoch,
             me,
             n,
             out: grad,
@@ -1068,7 +1120,7 @@ impl RingMachine {
         }
     }
 
-    fn progress(&mut self, t: &ShmTransport, pool: &ScratchPool) -> Result<bool, CommError> {
+    fn progress(&mut self, t: &dyn Transport, pool: &ScratchPool) -> Result<bool, CommError> {
         let mut progressed = pump_outq(&mut self.outq, t)?;
         let (n, me) = (self.n, self.me);
         let right = (me + 1) % n;
@@ -1086,7 +1138,12 @@ impl RingMachine {
                             self.stats.bytes_sent += enc.payload_bytes();
                             self.outq.push_back((
                                 right,
-                                collective_tag(self.op_id, step as u16, PHASE_SCATTER),
+                                collective_tag_in_epoch(
+                                    self.op_id,
+                                    step as u16,
+                                    PHASE_SCATTER,
+                                    self.epoch,
+                                ),
                                 enc,
                             ));
                         }
@@ -1096,7 +1153,12 @@ impl RingMachine {
                     }
                     let recv_idx = (me + n - step - 1) % n;
                     if self.chunks[recv_idx].is_some() {
-                        let tag = collective_tag(self.op_id, step as u16, PHASE_SCATTER);
+                        let tag = collective_tag_in_epoch(
+                            self.op_id,
+                            step as u16,
+                            PHASE_SCATTER,
+                            self.epoch,
+                        );
                         match t.try_recv_tagged(left, tag)? {
                             Some(enc) => {
                                 let c = self.chunks[recv_idx].as_mut().expect("checked above");
@@ -1141,7 +1203,12 @@ impl RingMachine {
                             self.stats.bytes_sent += enc.payload_bytes();
                             self.outq.push_back((
                                 right,
-                                collective_tag(self.op_id, step as u16, PHASE_BCAST),
+                                collective_tag_in_epoch(
+                                    self.op_id,
+                                    step as u16,
+                                    PHASE_BCAST,
+                                    self.epoch,
+                                ),
                                 enc.clone(),
                             ));
                         }
@@ -1151,7 +1218,12 @@ impl RingMachine {
                     }
                     let recv_idx = (me + n - step) % n;
                     if !self.ranges[recv_idx].is_empty() {
-                        let tag = collective_tag(self.op_id, step as u16, PHASE_BCAST);
+                        let tag = collective_tag_in_epoch(
+                            self.op_id,
+                            step as u16,
+                            PHASE_BCAST,
+                            self.epoch,
+                        );
                         match t.try_recv_tagged(left, tag)? {
                             Some(enc) => self.encs[recv_idx] = Some(enc),
                             None => break,
@@ -1219,11 +1291,12 @@ impl RingMachine {
         match self.phase {
             RingPhase::Reduce { step, .. } => Some((
                 left,
-                collective_tag(self.op_id, step as u16, PHASE_SCATTER),
+                collective_tag_in_epoch(self.op_id, step as u16, PHASE_SCATTER, self.epoch),
             )),
-            RingPhase::Gather { step, .. } => {
-                Some((left, collective_tag(self.op_id, step as u16, PHASE_BCAST)))
-            }
+            RingPhase::Gather { step, .. } => Some((
+                left,
+                collective_tag_in_epoch(self.op_id, step as u16, PHASE_BCAST, self.epoch),
+            )),
             _ => None,
         }
     }
@@ -1616,7 +1689,7 @@ mod tests {
         assert_eq!(seen.len(), 1, "rank 0 should have recorded its errors");
         let (e1, e2, e3) = &seen[0];
         assert!(
-            matches!(e1, CommError::Disconnected { peer: 1 } | CommError::Timeout { from: 1, .. }),
+            matches!(e1, CommError::PeerLost { peer: 1, .. }),
             "unexpected first error {e1:?}"
         );
         assert_eq!(e1, e2, "all in-flight handles surface the same poison");

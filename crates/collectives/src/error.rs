@@ -1,4 +1,17 @@
 //! Communication errors.
+//!
+//! The fault taxonomy distinguishes three severities:
+//!
+//! * **Transient, self-healing** — [`CommError::Corrupted`] frames are
+//!   detected by the transport checksum and retransmitted; callers only see
+//!   them through [`crate::fault::FaultStats`] counters.
+//! * **Transient, surfaced** — [`CommError::Lost`] means the bounded
+//!   retransmission budget was exhausted; [`CommError::Timeout`] means a
+//!   peer stopped making progress.
+//! * **Recoverable peer loss** — the communication engine folds
+//!   `Disconnected`/`Timeout`/`Lost` into [`CommError::PeerLost`], the
+//!   signal the elastic trainers use to run a membership epoch and continue
+//!   on the shrunken world.
 
 use std::fmt;
 use std::time::Duration;
@@ -8,18 +21,46 @@ use std::time::Duration;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// A receive did not complete within the configured timeout —
-    /// typically a peer died or deadlocked. Carries the waited duration and
-    /// the peer rank.
+    /// typically a peer died or deadlocked. Carries the *actual elapsed*
+    /// wait, the peer rank, and how many collectives were in flight.
     Timeout {
         /// The rank we were waiting on.
         from: usize,
-        /// How long we waited.
+        /// How long we actually waited since last observable progress.
         waited: Duration,
+        /// Collectives in flight on this rank when the timeout fired
+        /// (0 for plain transport receives).
+        in_flight: usize,
     },
     /// The peer's channel closed (worker exited or panicked).
     Disconnected {
         /// The rank whose channel closed.
         peer: usize,
+    },
+    /// A frame failed its checksum. Normally handled inside the transport
+    /// by retransmission; surfaced only by direct frame-level APIs.
+    Corrupted {
+        /// The rank the corrupted frame arrived from.
+        peer: usize,
+        /// Human-readable description (tag/sequence context).
+        detail: String,
+    },
+    /// A frame was never delivered despite exhausting the bounded
+    /// retransmission budget.
+    Lost {
+        /// The rank the frame was expected from.
+        peer: usize,
+        /// How many retransmission requests were issued before giving up.
+        retries: u32,
+    },
+    /// A peer is unrecoverably gone mid-collective. Emitted by the
+    /// communication engine in place of the raw transport error so callers
+    /// can run membership recovery and continue on the shrunken world.
+    PeerLost {
+        /// The rank that was lost (in the caller's rank space).
+        peer: usize,
+        /// The underlying transport error that condemned the peer.
+        cause: Box<CommError>,
     },
     /// A worker thread panicked; the payload's message if extractable.
     WorkerPanicked {
@@ -28,6 +69,13 @@ pub enum CommError {
         /// Panic message, when it was a string payload.
         message: String,
     },
+    /// More than one rank failed in a [`crate::ThreadCluster`] run; every
+    /// failing rank's outcome is listed so multi-rank failures are
+    /// diagnosable (a single failure is returned as itself).
+    MultipleFailures {
+        /// `(rank, rendered error)` for every failing rank, in rank order.
+        failures: Vec<(usize, String)>,
+    },
     /// A received payload did not match the expected tensor geometry.
     ShapeMismatch {
         /// Human-readable description of the mismatch.
@@ -35,17 +83,58 @@ pub enum CommError {
     },
 }
 
+impl CommError {
+    /// The peer rank implicated by this error, when one is: the signal the
+    /// elastic recovery path uses to seed membership agreement.
+    pub fn peer(&self) -> Option<usize> {
+        match self {
+            CommError::Timeout { from, .. } => Some(*from),
+            CommError::Disconnected { peer }
+            | CommError::Corrupted { peer, .. }
+            | CommError::Lost { peer, .. }
+            | CommError::PeerLost { peer, .. } => Some(*peer),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommError::Timeout { from, waited } => {
-                write!(f, "timed out after {waited:?} waiting for rank {from}")
+            CommError::Timeout {
+                from,
+                waited,
+                in_flight,
+            } => {
+                write!(
+                    f,
+                    "timed out after {waited:?} waiting for rank {from} ({in_flight} collectives in flight)"
+                )
             }
             CommError::Disconnected { peer } => {
                 write!(f, "rank {peer} disconnected")
             }
+            CommError::Corrupted { peer, detail } => {
+                write!(f, "corrupted frame from rank {peer}: {detail}")
+            }
+            CommError::Lost { peer, retries } => {
+                write!(
+                    f,
+                    "frame from rank {peer} lost after {retries} retransmission requests"
+                )
+            }
+            CommError::PeerLost { peer, cause } => {
+                write!(f, "peer {peer} lost ({cause})")
+            }
             CommError::WorkerPanicked { rank, message } => {
                 write!(f, "worker {rank} panicked: {message}")
+            }
+            CommError::MultipleFailures { failures } => {
+                write!(f, "{} ranks failed:", failures.len())?;
+                for (rank, e) in failures {
+                    write!(f, " [rank {rank}: {e}]")?;
+                }
+                Ok(())
             }
             CommError::ShapeMismatch { detail } => {
                 write!(f, "payload shape mismatch: {detail}")
@@ -65,13 +154,54 @@ mod tests {
         let e = CommError::Timeout {
             from: 3,
             waited: Duration::from_secs(5),
+            in_flight: 7,
         };
         assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("7 collectives"));
         let e = CommError::WorkerPanicked {
             rank: 1,
             message: "boom".into(),
         };
         assert!(e.to_string().contains("boom"));
+        let e = CommError::Lost { peer: 2, retries: 9 };
+        assert!(e.to_string().contains("9 retransmission"));
+        let e = CommError::PeerLost {
+            peer: 4,
+            cause: Box::new(CommError::Disconnected { peer: 4 }),
+        };
+        assert!(e.to_string().contains("peer 4"));
+        assert!(e.to_string().contains("disconnected"));
+        let e = CommError::MultipleFailures {
+            failures: vec![(0, "a".into()), (2, "b".into())],
+        };
+        assert!(e.to_string().contains("rank 2"));
+    }
+
+    #[test]
+    fn peer_extraction_covers_loss_shapes() {
+        assert_eq!(CommError::Disconnected { peer: 3 }.peer(), Some(3));
+        assert_eq!(
+            CommError::Timeout {
+                from: 1,
+                waited: Duration::ZERO,
+                in_flight: 0
+            }
+            .peer(),
+            Some(1)
+        );
+        assert_eq!(CommError::Lost { peer: 2, retries: 1 }.peer(), Some(2));
+        assert_eq!(
+            CommError::PeerLost {
+                peer: 5,
+                cause: Box::new(CommError::Disconnected { peer: 5 })
+            }
+            .peer(),
+            Some(5)
+        );
+        assert_eq!(
+            CommError::ShapeMismatch { detail: "x".into() }.peer(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,1039 @@
+//! Deterministic fault injection and checksummed retransmission.
+//!
+//! CGX targets commodity clusters where links flake and workers stall; a
+//! compressed payload that is *silently* corrupted is worse than an
+//! uncompressed one, because non-associative lossy decoding turns one
+//! flipped bit into garbage gradients with no crash. This module supplies
+//! both halves of the answer:
+//!
+//! * [`FaultPlan`] — a seeded, purely-functional fault schedule. Whether a
+//!   given frame is dropped, delayed, duplicated or bit-flipped is a hash
+//!   of `(seed, src, dst, tag, seq, attempt)`, so every failure mode is
+//!   reproducible in `cargo test` with no real flaky network required.
+//! * [`ChaosTransport`] — a [`Transport`] wrapper that injects the plan on
+//!   the receive side and *recovers from it*: every payload is framed with
+//!   a sequence number and an FNV-1a checksum, corrupted or missing frames
+//!   are re-requested over a fault-exempt control lane ([`CTRL_TAG`]) with
+//!   backoff, duplicates are discarded by sequence, and reordered frames
+//!   are held until their gap fills. Callers see byte-identical traffic in
+//!   the original order — transient faults only show up in
+//!   [`FaultStats`] — until the *bounded* retry budget is exhausted, at
+//!   which point [`CommError::Lost`] surfaces.
+//!
+//! The wrapper also hosts the one-shot **kill** / **freeze** plans used by
+//! the elastic-recovery tests: [`Transport::begin_step`] returns `true` on
+//! the scheduled step (the worker returns, dropping its endpoint), or
+//! flips the endpoint into a black-hole mode that swallows sends and
+//! starves receives — the classic fail-stop vs fail-silent pair.
+
+use crate::error::CommError;
+use crate::transport::{ShmTransport, Tag, Transport, CTRL_TAG, QUIESCE_TAG};
+use bytes::{BufMut, Bytes, BytesMut};
+use cgx_compress::Encoded;
+use cgx_tensor::Shape;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Frame header: `[magic:u16][seq:u32][checksum:u32]`, little-endian.
+const HEADER_LEN: usize = 10;
+/// Sentinel distinguishing framed traffic from raw payloads.
+const FRAME_MAGIC: u16 = 0xC6FA;
+
+/// Cumulative fault and recovery counters for one endpoint.
+///
+/// `injected_*` counts what the [`FaultPlan`] did to the wire;
+/// the remaining fields count what the reliability layer did about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames discarded in flight by injection.
+    pub injected_drops: usize,
+    /// Frames bit-flipped in flight by injection.
+    pub injected_corruptions: usize,
+    /// Frames delivered twice by injection.
+    pub injected_duplicates: usize,
+    /// Frames held back by injection before delivery.
+    pub injected_delays: usize,
+    /// Corrupted frames caught by the checksum (and re-requested).
+    pub corruptions_caught: usize,
+    /// Duplicate frames discarded by sequence-number dedup.
+    pub duplicates_discarded: usize,
+    /// Retransmission requests (NACKs) issued.
+    pub retransmit_requests: usize,
+    /// Frames successfully delivered on a retransmission.
+    pub frames_redelivered: usize,
+    /// Membership epochs completed after an unrecoverable peer loss.
+    pub recovery_epochs: usize,
+}
+
+impl FaultStats {
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected_drops += other.injected_drops;
+        self.injected_corruptions += other.injected_corruptions;
+        self.injected_duplicates += other.injected_duplicates;
+        self.injected_delays += other.injected_delays;
+        self.corruptions_caught += other.corruptions_caught;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.retransmit_requests += other.retransmit_requests;
+        self.frames_redelivered += other.frames_redelivered;
+        self.recovery_epochs += other.recovery_epochs;
+    }
+
+    /// The counters accrued since `base` was captured (saturating).
+    pub fn since(&self, base: &FaultStats) -> FaultStats {
+        FaultStats {
+            injected_drops: self.injected_drops.saturating_sub(base.injected_drops),
+            injected_corruptions: self
+                .injected_corruptions
+                .saturating_sub(base.injected_corruptions),
+            injected_duplicates: self
+                .injected_duplicates
+                .saturating_sub(base.injected_duplicates),
+            injected_delays: self.injected_delays.saturating_sub(base.injected_delays),
+            corruptions_caught: self
+                .corruptions_caught
+                .saturating_sub(base.corruptions_caught),
+            duplicates_discarded: self
+                .duplicates_discarded
+                .saturating_sub(base.duplicates_discarded),
+            retransmit_requests: self
+                .retransmit_requests
+                .saturating_sub(base.retransmit_requests),
+            frames_redelivered: self
+                .frames_redelivered
+                .saturating_sub(base.frames_redelivered),
+            recovery_epochs: self.recovery_epochs.saturating_sub(base.recovery_epochs),
+        }
+    }
+
+    /// Total faults injected on the wire.
+    pub fn injected_total(&self) -> usize {
+        self.injected_drops
+            + self.injected_corruptions
+            + self.injected_duplicates
+            + self.injected_delays
+    }
+}
+
+/// What the plan decided to do to one frame arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Discard the frame in flight.
+    Drop,
+    /// Flip one payload bit in flight.
+    Corrupt,
+    /// Hold the frame back for [`FaultPlan::delay`] before delivery.
+    Delay,
+    /// Deliver the frame twice.
+    Duplicate,
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Rates are probabilities in `[0, 1]` evaluated per frame arrival from a
+/// single hash roll, so a plan is a pure function of its seed: the same
+/// `(seed, src, dst, tag, seq, attempt)` always yields the same
+/// [`FaultKind`], and retransmitted frames (higher `attempt`) get fresh
+/// rolls — a retransmission is not doomed to the original frame's fate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-frame fault hash.
+    pub seed: u64,
+    /// Probability a frame is dropped in flight.
+    pub drop_rate: f64,
+    /// Probability a frame has one bit flipped in flight.
+    pub corrupt_rate: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a frame is held back by [`FaultPlan::delay`].
+    pub delay_rate: f64,
+    /// How long a delayed frame is held.
+    pub delay: Duration,
+    /// Evidence-based retransmission requests allowed per stalled stream
+    /// before [`CommError::Lost`] surfaces.
+    pub retry_budget: u32,
+    /// Minimum spacing between retransmission requests for one stream.
+    pub retry_backoff: Duration,
+    /// Frames retained per peer for serving retransmissions (0 disables
+    /// retransmission entirely — every drop becomes unrecoverable).
+    pub retransmit_ring: usize,
+    /// `(rank, step)`: that rank's [`Transport::begin_step`] returns
+    /// `true` at that step — fail-stop death.
+    pub kill: Option<(usize, usize)>,
+    /// `(rank, step)`: that rank goes silent at that step — sends are
+    /// swallowed, receives starve — fail-silent death.
+    pub freeze: Option<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed and default recovery tuning.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            retry_budget: 64,
+            retry_backoff: Duration::from_millis(2),
+            retransmit_ring: 1024,
+            kill: None,
+            freeze: None,
+        }
+    }
+
+    /// Sets the drop rate.
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the corruption rate.
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the duplication rate.
+    pub fn with_duplicate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets the delay rate and hold duration.
+    pub fn with_delay(mut self, rate: f64, delay: Duration) -> Self {
+        self.delay_rate = rate;
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the retransmission budget and backoff.
+    pub fn with_retry(mut self, budget: u32, backoff: Duration) -> Self {
+        self.retry_budget = budget;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the per-peer retransmit ring capacity (0 disables recovery).
+    pub fn with_retransmit_ring(mut self, frames: usize) -> Self {
+        self.retransmit_ring = frames;
+        self
+    }
+
+    /// Schedules `rank` to die (fail-stop) at the top of `step`.
+    pub fn with_kill(mut self, rank: usize, step: usize) -> Self {
+        self.kill = Some((rank, step));
+        self
+    }
+
+    /// Schedules `rank` to go silent (fail-silent) at the top of `step`.
+    pub fn with_freeze(mut self, rank: usize, step: usize) -> Self {
+        self.freeze = Some((rank, step));
+        self
+    }
+
+    /// The plan's verdict for one frame arrival. Pure: same inputs, same
+    /// verdict — this is what makes chaos runs replayable from a seed.
+    pub fn decide(&self, src: usize, dst: usize, tag: Tag, seq: u32, attempt: u32) -> FaultKind {
+        let total = self.drop_rate + self.corrupt_rate + self.duplicate_rate + self.delay_rate;
+        if total <= 0.0 {
+            return FaultKind::Deliver;
+        }
+        let mut h = self.seed;
+        for word in [src as u64, dst as u64, tag, seq as u64, attempt as u64] {
+            h = splitmix64(h ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        // 53 uniform bits -> [0, 1).
+        let r = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if r < self.drop_rate {
+            FaultKind::Drop
+        } else if r < self.drop_rate + self.corrupt_rate {
+            FaultKind::Corrupt
+        } else if r < self.drop_rate + self.corrupt_rate + self.duplicate_rate {
+            FaultKind::Duplicate
+        } else if r < total {
+            FaultKind::Delay
+        } else {
+            FaultKind::Deliver
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the tag, the sequence number and the payload, folded to 32
+/// bits. Cheap, dependency-free, and plenty to catch single-bit flips.
+fn checksum(tag: Tag, seq: u32, payload: &[u8]) -> u32 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x1_0000_0001_B3;
+    let mut h = OFFSET;
+    for b in tag.to_le_bytes().iter().chain(&seq.to_le_bytes()) {
+        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    }
+    for b in payload {
+        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+fn frame(tag: Tag, seq: u32, payload: &Encoded) -> Encoded {
+    let body = payload.payload();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
+    buf.put_u16_le(FRAME_MAGIC);
+    buf.put_u32_le(seq);
+    buf.put_u32_le(checksum(tag, seq, body));
+    buf.extend_from_slice(body);
+    Encoded::new(payload.shape().clone(), buf.freeze())
+}
+
+/// `(seq, stated checksum, body)` — the caller re-checks the checksum so
+/// injected corruption is observed, not masked at parse time.
+fn parse(bytes: &Bytes) -> Option<(u32, u32, Bytes)> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if magic != FRAME_MAGIC {
+        return None;
+    }
+    let seq = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+    let sum = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    Some((seq, sum, bytes.slice(HEADER_LEN..)))
+}
+
+fn nack_payload(tag: Tag, seq: u32) -> Encoded {
+    let mut buf = BytesMut::with_capacity(12);
+    buf.put_u64_le(tag);
+    buf.put_u32_le(seq);
+    Encoded::new(Shape::vector(1), buf.freeze())
+}
+
+fn parse_nack(e: &Encoded) -> Option<(Tag, u32)> {
+    let b = e.payload();
+    if b.len() != 12 {
+        return None;
+    }
+    let tag = u64::from_le_bytes(b[..8].try_into().ok()?);
+    let seq = u32::from_le_bytes(b[8..12].try_into().ok()?);
+    Some((tag, seq))
+}
+
+/// Per-`(peer, tag)` receive stream state.
+#[derive(Default)]
+struct Stream {
+    /// Next sequence number owed to the caller.
+    expected: u32,
+    /// In-order frames ready for delivery.
+    ready: VecDeque<Encoded>,
+    /// Out-of-order frames held until their gap fills.
+    reorder: BTreeMap<u32, Encoded>,
+    /// Per-seq count of injected losses (drop/corrupt) — the evidence
+    /// that a retransmission is owed, and the `attempt` fed to the plan.
+    lossy_attempts: HashMap<u32, u32>,
+    /// When the last NACK for this stream was sent.
+    last_nack: Option<Instant>,
+    /// Evidence-based NACKs since the stream last advanced; exceeding the
+    /// retry budget surfaces [`CommError::Lost`].
+    counted_nacks: u32,
+}
+
+struct ChaosState {
+    /// Next sequence number per outgoing `(peer, tag)` stream.
+    send_seq: HashMap<(usize, Tag), u32>,
+    /// Recently-sent framed payloads per peer, for serving NACKs.
+    ring: HashMap<usize, VecDeque<(Tag, u32, Encoded)>>,
+    streams: HashMap<(usize, Tag), Stream>,
+    /// Frames held back by delay injection: `(due, peer, tag, framed)`.
+    delayed: Vec<(Instant, usize, Tag, Encoded)>,
+    /// Retransmissions that hit a full channel, awaiting a retry.
+    backlog: VecDeque<(usize, Tag, Encoded)>,
+    stats: FaultStats,
+}
+
+/// A [`Transport`] decorator that injects a [`FaultPlan`] on the receive
+/// side and masks what it injects with checksums, sequence numbers and
+/// NACK-driven retransmission. See the module docs for the protocol.
+///
+/// Determinism contract: because recovery restores both the bytes and the
+/// per-`(peer, tag)` order of every transient-faulted frame, any
+/// computation driven through a `ChaosTransport` whose results depend only
+/// on delivered payloads (true of the engine and the blocking collectives)
+/// is byte-identical to the fault-free run.
+pub struct ChaosTransport {
+    inner: ShmTransport,
+    plan: FaultPlan,
+    state: Mutex<ChaosState>,
+    frozen: AtomicBool,
+}
+
+impl ChaosTransport {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: ShmTransport, plan: FaultPlan) -> Self {
+        ChaosTransport {
+            inner,
+            plan,
+            state: Mutex::new(ChaosState {
+                send_seq: HashMap::new(),
+                ring: HashMap::new(),
+                streams: HashMap::new(),
+                delayed: Vec::new(),
+                backlog: VecDeque::new(),
+                stats: FaultStats::default(),
+            }),
+            frozen: AtomicBool::new(false),
+        }
+    }
+
+    /// Overrides the receive timeout on the wrapped fabric endpoint.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.inner.set_timeout(timeout);
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
+        self.state.lock().expect("chaos state poisoned")
+    }
+
+    /// How long receive paths park between polls: short enough that NACK
+    /// backoff timers and delayed-frame due times are observed promptly.
+    fn park_slice(&self) -> Duration {
+        self.plan.retry_backoff.min(Duration::from_millis(1))
+    }
+
+    /// Services the control lane (incoming NACKs -> retransmissions),
+    /// releases due delayed frames, and retries the send backlog.
+    fn pump(&self) {
+        if self.frozen.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut state = self.lock();
+        // Incoming NACKs: resend the exact requested frame if the ring
+        // still holds it. A trimmed ring silently ignores the request —
+        // the receiver's budget or timeout bounds the stall.
+        for peer in 0..self.inner.world() {
+            if peer == self.inner.rank() {
+                continue;
+            }
+            while let Ok(Some(msg)) = self.inner.try_recv_tagged(peer, CTRL_TAG) {
+                let Some((tag, seq)) = parse_nack(&msg) else {
+                    continue;
+                };
+                let hit = state.ring.get(&peer).and_then(|ring| {
+                    ring.iter()
+                        .find(|(t, s, _)| *t == tag && *s == seq)
+                        .map(|(_, _, f)| f.clone())
+                });
+                if let Some(framed) = hit {
+                    state.backlog.push_back((peer, tag, framed));
+                }
+            }
+        }
+        // Due delayed frames re-enter fault-free (their fault already
+        // happened); the admit path dedups if a retransmission won the race.
+        if !state.delayed.is_empty() {
+            let now = Instant::now();
+            let mut due = Vec::new();
+            state.delayed.retain(|(when, peer, tag, framed)| {
+                if *when <= now {
+                    due.push((*peer, *tag, framed.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (peer, tag, framed) in due {
+                self.admit(&mut state, peer, tag, framed, false);
+            }
+        }
+        // Backlogged retransmissions: best-effort, keep order per attempt.
+        for _ in 0..state.backlog.len() {
+            let Some((peer, tag, framed)) = state.backlog.pop_front() else {
+                break;
+            };
+            match self.inner.try_send_tagged(peer, tag, framed) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(returned)) => {
+                    state.backlog.push_front((peer, tag, returned));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs one inbound frame through injection, checksum verification and
+    /// sequence reassembly. `allow_faults` is false for frames re-entering
+    /// from the delay queue.
+    fn admit(
+        &self,
+        state: &mut ChaosState,
+        peer: usize,
+        tag: Tag,
+        framed: Encoded,
+        allow_faults: bool,
+    ) {
+        let shape = framed.shape().clone();
+        let bytes = framed.into_payload();
+        let Some((seq, stated, mut body)) = parse(&bytes) else {
+            // Not framed traffic (foreign or mangled header): count and
+            // drop; sequence recovery will re-request it if it was real.
+            state.stats.corruptions_caught += 1;
+            return;
+        };
+        let attempt = state
+            .streams
+            .entry((peer, tag))
+            .or_default()
+            .lossy_attempts
+            .get(&seq)
+            .copied()
+            .unwrap_or(0);
+        let mut duplicate = false;
+        if allow_faults {
+            match self
+                .plan
+                .decide(peer, self.inner.rank(), tag, seq, attempt)
+            {
+                FaultKind::Deliver => {}
+                FaultKind::Drop => {
+                    let st = state.streams.entry((peer, tag)).or_default();
+                    *st.lossy_attempts.entry(seq).or_insert(0) += 1;
+                    state.stats.injected_drops += 1;
+                    return;
+                }
+                FaultKind::Corrupt => {
+                    let st = state.streams.entry((peer, tag)).or_default();
+                    *st.lossy_attempts.entry(seq).or_insert(0) += 1;
+                    state.stats.injected_corruptions += 1;
+                    let mut raw = body.to_vec();
+                    if raw.is_empty() {
+                        return; // nothing to flip: degrade to a drop
+                    }
+                    let bit = seq as usize % 8;
+                    let idx = seq as usize % raw.len();
+                    raw[idx] ^= 1 << bit;
+                    body = Bytes::from(raw);
+                }
+                FaultKind::Delay => {
+                    state.stats.injected_delays += 1;
+                    state.delayed.push((
+                        Instant::now() + self.plan.delay,
+                        peer,
+                        tag,
+                        Encoded::new(shape, bytes),
+                    ));
+                    return;
+                }
+                FaultKind::Duplicate => {
+                    state.stats.injected_duplicates += 1;
+                    duplicate = true;
+                }
+            }
+        }
+        let copies = if duplicate { 2 } else { 1 };
+        for _ in 0..copies {
+            self.accept(state, peer, tag, seq, stated, &shape, &body);
+        }
+    }
+
+    /// Checksum + sequence admission of one (possibly corrupted) frame body.
+    fn accept(
+        &self,
+        state: &mut ChaosState,
+        peer: usize,
+        tag: Tag,
+        seq: u32,
+        stated: u32,
+        shape: &Shape,
+        body: &Bytes,
+    ) {
+        if checksum(tag, seq, body) != stated {
+            // Corruption detected: ask for this exact frame again, now.
+            state.stats.corruptions_caught += 1;
+            state.stats.retransmit_requests += 1;
+            let _ = self.inner.try_send_tagged(peer, CTRL_TAG, nack_payload(tag, seq));
+            let st = state.streams.entry((peer, tag)).or_default();
+            st.last_nack = Some(Instant::now());
+            return;
+        }
+        let st = state.streams.entry((peer, tag)).or_default();
+        if seq < st.expected || st.reorder.contains_key(&seq) {
+            state.stats.duplicates_discarded += 1;
+            return;
+        }
+        if st.lossy_attempts.contains_key(&seq) {
+            state.stats.frames_redelivered += 1;
+        }
+        st.reorder.insert(seq, Encoded::new(shape.clone(), body.clone()));
+        while let Some(p) = st.reorder.remove(&st.expected) {
+            st.ready.push_back(p);
+            st.lossy_attempts.remove(&st.expected);
+            st.expected += 1;
+            st.counted_nacks = 0;
+            st.last_nack = None;
+        }
+    }
+
+    /// Issues a retransmission request for a stalled stream when there is
+    /// loss evidence, respecting the backoff; surfaces
+    /// [`CommError::Lost`] once the evidence-based budget is exhausted.
+    ///
+    /// Evidence means we *know* the sender sent the missing frame: either
+    /// a later frame of the same stream is parked in the reorder buffer,
+    /// or injection logged a drop/corruption at exactly the missing seq.
+    /// Without evidence no NACK is sent — a peer that is merely slow must
+    /// never be condemned as lossy.
+    fn maybe_nack(&self, state: &mut ChaosState, peer: usize, tag: Tag) -> Result<(), CommError> {
+        let plan_budget = self.plan.retry_budget;
+        let backoff = self.plan.retry_backoff;
+        let Some(st) = state.streams.get_mut(&(peer, tag)) else {
+            return Ok(());
+        };
+        let evidence =
+            !st.reorder.is_empty() || st.lossy_attempts.contains_key(&st.expected);
+        if !evidence {
+            return Ok(());
+        }
+        if st.last_nack.is_some_and(|t| t.elapsed() < backoff) {
+            return Ok(());
+        }
+        st.counted_nacks += 1;
+        st.last_nack = Some(Instant::now());
+        if st.counted_nacks > plan_budget {
+            return Err(CommError::Lost {
+                peer,
+                retries: st.counted_nacks - 1,
+            });
+        }
+        state.stats.retransmit_requests += 1;
+        let _ = self
+            .inner
+            .try_send_tagged(peer, CTRL_TAG, nack_payload(tag, st.expected));
+        Ok(())
+    }
+
+    /// Non-blocking receive against the reassembled stream.
+    fn poll(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError> {
+        self.pump();
+        let mut state = self.lock();
+        loop {
+            if let Some(st) = state.streams.get_mut(&(peer, tag)) {
+                if let Some(p) = st.ready.pop_front() {
+                    return Ok(Some(p));
+                }
+            }
+            match self.inner.try_recv_tagged(peer, tag) {
+                Ok(Some(framed)) => self.admit(&mut state, peer, tag, framed, true),
+                Ok(None) => {
+                    self.maybe_nack(&mut state, peer, tag)?;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    // Drain what reassembly already completed before
+                    // surfacing the disconnect.
+                    if let Some(st) = state.streams.get_mut(&(peer, tag)) {
+                        if let Some(p) = st.ready.pop_front() {
+                            return Ok(Some(p));
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world(&self) -> usize {
+        self.inner.world()
+    }
+
+    fn timeout(&self) -> Duration {
+        self.inner.timeout()
+    }
+
+    fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
+        if self.frozen.load(Ordering::Relaxed) {
+            return Ok(()); // fail-silent: the bytes vanish
+        }
+        self.pump();
+        let framed = {
+            let mut state = self.lock();
+            let seq = state.send_seq.entry((peer, tag)).or_insert(0);
+            let framed = frame(tag, *seq, &payload);
+            let cur = *seq;
+            *seq += 1;
+            if self.plan.retransmit_ring > 0 {
+                let ring = state.ring.entry(peer).or_default();
+                ring.push_back((tag, cur, framed.clone()));
+                while ring.len() > self.plan.retransmit_ring {
+                    ring.pop_front();
+                }
+            }
+            framed
+        };
+        self.inner.send_tagged(peer, tag, framed)
+    }
+
+    fn try_send_tagged(
+        &self,
+        peer: usize,
+        tag: Tag,
+        payload: Encoded,
+    ) -> Result<Option<Encoded>, CommError> {
+        if self.frozen.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        self.pump();
+        let mut state = self.lock();
+        let next = state.send_seq.get(&(peer, tag)).copied().unwrap_or(0);
+        let framed = frame(tag, next, &payload);
+        match self.inner.try_send_tagged(peer, tag, framed.clone())? {
+            None => {
+                state.send_seq.insert((peer, tag), next + 1);
+                if self.plan.retransmit_ring > 0 {
+                    let ring = state.ring.entry(peer).or_default();
+                    ring.push_back((tag, next, framed));
+                    while ring.len() > self.plan.retransmit_ring {
+                        ring.pop_front();
+                    }
+                }
+                Ok(None)
+            }
+            // Hand back the caller's original (unframed) payload.
+            Some(_) => Ok(Some(payload)),
+        }
+    }
+
+    fn recv_tagged_deadline(
+        &self,
+        peer: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Encoded, CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.frozen.load(Ordering::Relaxed) {
+                // Fail-silent: starve without consuming inbound traffic.
+                std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            } else if let Some(p) = self.poll(peer, tag)? {
+                return Ok(p);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    from: peer,
+                    waited: timeout,
+                    in_flight: 0,
+                });
+            }
+            if !self.frozen.load(Ordering::Relaxed) {
+                let slice = (deadline - now).min(self.park_slice());
+                // A disconnect here still drains through poll() above.
+                let _ = self.inner.wait_inbound(peer, tag, slice);
+            }
+        }
+    }
+
+    fn try_recv_tagged(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError> {
+        if self.frozen.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        self.poll(peer, tag)
+    }
+
+    fn drain_inbound(&self) -> usize {
+        if self.frozen.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.pump();
+        self.inner.drain_inbound()
+    }
+
+    fn wait_inbound(&self, peer: usize, tag: Tag, timeout: Duration) -> Result<bool, CommError> {
+        if self.frozen.load(Ordering::Relaxed) {
+            std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            return Ok(false);
+        }
+        self.pump();
+        {
+            let mut state = self.lock();
+            if let Some(st) = state.streams.get_mut(&(peer, tag)) {
+                if !st.ready.is_empty() {
+                    return Ok(true);
+                }
+            }
+        }
+        self.inner.wait_inbound(peer, tag, timeout.min(self.park_slice()))
+    }
+
+    fn wait_any_inbound(&self, timeout: Duration) -> bool {
+        if self.frozen.load(Ordering::Relaxed) {
+            std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            return false;
+        }
+        self.pump();
+        self.inner.wait_any_inbound(timeout.min(self.park_slice()))
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.lock().stats
+    }
+
+    fn begin_step(&self, step: usize) -> bool {
+        if let Some((rank, at)) = self.plan.kill {
+            if rank == self.inner.rank() && at == step {
+                return true;
+            }
+        }
+        if let Some((rank, at)) = self.plan.freeze {
+            if rank == self.inner.rank() && at == step {
+                self.frozen.store(true, Ordering::Relaxed);
+            }
+        }
+        false
+    }
+
+    fn quiesce(&self, peers: &[usize]) {
+        // A peer's marker means it has finished consuming every collective
+        // it will ever run, so it can never NACK us again; once all of
+        // them confirm (while we keep serving retransmissions), dropping
+        // this endpoint strands nobody. Markers ride the raw inner
+        // transport: injection-exempt and unframed, like the NACK lane.
+        if self.frozen.load(Ordering::Relaxed) {
+            return; // a zombie owes nobody anything it could still send
+        }
+        let me = self.inner.rank();
+        let marker = Encoded::new(Shape::vector(1), Bytes::from_static(&[0x51]));
+        for &p in peers {
+            if p != me {
+                let _ = self.inner.send_tagged(p, QUIESCE_TAG, marker.clone());
+            }
+        }
+        for &p in peers {
+            if p == me {
+                continue;
+            }
+            let deadline = Instant::now() + self.inner.timeout();
+            loop {
+                self.pump();
+                match self.inner.try_recv_tagged(p, QUIESCE_TAG) {
+                    Ok(Some(_)) => break,
+                    Err(_) => break, // peer already gone: it cannot NACK us
+                    Ok(None) => {}
+                }
+                if Instant::now() >= deadline {
+                    break; // best effort: never fail a finished run
+                }
+                let _ = self.inner.wait_inbound(p, QUIESCE_TAG, self.park_slice());
+            }
+        }
+        // One final service round for NACKs that raced the last marker.
+        self.pump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{collective_tag, ShmFabric};
+
+    fn enc(bytes: &[u8]) -> Encoded {
+        Encoded::new(Shape::vector(bytes.len().max(1)), Bytes::copy_from_slice(bytes))
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_attempt_sensitive() {
+        let plan = FaultPlan::new(42).with_drop(0.3).with_corrupt(0.2);
+        for seq in 0..64u32 {
+            assert_eq!(
+                plan.decide(0, 1, 7, seq, 0),
+                plan.decide(0, 1, 7, seq, 0),
+                "same inputs must give the same verdict"
+            );
+        }
+        // Retransmissions get fresh rolls: across many seqs, attempt 1
+        // must not always repeat attempt 0's verdict.
+        let differs = (0..256u32)
+            .any(|seq| plan.decide(0, 1, 7, seq, 0) != plan.decide(0, 1, 7, seq, 1));
+        assert!(differs, "attempt must reseed the roll");
+    }
+
+    #[test]
+    fn decide_rates_are_roughly_honored() {
+        let plan = FaultPlan::new(7).with_drop(0.25);
+        let drops = (0..4000u32)
+            .filter(|&seq| plan.decide(0, 1, 3, seq, 0) == FaultKind::Drop)
+            .count();
+        assert!(
+            (800..1200).contains(&drops),
+            "25% drop rate produced {drops}/4000"
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip_and_checksum_catches_bit_flip() {
+        let original = enc(&[1, 2, 3, 4, 5]);
+        let tag = collective_tag(3, 1, 2);
+        let framed = frame(tag, 9, &original);
+        let (seq, stated, body) = parse(framed.payload()).expect("parses");
+        assert_eq!(seq, 9);
+        assert_eq!(body.as_ref(), &[1, 2, 3, 4, 5]);
+        assert_eq!(checksum(tag, seq, &body), stated);
+        // Any single-bit flip in the body must be caught.
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut raw = body.to_vec();
+                raw[byte] ^= 1 << bit;
+                assert_ne!(
+                    checksum(tag, seq, &raw),
+                    stated,
+                    "flip at {byte}:{bit} not caught"
+                );
+            }
+        }
+        // A wrong tag or seq also fails: frames cannot alias across lanes.
+        assert_ne!(checksum(tag + 1, seq, &body), stated);
+        assert_ne!(checksum(tag, seq + 1, &body), stated);
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let mut eps = ShmFabric::build(2);
+        let b = ChaosTransport::new(eps.pop().unwrap(), FaultPlan::new(1));
+        let a = ChaosTransport::new(eps.pop().unwrap(), FaultPlan::new(1));
+        let tag = collective_tag(1, 0, 1);
+        for i in 0..10u8 {
+            Transport::send_tagged(&a, 1, tag, enc(&[i])).unwrap();
+        }
+        for i in 0..10u8 {
+            let got = Transport::recv_tagged(&b, 0, tag).unwrap();
+            assert_eq!(got.payload().as_ref(), &[i]);
+        }
+        assert_eq!(Transport::fault_stats(&b), FaultStats::default());
+    }
+
+    #[test]
+    fn transient_faults_are_masked_in_order() {
+        // Aggressive transient fault rates; the stream must still come out
+        // complete, in order, byte-identical.
+        let plan = FaultPlan::new(0xC0DE)
+            .with_drop(0.15)
+            .with_corrupt(0.1)
+            .with_duplicate(0.1)
+            .with_delay(0.1, Duration::from_millis(1));
+        let mut eps = ShmFabric::build(2);
+        let b = ChaosTransport::new(eps.pop().unwrap(), plan.clone());
+        let a = ChaosTransport::new(eps.pop().unwrap(), plan);
+        let tag = collective_tag(2, 0, 1);
+        let n = 200u8;
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let done_tx = done.clone();
+        let sender = std::thread::spawn(move || {
+            for i in 0..n {
+                Transport::send_tagged(&a, 1, tag, enc(&[i, i.wrapping_mul(3)])).unwrap();
+            }
+            // Keep servicing retransmission requests until the receiver
+            // confirms the stream is complete.
+            while !done_tx.load(Ordering::Relaxed) {
+                a.pump();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        for i in 0..n {
+            let got = Transport::recv_tagged_deadline(&b, 0, tag, Duration::from_secs(20))
+                .unwrap_or_else(|e| panic!("frame {i}: {e}"));
+            assert_eq!(got.payload().as_ref(), &[i, i.wrapping_mul(3)]);
+        }
+        done.store(true, Ordering::Relaxed);
+        sender.join().unwrap();
+        let stats = Transport::fault_stats(&b);
+        assert!(stats.injected_total() > 0, "plan injected nothing");
+        assert!(
+            stats.injected_drops == 0 || stats.frames_redelivered > 0,
+            "drops happened but nothing was redelivered: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_discarded_idempotently() {
+        let plan = FaultPlan::new(0xD0B1E).with_duplicate(1.0);
+        let mut eps = ShmFabric::build(2);
+        let b = ChaosTransport::new(eps.pop().unwrap(), plan.clone());
+        let a = ChaosTransport::new(eps.pop().unwrap(), plan);
+        let tag = collective_tag(5, 0, 1);
+        for i in 0..20u8 {
+            Transport::send_tagged(&a, 1, tag, enc(&[i])).unwrap();
+        }
+        for i in 0..20u8 {
+            let got = Transport::recv_tagged(&b, 0, tag).unwrap();
+            assert_eq!(got.payload().as_ref(), &[i]);
+        }
+        // Every frame was duplicated; every duplicate was discarded, and
+        // nothing further is deliverable.
+        let stats = Transport::fault_stats(&b);
+        assert_eq!(stats.injected_duplicates, 20);
+        assert_eq!(stats.duplicates_discarded, 20);
+        assert!(Transport::try_recv_tagged(&b, 0, tag).unwrap().is_none());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_lost() {
+        // Disable the retransmit ring: every injected drop is permanent.
+        // The receiver must give up with Lost, not hang.
+        let plan = FaultPlan::new(0)
+            .with_drop(1.0)
+            .with_retransmit_ring(0)
+            .with_retry(3, Duration::from_millis(1));
+        let mut eps = ShmFabric::build(2);
+        let b = ChaosTransport::new(eps.pop().unwrap(), plan.clone());
+        let a = ChaosTransport::new(eps.pop().unwrap(), plan);
+        let tag = collective_tag(6, 0, 1);
+        Transport::send_tagged(&a, 1, tag, enc(&[9])).unwrap();
+        match Transport::recv_tagged_deadline(&b, 0, tag, Duration::from_secs(10)) {
+            Err(CommError::Lost { peer: 0, retries }) => assert!(retries >= 3),
+            other => panic!("expected Lost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn freeze_goes_silent_and_kill_reports_death() {
+        let plan = FaultPlan::new(3).with_freeze(0, 2).with_kill(1, 5);
+        let mut eps = ShmFabric::build(2);
+        let b = ChaosTransport::new(eps.pop().unwrap(), plan.clone());
+        let a = ChaosTransport::new(eps.pop().unwrap(), plan);
+        assert!(!Transport::begin_step(&a, 0));
+        assert!(!Transport::begin_step(&b, 4));
+        assert!(Transport::begin_step(&b, 5), "kill step must fire");
+        assert!(!Transport::begin_step(&a, 2), "freeze is not a death");
+        // Frozen endpoint swallows sends: nothing ever reaches rank 1.
+        Transport::send_tagged(&a, 1, collective_tag(1, 0, 1), enc(&[1])).unwrap();
+        assert!(matches!(
+            Transport::recv_tagged_deadline(
+                &b,
+                0,
+                collective_tag(1, 0, 1),
+                Duration::from_millis(30)
+            ),
+            Err(CommError::Timeout { from: 0, .. })
+        ));
+    }
+}

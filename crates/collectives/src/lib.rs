@@ -21,7 +21,12 @@
 //!   submit/wait over tag-multiplexed channels, chunk-pipelined SRA, and
 //!   small-layer coalescing (paper Section 4),
 //! * [`powersgd`] — the factored PowerSGD Allreduce (associative path),
-//! * [`primitives`] — broadcast / reduce / gather / scatter / barrier.
+//! * [`primitives`] — broadcast / reduce / gather / scatter / barrier,
+//! * [`fault`] — seeded deterministic fault injection
+//!   ([`fault::ChaosTransport`]) plus the checksummed-retransmission
+//!   reliability layer that masks what it injects,
+//! * [`membership`] — membership-epoch agreement and the shrunken-world
+//!   [`membership::MembershipView`] behind elastic recovery.
 //!
 //! # Examples
 //!
@@ -46,6 +51,8 @@
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod fault;
+pub mod membership;
 pub mod powersgd;
 pub mod primitives;
 pub mod reduce;
@@ -54,6 +61,8 @@ pub mod transport;
 pub use cluster::ThreadCluster;
 pub use engine::{CommEngine, EngineOptions, Handle};
 pub use error::CommError;
+pub use fault::{ChaosTransport, FaultKind, FaultPlan, FaultStats};
+pub use membership::{agree, Membership, MembershipView};
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
 pub use reduce::{allreduce, allreduce_scratch, AllreduceStats};
-pub use transport::{ShmFabric, ShmTransport};
+pub use transport::{ShmFabric, ShmTransport, Transport};

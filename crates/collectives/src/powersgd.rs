@@ -8,7 +8,7 @@
 
 use crate::error::CommError;
 use crate::reduce::{allreduce_sra_scratch, AllreduceStats};
-use crate::transport::ShmTransport;
+use crate::transport::Transport;
 use cgx_compress::{NoneCompressor, ScratchPool};
 use cgx_tensor::{matmul, matmul_tn, orthogonalize_columns, Rng, Tensor};
 
@@ -35,7 +35,7 @@ impl PowerSgdState {
 ///
 /// Propagates transport failures.
 pub fn allreduce_powersgd(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     rank_r: usize,
     state: &mut PowerSgdState,
@@ -53,7 +53,7 @@ pub fn allreduce_powersgd(
 /// Propagates transport failures.
 #[allow(clippy::too_many_arguments)]
 pub fn allreduce_powersgd_scratch(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     rank_r: usize,
     state: &mut PowerSgdState,

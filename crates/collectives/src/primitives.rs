@@ -4,11 +4,11 @@
 //! and compose with any compressor on the caller's side.
 
 use crate::error::CommError;
-use crate::transport::ShmTransport;
+use crate::transport::Transport;
 use cgx_compress::{Compressor, Encoded, NoneCompressor};
 use cgx_tensor::{Rng, Tensor};
 
-fn validate_root(t: &ShmTransport, root: usize) {
+fn validate_root(t: &dyn Transport, root: usize) {
     assert!(root < t.world(), "root {root} out of range");
 }
 
@@ -23,7 +23,7 @@ fn validate_root(t: &ShmTransport, root: usize) {
 ///
 /// Panics if `root` is out of range.
 pub fn broadcast_encoded(
-    t: &ShmTransport,
+    t: &dyn Transport,
     payload: Option<Encoded>,
     root: usize,
 ) -> Result<Encoded, CommError> {
@@ -73,7 +73,7 @@ pub fn broadcast_encoded(
 ///
 /// Panics if `root` is out of range, or the root passed `None`.
 pub fn broadcast(
-    t: &ShmTransport,
+    t: &dyn Transport,
     tensor: Option<&Tensor>,
     root: usize,
 ) -> Result<Tensor, CommError> {
@@ -99,7 +99,7 @@ pub fn broadcast(
 ///
 /// Panics if `root` is out of range.
 pub fn reduce_to_root(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     root: usize,
     comp: &mut dyn Compressor,
@@ -141,7 +141,7 @@ pub fn reduce_to_root(
 ///
 /// Panics if `root` is out of range.
 pub fn gather(
-    t: &ShmTransport,
+    t: &dyn Transport,
     tensor: &Tensor,
     root: usize,
 ) -> Result<Option<Vec<Tensor>>, CommError> {
@@ -175,7 +175,7 @@ pub fn gather(
 /// Panics if `root` is out of range or the root's list length differs from
 /// the world size.
 pub fn scatter(
-    t: &ShmTransport,
+    t: &dyn Transport,
     parts: Option<&[Tensor]>,
     root: usize,
 ) -> Result<Tensor, CommError> {
@@ -201,7 +201,7 @@ pub fn scatter(
 /// # Errors
 ///
 /// Propagates transport failures.
-pub fn barrier(t: &ShmTransport) -> Result<(), CommError> {
+pub fn barrier(t: &dyn Transport) -> Result<(), CommError> {
     // Reduce a token to rank 0, then broadcast it back.
     let token = Tensor::from_slice(&[1.0]);
     let mut raw = NoneCompressor::new();

@@ -29,7 +29,8 @@
 //! pool; the plain entry points create a transient one per call.
 
 use crate::error::CommError;
-use crate::transport::ShmTransport;
+use crate::fault::FaultStats;
+use crate::transport::Transport;
 use cgx_compress::{Compressor, Encoded, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 use std::ops::Range;
@@ -57,6 +58,12 @@ pub struct AllreduceStats {
     /// while this one ran. Always 1 for the sequential entry points; > 1
     /// indicates the communication engine actually overlapped layers.
     pub max_in_flight: usize,
+    /// Transport-level fault activity attributed to this collective:
+    /// injected faults observed, corruptions caught by checksums, and
+    /// retransmissions that masked them. All zeros on a fault-free
+    /// transport; populated by [`crate::engine::CommEngine::wait`] and the
+    /// elastic trainers when running over a [`crate::fault::ChaosTransport`].
+    pub faults: FaultStats,
 }
 
 impl AllreduceStats {
@@ -71,6 +78,7 @@ impl AllreduceStats {
         self.wait_ns += other.wait_ns;
         self.decode_ns += other.decode_ns;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -133,7 +141,7 @@ pub fn chunk_ranges(len: usize, n: usize) -> Vec<Range<usize>> {
 /// Propagates transport failures ([`CommError`]).
 pub fn allreduce(
     alg: Algorithm,
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -150,7 +158,7 @@ pub fn allreduce(
 /// Propagates transport failures ([`CommError`]).
 pub fn allreduce_scratch(
     alg: Algorithm,
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -171,7 +179,7 @@ pub fn allreduce_scratch(
 ///
 /// Propagates transport failures.
 pub fn allreduce_sra(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -186,7 +194,7 @@ pub fn allreduce_sra(
 ///
 /// Propagates transport failures.
 pub fn allreduce_sra_scratch(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -197,7 +205,7 @@ pub fn allreduce_sra_scratch(
 }
 
 fn sra_with_ranges(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -303,7 +311,7 @@ fn sra_with_ranges(
 ///
 /// Propagates transport failures.
 pub fn allreduce_ring(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -317,7 +325,7 @@ pub fn allreduce_ring(
 ///
 /// Propagates transport failures.
 pub fn allreduce_ring_scratch(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -328,7 +336,7 @@ pub fn allreduce_ring_scratch(
 }
 
 fn ring_with_ranges(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -422,7 +430,7 @@ fn ring_with_ranges(
 ///
 /// Propagates transport failures.
 pub fn allreduce_tree(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -436,7 +444,7 @@ pub fn allreduce_tree(
 ///
 /// Propagates transport failures.
 pub fn allreduce_tree_scratch(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -525,7 +533,7 @@ pub fn allreduce_tree_scratch(
 ///
 /// Propagates transport failures.
 pub fn allreduce_gather(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,
@@ -539,7 +547,7 @@ pub fn allreduce_gather(
 ///
 /// Propagates transport failures.
 pub fn allreduce_gather_scratch(
-    t: &ShmTransport,
+    t: &dyn Transport,
     grad: &Tensor,
     comp: &mut dyn Compressor,
     rng: &mut Rng,

@@ -27,11 +27,13 @@
 //! tagged traffic on the same fabric.
 
 use crate::error::CommError;
+use crate::fault::FaultStats;
 use cgx_compress::Encoded;
 use crossbeam::channel::{
-    bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+    bounded, Receiver, RecvTimeoutError, Select, Sender, TryRecvError, TrySendError,
 };
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -57,15 +59,194 @@ pub type Tag = u64;
 /// multiplexing existed).
 pub const LEGACY_TAG: Tag = u64::MAX;
 
+/// Control lane for the reliability layer (retransmission NACKs). Exempt
+/// from fault injection so recovery traffic itself cannot be lost forever.
+pub const CTRL_TAG: Tag = u64::MAX - 1;
+
+/// End-of-run quiesce lane (see [`Transport::quiesce`]). Exempt from fault
+/// injection and framing, like [`CTRL_TAG`].
+pub const QUIESCE_TAG: Tag = u64::MAX - 2;
+
 /// Packs a collective id, pipeline segment and phase into a wire tag.
 ///
-/// Layout: `[op:32][segment:16][phase:8][reserved:8]`. Collective ids are
+/// Layout: `[op:32][segment:16][phase:8][epoch:8]`. Collective ids are
 /// issued by rank-local counters, so they match across ranks exactly when
 /// every rank starts collectives in the same order — the standard ordering
 /// requirement of MPI/NCCL communicators, which the engine upholds.
 #[inline]
 pub fn collective_tag(op: u32, segment: u16, phase: u8) -> Tag {
     ((op as u64) << 32) | ((segment as u64) << 16) | ((phase as u64) << 8)
+}
+
+/// [`collective_tag`] with the membership epoch stamped into the low byte.
+///
+/// After an elastic recovery the surviving ranks restart their collective
+/// counters; the epoch byte keeps a straggler's pre-recovery frames from
+/// aliasing post-recovery tags. Epoch 0 is bit-identical to
+/// [`collective_tag`], so fault-free runs keep their historical wire tags.
+#[inline]
+pub fn collective_tag_in_epoch(op: u32, segment: u16, phase: u8, epoch: u8) -> Tag {
+    collective_tag(op, segment, phase) | (epoch as u64)
+}
+
+/// Phase byte reserved for membership-agreement gossip rounds; no
+/// collective ever emits it ([`crate::engine`] uses phases 1 and 2).
+pub const MEMBERSHIP_PHASE: u8 = 0xEE;
+
+/// Tag for one round of membership-epoch agreement.
+#[inline]
+pub fn membership_tag(epoch: u32, round: u16) -> Tag {
+    ((epoch as u64) << 32) | ((round as u64) << 16) | ((MEMBERSHIP_PHASE as u64) << 8)
+}
+
+/// Object-safe transport abstraction.
+///
+/// [`ShmTransport`] is the concrete fabric; [`crate::fault::ChaosTransport`]
+/// wraps it with deterministic fault injection plus checksummed
+/// retransmission, and [`crate::membership::MembershipView`] re-maps ranks
+/// after an elastic shrink. The engine, the blocking collectives and both
+/// trainers are written against `&dyn Transport`, so all three compose.
+/// Endpoints are single-owner — one rank drives its own transport from its
+/// own thread — so no auto-trait bound is imposed here; concrete endpoints
+/// ([`ShmTransport`], [`crate::fault::ChaosTransport`]) are `Send` and move
+/// into their worker threads before any `dyn Transport` borrow is taken.
+pub trait Transport {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the fabric.
+    fn world(&self) -> usize;
+
+    /// The configured receive timeout.
+    fn timeout(&self) -> Duration;
+
+    /// Sends a tagged payload to `peer`, blocking if the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] if the peer's endpoint was dropped.
+    fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError>;
+
+    /// Attempts a tagged send without blocking; `Ok(Some(payload))` hands
+    /// the payload back when the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] if the peer's endpoint was dropped.
+    fn try_send_tagged(
+        &self,
+        peer: usize,
+        tag: Tag,
+        payload: Encoded,
+    ) -> Result<Option<Encoded>, CommError>;
+
+    /// Receives the next payload with `tag` from `peer` within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Timeout`] if nothing with `tag` arrives in time;
+    /// [`CommError::Disconnected`] / [`CommError::Lost`] on peer failure.
+    fn recv_tagged_deadline(
+        &self,
+        peer: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Encoded, CommError>;
+
+    /// Polls for a payload with `tag` from `peer` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] / [`CommError::Lost`] on peer failure.
+    fn try_recv_tagged(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError>;
+
+    /// Drains every peer's channel into the demux inboxes without
+    /// blocking; returns the number of messages moved.
+    fn drain_inbound(&self) -> usize;
+
+    /// Blocks until some message arrives from `peer` or a payload with
+    /// `tag` is already stashed; `Ok(false)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] if the peer's endpoint was dropped and
+    /// nothing with `tag` remains stashed.
+    fn wait_inbound(&self, peer: usize, tag: Tag, timeout: Duration) -> Result<bool, CommError>;
+
+    /// Blocks until a message arrives from *any* peer (stashing it), up to
+    /// `timeout`. Returns `true` if something arrived. The engine's park
+    /// point when no machine exposes a specific expected inbound.
+    fn wait_any_inbound(&self, timeout: Duration) -> bool;
+
+    /// Sends a payload to `peer` on the legacy (untagged) lane.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_tagged`].
+    fn send(&self, peer: usize, payload: Encoded) -> Result<(), CommError> {
+        self.send_tagged(peer, LEGACY_TAG, payload)
+    }
+
+    /// Receives the next legacy-lane payload from `peer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv_tagged_deadline`].
+    fn recv(&self, peer: usize) -> Result<Encoded, CommError> {
+        self.recv_tagged(peer, LEGACY_TAG)
+    }
+
+    /// Receives the next payload with `tag` from `peer`, waiting up to the
+    /// configured timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv_tagged_deadline`].
+    fn recv_tagged(&self, peer: usize, tag: Tag) -> Result<Encoded, CommError> {
+        self.recv_tagged_deadline(peer, tag, self.timeout())
+    }
+
+    /// Sends `payload` to every other rank on the legacy lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure.
+    fn broadcast(&self, payload: &Encoded) -> Result<(), CommError> {
+        for peer in 0..self.world() {
+            if peer != self.rank() {
+                self.send(peer, payload.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cumulative fault/recovery counters for this endpoint. The plain
+    /// fabric never faults, so the default is all zeros.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Hook called by trainers at the top of step `step`. Returns `true`
+    /// when this rank is scheduled to die now (the worker should return
+    /// and drop its endpoint); fault-injecting transports use it to
+    /// trigger one-shot kill/freeze plans. The plain fabric never does.
+    fn begin_step(&self, step: usize) -> bool {
+        let _ = step;
+        false
+    }
+
+    /// Teardown barrier: exchanges end-of-run markers with `peers`
+    /// (physical ranks; self is skipped) on the [`QUIESCE_TAG`] lane and
+    /// keeps the reliability layer's control lane serviced until every one
+    /// of them has confirmed. Only then is it safe to drop this endpoint —
+    /// a lossy transport may still owe a peer the retransmission of its
+    /// final frames. Best-effort: an unreachable peer is skipped after the
+    /// transport timeout rather than failing a finished run. The plain
+    /// fabric is lossless (buffered frames survive a dropped sender), so
+    /// its default is a no-op.
+    fn quiesce(&self, peers: &[usize]) {
+        let _ = peers;
+    }
 }
 
 /// One wire message: a tag plus the payload.
@@ -92,6 +273,10 @@ pub struct ShmTransport {
     /// `inbox[j]` holds messages from rank j already pulled off the channel
     /// but destined for a tag nobody has asked for yet.
     inbox: Vec<Mutex<HashMap<Tag, VecDeque<Encoded>>>>,
+    /// `closed[j]` is set once rank j's channel is observed disconnected,
+    /// so [`ShmTransport::wait_any_inbound`] stops selecting on it (a
+    /// closed channel is always ready and would busy-spin the select).
+    closed: Vec<AtomicBool>,
     timeout: Duration,
 }
 
@@ -237,9 +422,11 @@ impl ShmTransport {
                     return Err(CommError::Timeout {
                         from: peer,
                         waited: timeout,
+                        in_flight: 0,
                     })
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    self.closed[peer].store(true, Ordering::Relaxed);
                     // A message for our tag may have been stashed by an
                     // earlier mismatching pull — drain first, fail second.
                     return self
@@ -272,6 +459,7 @@ impl ShmTransport {
                 Ok(m) => self.stash(peer, m),
                 Err(TryRecvError::Empty) => return Ok(None),
                 Err(TryRecvError::Disconnected) => {
+                    self.closed[peer].store(true, Ordering::Relaxed);
                     return match self.take_stashed(peer, tag) {
                         Some(p) => Ok(Some(p)),
                         None => Err(CommError::Disconnected { peer }),
@@ -330,12 +518,52 @@ impl ShmTransport {
             }
             Err(RecvTimeoutError::Timeout) => Ok(false),
             Err(RecvTimeoutError::Disconnected) => {
+                self.closed[peer].store(true, Ordering::Relaxed);
                 if self.has_stashed(peer, tag) {
                     Ok(true)
                 } else {
                     Err(CommError::Disconnected { peer })
                 }
             }
+        }
+    }
+
+    /// Blocks until a message arrives from *any* open peer channel
+    /// (stashing it into the demux inbox), up to `timeout`. Returns `true`
+    /// if something arrived. Channels observed disconnected are skipped —
+    /// a closed channel is permanently "ready" and would otherwise turn
+    /// the select into a busy loop.
+    pub fn wait_any_inbound(&self, timeout: Duration) -> bool {
+        let mut sel = Select::new();
+        let mut peers = Vec::with_capacity(self.world.saturating_sub(1));
+        for peer in 0..self.world {
+            if peer == self.rank || self.closed[peer].load(Ordering::Relaxed) {
+                continue;
+            }
+            sel.recv(&self.from[peer]);
+            peers.push(peer);
+        }
+        if peers.is_empty() {
+            // Everyone is gone; sleep out a short slice so callers that
+            // loop on this don't spin.
+            std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            return false;
+        }
+        match sel.select_timeout(timeout) {
+            Ok(op) => {
+                let peer = peers[op.index()];
+                match op.recv(&self.from[peer]) {
+                    Ok(m) => {
+                        self.stash(peer, m);
+                        true
+                    }
+                    Err(_) => {
+                        self.closed[peer].store(true, Ordering::Relaxed);
+                        false
+                    }
+                }
+            }
+            Err(_) => false,
         }
     }
 
@@ -382,6 +610,58 @@ impl ShmTransport {
     }
 }
 
+impl Transport for ShmTransport {
+    fn rank(&self) -> usize {
+        ShmTransport::rank(self)
+    }
+
+    fn world(&self) -> usize {
+        ShmTransport::world(self)
+    }
+
+    fn timeout(&self) -> Duration {
+        ShmTransport::timeout(self)
+    }
+
+    fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
+        ShmTransport::send_tagged(self, peer, tag, payload)
+    }
+
+    fn try_send_tagged(
+        &self,
+        peer: usize,
+        tag: Tag,
+        payload: Encoded,
+    ) -> Result<Option<Encoded>, CommError> {
+        ShmTransport::try_send_tagged(self, peer, tag, payload)
+    }
+
+    fn recv_tagged_deadline(
+        &self,
+        peer: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Encoded, CommError> {
+        ShmTransport::recv_tagged_deadline(self, peer, tag, timeout)
+    }
+
+    fn try_recv_tagged(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError> {
+        ShmTransport::try_recv_tagged(self, peer, tag)
+    }
+
+    fn drain_inbound(&self) -> usize {
+        ShmTransport::drain_inbound(self)
+    }
+
+    fn wait_inbound(&self, peer: usize, tag: Tag, timeout: Duration) -> Result<bool, CommError> {
+        ShmTransport::wait_inbound(self, peer, tag, timeout)
+    }
+
+    fn wait_any_inbound(&self, timeout: Duration) -> bool {
+        ShmTransport::wait_any_inbound(self, timeout)
+    }
+}
+
 /// Factory for a fully-connected fabric of `n` transports.
 #[derive(Debug)]
 pub struct ShmFabric;
@@ -425,6 +705,7 @@ impl ShmFabric {
                     .map(|r| r.unwrap_or_else(|| bounded(1).1))
                     .collect(),
                 inbox: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+                closed: (0..n).map(|_| AtomicBool::new(false)).collect(),
                 timeout: DEFAULT_TIMEOUT,
             })
             .collect()
@@ -623,5 +904,119 @@ mod tests {
         assert_eq!(c.drain_inbound(), 0);
         assert!(c.try_recv_tagged(0, collective_tag(1, 0, 0)).unwrap().is_some());
         assert!(c.try_recv_tagged(1, collective_tag(2, 1, 0)).unwrap().is_some());
+    }
+
+    #[test]
+    fn recv_with_already_expired_deadline_returns_timeout_immediately() {
+        let mut eps = ShmFabric::build(2);
+        let b = eps.pop().unwrap();
+        let _a = eps.pop().unwrap();
+        let t0 = Instant::now();
+        match b.recv_tagged_deadline(0, collective_tag(1, 0, 0), Duration::ZERO) {
+            Err(CommError::Timeout {
+                from: 0,
+                in_flight: 0,
+                ..
+            }) => {}
+            other => panic!("expected immediate timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(1), "did not return promptly");
+    }
+
+    #[test]
+    fn expired_deadline_still_delivers_stashed_payload() {
+        // A payload already pulled into the stash must win over an
+        // expired deadline — the data exists, only the clock ran out.
+        let mut eps = ShmFabric::build(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let tag = collective_tag(4, 0, 1);
+        a.send_tagged(1, tag, payload(42)).unwrap();
+        b.drain_inbound();
+        let got = b.recv_tagged_deadline(0, tag, Duration::ZERO).unwrap();
+        assert_eq!(got.payload().as_ref(), &[42]);
+    }
+
+    #[test]
+    fn stash_integrity_after_mid_stream_disconnect() {
+        // Peer sends an interleaved multi-tag stream then dies; every
+        // already-sent payload must remain deliverable, per-tag FIFO order
+        // intact, before the disconnect error surfaces on each tag.
+        let mut eps = ShmFabric::build(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let ta = collective_tag(1, 0, 1);
+        let tb = collective_tag(1, 1, 1);
+        a.send_tagged(1, ta, payload(1)).unwrap();
+        a.send_tagged(1, tb, payload(10)).unwrap();
+        a.send_tagged(1, ta, payload(2)).unwrap();
+        drop(a);
+        assert_eq!(b.recv_tagged(0, tb).unwrap().payload().as_ref(), &[10]);
+        assert_eq!(b.recv_tagged(0, ta).unwrap().payload().as_ref(), &[1]);
+        assert_eq!(b.recv_tagged(0, ta).unwrap().payload().as_ref(), &[2]);
+        assert!(matches!(
+            b.recv_tagged(0, ta),
+            Err(CommError::Disconnected { peer: 0 })
+        ));
+        assert!(matches!(
+            b.recv_tagged(0, tb),
+            Err(CommError::Disconnected { peer: 0 })
+        ));
+    }
+
+    #[test]
+    fn wait_any_inbound_wakes_on_any_peer_and_stashes() {
+        let mut eps = ShmFabric::build(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let _a = eps.pop().unwrap();
+        let tag = collective_tag(9, 0, 1);
+        b.send_tagged(2, tag, payload(5)).unwrap();
+        assert!(c.wait_any_inbound(Duration::from_secs(5)));
+        // The arrival was stashed, not dropped.
+        assert_eq!(
+            c.try_recv_tagged(1, tag).unwrap().unwrap().payload().as_ref(),
+            &[5]
+        );
+        assert!(!c.wait_any_inbound(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn wait_any_inbound_skips_closed_channels_without_spinning() {
+        let mut eps = ShmFabric::build(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(a);
+        // Observe the disconnect so the channel is marked closed.
+        assert!(matches!(
+            c.try_recv_tagged(0, LEGACY_TAG),
+            Err(CommError::Disconnected { peer: 0 })
+        ));
+        // The select must now wait out the timeout on the live peer
+        // rather than returning instantly-ready on the closed one.
+        let t0 = Instant::now();
+        assert!(!c.wait_any_inbound(Duration::from_millis(20)));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // And a live arrival still wakes it.
+        b.send_tagged(2, LEGACY_TAG, payload(3)).unwrap();
+        assert!(c.wait_any_inbound(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn epoch_tags_namespace_cleanly() {
+        // Epoch 0 is the historical wire format; other epochs and the
+        // membership/control lanes never collide with collective tags.
+        assert_eq!(
+            collective_tag_in_epoch(7, 3, 1, 0),
+            collective_tag(7, 3, 1)
+        );
+        assert_ne!(
+            collective_tag_in_epoch(7, 3, 1, 1),
+            collective_tag_in_epoch(7, 3, 1, 2)
+        );
+        let m = membership_tag(1, 0);
+        assert_ne!(m & 0xFF00, collective_tag(1, 0, 1) & 0xFF00);
+        assert_ne!(CTRL_TAG, LEGACY_TAG);
     }
 }

@@ -9,9 +9,13 @@
 //! sync period; compression composes on top of the parameter deltas.
 
 use crate::optimizer::SgdMomentum;
-use crate::trainer::{TrainConfig, TrainableModel};
+use crate::trainer::{check_elastic, resync_params, wrap_endpoint, TrainConfig, TrainableModel};
+use cgx_collectives::membership::agree;
 use cgx_collectives::reduce::allreduce_scratch;
-use cgx_collectives::{CommEngine, CommError, ThreadCluster};
+use cgx_collectives::{
+    CommEngine, CommError, EngineOptions, FaultStats, Membership, MembershipView, ShmTransport,
+    ThreadCluster, Transport,
+};
 use cgx_compress::{Compressor, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
@@ -24,6 +28,12 @@ pub struct LocalSgdReport {
     pub bytes_sent_per_worker: usize,
     /// Number of synchronization rounds performed.
     pub sync_rounds: usize,
+    /// Fault and recovery counters from the reporting worker's endpoint
+    /// (all zeros on a fault-free fabric).
+    pub faults: FaultStats,
+    /// World size at the end of the run — smaller than `cfg.workers` if
+    /// elastic recovery shrank the fleet.
+    pub final_world: usize,
 }
 
 /// Trains with local SGD: `cfg.workers` replicas, `cfg.steps` total steps,
@@ -54,10 +64,16 @@ where
 {
     assert!(sync_period > 0, "sync period must be at least 1");
     assert!(cfg.workers > 0 && cfg.steps > 0, "degenerate config");
+    check_elastic(cfg);
     let specs = model.param_specs();
     let pool = ScratchPool::new();
-    let outputs = ThreadCluster::try_run(cfg.workers, |t| {
+    // Elastic recovery retries syncs through the engine's epoch-scoped
+    // lanes; plain runs honor the configured path.
+    let use_engine = cfg.layer_parallel || cfg.elastic;
+    let outputs = ThreadCluster::try_run(cfg.workers, |fabric: ShmTransport| {
         let pool = pool.clone();
+        let endpoint = wrap_endpoint(fabric, cfg);
+        let t: &dyn Transport = endpoint.as_ref();
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
         let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
@@ -68,15 +84,21 @@ where
             .map(Some)
             .collect();
         let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
-        let mut raw = NoneCompressor::new();
+        let mut lossless = NoneCompressor::new();
         let mut losses = Vec::with_capacity(cfg.steps);
         let mut bytes = 0usize;
         let mut sync_rounds = 0usize;
+        let mut membership = Membership::full(t.world());
+        let mut recoveries = 0usize;
         // Parameters at the last synchronization point (identical across
         // replicas by construction).
         let mut anchor: Vec<Tensor> = local.params().to_vec();
-        let world = t.world() as f32;
         for step in 1..=cfg.steps {
+            if t.begin_step(step) {
+                // Fail-stop injection: this rank dies here; survivors
+                // notice at their next sync round and shrink around it.
+                return Ok(None);
+            }
             let batch = sampler(&mut data_rng);
             let (loss, grads) = local.loss_and_grads(&batch);
             losses.push(loss);
@@ -85,75 +107,154 @@ where
                 sync_rounds += 1;
                 // Compressed model averaging: all-reduce the deltas from
                 // the shared anchor, then rebuild params = anchor + mean.
-                if cfg.layer_parallel {
-                    // Layer-parallel path: every layer's delta is in
-                    // flight at once; the engine coalesces the small
-                    // FP32 ones. Byte-identical to the loop below.
-                    let deltas: Vec<Tensor> = local
-                        .params()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, p)| {
-                            let mut d = p.clone();
-                            d.sub_assign(&anchor[i]);
-                            d
-                        })
-                        .collect();
-                    let mut eng = CommEngine::new(&t, pool.clone(), cfg.engine);
-                    let handles: Vec<_> = deltas
-                        .iter()
-                        .enumerate()
-                        .map(|(i, d)| {
-                            let comp = compressors[i].take().expect("compressor present");
-                            eng.submit(cfg.algorithm, d, comp, &mut comp_rng)
-                        })
-                        .collect();
-                    for (i, h) in handles.into_iter().enumerate() {
-                        let (mut mean_delta, stats, comp) = eng.wait(h)?;
-                        compressors[i] = Some(comp);
-                        mean_delta.scale(1.0 / world);
-                        bytes += stats.bytes_sent;
-                        let p = &mut local.params_mut()[i];
-                        *p = anchor[i].clone();
-                        p.add_assign(&mean_delta);
-                    }
-                } else {
-                    for (i, p) in local.params_mut().iter_mut().enumerate() {
-                        let mut delta = p.clone();
-                        delta.sub_assign(&anchor[i]);
-                        let comp: &mut dyn Compressor = if world > 1.0 {
-                            compressors[i].as_deref_mut().expect("compressor present")
-                        } else {
-                            &mut raw
+                loop {
+                    let view = MembershipView::new(t, &membership);
+                    let world = view.world() as f32;
+                    let sync: Result<(), CommError> = if use_engine {
+                        // Layer-parallel path: every layer's delta is in
+                        // flight at once; the engine coalesces the small
+                        // FP32 ones. Byte-identical to the loop below.
+                        let deltas: Vec<Tensor> = local
+                            .params()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, p)| {
+                                let mut d = p.clone();
+                                d.sub_assign(&anchor[i]);
+                                d
+                            })
+                            .collect();
+                        let opts = EngineOptions {
+                            epoch: (membership.epoch() & 0xFF) as u8,
+                            ..cfg.engine
                         };
-                        // One RNG draw per layer, matching the engine.
-                        let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
-                        let (mut mean_delta, stats) = allreduce_scratch(
-                            cfg.algorithm,
-                            &t,
-                            &delta,
-                            comp,
-                            &mut layer_rng,
-                            &pool,
-                        )?;
-                        mean_delta.scale(1.0 / world);
-                        bytes += stats.bytes_sent;
-                        *p = anchor[i].clone();
-                        p.add_assign(&mean_delta);
+                        let mut eng = CommEngine::new(&view, pool.clone(), opts);
+                        let handles: Vec<_> = deltas
+                            .iter()
+                            .enumerate()
+                            .map(|(i, d)| {
+                                let comp = compressors[i].take().expect("compressor present");
+                                eng.submit(cfg.algorithm, d, comp, &mut comp_rng)
+                            })
+                            .collect();
+                        let mut first_err = None;
+                        for (i, h) in handles.into_iter().enumerate() {
+                            match eng.wait(h) {
+                                Ok((mut mean_delta, stats, comp)) => {
+                                    compressors[i] = Some(comp);
+                                    mean_delta.scale(1.0 / world);
+                                    bytes += stats.bytes_sent;
+                                    let p = &mut local.params_mut()[i];
+                                    *p = anchor[i].clone();
+                                    p.add_assign(&mean_delta);
+                                }
+                                // Drain every handle so nothing stays in
+                                // flight; lent compressors are rebuilt
+                                // during recovery.
+                                Err(e) => first_err = first_err.or(Some(e)),
+                            }
+                        }
+                        first_err.map_or(Ok(()), Err)
+                    } else {
+                        let mut res = Ok(());
+                        for (i, p) in local.params_mut().iter_mut().enumerate() {
+                            let mut delta = p.clone();
+                            delta.sub_assign(&anchor[i]);
+                            let comp: &mut dyn Compressor = if world > 1.0 {
+                                compressors[i].as_deref_mut().expect("compressor present")
+                            } else {
+                                &mut lossless
+                            };
+                            // One RNG draw per layer, matching the engine.
+                            let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
+                            match allreduce_scratch(
+                                cfg.algorithm,
+                                &view,
+                                &delta,
+                                comp,
+                                &mut layer_rng,
+                                &pool,
+                            ) {
+                                Ok((mut mean_delta, stats)) => {
+                                    mean_delta.scale(1.0 / world);
+                                    bytes += stats.bytes_sent;
+                                    *p = anchor[i].clone();
+                                    p.add_assign(&mean_delta);
+                                }
+                                Err(e) => {
+                                    res = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        res
+                    };
+                    match sync {
+                        Ok(()) => break,
+                        Err(e) => {
+                            let Some(vpeer) = e.peer().filter(|_| cfg.elastic) else {
+                                return Err(e);
+                            };
+                            let dead = view.physical(vpeer);
+                            let (next, _resume) =
+                                agree(t, &membership, &[dead], step as u64, t.timeout());
+                            membership = next;
+                            recoveries += 1;
+                            compressors = cfg
+                                .compression
+                                .build_all(&specs)
+                                .into_iter()
+                                .map(Some)
+                                .collect();
+                            // The recovery re-sync *is* a model-averaging
+                            // round over the survivors (lossless mean of
+                            // raw parameters), so the interrupted sync is
+                            // complete once it lands.
+                            resync_params(t, &membership, local.params_mut(), &pool, cfg.engine)?;
+                            break;
+                        }
                     }
                 }
                 anchor = local.params().to_vec();
             }
         }
-        Ok::<_, CommError>((local, losses, bytes, sync_rounds))
+        // Teardown barrier: keep serving retransmissions until every
+        // survivor has drained its final traffic (lossless fabrics no-op).
+        t.quiesce(&membership.physical_ranks());
+        let mut faults = t.fault_stats();
+        faults.recovery_epochs += recoveries;
+        Ok::<_, CommError>(Some((
+            local,
+            losses,
+            bytes,
+            sync_rounds,
+            faults,
+            membership.num_alive(),
+        )))
     })?;
-    let (model0, losses, bytes, sync_rounds) = outputs.into_iter().next().expect("rank 0 output");
+    // Pick the authoritative survivor: largest final world (a frozen
+    // zombie that partitioned itself away finishes smaller), lowest rank
+    // on ties.
+    let mut chosen = None;
+    for out in outputs.into_iter().flatten() {
+        let replace = match &chosen {
+            None => true,
+            Some((_, _, _, _, _, w)) => out.5 > *w,
+        };
+        if replace {
+            chosen = Some(out);
+        }
+    }
+    let (model0, losses, bytes, sync_rounds, faults, final_world) =
+        chosen.expect("at least one rank survived");
     Ok((
         model0,
         LocalSgdReport {
             losses,
             bytes_sent_per_worker: bytes,
             sync_rounds,
+            faults,
+            final_world,
         },
     ))
 }
@@ -301,6 +402,31 @@ mod tests {
         for (a, b) in eng.params().iter().zip(seq.params()) {
             assert_eq!(a.as_slice(), b.as_slice(), "sync paths diverged");
         }
+    }
+
+    #[test]
+    fn killed_rank_recovers_at_next_sync_round() {
+        // Fail-stop a rank between sync rounds: survivors only notice at
+        // the next model-averaging barrier, shrink, and keep learning.
+        let (task, model) = setup();
+        let cfg = TrainConfig {
+            lr: 0.2,
+            chaos: Some(cgx_collectives::FaultPlan::new(17).with_kill(3, 50)),
+            elastic: true,
+            comm_timeout: Some(std::time::Duration::from_millis(300)),
+            compression: LayerCompression::cgx_default(),
+            ..TrainConfig::new(4, 160)
+        };
+        let t = task.clone();
+        let (trained, report) =
+            train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, 8).unwrap();
+        assert_eq!(report.final_world, 3, "world did not shrink to survivors");
+        assert_eq!(report.faults.recovery_epochs, 1);
+        assert_eq!(report.losses.len(), cfg.steps);
+        assert!(
+            eval(&trained, &task) > 0.8,
+            "survivors stopped learning after recovery"
+        );
     }
 
     #[test]

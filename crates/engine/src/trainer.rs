@@ -9,13 +9,30 @@
 //!
 //! Because the collectives guarantee bit-exact consensus, replicas never
 //! diverge; a test asserts this invariant.
+//!
+//! # Failure model
+//!
+//! With [`TrainConfig::chaos`] set, every worker's endpoint is wrapped in a
+//! [`ChaosTransport`] whose reliability layer masks transient faults
+//! (drops, corruption, duplicates, delays) without changing a single
+//! delivered byte — chaos runs train bit-identically to fault-free runs.
+//! With [`TrainConfig::elastic`] set, an unrecoverable peer loss
+//! ([`CommError::PeerLost`] from the engine, or any peer-scoped transport
+//! error) triggers shrink-and-continue recovery: survivors agree on a new
+//! membership epoch, re-map ranks, re-synchronize parameters over the
+//! shrunken world, rescale the averaging denominator, and retry the step.
 
 use crate::nn::ParamSpec;
 use crate::optimizer::{clip_global_norm, SgdMomentum};
+use cgx_collectives::membership::agree;
 use cgx_collectives::reduce::{allreduce_scratch, Algorithm};
-use cgx_collectives::{CommEngine, CommError, EngineOptions, ShmTransport, ThreadCluster};
-use cgx_compress::{CompressionScheme, Compressor, ScratchPool};
+use cgx_collectives::{
+    ChaosTransport, CommEngine, CommError, EngineOptions, FaultPlan, FaultStats, Membership,
+    MembershipView, ShmTransport, ThreadCluster, Transport,
+};
+use cgx_compress::{CompressionScheme, Compressor, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
+use std::time::Duration;
 
 /// A model trainable by [`train_data_parallel`].
 pub trait TrainableModel: Clone + Send {
@@ -201,6 +218,23 @@ pub struct TrainConfig {
     pub layer_parallel: bool,
     /// Tuning for the communication engine (segmentation, coalescing).
     pub engine: EngineOptions,
+    /// Deterministic fault injection: when set, every worker's endpoint is
+    /// wrapped in a [`ChaosTransport`] driven by this plan. Transient
+    /// faults are masked by the reliability layer without changing a
+    /// single delivered byte; kill/freeze entries take effect at the
+    /// scheduled step.
+    pub chaos: Option<FaultPlan>,
+    /// Shrink-and-continue recovery: when `true`, an unrecoverable peer
+    /// loss triggers membership agreement and training continues on the
+    /// surviving world instead of failing. Elastic runs always reduce
+    /// through the engine (regardless of `layer_parallel`) because
+    /// recovery relies on its epoch-scoped message lanes, and require an
+    /// SRA or Ring algorithm for the same reason.
+    pub elastic: bool,
+    /// Override for the transport receive timeout — the budget after
+    /// which a silent peer is declared lost. `None` keeps the fabric
+    /// default; chaos tests set it low so recovery is prompt.
+    pub comm_timeout: Option<Duration>,
 }
 
 impl TrainConfig {
@@ -219,6 +253,9 @@ impl TrainConfig {
             accumulation: 1,
             layer_parallel: true,
             engine: EngineOptions::default(),
+            chaos: None,
+            elastic: false,
+            comm_timeout: None,
         }
     }
 }
@@ -232,20 +269,127 @@ pub struct TrainReport {
     pub bytes_sent_per_worker: usize,
     /// Compression-kernel invocations per worker over the whole run.
     pub compress_calls_per_worker: usize,
+    /// Fault and recovery counters from the reporting worker's endpoint
+    /// (all zeros on a fault-free fabric). `recovery_epochs` counts the
+    /// shrink-and-continue recoveries the run survived.
+    pub faults: FaultStats,
+    /// World size at the end of the run — smaller than `cfg.workers` if
+    /// elastic recovery shrank the fleet.
+    pub final_world: usize,
+}
+
+/// Wraps a raw fabric endpoint per the run's chaos configuration and
+/// timeout override.
+pub(crate) fn wrap_endpoint(mut raw: ShmTransport, cfg: &TrainConfig) -> Box<dyn Transport> {
+    if let Some(d) = cfg.comm_timeout {
+        raw.set_timeout(d);
+    }
+    match &cfg.chaos {
+        Some(plan) => Box::new(ChaosTransport::new(raw, plan.clone())),
+        None => Box::new(raw),
+    }
+}
+
+/// Brings every survivor's parameters to the membership-wide mean after a
+/// recovery. Runs through the engine so the traffic lives on the new
+/// epoch's message lanes — frames abandoned by the failed attempt can
+/// never alias with it. Lossless (`NoneCompressor`), so all survivors
+/// leave with byte-identical parameters.
+pub(crate) fn resync_params(
+    t: &dyn Transport,
+    membership: &Membership,
+    params: &mut [Tensor],
+    pool: &ScratchPool,
+    base: EngineOptions,
+) -> Result<(), CommError> {
+    let view = MembershipView::new(t, membership);
+    if view.world() <= 1 {
+        return Ok(());
+    }
+    let world = view.world() as f32;
+    let opts = EngineOptions {
+        epoch: (membership.epoch() & 0xFF) as u8,
+        ..base
+    };
+    let mut eng = CommEngine::new(&view, pool.clone(), opts);
+    let mut rng = Rng::seed_from_u64(membership.epoch() as u64);
+    let handles: Vec<_> = params
+        .iter()
+        .map(|p| {
+            eng.submit(
+                Algorithm::ScatterReduceAllgather,
+                p,
+                Box::new(NoneCompressor::new()),
+                &mut rng,
+            )
+        })
+        .collect();
+    for (p, h) in params.iter_mut().zip(handles) {
+        let (mut mean, _, _) = eng.wait(h)?;
+        mean.scale(1.0 / world);
+        *p = mean;
+    }
+    Ok(())
+}
+
+/// Validates an elastic configuration (see [`TrainConfig::elastic`]).
+pub(crate) fn check_elastic(cfg: &TrainConfig) {
+    if cfg.elastic {
+        assert!(
+            matches!(
+                cfg.algorithm,
+                Algorithm::ScatterReduceAllgather | Algorithm::Ring
+            ),
+            "elastic recovery requires an epoch-scoped pipelined algorithm (SRA or Ring)"
+        );
+    }
+}
+
+/// Per-worker result of an elastic data-parallel run. `None` means the
+/// worker was killed by the fault plan; survivors carry their replica.
+struct WorkerOutput<M> {
+    model: M,
+    losses: Vec<f64>,
+    bytes: usize,
+    kernel_calls: usize,
+    faults: FaultStats,
+    final_world: usize,
+}
+
+/// Picks the authoritative survivor: the one that finished with the
+/// largest world (a frozen zombie that partitioned itself away finishes
+/// with a smaller one), lowest rank on ties.
+fn consensus_output<M>(outputs: Vec<Option<WorkerOutput<M>>>) -> WorkerOutput<M> {
+    let mut chosen: Option<WorkerOutput<M>> = None;
+    for out in outputs.into_iter().flatten() {
+        let replace = match &chosen {
+            None => true,
+            Some(c) => out.final_world > c.final_world,
+        };
+        if replace {
+            chosen = Some(out);
+        }
+    }
+    chosen.expect("at least one rank survived")
 }
 
 /// Trains `model` data-parallel across `cfg.workers` threads; each worker
 /// draws batches via `sampler` from its own RNG stream.
 ///
 /// Returns the (consensus) trained model of rank 0 plus a [`TrainReport`].
+/// With [`TrainConfig::elastic`] set, a killed rank does not fail the run:
+/// survivors agree on a shrunken membership and finish without it, and the
+/// returned model is the surviving consensus.
 ///
 /// # Errors
 ///
-/// Propagates collective-communication failures.
+/// Propagates collective-communication failures (after exhausting elastic
+/// recovery, when enabled).
 ///
 /// # Panics
 ///
-/// Panics if `cfg.workers` or `cfg.steps` is zero.
+/// Panics if `cfg.workers` or `cfg.steps` is zero, or if an elastic
+/// configuration names an algorithm without epoch-scoped lanes.
 pub fn train_data_parallel<M, S>(
     model: &M,
     sampler: S,
@@ -258,12 +402,18 @@ where
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.steps > 0, "need at least one step");
     assert!(cfg.accumulation > 0, "accumulation must be at least 1");
+    check_elastic(cfg);
     let specs = model.param_specs();
     // One pool shared by all workers: encode buffers recycled by whichever
     // rank drops the last reference get reused fleet-wide.
     let pool = ScratchPool::new();
-    let outputs = ThreadCluster::try_run(cfg.workers, |t: ShmTransport| {
+    // Elastic recovery retries steps through the engine's epoch-scoped
+    // lanes; plain runs honor the configured path.
+    let use_engine = cfg.layer_parallel || cfg.elastic;
+    let outputs = ThreadCluster::try_run(cfg.workers, |raw: ShmTransport| {
         let pool = pool.clone();
+        let endpoint = wrap_endpoint(raw, cfg);
+        let t: &dyn Transport = endpoint.as_ref();
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
         let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
@@ -279,8 +429,16 @@ where
         let mut losses = Vec::with_capacity(cfg.steps);
         let mut bytes = 0usize;
         let mut kernel_calls = 0usize;
-        let world = t.world() as f32;
-        for _ in 0..cfg.steps {
+        let mut membership = Membership::full(t.world());
+        let mut recoveries = 0usize;
+        let mut step = 0usize;
+        'steps: while step < cfg.steps {
+            if t.begin_step(step) {
+                // Fail-stop injection: this rank dies here. Dropping the
+                // endpoint closes its channels, so survivors observe a
+                // `Disconnected` and (if elastic) shrink around it.
+                return Ok(None);
+            }
             // Gradient accumulation: average over micro-batches locally,
             // synchronize once.
             let batch = sampler(&mut data_rng);
@@ -300,13 +458,18 @@ where
                     g.scale(inv);
                 }
             }
-            losses.push(loss);
-            if cfg.layer_parallel {
+            let view = MembershipView::new(t, &membership);
+            let world = view.world() as f32;
+            let sync: Result<(), CommError> = if use_engine {
                 // Layer-parallel path: submit every layer up front, then
                 // redeem in order. The engine overlaps all in-flight
                 // reductions and coalesces small FP32 layers; results are
                 // byte-identical to the sequential loop below.
-                let mut eng = CommEngine::new(&t, pool.clone(), cfg.engine);
+                let opts = EngineOptions {
+                    epoch: (membership.epoch() & 0xFF) as u8,
+                    ..cfg.engine
+                };
+                let mut eng = CommEngine::new(&view, pool.clone(), opts);
                 let handles: Vec<_> = grads
                     .iter()
                     .enumerate()
@@ -315,42 +478,100 @@ where
                         eng.submit(cfg.algorithm, g, comp, &mut comp_rng)
                     })
                     .collect();
+                let mut first_err = None;
                 for (i, h) in handles.into_iter().enumerate() {
-                    let (mut summed, stats, comp) = eng.wait(h)?;
-                    compressors[i] = Some(comp);
-                    summed.scale(1.0 / world);
-                    grads[i] = summed;
-                    bytes += stats.bytes_sent;
-                    kernel_calls += stats.compress_calls;
+                    match eng.wait(h) {
+                        Ok((mut summed, stats, comp)) => {
+                            compressors[i] = Some(comp);
+                            summed.scale(1.0 / world);
+                            grads[i] = summed;
+                            bytes += stats.bytes_sent;
+                            kernel_calls += stats.compress_calls;
+                        }
+                        // Drain every handle (later waits fail fast on the
+                        // poison) so nothing is left in flight; the lent
+                        // compressors are rebuilt during recovery.
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
                 }
+                first_err.map_or(Ok(()), Err)
             } else {
+                let mut res = Ok(());
                 for (i, g) in grads.iter_mut().enumerate() {
                     // Consume `comp_rng` exactly as the engine does (one
                     // draw per layer) so both paths share the stream.
                     let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
                     let comp = compressors[i].as_deref_mut().expect("compressor present");
-                    let (mut summed, stats) =
-                        allreduce_scratch(cfg.algorithm, &t, g, comp, &mut layer_rng, &pool)?;
-                    summed.scale(1.0 / world);
-                    *g = summed;
-                    bytes += stats.bytes_sent;
-                    kernel_calls += stats.compress_calls;
+                    match allreduce_scratch(cfg.algorithm, &view, g, comp, &mut layer_rng, &pool)
+                    {
+                        Ok((mut summed, stats)) => {
+                            summed.scale(1.0 / world);
+                            *g = summed;
+                            bytes += stats.bytes_sent;
+                            kernel_calls += stats.compress_calls;
+                        }
+                        Err(e) => {
+                            res = Err(e);
+                            break;
+                        }
+                    }
                 }
+                res
+            };
+            if let Err(e) = sync {
+                let Some(vpeer) = e.peer().filter(|_| cfg.elastic) else {
+                    return Err(e);
+                };
+                // Shrink and continue: condemn the physical rank behind
+                // the failed virtual peer, agree on the next membership
+                // epoch, rebuild the compressors the poisoned engine kept,
+                // re-sync parameters over the survivors, and retry the
+                // step (with a fresh batch) on the shrunken world.
+                let dead = view.physical(vpeer);
+                let (next, resume) = agree(t, &membership, &[dead], step as u64, t.timeout());
+                membership = next;
+                recoveries += 1;
+                compressors = cfg
+                    .compression
+                    .build_all(&specs)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                resync_params(t, &membership, local.params_mut(), &pool, cfg.engine)?;
+                step = step.max(resume as usize);
+                continue 'steps;
             }
+            losses.push(loss);
             if let Some(max_norm) = cfg.clip {
                 clip_global_norm(&mut grads, max_norm);
             }
             opt.step(local.params_mut(), &grads);
+            step += 1;
         }
-        Ok::<_, CommError>((local, losses, bytes, kernel_calls))
-    })?;
-    let (model0, losses, bytes, kernels) = outputs.into_iter().next().expect("rank 0 output");
-    Ok((
-        model0,
-        TrainReport {
+        // Teardown barrier: keep serving retransmissions until every
+        // survivor has drained its final-step traffic — only then is it
+        // safe to drop this endpoint (lossless fabrics no-op here).
+        t.quiesce(&membership.physical_ranks());
+        let mut faults = t.fault_stats();
+        faults.recovery_epochs += recoveries;
+        Ok::<_, CommError>(Some(WorkerOutput {
+            model: local,
             losses,
-            bytes_sent_per_worker: bytes,
-            compress_calls_per_worker: kernels,
+            bytes,
+            kernel_calls,
+            faults,
+            final_world: membership.num_alive(),
+        }))
+    })?;
+    let out = consensus_output(outputs);
+    Ok((
+        out.model,
+        TrainReport {
+            losses: out.losses,
+            bytes_sent_per_worker: out.bytes,
+            compress_calls_per_worker: out.kernel_calls,
+            faults: out.faults,
+            final_world: out.final_world,
         },
     ))
 }
@@ -664,5 +885,92 @@ mod tests {
             "perplexity {ppl} vs entropy floor {floor}"
         );
         assert!(report.losses.first().unwrap() > report.losses.last().unwrap());
+    }
+
+    #[test]
+    fn chaos_training_is_byte_identical_to_fault_free() {
+        // The headline robustness claim: a seeded fault plan injecting
+        // drops, corruption, and duplicates at >1% per frame changes
+        // nothing — the reliability layer masks every fault and the
+        // trained replicas match the fault-free run byte for byte.
+        let task = GaussianMixture::new(4, 8, 1.5);
+        let mut rng = Rng::seed_from_u64(31);
+        let model = Mlp::new(&mut rng, &[8, 16, 4]);
+        let run = |chaos: Option<cgx_collectives::FaultPlan>| {
+            let cfg = TrainConfig {
+                chaos,
+                compression: LayerCompression::cgx_default(),
+                ..TrainConfig::new(4, 12)
+            };
+            let t = task.clone();
+            train_data_parallel(&model, move |r| t.sample_batch(r, 8), &cfg).unwrap()
+        };
+        let (clean_model, clean_report) = run(None);
+        let plan = cgx_collectives::FaultPlan::new(0xC5A0_5EED)
+            .with_drop(0.02)
+            .with_corrupt(0.02)
+            .with_duplicate(0.02);
+        let (chaos_model, chaos_report) = run(Some(plan));
+        for (a, b) in chaos_model.params().iter().zip(clean_model.params()) {
+            assert_eq!(a.as_slice(), b.as_slice(), "chaos changed the bytes");
+        }
+        assert_eq!(chaos_report.losses, clean_report.losses);
+        assert!(
+            chaos_report.faults.injected_total() > 0,
+            "plan injected nothing: {:?}",
+            chaos_report.faults
+        );
+        assert_eq!(clean_report.faults, Default::default());
+    }
+
+    #[test]
+    fn killed_rank_shrinks_the_world_and_training_continues() {
+        // Fail-stop a rank mid-run: survivors agree on a new membership
+        // epoch, re-sync, and finish every remaining step on the
+        // three-worker world with a finite, still-improving model.
+        let task = GaussianMixture::new(4, 8, 1.5);
+        let mut rng = Rng::seed_from_u64(33);
+        let model = Mlp::new(&mut rng, &[8, 16, 4]);
+        let cfg = TrainConfig {
+            lr: 0.2,
+            chaos: Some(cgx_collectives::FaultPlan::new(5).with_kill(2, 40)),
+            elastic: true,
+            comm_timeout: Some(std::time::Duration::from_millis(300)),
+            compression: LayerCompression::cgx_default(),
+            ..TrainConfig::new(4, 120)
+        };
+        let t = task.clone();
+        let (trained, report) =
+            train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg).unwrap();
+        assert_eq!(report.final_world, 3, "world did not shrink to survivors");
+        assert_eq!(report.faults.recovery_epochs, 1);
+        assert_eq!(report.losses.len(), cfg.steps);
+        for p in trained.params() {
+            assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        }
+        let mut eval_rng = Rng::seed_from_u64(99_999);
+        let (x, y) = task.sample_batch(&mut eval_rng, 1024);
+        let acc = trained.accuracy(&x, &y);
+        assert!(acc > 0.8, "survivors stopped learning: accuracy {acc}");
+    }
+
+    #[test]
+    fn non_elastic_run_surfaces_peer_loss_as_error() {
+        let task = GaussianMixture::new(3, 6, 1.5);
+        let mut rng = Rng::seed_from_u64(35);
+        let model = Mlp::new(&mut rng, &[6, 10, 3]);
+        let cfg = TrainConfig {
+            chaos: Some(cgx_collectives::FaultPlan::new(9).with_kill(1, 3)),
+            comm_timeout: Some(std::time::Duration::from_millis(200)),
+            // Two workers so exactly one survivor reports the loss (with
+            // more, `try_run` aggregates into `MultipleFailures`).
+            ..TrainConfig::new(2, 10)
+        };
+        let t = task.clone();
+        let err = train_data_parallel(&model, move |r| t.sample_batch(r, 8), &cfg).unwrap_err();
+        assert!(
+            err.peer().is_some(),
+            "expected a peer-scoped failure, got {err:?}"
+        );
     }
 }

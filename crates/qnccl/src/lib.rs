@@ -47,7 +47,7 @@
 //! ```
 
 use cgx_collectives::reduce::{allreduce_ring_scratch, AllreduceStats};
-use cgx_collectives::{CommError, ShmTransport};
+use cgx_collectives::{CommError, Transport};
 use cgx_compress::{QsgdCompressor, ScratchPool};
 use cgx_tensor::{Rng, Shape, Tensor};
 
@@ -179,7 +179,7 @@ impl QncclRing {
     /// Propagates transport failures.
     pub fn allreduce(
         &mut self,
-        t: &ShmTransport,
+        t: &dyn Transport,
         fused: &FusedBuffer,
         rng: &mut Rng,
     ) -> Result<FusedBuffer, CommError> {
@@ -194,7 +194,7 @@ impl QncclRing {
     /// Propagates transport failures.
     pub fn allreduce_with_stats(
         &mut self,
-        t: &ShmTransport,
+        t: &dyn Transport,
         fused: &FusedBuffer,
         rng: &mut Rng,
     ) -> Result<(FusedBuffer, AllreduceStats), CommError> {
