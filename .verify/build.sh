@@ -16,14 +16,19 @@ $RUSTC --crate-type rlib --crate-name crossbeam $V/stubs/crossbeam.rs -o "$L/lib
 echo "== cgx_tensor"
 $RUSTC --crate-type rlib --crate-name cgx_tensor crates/tensor/src/lib.rs -o "$L/libcgx_tensor.rlib"
 
+echo "== cgx_obs"
+$RUSTC --crate-type rlib --crate-name cgx_obs crates/obs/src/lib.rs -o "$L/libcgx_obs.rlib"
+
 echo "== cgx_compress"
 $RUSTC --crate-type rlib --crate-name cgx_compress crates/compress/src/lib.rs \
-  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern bytes="$L/libbytes.rlib" \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
   -o "$L/libcgx_compress.rlib"
 
 echo "== cgx_collectives"
 $RUSTC --crate-type rlib --crate-name cgx_collectives crates/collectives/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
   --extern bytes="$L/libbytes.rlib" --extern crossbeam="$L/libcrossbeam.rlib" \
   -o "$L/libcgx_collectives.rlib"
 
@@ -35,6 +40,7 @@ echo "== cgx_engine"
 $RUSTC --crate-type rlib --crate-name cgx_engine crates/engine/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$L/libcgx_engine.rlib"
 
 echo "== cgx_qnccl"
@@ -44,11 +50,15 @@ $RUSTC --crate-type rlib --crate-name cgx_qnccl crates/qnccl/src/lib.rs \
   -o "$L/libcgx_qnccl.rlib"
 
 echo "== unit test binaries"
+$RUSTC --test --crate-name cgx_obs_tests crates/obs/src/lib.rs \
+  -o "$V/test_obs"
 $RUSTC --test --crate-name cgx_compress_tests crates/compress/src/lib.rs \
-  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern bytes="$L/libbytes.rlib" \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
   -o "$V/test_compress"
 $RUSTC --test --crate-name cgx_collectives_tests crates/collectives/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
   --extern bytes="$L/libbytes.rlib" --extern crossbeam="$L/libcrossbeam.rlib" \
   -o "$V/test_collectives"
 $RUSTC --test --crate-name cgx_qnccl_tests crates/qnccl/src/lib.rs \
@@ -58,6 +68,7 @@ $RUSTC --test --crate-name cgx_qnccl_tests crates/qnccl/src/lib.rs \
 $RUSTC --test --crate-name cgx_engine_tests crates/engine/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$V/test_engine"
 $RUSTC --test --crate-name fused_training crates/qnccl/tests/fused_training.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
@@ -72,6 +83,10 @@ $RUSTC --test --crate-name chaos crates/collectives/tests/chaos.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$V/test_chaos"
+$RUSTC --test --crate-name obs_properties crates/collectives/tests/obs_properties.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
+  -o "$V/test_obs_properties"
 
 echo "== kernel_report bin"
 $RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
@@ -92,5 +107,13 @@ $RUSTC --crate-name chaos_report crates/bench/src/bin/chaos_report.rs \
   --extern cgx_compress="$L/libcgx_compress.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   -o "$V/chaos_report"
+
+echo "== obs_report bin"
+$RUSTC --crate-name obs_report crates/bench/src/bin/obs_report.rs \
+  --extern cgx_bench="$L/libcgx_bench.rlib" --extern cgx_tensor="$L/libcgx_tensor.rlib" \
+  --extern cgx_compress="$L/libcgx_compress.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  -o "$V/obs_report"
 
 echo "BUILD OK"

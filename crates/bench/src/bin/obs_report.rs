@@ -1,0 +1,209 @@
+//! Observability report: runs one engine synchronization step per rank
+//! over a mixed compressed/filtered layer inventory with the event
+//! recorder enabled, and emits the paper-style time breakdown.
+//!
+//! Outputs:
+//!  - `BENCH_obs.json` — per-rank and merged compress / wire / decode /
+//!    idle nanosecond breakdowns, the overlap ratio, the metrics-registry
+//!    snapshot, and the instrumentation overhead (recorder enabled vs
+//!    disabled, min-of-N walls) — asserted under 2%.
+//!  - `obs_trace.json` — Chrome `trace_event` JSON of the best enabled
+//!    run, loadable in `chrome://tracing` / Perfetto.
+//!
+//! The workload mirrors `pipeline_report`'s shape (big quantized tensors
+//! interleaved with tiny full-precision ones) but stays small enough to
+//! run in CI milliseconds; the recorder cost being measured is a handful
+//! of relaxed atomics per event, independent of tensor size.
+
+use cgx_collectives::reduce::Algorithm;
+use cgx_collectives::{barrier, CommEngine, EngineOptions, ThreadCluster};
+use cgx_compress::{CompressionScheme, ScratchPool};
+use cgx_obs::{
+    chrome_trace_json, overlap_ratio, render_breakdown_table, Event, ObsHandle, TimeBreakdown,
+};
+use cgx_tensor::{Rng, Tensor};
+use std::time::{Duration, Instant};
+
+const WORLD: usize = 4;
+/// Min-of-N walls on both sides squeezes scheduler noise out of the
+/// overhead estimate.
+const REPS: usize = 5;
+const OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+/// Mixed inventory: quantized matmul-sized tensors with full-precision
+/// norm/bias tensors between them, over both pipelined algorithms.
+fn layer_specs() -> Vec<(usize, CompressionScheme, Algorithm)> {
+    let mut specs = Vec::new();
+    for block in 0..10usize {
+        let alg = if block % 3 == 2 {
+            Algorithm::Ring
+        } else {
+            Algorithm::ScatterReduceAllgather
+        };
+        specs.push((32_768 + block * 1024, CompressionScheme::cgx_default(), alg));
+        specs.push((256, CompressionScheme::None, alg));
+        specs.push((256, CompressionScheme::None, alg));
+        if block % 2 == 0 {
+            specs.push((16_384 + block * 512, CompressionScheme::TopK { ratio: 0.25 }, alg));
+        }
+    }
+    specs
+}
+
+fn rank_grads(specs: &[(usize, CompressionScheme, Algorithm)], rank: usize) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from_u64(0x0B5E + rank as u64 * 17);
+    specs
+        .iter()
+        .map(|(len, _, _)| Tensor::randn(&mut rng, &[*len]))
+        .collect()
+}
+
+/// One engine step on every rank. Returns the slowest rank's wall time
+/// and, when `obs` records, each rank's event stream.
+fn run_step(obs: &ObsHandle) -> (Duration, Vec<(usize, Vec<Event>)>) {
+    let specs = layer_specs();
+    let pool = ScratchPool::new();
+    let obs = obs.clone();
+    let results = ThreadCluster::run(WORLD, move |mut t| {
+        // Right-sized ring: one step emits a few thousand events per rank;
+        // an oversized ring would pay its first-touch page faults inside
+        // the timed region and inflate the measured overhead.
+        let rank_obs = obs.fork_rank(1 << 13);
+        if rank_obs.enabled() {
+            t.set_obs(rank_obs.registry());
+        }
+        let grads = rank_grads(&specs, t.rank());
+        let mut master = Rng::seed_from_u64(0x5EED);
+        barrier(&t).expect("barrier");
+        let t0 = Instant::now();
+        let mut eng = CommEngine::new(&t, pool.clone(), EngineOptions::default())
+            .with_obs(rank_obs.clone());
+        let handles: Vec<_> = grads
+            .iter()
+            .zip(&specs)
+            .map(|(g, (_, scheme, alg))| eng.submit(*alg, g, scheme.build(), &mut master))
+            .collect();
+        for h in handles {
+            eng.wait(h).expect("engine wait");
+        }
+        let wall = t0.elapsed();
+        if rank_obs.enabled() {
+            pool.publish(rank_obs.registry());
+        }
+        (wall, t.rank(), rank_obs.recorder().events())
+    })
+    .expect("cluster");
+    let slowest = results.iter().map(|(d, _, _)| *d).max().expect("ranks");
+    let streams = results.into_iter().map(|(_, r, ev)| (r, ev)).collect();
+    (slowest, streams)
+}
+
+fn main() {
+    // Overhead: min-of-REPS wall with the recorder disabled vs enabled.
+    let disabled = ObsHandle::disabled();
+    let mut off_best = Duration::MAX;
+    for _ in 0..REPS {
+        off_best = off_best.min(run_step(&disabled).0);
+    }
+
+    let enabled = ObsHandle::new_enabled();
+    let mut on_best = Duration::MAX;
+    let mut best_streams: Vec<(usize, Vec<Event>)> = Vec::new();
+    for _ in 0..REPS {
+        let (d, streams) = run_step(&enabled);
+        if d < on_best {
+            on_best = d;
+            best_streams = streams;
+        }
+    }
+
+    let overhead_pct = ((on_best.as_secs_f64() - off_best.as_secs_f64())
+        / off_best.as_secs_f64()
+        * 100.0)
+        .max(0.0);
+    assert!(
+        overhead_pct < OVERHEAD_BUDGET_PCT,
+        "instrumentation overhead {overhead_pct:.2}% exceeds {OVERHEAD_BUDGET_PCT}% budget \
+         (disabled {off_best:?}, enabled {on_best:?})"
+    );
+
+    // Per-rank breakdowns from the best enabled run, plus the merged total.
+    let mut rows: Vec<(String, TimeBreakdown)> = best_streams
+        .iter()
+        .map(|(rank, events)| (format!("rank{rank}"), TimeBreakdown::from_events(events)))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let total = rows
+        .iter()
+        .fold(TimeBreakdown::default(), |acc, (_, b)| acc.merge(b));
+    let overlap = best_streams
+        .iter()
+        .map(|(_, ev)| overlap_ratio(ev))
+        .sum::<f64>()
+        / best_streams.len().max(1) as f64;
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"world\": {WORLD},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"layers\": {},\n", layer_specs().len()));
+    json.push_str(&format!(
+        "  \"wall_disabled_ms\": {:.3},\n",
+        off_best.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"wall_enabled_ms\": {:.3},\n",
+        on_best.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!("  \"overhead_pct\": {overhead_pct:.3},\n"));
+    json.push_str(&format!("  \"overlap_ratio\": {overlap:.4},\n"));
+    json.push_str("  \"ranks\": [\n");
+    for (i, (label, b)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"rank\": \"{label}\", \"wall_ns\": {}, \"compress_ns\": {}, \
+             \"wire_other_ns\": {}, \"decode_ns\": {}, \"idle_ns\": {}, \
+             \"wire_events\": {}, \"wire_bytes\": {}, \"submits\": {}, \
+             \"completes\": {}}}{sep}\n",
+            b.wall_ns,
+            b.compress_ns,
+            b.other_ns(),
+            b.decode_ns,
+            b.idle_ns,
+            b.wire_events,
+            b.wire_bytes,
+            b.submits,
+            b.completes,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{\"wall_ns\": {}, \"compress_ns\": {}, \"wire_other_ns\": {}, \
+         \"decode_ns\": {}, \"idle_ns\": {}, \"wire_bytes\": {}}},\n",
+        total.wall_ns,
+        total.compress_ns,
+        total.other_ns(),
+        total.decode_ns,
+        total.idle_ns,
+        total.wire_bytes,
+    ));
+    json.push_str(&format!(
+        "  \"metrics\": {}\n",
+        enabled.registry().snapshot().to_json()
+    ));
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    std::fs::write("obs_trace.json", chrome_trace_json(&best_streams))
+        .expect("write obs_trace.json");
+
+    rows.push(("total".to_string(), total));
+    print!("{}", render_breakdown_table(&rows));
+    println!(
+        "overlap {:.1}%  overhead {:.2}% (disabled {:.2} ms, enabled {:.2} ms, min of {REPS})",
+        overlap * 100.0,
+        overhead_pct,
+        off_best.as_secs_f64() * 1e3,
+        on_best.as_secs_f64() * 1e3,
+    );
+    println!("wrote BENCH_obs.json and obs_trace.json");
+}

@@ -65,6 +65,7 @@ use crate::reduce::{
 };
 use crate::transport::{collective_tag_in_epoch, Tag, Transport};
 use cgx_compress::{Compressor, Encoded, NoneCompressor, ScratchPool};
+use cgx_obs::{pack_meta, Counter, EventRecorder, Gauge, Histogram, ObsHandle, SpanKind};
 use cgx_tensor::{Rng, Tensor};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -194,11 +195,51 @@ pub struct CommEngine<'a> {
     launch_queue: VecDeque<usize>,
     /// Machines currently constructed and progressing.
     live: usize,
+    /// High-water mark of `live` over the engine's lifetime. With
+    /// [`EngineOptions::max_live`] nonzero this never exceeds the cap —
+    /// the observability property tests assert exactly that.
+    live_hwm: usize,
     poisoned: Option<CommError>,
     in_flight: usize,
     /// Transport fault counters already attributed to a completed wait;
     /// each wait reports the delta accrued since the previous one.
     faults_seen: FaultStats,
+    /// Observability handle: disabled by default ([`CommEngine::with_obs`]
+    /// turns it on). Recording never draws RNG or changes control flow, so
+    /// enabling it cannot perturb byte-identical determinism.
+    obs: ObsHandle,
+    /// Registry handles pre-resolved at [`CommEngine::with_obs`] so the
+    /// wait-completion path pays atomic adds, not name lookups.
+    em: Option<EngineMetrics>,
+}
+
+/// Pre-resolved metric handles for the engine's per-wait accounting, all
+/// under the `engine.*` namespace of the shared registry.
+struct EngineMetrics {
+    submitted: Counter,
+    completed: Counter,
+    bytes_sent: Counter,
+    compress_ns: Counter,
+    decode_ns: Counter,
+    idle_ns: Counter,
+    wait_ns: Histogram,
+    max_in_flight: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(obs: &ObsHandle) -> Self {
+        let reg = obs.registry();
+        EngineMetrics {
+            submitted: reg.counter("engine.collectives_submitted"),
+            completed: reg.counter("engine.collectives_completed"),
+            bytes_sent: reg.counter("engine.bytes_sent"),
+            compress_ns: reg.counter("engine.compress_ns"),
+            decode_ns: reg.counter("engine.decode_ns"),
+            idle_ns: reg.counter("engine.idle_ns"),
+            wait_ns: reg.histogram("engine.wait_ns"),
+            max_in_flight: reg.gauge("engine.max_in_flight"),
+        }
+    }
 }
 
 impl<'a> CommEngine<'a> {
@@ -214,9 +255,12 @@ impl<'a> CommEngine<'a> {
             pending_elems: 0,
             launch_queue: VecDeque::new(),
             live: 0,
+            live_hwm: 0,
             poisoned: None,
             in_flight: 0,
             faults_seen: transport.fault_stats(),
+            obs: ObsHandle::disabled(),
+            em: None,
         }
     }
 
@@ -225,9 +269,39 @@ impl<'a> CommEngine<'a> {
         Self::new(transport, pool, EngineOptions::default())
     }
 
+    /// Attaches an observability handle (builder-style). Every collective's
+    /// lifecycle (submit → compress → wire → decode → complete, plus idle
+    /// parks) is recorded into `obs`'s per-rank [`EventRecorder`], and
+    /// per-wait totals feed the shared registry's `engine.*` metrics. A
+    /// disabled handle (the default) reduces all of this to single
+    /// branches.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.em = obs.enabled().then(|| EngineMetrics::new(&obs));
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability handle (disabled unless
+    /// [`CommEngine::with_obs`] was called).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
     /// Number of collectives currently in flight (submitted, not finished).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Peak number of pipelined machines that were simultaneously live.
+    /// Bounded by [`EngineOptions::max_live`] when the cap is nonzero.
+    pub fn max_live_seen(&self) -> usize {
+        self.live_hwm
+    }
+
+    fn bump_live(&mut self) {
+        self.live += 1;
+        self.live_hwm = self.live_hwm.max(self.live);
     }
 
     /// Enqueues an allreduce of `grad` and returns immediately. All ranks
@@ -282,14 +356,27 @@ impl<'a> CommEngine<'a> {
             self.pending.push(idx);
             self.pending_elems += grad.len();
             self.note_in_flight();
+            if let Some(em) = &self.em {
+                em.submitted.inc();
+            }
             return Handle(idx);
         }
 
+        if let Some(em) = &self.em {
+            em.submitted.inc();
+        }
         match alg {
             Algorithm::ScatterReduceAllgather | Algorithm::Ring => {
                 // The op id is claimed now (submit order is rank-aligned);
                 // the machine itself launches when a live slot is free.
                 let op_id = self.alloc_op_id();
+                let rec = self.obs.recorder();
+                rec.instant(
+                    SpanKind::Submit,
+                    pack_meta(op_id, 0, 0, self.opts.epoch),
+                    rec.now_ns(),
+                    grad.len() as u64,
+                );
                 op.queued = Some(QueuedLaunch {
                     alg,
                     grad: grad.clone(),
@@ -357,11 +444,20 @@ impl<'a> CommEngine<'a> {
         loop {
             if self.ops[h.0].result.is_some() {
                 let (tensor, mut stats) = self.ops[h.0].result.take().expect("checked above");
-                stats.wait_ns += idle_ns;
+                stats.wait_ns = stats.wait_ns.saturating_add(idle_ns);
                 let cur = self.t.fault_stats();
                 stats.faults = cur.since(&self.faults_seen);
                 self.faults_seen = cur;
                 let comp = self.ops[h.0].comp.take().expect("compressor present");
+                if let Some(em) = &self.em {
+                    em.completed.inc();
+                    em.bytes_sent.add(stats.bytes_sent as u64);
+                    em.compress_ns.add(stats.compress_ns);
+                    em.decode_ns.add(stats.decode_ns);
+                    em.idle_ns.add(idle_ns);
+                    em.wait_ns.record(stats.wait_ns);
+                    em.max_in_flight.raise(stats.max_in_flight as u64);
+                }
                 return Ok((tensor, stats, comp));
             }
             if let Some(e) = &self.poisoned {
@@ -380,10 +476,15 @@ impl<'a> CommEngine<'a> {
                 last_progress = Instant::now();
                 continue;
             }
-            if last_progress.elapsed() >= self.t.timeout() {
+            // One sample serves both the deadline check and the error
+            // report: re-sampling after the comparison used to let the
+            // reported `waited` drift past the value that actually tripped
+            // the deadline.
+            let waited = last_progress.elapsed();
+            if waited >= self.t.timeout() {
                 let e = CommError::Timeout {
                     from: self.blocked_peer(),
-                    waited: last_progress.elapsed(),
+                    waited,
                     in_flight: self.in_flight,
                 };
                 return Err(self.poison(e));
@@ -394,26 +495,37 @@ impl<'a> CommEngine<'a> {
             // sleep-polling. Any arrival on that channel wakes us — it is
             // stashed and almost certainly unblocks some machine. The
             // short cap keeps send retries and the engine timeout live.
+            let park_start = self.obs.recorder().now_ns();
             let t0 = Instant::now();
             let park = self
                 .ops
                 .iter()
                 .find_map(|o| o.machine.as_ref().and_then(Machine::expected_inbound));
-            match park {
+            let park_meta = match park {
                 Some((peer, tag)) => {
                     match self.t.wait_inbound(peer, tag, Duration::from_millis(1)) {
                         Ok(_) => {}
                         Err(e) => return Err(self.poison(e)),
                     }
+                    tag
                 }
                 None => {
                     // No machine knows what it wants next (all are
                     // mid-send or queued): park on *any* inbound arrival
                     // instead of sleep-polling a fixed interval.
                     self.t.wait_any_inbound(Duration::from_millis(1));
+                    0
                 }
-            }
-            idle_ns += t0.elapsed().as_nanos() as u64;
+            };
+            let parked = t0.elapsed().as_nanos() as u64;
+            idle_ns += parked;
+            self.obs.recorder().record(
+                SpanKind::Idle,
+                park_meta,
+                park_start,
+                park_start + parked,
+                0,
+            );
         }
     }
 
@@ -481,6 +593,13 @@ impl<'a> CommEngine<'a> {
         let concat = Tensor::from_vec(&[total], buf);
         // Members are all lossless, so the group travels as raw FP32; the
         // RNG is never consulted but the seed is rank-invariant anyway.
+        let rec = self.obs.recorder();
+        rec.instant(
+            SpanKind::Submit,
+            pack_meta(op_id, 0, 0, self.opts.epoch),
+            rec.now_ns(),
+            total as u64,
+        );
         let m = SraMachine::new(
             self.t,
             op_id,
@@ -490,6 +609,7 @@ impl<'a> CommEngine<'a> {
             Rng::seed_from_u64(0xC0A1_E5CE ^ u64::from(op_id)),
             &self.pool,
             self.opts.segment_elems,
+            rec.clone(),
         );
         let mut m = Machine::Sra(m);
         // The driver launches immediately (the flush point is where the
@@ -501,7 +621,7 @@ impl<'a> CommEngine<'a> {
         driver.machine = Some(m);
         driver.members = Some(members);
         self.ops.push(driver);
-        self.live += 1;
+        self.bump_live();
         if let Err(e) = pumped {
             self.poison(e);
         }
@@ -516,6 +636,7 @@ impl<'a> CommEngine<'a> {
                 return;
             };
             let q = self.ops[idx].queued.take().expect("queued launch");
+            let rec = self.obs.recorder().clone();
             let mut m = match q.alg {
                 Algorithm::Ring => Machine::Ring(RingMachine::new(
                     self.t,
@@ -525,6 +646,7 @@ impl<'a> CommEngine<'a> {
                     q.comp,
                     q.rng,
                     &self.pool,
+                    rec,
                 )),
                 _ => Machine::Sra(SraMachine::new(
                     self.t,
@@ -535,11 +657,12 @@ impl<'a> CommEngine<'a> {
                     q.rng,
                     &self.pool,
                     self.opts.segment_elems,
+                    rec,
                 )),
             };
             if let Err(e) = m.progress(self.t, &self.pool) {
                 self.ops[idx].machine = Some(m);
-                self.live += 1;
+                self.bump_live();
                 self.poison(e);
                 return;
             }
@@ -547,12 +670,12 @@ impl<'a> CommEngine<'a> {
                 // Possible when every peer chunk was already stashed
                 // (tiny layer, fast peers): finalize reclaims the slot
                 // and pumps the queue further before we continue.
-                self.live += 1;
+                self.bump_live();
                 self.finalize(idx, m);
                 continue;
             }
             self.ops[idx].machine = Some(m);
-            self.live += 1;
+            self.bump_live();
         }
     }
 
@@ -586,6 +709,13 @@ impl<'a> CommEngine<'a> {
 
     fn finalize(&mut self, i: usize, m: Machine) {
         self.live -= 1;
+        let rec = self.obs.recorder();
+        rec.instant(
+            SpanKind::Complete,
+            pack_meta(m.op_id(), 0, 0, self.opts.epoch),
+            rec.now_ns(),
+            0,
+        );
         let (out, mut stats, comp) = m.into_parts();
         if let Some(members) = self.ops[i].members.take() {
             // Coalesce-group driver: scatter slices back to the members.
@@ -692,6 +822,13 @@ impl Machine {
         }
     }
 
+    fn op_id(&self) -> u32 {
+        match self {
+            Machine::Sra(m) => m.op_id,
+            Machine::Ring(m) => m.op_id,
+        }
+    }
+
     fn into_parts(self) -> (Tensor, AllreduceStats, Box<dyn Compressor>) {
         match self {
             Machine::Sra(m) => (m.out, m.stats, m.comp),
@@ -702,8 +839,13 @@ impl Machine {
 
 /// Flushes as much of an output queue as the channels accept, preserving
 /// per-peer FIFO order (an entry to a blocked peer blocks later entries to
-/// that peer only).
-fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &dyn Transport) -> Result<bool, CommError> {
+/// that peer only). Each payload that actually reaches the transport is
+/// recorded as a `Wire` event carrying the wire tag and payload size.
+fn pump_outq(
+    outq: &mut VecDeque<Outgoing>,
+    t: &dyn Transport,
+    rec: &EventRecorder,
+) -> Result<bool, CommError> {
     let mut progressed = false;
     let mut blocked: Vec<usize> = Vec::new();
     let mut i = 0;
@@ -714,8 +856,12 @@ fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &dyn Transport) -> Result<bool, C
             continue;
         }
         let (p, tag, enc) = outq.remove(i).expect("index in bounds");
+        let bytes = enc.payload_bytes() as u64;
         match t.try_send_tagged(p, tag, enc)? {
-            None => progressed = true,
+            None => {
+                rec.instant(SpanKind::Wire, tag, rec.now_ns(), bytes);
+                progressed = true;
+            }
             Some(enc) => {
                 outq.insert(i, (p, tag, enc));
                 blocked.push(p);
@@ -726,12 +872,25 @@ fn pump_outq(outq: &mut VecDeque<Outgoing>, t: &dyn Transport) -> Result<bool, C
     Ok(progressed)
 }
 
-/// Adds `f`'s wall time to `slot` (mirrors the sequential paths' timing).
+/// Adds `f`'s wall time to `slot` (mirroring the sequential paths' timing)
+/// and emits a span event into `rec` when recording is enabled. The single
+/// `Instant` sample serves both the stats slot and the span, so
+/// instrumentation adds no extra clock reads to the hot path beyond the
+/// recorder's own epoch offset.
 #[inline]
-fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+fn timed_obs<T>(
+    slot: &mut u64,
+    rec: &EventRecorder,
+    kind: SpanKind,
+    meta: u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    let start = rec.now_ns();
     let t0 = Instant::now();
     let out = f();
-    *slot += t0.elapsed().as_nanos() as u64;
+    let dur = t0.elapsed().as_nanos() as u64;
+    *slot += dur;
+    rec.record(kind, meta, start, start + dur, 0);
     out
 }
 
@@ -772,6 +931,7 @@ struct SraMachine {
     next_phase2: usize,
     outq: VecDeque<Outgoing>,
     stats: AllreduceStats,
+    rec: EventRecorder,
 }
 
 impl SraMachine {
@@ -785,6 +945,7 @@ impl SraMachine {
         mut rng: Rng,
         pool: &ScratchPool,
         segment_elems: usize,
+        rec: EventRecorder,
     ) -> Self {
         let n = t.world();
         let me = t.rank();
@@ -815,9 +976,13 @@ impl SraMachine {
                         continue;
                     }
                     let abs = base + r.start..base + r.end;
-                    let enc = timed(&mut stats.compress_ns, || {
-                        comp.compress_slice(&gslice[abs], &mut rng, pool)
-                    });
+                    let enc = timed_obs(
+                        &mut stats.compress_ns,
+                        &rec,
+                        SpanKind::Compress,
+                        pack_meta(op_id, s as u16, PHASE_SCATTER, epoch),
+                        || comp.compress_slice_at(base + r.start, &gslice[abs], &mut rng, pool),
+                    );
                     stats.compress_calls += 1;
                     stats.bytes_sent += enc.payload_bytes();
                     outq.push_back((
@@ -859,11 +1024,12 @@ impl SraMachine {
             next_phase2: 0,
             outq,
             stats,
+            rec,
         }
     }
 
     fn progress(&mut self, t: &dyn Transport, pool: &ScratchPool) -> Result<bool, CommError> {
-        let mut progressed = pump_outq(&mut self.outq, t)?;
+        let mut progressed = pump_outq(&mut self.outq, t, &self.rec)?;
         let (n, me, op_id, epoch) = (self.n, self.me, self.op_id, self.epoch);
 
         // Decode-accumulate arriving phase-1 chunks, strictly in global
@@ -894,13 +1060,19 @@ impl SraMachine {
                     let tag = collective_tag_in_epoch(op_id, s as u16, PHASE_SCATTER, epoch);
                     match t.try_recv_tagged(j, tag)? {
                         Some(enc) => {
-                            timed(&mut self.stats.decode_ns, || {
-                                if j == 0 {
-                                    self.comp.decompress_into(&enc, mine);
-                                } else {
-                                    self.comp.decompress_add_into(&enc, mine);
-                                }
-                            });
+                            timed_obs(
+                                &mut self.stats.decode_ns,
+                                &self.rec,
+                                SpanKind::Decode,
+                                pack_meta(op_id, s as u16, PHASE_SCATTER, epoch),
+                                || {
+                                    if j == 0 {
+                                        self.comp.decompress_into(&enc, mine);
+                                    } else {
+                                        self.comp.decompress_add_into(&enc, mine);
+                                    }
+                                },
+                            );
                             self.stats.decompress_calls += 1;
                             pool.recycle(enc);
                             seg.next_acc += 1;
@@ -925,9 +1097,14 @@ impl SraMachine {
                 break;
             }
             let mine = seg.mine.take().expect("accumulator live until phase 2");
-            let enc = timed(&mut self.stats.compress_ns, || {
-                self.comp.compress_slice(&mine, &mut self.rng, pool)
-            });
+            let my_off = seg.base + seg.ranges[me].start;
+            let enc = timed_obs(
+                &mut self.stats.compress_ns,
+                &self.rec,
+                SpanKind::Compress,
+                pack_meta(op_id, s as u16, PHASE_BCAST, epoch),
+                || self.comp.compress_slice_at(my_off, &mine, &mut self.rng, pool),
+            );
             self.stats.compress_calls += 1;
             self.stats.bytes_sent += enc.payload_bytes() * (n - 1);
             let tag = collective_tag_in_epoch(op_id, s as u16, PHASE_BCAST, epoch);
@@ -937,10 +1114,16 @@ impl SraMachine {
                 }
             }
             let abs = seg.base + seg.ranges[me].start..seg.base + seg.ranges[me].end;
-            timed(&mut self.stats.decode_ns, || {
-                self.comp
-                    .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
-            });
+            timed_obs(
+                &mut self.stats.decode_ns,
+                &self.rec,
+                SpanKind::Decode,
+                pack_meta(op_id, s as u16, PHASE_BCAST, epoch),
+                || {
+                    self.comp
+                        .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
+                },
+            );
             self.stats.decompress_calls += 1;
             pool.recycle(enc);
             pool.put_f32(mine);
@@ -974,10 +1157,16 @@ impl SraMachine {
                     });
                 }
                 let abs = seg.base + r.start..seg.base + r.end;
-                timed(&mut self.stats.decode_ns, || {
-                    self.comp
-                        .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
-                });
+                timed_obs(
+                    &mut self.stats.decode_ns,
+                    &self.rec,
+                    SpanKind::Decode,
+                    pack_meta(op_id, s as u16, PHASE_BCAST, epoch),
+                    || {
+                        self.comp
+                            .decompress_into(&enc, &mut self.out.as_mut_slice()[abs])
+                    },
+                );
                 self.stats.decompress_calls += 1;
                 pool.recycle(enc);
                 seg.gathered[j] = true;
@@ -986,7 +1175,7 @@ impl SraMachine {
             }
         }
 
-        progressed |= pump_outq(&mut self.outq, t)?;
+        progressed |= pump_outq(&mut self.outq, t, &self.rec)?;
         Ok(progressed)
     }
 
@@ -1062,6 +1251,7 @@ struct RingMachine {
     phase: RingPhase,
     outq: VecDeque<Outgoing>,
     stats: AllreduceStats,
+    rec: EventRecorder,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1074,6 +1264,7 @@ enum RingPhase {
 }
 
 impl RingMachine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         t: &dyn Transport,
         op_id: u32,
@@ -1082,6 +1273,7 @@ impl RingMachine {
         comp: Box<dyn Compressor>,
         rng: Rng,
         pool: &ScratchPool,
+        rec: EventRecorder,
     ) -> Self {
         let n = t.world();
         let me = t.rank();
@@ -1117,11 +1309,12 @@ impl RingMachine {
                 max_in_flight: 1,
                 ..AllreduceStats::default()
             },
+            rec,
         }
     }
 
     fn progress(&mut self, t: &dyn Transport, pool: &ScratchPool) -> Result<bool, CommError> {
-        let mut progressed = pump_outq(&mut self.outq, t)?;
+        let mut progressed = pump_outq(&mut self.outq, t, &self.rec)?;
         let (n, me) = (self.n, self.me);
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
@@ -1131,9 +1324,14 @@ impl RingMachine {
                     if !sent {
                         let send_idx = (me + n - step) % n;
                         if let Some(c) = &self.chunks[send_idx] {
-                            let enc = timed(&mut self.stats.compress_ns, || {
-                                self.comp.compress_slice(c, &mut self.rng, pool)
-                            });
+                            let off = self.ranges[send_idx].start;
+                            let enc = timed_obs(
+                                &mut self.stats.compress_ns,
+                                &self.rec,
+                                SpanKind::Compress,
+                                pack_meta(self.op_id, step as u16, PHASE_SCATTER, self.epoch),
+                                || self.comp.compress_slice_at(off, c, &mut self.rng, pool),
+                            );
                             self.stats.compress_calls += 1;
                             self.stats.bytes_sent += enc.payload_bytes();
                             self.outq.push_back((
@@ -1162,9 +1360,13 @@ impl RingMachine {
                         match t.try_recv_tagged(left, tag)? {
                             Some(enc) => {
                                 let c = self.chunks[recv_idx].as_mut().expect("checked above");
-                                timed(&mut self.stats.decode_ns, || {
-                                    self.comp.decompress_add_into(&enc, c)
-                                });
+                                timed_obs(
+                                    &mut self.stats.decode_ns,
+                                    &self.rec,
+                                    SpanKind::Decode,
+                                    pack_meta(self.op_id, step as u16, PHASE_SCATTER, self.epoch),
+                                    || self.comp.decompress_add_into(&enc, c),
+                                );
                                 self.stats.decompress_calls += 1;
                                 pool.recycle(enc);
                             }
@@ -1184,9 +1386,14 @@ impl RingMachine {
                 RingPhase::Relay => {
                     let owned = (me + 1) % n;
                     if let Some(c) = &self.chunks[owned] {
-                        let enc = timed(&mut self.stats.compress_ns, || {
-                            self.comp.compress_slice(c, &mut self.rng, pool)
-                        });
+                        let off = self.ranges[owned].start;
+                        let enc = timed_obs(
+                            &mut self.stats.compress_ns,
+                            &self.rec,
+                            SpanKind::Compress,
+                            pack_meta(self.op_id, 0, PHASE_BCAST, self.epoch),
+                            || self.comp.compress_slice_at(off, c, &mut self.rng, pool),
+                        );
                         self.stats.compress_calls += 1;
                         self.encs[owned] = Some(enc);
                     }
@@ -1245,10 +1452,16 @@ impl RingMachine {
                             continue;
                         }
                         let enc = self.encs[i].as_ref().expect("all chunks gathered");
-                        timed(&mut self.stats.decode_ns, || {
-                            self.comp
-                                .decompress_into(enc, &mut self.out.as_mut_slice()[r.clone()])
-                        });
+                        timed_obs(
+                            &mut self.stats.decode_ns,
+                            &self.rec,
+                            SpanKind::Decode,
+                            pack_meta(self.op_id, i as u16, PHASE_BCAST, self.epoch),
+                            || {
+                                self.comp
+                                    .decompress_into(enc, &mut self.out.as_mut_slice()[r.clone()])
+                            },
+                        );
                         self.stats.decompress_calls += 1;
                     }
                     for enc in self.encs.iter_mut().filter_map(Option::take) {
@@ -1263,7 +1476,7 @@ impl RingMachine {
                 RingPhase::Done => break,
             }
             // Newly queued messages should hit the wire promptly.
-            progressed |= pump_outq(&mut self.outq, t)?;
+            progressed |= pump_outq(&mut self.outq, t, &self.rec)?;
         }
         Ok(progressed)
     }

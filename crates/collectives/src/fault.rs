@@ -115,6 +115,41 @@ impl FaultStats {
             + self.injected_duplicates
             + self.injected_delays
     }
+
+    /// Publishes every counter as a gauge in `registry` under the
+    /// `fault.*` namespace, so fault-injection and recovery activity show
+    /// up in the same metrics snapshot as the engine and pool counters.
+    /// Gauges are last-write-wins: call at a quiescent point with the
+    /// merged per-run stats.
+    pub fn publish(&self, registry: &cgx_obs::MetricsRegistry) {
+        registry
+            .gauge("fault.injected_drops")
+            .set(self.injected_drops as u64);
+        registry
+            .gauge("fault.injected_corruptions")
+            .set(self.injected_corruptions as u64);
+        registry
+            .gauge("fault.injected_duplicates")
+            .set(self.injected_duplicates as u64);
+        registry
+            .gauge("fault.injected_delays")
+            .set(self.injected_delays as u64);
+        registry
+            .gauge("fault.corruptions_caught")
+            .set(self.corruptions_caught as u64);
+        registry
+            .gauge("fault.duplicates_discarded")
+            .set(self.duplicates_discarded as u64);
+        registry
+            .gauge("fault.retransmit_requests")
+            .set(self.retransmit_requests as u64);
+        registry
+            .gauge("fault.frames_redelivered")
+            .set(self.frames_redelivered as u64);
+        registry
+            .gauge("fault.recovery_epochs")
+            .set(self.recovery_epochs as u64);
+    }
 }
 
 /// What the plan decided to do to one frame arrival.

@@ -69,14 +69,17 @@ pub struct AllreduceStats {
 impl AllreduceStats {
     /// Folds another collective's stats into this one (used when a step
     /// aggregates per-layer stats). `max_in_flight` takes the maximum;
-    /// everything else sums.
+    /// everything else sums. Timing fields saturate instead of wrapping:
+    /// long-run aggregations (a whole training job's layer × step matrix)
+    /// must degrade to "pinned at max" rather than silently overflow into
+    /// a small number.
     pub fn merge(&mut self, other: &AllreduceStats) {
-        self.bytes_sent += other.bytes_sent;
-        self.compress_calls += other.compress_calls;
-        self.decompress_calls += other.decompress_calls;
-        self.compress_ns += other.compress_ns;
-        self.wait_ns += other.wait_ns;
-        self.decode_ns += other.decode_ns;
+        self.bytes_sent = self.bytes_sent.saturating_add(other.bytes_sent);
+        self.compress_calls = self.compress_calls.saturating_add(other.compress_calls);
+        self.decompress_calls = self.decompress_calls.saturating_add(other.decompress_calls);
+        self.compress_ns = self.compress_ns.saturating_add(other.compress_ns);
+        self.wait_ns = self.wait_ns.saturating_add(other.wait_ns);
+        self.decode_ns = self.decode_ns.saturating_add(other.decode_ns);
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
         self.faults.merge(&other.faults);
     }
@@ -226,7 +229,7 @@ fn sra_with_ranges(
             continue;
         }
         let enc = timed(&mut stats.compress_ns, || {
-            comp.compress_slice(&gslice[range.clone()], rng, pool)
+            comp.compress_slice_at(range.start, &gslice[range.clone()], rng, pool)
         });
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes();
@@ -269,7 +272,7 @@ fn sra_with_ranges(
         // Phase 2: broadcast the aggregate; decode my own encoding so
         // every rank holds bit-identical values (consensus).
         let enc = timed(&mut stats.compress_ns, || {
-            comp.compress_slice(&mine, rng, pool)
+            comp.compress_slice_at(ranges[me].start, &mine, rng, pool)
         });
         stats.compress_calls += 1;
         stats.bytes_sent += enc.payload_bytes() * (n - 1);
@@ -368,7 +371,9 @@ fn ring_with_ranges(
         let send_idx = (me + n - s) % n;
         let recv_idx = (me + n - s - 1) % n;
         if let Some(c) = &chunks[send_idx] {
-            let enc = timed(&mut stats.compress_ns, || comp.compress_slice(c, rng, pool));
+            let enc = timed(&mut stats.compress_ns, || {
+                comp.compress_slice_at(ranges[send_idx].start, c, rng, pool)
+            });
             stats.compress_calls += 1;
             stats.bytes_sent += enc.payload_bytes();
             t.send(right, enc)?;
@@ -385,7 +390,9 @@ fn ring_with_ranges(
     let owned_idx = (me + 1) % n;
     let mut encs: Vec<Option<Encoded>> = vec![None; n];
     if let Some(c) = &chunks[owned_idx] {
-        let enc = timed(&mut stats.compress_ns, || comp.compress_slice(c, rng, pool));
+        let enc = timed(&mut stats.compress_ns, || {
+            comp.compress_slice_at(ranges[owned_idx].start, c, rng, pool)
+        });
         stats.compress_calls += 1;
         encs[owned_idx] = Some(enc);
     }

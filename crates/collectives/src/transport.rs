@@ -29,6 +29,7 @@
 use crate::error::CommError;
 use crate::fault::FaultStats;
 use cgx_compress::Encoded;
+use cgx_obs::{Counter, MetricsRegistry};
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, Select, Sender, TryRecvError, TrySendError,
 };
@@ -256,6 +257,17 @@ struct Message {
     payload: Encoded,
 }
 
+/// Pre-resolved metric handles for one endpoint (`transport.*` namespace).
+/// Resolved once in [`ShmTransport::set_obs`] so the per-message cost is a
+/// relaxed atomic add, not a registry lookup.
+#[derive(Debug, Clone)]
+struct TransportMetrics {
+    msgs_sent: Counter,
+    bytes_sent: Counter,
+    msgs_recv: Counter,
+    bytes_recv: Counter,
+}
+
 /// A rank's endpoint into the shared-memory fabric.
 ///
 /// Cheap to move into a worker thread. Senders are cloned per peer;
@@ -278,6 +290,9 @@ pub struct ShmTransport {
     /// closed channel is always ready and would busy-spin the select).
     closed: Vec<AtomicBool>,
     timeout: Duration,
+    /// Message counters, populated by [`ShmTransport::set_obs`]. `None`
+    /// (the default) keeps the hot path untouched.
+    obs: Option<TransportMetrics>,
 }
 
 impl ShmTransport {
@@ -294,6 +309,37 @@ impl ShmTransport {
     /// Overrides the receive timeout (default [`DEFAULT_TIMEOUT`]).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Enables message accounting on this endpoint: every delivered send
+    /// and every payload handed to the caller bumps the shared
+    /// `transport.msgs_sent` / `transport.bytes_sent` /
+    /// `transport.msgs_recv` / `transport.bytes_recv` counters in
+    /// `registry`. Call before moving the endpoint into its worker thread;
+    /// endpoints without it pay nothing.
+    pub fn set_obs(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(TransportMetrics {
+            msgs_sent: registry.counter("transport.msgs_sent"),
+            bytes_sent: registry.counter("transport.bytes_sent"),
+            msgs_recv: registry.counter("transport.msgs_recv"),
+            bytes_recv: registry.counter("transport.bytes_recv"),
+        });
+    }
+
+    #[inline]
+    fn note_sent(&self, bytes: usize) {
+        if let Some(m) = &self.obs {
+            m.msgs_sent.inc();
+            m.bytes_sent.add(bytes as u64);
+        }
+    }
+
+    #[inline]
+    fn note_recv(&self, payload: &Encoded) {
+        if let Some(m) = &self.obs {
+            m.msgs_recv.inc();
+            m.bytes_recv.add(payload.payload_bytes() as u64);
+        }
     }
 
     /// The configured receive timeout.
@@ -327,9 +373,12 @@ impl ShmTransport {
     /// Panics if `peer` is out of range or equal to this rank.
     pub fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
         assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
+        let bytes = payload.payload_bytes();
         self.to[peer]
             .send(Message { tag, payload })
-            .map_err(|_| CommError::Disconnected { peer })
+            .map_err(|_| CommError::Disconnected { peer })?;
+        self.note_sent(bytes);
+        Ok(())
     }
 
     /// Attempts a tagged send without blocking. Returns `Ok(None)` when the
@@ -352,8 +401,12 @@ impl ShmTransport {
         payload: Encoded,
     ) -> Result<Option<Encoded>, CommError> {
         assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
+        let bytes = payload.payload_bytes();
         match self.to[peer].try_send(Message { tag, payload }) {
-            Ok(()) => Ok(None),
+            Ok(()) => {
+                self.note_sent(bytes);
+                Ok(None)
+            }
             Err(TrySendError::Full(m)) => Ok(Some(m.payload)),
             Err(TrySendError::Disconnected(_)) => Err(CommError::Disconnected { peer }),
         }
@@ -410,13 +463,17 @@ impl ShmTransport {
     ) -> Result<Encoded, CommError> {
         assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
         if let Some(p) = self.take_stashed(peer, tag) {
+            self.note_recv(&p);
             return Ok(p);
         }
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.from[peer].recv_timeout(remaining) {
-                Ok(m) if m.tag == tag => return Ok(m.payload),
+                Ok(m) if m.tag == tag => {
+                    self.note_recv(&m.payload);
+                    return Ok(m.payload);
+                }
                 Ok(m) => self.stash(peer, m),
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::Timeout {
@@ -431,6 +488,10 @@ impl ShmTransport {
                     // earlier mismatching pull — drain first, fail second.
                     return self
                         .take_stashed(peer, tag)
+                        .map(|p| {
+                            self.note_recv(&p);
+                            p
+                        })
                         .ok_or(CommError::Disconnected { peer });
                 }
             }
@@ -451,19 +512,26 @@ impl ShmTransport {
     pub fn try_recv_tagged(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError> {
         assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
         if let Some(p) = self.take_stashed(peer, tag) {
+            self.note_recv(&p);
             return Ok(Some(p));
         }
         loop {
             match self.from[peer].try_recv() {
-                Ok(m) if m.tag == tag => return Ok(Some(m.payload)),
+                Ok(m) if m.tag == tag => {
+                    self.note_recv(&m.payload);
+                    return Ok(Some(m.payload));
+                }
                 Ok(m) => self.stash(peer, m),
                 Err(TryRecvError::Empty) => return Ok(None),
                 Err(TryRecvError::Disconnected) => {
                     self.closed[peer].store(true, Ordering::Relaxed);
                     return match self.take_stashed(peer, tag) {
-                        Some(p) => Ok(Some(p)),
+                        Some(p) => {
+                            self.note_recv(&p);
+                            Ok(Some(p))
+                        }
                         None => Err(CommError::Disconnected { peer }),
-                    }
+                    };
                 }
             }
         }
@@ -707,6 +775,7 @@ impl ShmFabric {
                 inbox: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
                 closed: (0..n).map(|_| AtomicBool::new(false)).collect(),
                 timeout: DEFAULT_TIMEOUT,
+                obs: None,
             })
             .collect()
     }

@@ -1,0 +1,230 @@
+//! Properties of the observability layer threaded through the engine.
+//!
+//! Three invariants from the obs design, checked over randomized layer
+//! inventories (seeded `Rng` sweeps — the offline harness has no external
+//! property-test crate):
+//!
+//! 1. **Accounting is bounded by the clock**: per collective,
+//!    `compress_ns + wait_ns + decode_ns` never exceeds the wall time the
+//!    run had available — the three components are disjoint slices of the
+//!    same thread's time.
+//! 2. **Concurrency respects the cap**: the engine's live-machine
+//!    high-water mark never exceeds `EngineOptions::max_live`.
+//! 3. **Recording is free when off and invisible when on**: a disabled
+//!    recorder stores exactly zero events across a full run, and enabling
+//!    recording changes no delivered byte.
+
+use cgx_collectives::reduce::Algorithm;
+use cgx_collectives::{CommEngine, EngineOptions, ThreadCluster};
+use cgx_compress::CompressionScheme;
+use cgx_obs::{meta_op, ObsHandle, SpanKind};
+use cgx_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+const WORLD: usize = 4;
+
+/// Mixed-scheme inventory: odd sizes, lossy and lossless codecs, both
+/// pipelined algorithms.
+fn layer_specs(seed: u64, layers: usize) -> Vec<(usize, CompressionScheme, Algorithm)> {
+    let schemes = [
+        CompressionScheme::Qsgd {
+            bits: 4,
+            bucket_size: 128,
+        },
+        CompressionScheme::None,
+        CompressionScheme::TopK { ratio: 0.25 },
+        CompressionScheme::Nuqsgd {
+            bits: 4,
+            bucket_size: 64,
+        },
+    ];
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..layers)
+        .map(|i| {
+            let len = (rng.next_u64() % 3000 + 1) as usize;
+            let alg = if i % 4 == 3 {
+                Algorithm::Ring
+            } else {
+                Algorithm::ScatterReduceAllgather
+            };
+            (len, schemes[i % schemes.len()], alg)
+        })
+        .collect()
+}
+
+fn rank_grads(specs: &[(usize, CompressionScheme, Algorithm)], rank: usize) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from_u64(0xFEED + rank as u64 * 31);
+    specs
+        .iter()
+        .map(|(len, _, _)| Tensor::randn(&mut rng, &[*len]))
+        .collect()
+}
+
+/// Runs one engine step on every rank; returns per-rank (outputs, stats,
+/// events-recorded, live-hwm) plus the shared obs handle used.
+#[allow(clippy::type_complexity)]
+fn run_once(
+    seed: u64,
+    layers: usize,
+    opts: EngineOptions,
+    obs: ObsHandle,
+) -> Vec<(Vec<Tensor>, Vec<cgx_collectives::AllreduceStats>, usize, usize)> {
+    let specs = layer_specs(seed, layers);
+    ThreadCluster::run(WORLD, move |t| {
+        let rank_obs = obs.fork_rank(1 << 14);
+        let grads = rank_grads(&specs, t.rank());
+        let mut master = Rng::seed_from_u64(0xAB5 ^ seed);
+        let mut eng =
+            CommEngine::new(&t, cgx_compress::ScratchPool::new(), opts).with_obs(rank_obs.clone());
+        let t0 = Instant::now();
+        let handles: Vec<_> = grads
+            .iter()
+            .zip(&specs)
+            .map(|(g, (_, scheme, alg))| eng.submit(*alg, g, scheme.build(), &mut master))
+            .collect();
+        let mut outs = Vec::new();
+        let mut stats = Vec::new();
+        for h in handles {
+            let (out, s, _) = eng.wait(h).expect("engine wait");
+            let wall = t0.elapsed().as_nanos() as u64;
+            // Invariant 1: the three accounted components are disjoint
+            // slices of this thread's time since the first submit.
+            let accounted = s
+                .compress_ns
+                .saturating_add(s.wait_ns)
+                .saturating_add(s.decode_ns);
+            assert!(
+                accounted <= wall,
+                "rank {}: accounted {accounted}ns exceeds wall {wall}ns",
+                t.rank()
+            );
+            outs.push(out);
+            stats.push(s);
+        }
+        let recorded = rank_obs.recorder().recorded();
+        let live_hwm = eng.max_live_seen();
+        (outs, stats, recorded, live_hwm)
+    })
+    .expect("cluster")
+}
+
+#[test]
+fn timing_components_never_exceed_wall_clock() {
+    // Randomized sweep: the in-closure assertion does the work; three
+    // seeds x two option shapes cover segmented and unsegmented paths.
+    for seed in [1u64, 7, 42] {
+        run_once(seed, 12, EngineOptions::default(), ObsHandle::disabled());
+        run_once(
+            seed,
+            12,
+            EngineOptions {
+                segment_elems: 300,
+                ..EngineOptions::default()
+            },
+            ObsHandle::new_enabled(),
+        );
+    }
+}
+
+#[test]
+fn live_machines_never_exceed_max_live_cap() {
+    for (seed, cap) in [(3u64, 1usize), (5, 2), (9, 3)] {
+        let opts = EngineOptions {
+            max_live: cap,
+            coalesce_elems: 0, // every layer is its own machine
+            ..EngineOptions::default()
+        };
+        let per_rank = run_once(seed, 16, opts, ObsHandle::disabled());
+        for (rank, (_, stats, _, live_hwm)) in per_rank.iter().enumerate() {
+            assert!(
+                *live_hwm <= cap,
+                "rank {rank}: {live_hwm} live machines under cap {cap}"
+            );
+            assert!(*live_hwm >= 1, "rank {rank}: nothing ever launched");
+            // Submitted-but-queued collectives may exceed the live cap,
+            // but never the total submitted.
+            for s in stats {
+                assert!(s.max_in_flight <= 16);
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_recorder_stores_exactly_zero_events() {
+    let per_rank = run_once(11, 10, EngineOptions::default(), ObsHandle::disabled());
+    for (rank, (_, _, recorded, _)) in per_rank.iter().enumerate() {
+        assert_eq!(*recorded, 0, "rank {rank} recorded events while disabled");
+    }
+}
+
+#[test]
+fn enabling_the_recorder_changes_no_delivered_byte() {
+    // The determinism acceptance check: identical inventory, identical
+    // seeds, recorder off vs on — outputs must match bit for bit.
+    let opts = EngineOptions::default();
+    let off = run_once(21, 14, opts, ObsHandle::disabled());
+    let on = run_once(21, 14, opts, ObsHandle::new_enabled());
+    for (rank, ((a, _, recorded_off, _), (b, _, recorded_on, _))) in
+        off.iter().zip(on.iter()).enumerate()
+    {
+        assert_eq!(*recorded_off, 0);
+        assert!(*recorded_on > 0, "rank {rank} recorded nothing while enabled");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.as_slice(),
+                y.as_slice(),
+                "rank {rank} layer {i}: recording changed the bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_stream_is_structurally_sound() {
+    // Submits and completes pair up per collective; compress/decode spans
+    // have nonzero-capable ordering (end >= start); wire events carry the
+    // payload size.
+    let specs = layer_specs(31, 8);
+    let results = ThreadCluster::run(WORLD, move |t| {
+        let obs = ObsHandle::new_enabled().fork_rank(1 << 14);
+        let grads = rank_grads(&specs, t.rank());
+        let mut master = Rng::seed_from_u64(0xAB5 ^ 31);
+        let mut eng = CommEngine::new(&t, cgx_compress::ScratchPool::new(), EngineOptions::default())
+            .with_obs(obs.clone());
+        let handles: Vec<_> = grads
+            .iter()
+            .zip(&specs)
+            .map(|(g, (_, scheme, alg))| eng.submit(*alg, g, scheme.build(), &mut master))
+            .collect();
+        for h in handles {
+            eng.wait(h).expect("engine wait");
+        }
+        obs.recorder().events()
+    })
+    .expect("cluster");
+    for (rank, events) in results.iter().enumerate() {
+        let mut submits = std::collections::BTreeSet::new();
+        let mut completes = std::collections::BTreeSet::new();
+        for e in events {
+            assert!(e.end_ns >= e.start_ns, "rank {rank}: negative span");
+            match e.kind {
+                SpanKind::Submit => {
+                    submits.insert(meta_op(e.meta));
+                }
+                SpanKind::Complete => {
+                    completes.insert(meta_op(e.meta));
+                }
+                SpanKind::Wire => {
+                    assert!(e.extra > 0, "rank {rank}: wire event without bytes");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            submits, completes,
+            "rank {rank}: submit/complete op ids disagree"
+        );
+        assert!(!submits.is_empty(), "rank {rank}: no collectives traced");
+    }
+}

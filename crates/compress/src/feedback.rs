@@ -6,6 +6,8 @@
 //! paper applies it to TopK on embedding layers. The wrapper composes with
 //! any inner [`Compressor`].
 
+use std::collections::HashMap;
+
 use crate::{Compressor, Encoded, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
 
@@ -30,6 +32,13 @@ use cgx_tensor::{Rng, Tensor};
 pub struct ErrorFeedback {
     inner: Box<dyn Compressor>,
     residual: Option<Tensor>,
+    /// Per-window residuals for the chunked (`compress_slice_at`) path,
+    /// keyed by `(offset, len)` of the window within the owning tensor.
+    /// Chunked allreduce feeds one compressor many distinct windows of the
+    /// same gradient (per-peer scatter chunks, the aggregate chunk, pipeline
+    /// segments); keying by position keeps each window's EF-SGD residual
+    /// independent instead of conflating or dropping them by length.
+    slice_residuals: HashMap<(usize, usize), Vec<f32>>,
 }
 
 impl std::fmt::Debug for ErrorFeedback {
@@ -37,6 +46,7 @@ impl std::fmt::Debug for ErrorFeedback {
         f.debug_struct("ErrorFeedback")
             .field("inner", &self.inner.name())
             .field("has_residual", &self.residual.is_some())
+            .field("slice_residuals", &self.slice_residuals.len())
             .finish()
     }
 }
@@ -47,6 +57,7 @@ impl ErrorFeedback {
         ErrorFeedback {
             inner,
             residual: None,
+            slice_residuals: HashMap::new(),
         }
     }
 
@@ -55,9 +66,23 @@ impl ErrorFeedback {
         self.residual.as_ref()
     }
 
+    /// The residual accumulated for the chunk window at `(offset, len)`,
+    /// if the chunked path has compressed that window.
+    pub fn slice_residual(&self, offset: usize, len: usize) -> Option<&[f32]> {
+        self.slice_residuals
+            .get(&(offset, len))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of distinct chunk windows with retained residual state.
+    pub fn slice_residual_windows(&self) -> usize {
+        self.slice_residuals.len()
+    }
+
     /// Clears the residual (e.g. at epoch boundaries, if desired).
     pub fn reset(&mut self) {
         self.residual = None;
+        self.slice_residuals.clear();
     }
 
     /// The stored residual, but only if it matches the incoming gradient's
@@ -106,6 +131,50 @@ impl Compressor for ErrorFeedback {
         }
         pool.put_f32(recon);
         self.residual = Some(new_residual);
+        enc
+    }
+
+    fn compress_slice(&mut self, data: &[f32], rng: &mut Rng, pool: &ScratchPool) -> Encoded {
+        // An un-positioned slice is the window starting at element 0; going
+        // through the keyed path keeps slice compression allocation-free
+        // (the inherited default would heap-allocate a Tensor per call).
+        self.compress_slice_at(0, data, rng, pool)
+    }
+
+    fn compress_slice_at(
+        &mut self,
+        offset: usize,
+        data: &[f32],
+        rng: &mut Rng,
+        pool: &ScratchPool,
+    ) -> Encoded {
+        let key = (offset, data.len());
+        // The stored residual buffer doubles as the corrected-gradient
+        // buffer, then becomes the new residual — no allocation at steady
+        // state. Arithmetic matches the tensor path exactly: corrected =
+        // grad + residual (element-wise f32 add in index order), new
+        // residual = corrected - reconstruction.
+        let mut corrected = match self.slice_residuals.remove(&key) {
+            Some(mut r) => {
+                for (c, d) in r.iter_mut().zip(data) {
+                    *c += *d;
+                }
+                r
+            }
+            None => {
+                let mut c = pool.take_f32(data.len());
+                c.copy_from_slice(data);
+                c
+            }
+        };
+        let enc = self.inner.compress_slice(&corrected, rng, pool);
+        let mut recon = pool.take_f32(data.len());
+        self.inner.decompress_into(&enc, &mut recon);
+        for (c, v) in corrected.iter_mut().zip(&recon) {
+            *c -= *v;
+        }
+        pool.put_f32(recon);
+        self.slice_residuals.insert(key, corrected);
         enc
     }
 
@@ -197,6 +266,113 @@ mod tests {
     fn name_wraps_inner() {
         let ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.01)));
         assert_eq!(ef.name(), "ef[topk(1%)]");
+    }
+
+    #[test]
+    fn segmented_ef_transmits_same_mass_as_unsegmented() {
+        // Regression: the chunk-pipelined path used to inherit the default
+        // `compress_slice`, so alternating chunk lengths (5 then 3, as
+        // produced by near-equal chunking) dropped the residual every call
+        // and EF-SGD silently degraded to plain TopK. Offset-keyed
+        // residuals must transmit the same gradient mass as whole-tensor
+        // EF.
+        let g: Vec<f32> = vec![0.9, -0.5, 0.3, -0.1, 0.7, 0.2, -0.8, 0.05];
+        let steps = 400;
+
+        // Whole-tensor reference.
+        let mut rng = Rng::seed_from_u64(11);
+        let mut whole = ErrorFeedback::new(Box::new(TopKCompressor::new(0.25)));
+        let mut whole_sum = vec![0.0f32; g.len()];
+        for _ in 0..steps {
+            let enc = whole.compress(&Tensor::from_slice(&g), &mut rng);
+            let dec = whole.decompress(&enc);
+            for (s, v) in whole_sum.iter_mut().zip(dec.as_slice()) {
+                *s += *v;
+            }
+        }
+
+        // Segmented: unequal windows [0..5) and [5..8) through the
+        // offset-keyed slice path, one shared compressor (as in the engine).
+        let pool = ScratchPool::new();
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seg = ErrorFeedback::new(Box::new(TopKCompressor::new(0.25)));
+        let mut seg_sum = vec![0.0f32; g.len()];
+        for _ in 0..steps {
+            for (start, end) in [(0usize, 5usize), (5, 8)] {
+                let enc = seg.compress_slice_at(start, &g[start..end], &mut rng, &pool);
+                let mut dec = vec![0.0f32; end - start];
+                seg.decompress_into(&enc, &mut dec);
+                for (s, v) in seg_sum[start..end].iter_mut().zip(&dec) {
+                    *s += *v;
+                }
+                pool.recycle(enc);
+            }
+        }
+        assert_eq!(seg.slice_residual_windows(), 2);
+
+        // Both paths must transmit (almost) the full accumulated gradient:
+        // per-element error stays bounded by one step's magnitude instead of
+        // growing with `steps`.
+        for i in 0..g.len() {
+            let expect = g[i] * steps as f32;
+            let whole_err = (whole_sum[i] - expect).abs();
+            let seg_err = (seg_sum[i] - expect).abs();
+            assert!(
+                whole_err / expect.abs() < 0.05,
+                "whole path lost mass at {i}: {} vs {expect}",
+                whole_sum[i]
+            );
+            assert!(
+                seg_err / expect.abs() < 0.05,
+                "segmented path lost mass at {i}: {} vs {expect}",
+                seg_sum[i]
+            );
+        }
+    }
+
+    #[test]
+    fn slice_residuals_keyed_by_offset_not_just_length() {
+        // Same-length windows at different offsets must keep independent
+        // residuals (SRA compresses one equal-size chunk per peer).
+        let pool = ScratchPool::new();
+        let mut rng = Rng::seed_from_u64(5);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let a = [1.0f32, 0.4];
+        let b = [0.2f32, 0.9];
+        let _ = ef.compress_slice_at(0, &a, &mut rng, &pool);
+        let _ = ef.compress_slice_at(2, &b, &mut rng, &pool);
+        let ra = ef.slice_residual(0, 2).expect("window (0,2) retained");
+        let rb = ef.slice_residual(2, 2).expect("window (2,2) retained");
+        // top-1 keeps the max-magnitude element, the residual holds the other.
+        assert!((ra[1] - 0.4).abs() < 1e-6, "{ra:?}");
+        assert!((rb[0] - 0.2).abs() < 1e-6, "{rb:?}");
+        assert_eq!(ef.slice_residual_windows(), 2);
+        // Steady state: after one warm-up round, no further pool
+        // allocations.
+        let enc = ef.compress_slice_at(0, &a, &mut rng, &pool);
+        pool.recycle(enc);
+        let allocs = pool.allocations();
+        for _ in 0..10 {
+            let enc = ef.compress_slice_at(0, &a, &mut rng, &pool);
+            pool.recycle(enc);
+        }
+        assert_eq!(
+            pool.allocations(),
+            allocs,
+            "chunked EF must be allocation-free at steady state"
+        );
+    }
+
+    #[test]
+    fn reset_clears_slice_residuals_too() {
+        let pool = ScratchPool::new();
+        let mut rng = Rng::seed_from_u64(6);
+        let mut ef = ErrorFeedback::new(Box::new(TopKCompressor::new(0.5)));
+        let _ = ef.compress_slice_at(4, &[1.0, 0.25], &mut rng, &pool);
+        assert_eq!(ef.slice_residual_windows(), 1);
+        ef.reset();
+        assert_eq!(ef.slice_residual_windows(), 0);
+        assert!(ef.slice_residual(4, 2).is_none());
     }
 
     #[test]

@@ -162,6 +162,27 @@ pub trait Compressor: Send {
         self.compress(&Tensor::from_slice(data), rng)
     }
 
+    /// Compresses a flat `f32` slice that is a window of a larger gradient,
+    /// starting at element `offset` of the owning tensor. Chunked allreduce
+    /// paths (segmented SRA, ring reduce-scatter) call this so *stateful*
+    /// compressors can key their per-chunk state by position instead of
+    /// conflating every chunk that happens to share a length —
+    /// [`ErrorFeedback`] overrides it to keep one residual per
+    /// `(offset, len)` window, which is what preserves EF-SGD semantics
+    /// under segmentation. Stateless compressors ignore `offset`; the
+    /// default delegates to [`Compressor::compress_slice`], so the wire
+    /// format never depends on `offset`.
+    fn compress_slice_at(
+        &mut self,
+        offset: usize,
+        data: &[f32],
+        rng: &mut Rng,
+        pool: &ScratchPool,
+    ) -> Encoded {
+        let _ = offset;
+        self.compress_slice(data, rng, pool)
+    }
+
     /// Compresses a tensor (preserving its shape), drawing the encode buffer
     /// from `pool` when supported. Default ignores the pool.
     fn compress_pooled(&mut self, grad: &Tensor, rng: &mut Rng, pool: &ScratchPool) -> Encoded {

@@ -159,6 +159,19 @@ impl ScratchPool {
     pub fn idle_f32s(&self) -> usize {
         self.inner.f32s.lock().expect("scratch pool poisoned").len()
     }
+
+    /// Publishes the pool's counters as gauges in `registry` under the
+    /// `pool.*` namespace (`pool.allocations`, `pool.reuses`,
+    /// `pool.idle_bufs`, `pool.idle_f32s`). Gauges are last-write-wins, so
+    /// call this at a quiescent point (end of step / end of run); a steady
+    /// `pool.allocations` across snapshots is the zero-alloc invariant the
+    /// kernel tests assert, now visible in every metrics export.
+    pub fn publish(&self, registry: &cgx_obs::MetricsRegistry) {
+        registry.gauge("pool.allocations").set(self.allocations());
+        registry.gauge("pool.reuses").set(self.reuses());
+        registry.gauge("pool.idle_bufs").set(self.idle_bufs() as u64);
+        registry.gauge("pool.idle_f32s").set(self.idle_f32s() as u64);
+    }
 }
 
 #[cfg(test)]

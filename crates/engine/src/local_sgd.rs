@@ -34,6 +34,10 @@ pub struct LocalSgdReport {
     /// World size at the end of the run — smaller than `cfg.workers` if
     /// elastic recovery shrank the fleet.
     pub final_world: usize,
+    /// Snapshot of the run's metrics registry ([`TrainConfig::obs`]),
+    /// aggregated across all workers. Empty when observability is
+    /// disabled.
+    pub metrics: cgx_obs::MetricsSnapshot,
 }
 
 /// Trains with local SGD: `cfg.workers` replicas, `cfg.steps` total steps,
@@ -74,6 +78,8 @@ where
         let pool = pool.clone();
         let endpoint = wrap_endpoint(fabric, cfg);
         let t: &dyn Transport = endpoint.as_ref();
+        // Shared registry, per-worker event ring (single-writer).
+        let obs = cfg.obs.fork_rank(cgx_obs::DEFAULT_RING_CAPACITY);
         let mut local = model.clone();
         let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
         let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
@@ -128,7 +134,8 @@ where
                             epoch: (membership.epoch() & 0xFF) as u8,
                             ..cfg.engine
                         };
-                        let mut eng = CommEngine::new(&view, pool.clone(), opts);
+                        let mut eng =
+                            CommEngine::new(&view, pool.clone(), opts).with_obs(obs.clone());
                         let handles: Vec<_> = deltas
                             .iter()
                             .enumerate()
@@ -247,6 +254,10 @@ where
     }
     let (model0, losses, bytes, sync_rounds, faults, final_world) =
         chosen.expect("at least one rank survived");
+    if cfg.obs.enabled() {
+        pool.publish(cfg.obs.registry());
+        faults.publish(cfg.obs.registry());
+    }
     Ok((
         model0,
         LocalSgdReport {
@@ -255,6 +266,7 @@ where
             sync_rounds,
             faults,
             final_world,
+            metrics: cfg.obs.registry().snapshot(),
         },
     ))
 }
