@@ -43,6 +43,14 @@ $RUSTC --crate-type rlib --crate-name cgx_engine crates/engine/src/lib.rs \
   --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$L/libcgx_engine.rlib"
 
+echo "== cgx_net"
+$RUSTC --crate-type rlib --crate-name cgx_net crates/net/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
+  -o "$L/libcgx_net.rlib"
+
 echo "== cgx_qnccl"
 $RUSTC --crate-type rlib --crate-name cgx_qnccl crates/qnccl/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
@@ -87,6 +95,24 @@ $RUSTC --test --crate-name obs_properties crates/collectives/tests/obs_propertie
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$V/test_obs_properties"
+$RUSTC --test --crate-name cgx_net_tests crates/net/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
+  -o "$V/test_net"
+$RUSTC --test --crate-name transport_conformance crates/collectives/tests/transport_conformance.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  -o "$V/test_transport_conformance"
+$RUSTC --test --crate-name tcp_conformance crates/net/tests/tcp_conformance.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/test_tcp_conformance"
+$RUSTC --test --crate-name launch_parity crates/net/tests/launch_parity.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/test_launch_parity"
 
 echo "== kernel_report bin"
 $RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
@@ -115,5 +141,19 @@ $RUSTC --crate-name obs_report crates/bench/src/bin/obs_report.rs \
   --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$V/obs_report"
+
+echo "== cgx_launch bin"
+$RUSTC --crate-name cgx_launch crates/net/src/bin/cgx_launch.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/cgx_launch"
+
+echo "== net_report bin"
+$RUSTC --crate-name net_report crates/bench/src/bin/net_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/net_report"
 
 echo "BUILD OK"

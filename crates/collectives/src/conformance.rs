@@ -1,0 +1,328 @@
+//! Transport conformance suite.
+//!
+//! The [`Transport`] trait has a contract that is easy to satisfy
+//! accidentally on one implementation and violate on the next: per-tag
+//! FIFO within a peer lane, out-of-order delivery *across* tags, stashed
+//! payloads outliving both expired deadlines and disconnected peers, and
+//! wakeup semantics for the engine's parking model. This module states
+//! that contract once as executable checks, parameterized over a fabric
+//! builder, so every transport (shared-memory threads, TCP sockets, chaos
+//! wrappers) is held to the same behavior.
+//!
+//! Each check builds a fresh fabric via the supplied closure, so state
+//! never leaks between checks. [`run_all`] runs the full battery;
+//! individual checks are public for finer-grained test reporting.
+
+use crate::error::CommError;
+use crate::transport::{Tag, Transport};
+use bytes::{BufMut, BytesMut};
+use cgx_compress::Encoded;
+use cgx_tensor::Shape;
+use std::time::Duration;
+
+/// A boxed endpoint as handed out by a fabric builder.
+pub type BoxTransport = Box<dyn Transport + Send>;
+
+/// Builds an `n`-rank fabric: element `i` is the endpoint for rank `i`.
+pub type FabricBuilder = dyn Fn(usize) -> Vec<BoxTransport> + Sync;
+
+const WAIT: Duration = Duration::from_secs(10);
+const SHORT: Duration = Duration::from_millis(50);
+
+fn payload(seed: u32) -> Encoded {
+    let mut buf = BytesMut::with_capacity(16);
+    for i in 0..4u32 {
+        buf.put_u32_le(((seed * 10 + i) as f32).to_bits());
+    }
+    Encoded::new(Shape::vector(4), buf.freeze())
+}
+
+fn assert_same(a: &Encoded, b: &Encoded, what: &str) {
+    assert_eq!(a.payload(), b.payload(), "{what}: payload differs");
+    assert_eq!(a.shape(), b.shape(), "{what}: shape differs");
+}
+
+/// Endpoints report the rank/world geometry they were built with, and a
+/// nonzero receive timeout.
+pub fn check_identity(build: &FabricBuilder) {
+    for n in [1usize, 2, 4] {
+        let eps = build(n);
+        assert_eq!(eps.len(), n, "builder returned wrong endpoint count");
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i, "endpoint {i} reports wrong rank");
+            assert_eq!(ep.world(), n, "endpoint {i} reports wrong world");
+            assert!(ep.timeout() > Duration::ZERO, "timeout must be nonzero");
+        }
+    }
+}
+
+/// Messages on different tags are delivered independently of send order:
+/// receiving the later-sent tag first must not consume or reorder the
+/// earlier one.
+pub fn check_tag_demux_out_of_order(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.send_tagged(1, 101, payload(1)).expect("send tag 101");
+    a.send_tagged(1, 202, payload(2)).expect("send tag 202");
+    let second = b.recv_tagged_deadline(0, 202, WAIT).expect("recv tag 202");
+    assert_same(&second, &payload(2), "tag 202");
+    let first = b.recv_tagged_deadline(0, 101, WAIT).expect("recv tag 101");
+    assert_same(&first, &payload(1), "tag 101");
+}
+
+/// Within one `(peer, tag)` lane, delivery order is send order.
+pub fn check_per_tag_fifo(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    for i in 0..3u32 {
+        a.send_tagged(1, 7, payload(i)).expect("send");
+    }
+    for i in 0..3u32 {
+        let got = b.recv_tagged_deadline(0, 7, WAIT).expect("recv");
+        assert_same(&got, &payload(i), "FIFO position");
+    }
+}
+
+/// A receive against a silent (but live) peer times out with
+/// [`CommError::Timeout`] naming that peer.
+pub fn check_timeout_names_the_peer(build: &FabricBuilder) {
+    let eps = build(2);
+    // Keep rank 0 alive for the duration so the failure is a timeout,
+    // not a disconnect.
+    let err = eps[1]
+        .recv_tagged_deadline(0, 9, SHORT)
+        .expect_err("nothing was sent");
+    match err {
+        CommError::Timeout { from, .. } => assert_eq!(from, 0, "timeout blames wrong peer"),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    drop(eps);
+}
+
+/// A zero deadline with nothing pending fails fast rather than blocking.
+pub fn check_zero_deadline_times_out(build: &FabricBuilder) {
+    let eps = build(2);
+    let start = std::time::Instant::now();
+    let err = eps[0]
+        .recv_tagged_deadline(1, 3, Duration::ZERO)
+        .expect_err("nothing pending");
+    assert!(matches!(err, CommError::Timeout { .. }), "got {err:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "zero deadline blocked"
+    );
+}
+
+/// A payload that already reached this endpoint is delivered even when
+/// the caller's deadline has expired: staleness of the deadline must not
+/// drop data that is already here.
+pub fn check_stashed_payload_beats_expired_deadline(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.send_tagged(1, 40, payload(4)).expect("send");
+    assert!(
+        b.wait_inbound(0, 40, WAIT).expect("wait_inbound"),
+        "message never arrived"
+    );
+    let got = b
+        .recv_tagged_deadline(0, 40, Duration::ZERO)
+        .expect("stashed payload must be delivered on an expired deadline");
+    assert_same(&got, &payload(4), "stashed payload");
+}
+
+/// `try_recv_tagged` is `Ok(None)` when idle and surfaces a pending
+/// payload after the transport has observed it.
+pub fn check_try_recv(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    assert!(
+        b.try_recv_tagged(0, 5).expect("idle try_recv").is_none(),
+        "phantom payload"
+    );
+    a.send_tagged(1, 5, payload(5)).expect("send");
+    assert!(b.wait_inbound(0, 5, WAIT).expect("wait"), "never arrived");
+    let got = b
+        .try_recv_tagged(0, 5)
+        .expect("try_recv")
+        .expect("payload was stashed");
+    assert_same(&got, &payload(5), "try_recv payload");
+}
+
+/// The legacy (untagged) lane and tagged lanes share the fabric without
+/// interfering.
+pub fn check_legacy_and_tagged_coexist(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.send(1, payload(6)).expect("legacy send");
+    a.send_tagged(1, 60, payload(7)).expect("tagged send");
+    let tagged = b.recv_tagged_deadline(0, 60, WAIT).expect("tagged recv");
+    assert_same(&tagged, &payload(7), "tagged lane");
+    let legacy = b.recv(0).expect("legacy recv");
+    assert_same(&legacy, &payload(6), "legacy lane");
+}
+
+/// `broadcast` reaches every other rank on the legacy lane.
+pub fn check_broadcast(build: &FabricBuilder) {
+    let mut eps = build(3);
+    let c = eps.pop().expect("rank 2");
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.broadcast(&payload(8)).expect("broadcast");
+    assert_same(&b.recv(0).expect("rank 1 recv"), &payload(8), "rank 1");
+    assert_same(&c.recv(0).expect("rank 2 recv"), &payload(8), "rank 2");
+}
+
+/// Payloads sent before a peer goes away remain receivable; only after
+/// the lane is drained does [`CommError::Disconnected`] surface.
+pub fn check_stash_survives_disconnect(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.send_tagged(1, 11, payload(9)).expect("send tag 11");
+    a.send_tagged(1, 12, payload(10)).expect("send tag 12");
+    drop(a);
+    // Out-of-order drain across tags, after the sender is gone.
+    let t12 = b
+        .recv_tagged_deadline(0, 12, WAIT)
+        .expect("tag 12 outlives sender");
+    assert_same(&t12, &payload(10), "tag 12 after disconnect");
+    let t11 = b
+        .recv_tagged_deadline(0, 11, WAIT)
+        .expect("tag 11 outlives sender");
+    assert_same(&t11, &payload(9), "tag 11 after disconnect");
+    let err = b
+        .recv_tagged_deadline(0, 11, WAIT)
+        .expect_err("lane is drained and the peer is gone");
+    match err {
+        CommError::Disconnected { peer } => assert_eq!(peer, 0),
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+}
+
+/// `wait_any_inbound` observes a pending message (returning `true`) and
+/// leaves it receivable.
+pub fn check_wait_any_inbound_sees_traffic(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    a.send_tagged(1, 21, payload(11)).expect("send");
+    assert!(b.wait_any_inbound(WAIT), "pending traffic not observed");
+    let got = b.recv_tagged_deadline(0, 21, WAIT).expect("recv after wait");
+    assert_same(&got, &payload(11), "post-wait payload");
+}
+
+/// `quiesce` completes when all peers participate — no deadlock, no
+/// panic — and the endpoints tear down cleanly afterwards.
+pub fn check_quiesce_completes(build: &FabricBuilder) {
+    let eps = build(2);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(s.spawn(move || ep.quiesce(&[0, 1])));
+        }
+        for h in handles {
+            h.join().expect("quiesce panicked");
+        }
+    });
+}
+
+/// Concurrent bidirectional traffic under threads: each rank sends a
+/// burst to every other rank and receives every burst intact. Exercises
+/// the locking/wakeup paths that single-threaded checks cannot.
+pub fn check_concurrent_all_pairs(build: &FabricBuilder) {
+    let n = 4;
+    let eps = build(n);
+    let outputs: Vec<Vec<(usize, Encoded)>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for ep in eps {
+            handles.push(s.spawn(move || {
+                let me = ep.rank();
+                for peer in 0..n {
+                    if peer != me {
+                        for i in 0..3u32 {
+                            let tag: Tag = 1000 + i as Tag;
+                            ep.send_tagged(peer, tag, payload(me as u32 * 100 + i))
+                                .expect("send burst");
+                        }
+                    }
+                }
+                let mut got = Vec::new();
+                for peer in 0..n {
+                    if peer != me {
+                        // Receive the burst in reverse tag order to force
+                        // demux under concurrency.
+                        for i in (0..3u32).rev() {
+                            let tag: Tag = 1000 + i as Tag;
+                            let enc =
+                                ep.recv_tagged_deadline(peer, tag, WAIT).expect("recv burst");
+                            assert_same(&enc, &payload(peer as u32 * 100 + i), "burst");
+                            got.push((peer, enc));
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for (rank, got) in outputs.iter().enumerate() {
+        assert_eq!(got.len(), (n - 1) * 3, "rank {rank} missed messages");
+    }
+}
+
+/// Runs the entire battery. Panics (with a check-specific message) on the
+/// first violation.
+pub fn run_all(build: &FabricBuilder) {
+    check_identity(build);
+    check_tag_demux_out_of_order(build);
+    check_per_tag_fifo(build);
+    check_timeout_names_the_peer(build);
+    check_zero_deadline_times_out(build);
+    check_stashed_payload_beats_expired_deadline(build);
+    check_try_recv(build);
+    check_legacy_and_tagged_coexist(build);
+    check_broadcast(build);
+    check_stash_survives_disconnect(build);
+    check_wait_any_inbound_sees_traffic(build);
+    check_quiesce_completes(build);
+    check_concurrent_all_pairs(build);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ChaosTransport, FaultPlan};
+    use crate::transport::ShmFabric;
+
+    fn shm_builder(n: usize) -> Vec<BoxTransport> {
+        ShmFabric::build(n)
+            .into_iter()
+            .map(|t| Box::new(t) as BoxTransport)
+            .collect()
+    }
+
+    #[test]
+    fn shm_transport_conforms() {
+        run_all(&shm_builder);
+    }
+
+    #[test]
+    fn chaos_wrapped_shm_conforms_when_quiet() {
+        // A fault plan that never fires must be behaviorally invisible.
+        let build = |n: usize| -> Vec<BoxTransport> {
+            ShmFabric::build(n)
+                .into_iter()
+                .map(|t| Box::new(ChaosTransport::new(t, FaultPlan::new(0))) as BoxTransport)
+                .collect()
+        };
+        run_all(&build);
+    }
+}

@@ -81,6 +81,14 @@ pub enum CommError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// Rendezvous/bootstrap failed before a fabric existed: the cluster
+    /// never formed (bad address, handshake mismatch, a peer that never
+    /// showed up). Distinct from the peer-scoped errors above because no
+    /// rank can be implicated — there is no membership to shrink yet.
+    Bootstrap {
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
 }
 
 impl CommError {
@@ -139,6 +147,9 @@ impl fmt::Display for CommError {
             CommError::ShapeMismatch { detail } => {
                 write!(f, "payload shape mismatch: {detail}")
             }
+            CommError::Bootstrap { detail } => {
+                write!(f, "cluster bootstrap failed: {detail}")
+            }
         }
     }
 }
@@ -175,6 +186,11 @@ mod tests {
             failures: vec![(0, "a".into()), (2, "b".into())],
         };
         assert!(e.to_string().contains("rank 2"));
+        let e = CommError::Bootstrap {
+            detail: "rendezvous refused".into(),
+        };
+        assert!(e.to_string().contains("rendezvous refused"));
+        assert_eq!(e.peer(), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! starves receives — the classic fail-stop vs fail-silent pair.
 
 use crate::error::CommError;
+use crate::framing::{checksum, frame, parse};
 use crate::transport::{ShmTransport, Tag, Transport, CTRL_TAG, QUIESCE_TAG};
 use bytes::{BufMut, Bytes, BytesMut};
 use cgx_compress::Encoded;
@@ -35,11 +36,6 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-/// Frame header: `[magic:u16][seq:u32][checksum:u32]`, little-endian.
-const HEADER_LEN: usize = 10;
-/// Sentinel distinguishing framed traffic from raw payloads.
-const FRAME_MAGIC: u16 = 0xC6FA;
 
 /// Cumulative fault and recovery counters for one endpoint.
 ///
@@ -307,46 +303,6 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// FNV-1a over the tag, the sequence number and the payload, folded to 32
-/// bits. Cheap, dependency-free, and plenty to catch single-bit flips.
-fn checksum(tag: Tag, seq: u32, payload: &[u8]) -> u32 {
-    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-    const PRIME: u64 = 0x1_0000_0001_B3;
-    let mut h = OFFSET;
-    for b in tag.to_le_bytes().iter().chain(&seq.to_le_bytes()) {
-        h = (h ^ *b as u64).wrapping_mul(PRIME);
-    }
-    for b in payload {
-        h = (h ^ *b as u64).wrapping_mul(PRIME);
-    }
-    (h ^ (h >> 32)) as u32
-}
-
-fn frame(tag: Tag, seq: u32, payload: &Encoded) -> Encoded {
-    let body = payload.payload();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
-    buf.put_u16_le(FRAME_MAGIC);
-    buf.put_u32_le(seq);
-    buf.put_u32_le(checksum(tag, seq, body));
-    buf.extend_from_slice(body);
-    Encoded::new(payload.shape().clone(), buf.freeze())
-}
-
-/// `(seq, stated checksum, body)` — the caller re-checks the checksum so
-/// injected corruption is observed, not masked at parse time.
-fn parse(bytes: &Bytes) -> Option<(u32, u32, Bytes)> {
-    if bytes.len() < HEADER_LEN {
-        return None;
-    }
-    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
-    if magic != FRAME_MAGIC {
-        return None;
-    }
-    let seq = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
-    let sum = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
-    Some((seq, sum, bytes.slice(HEADER_LEN..)))
-}
-
 fn nack_payload(tag: Tag, seq: u32) -> Encoded {
     let mut buf = BytesMut::with_capacity(12);
     buf.put_u64_le(tag);
@@ -441,7 +397,13 @@ impl ChaosTransport {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
-        self.state.lock().expect("chaos state poisoned")
+        // A panic elsewhere while holding the lock leaves counters and
+        // stashes in a consistent-enough state (every mutation is a single
+        // push/insert); recover rather than cascade the panic into every
+        // surviving rank's receive path.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// How long receive paths park between polls: short enough that NACK
@@ -826,6 +788,17 @@ impl Transport for ChaosTransport {
             return false;
         }
         self.pump();
+        // Pumping may have moved the pending traffic out of the inner
+        // channels into this layer's in-order streams; waiting on the
+        // (now empty) inner fabric would wrongly report silence.
+        if self
+            .lock()
+            .streams
+            .values()
+            .any(|s| !s.ready.is_empty())
+        {
+            return true;
+        }
         self.inner.wait_any_inbound(timeout.min(self.park_slice()))
     }
 

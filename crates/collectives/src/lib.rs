@@ -26,7 +26,13 @@
 //!   ([`fault::ChaosTransport`]) plus the checksummed-retransmission
 //!   reliability layer that masks what it injects,
 //! * [`membership`] — membership-epoch agreement and the shrunken-world
-//!   [`membership::MembershipView`] behind elastic recovery.
+//!   [`membership::MembershipView`] behind elastic recovery,
+//! * [`framing`] — the seq+FNV checksummed frame format shared by the
+//!   chaos reliability layer and the `cgx-net` TCP wire protocol,
+//! * [`hierarchy`] — node-aware hierarchical allreduce: raw intra-node
+//!   staging around a compressed inter-node leader exchange,
+//! * [`conformance`] — the executable [`Transport`] contract, run against
+//!   every transport implementation.
 //!
 //! # Examples
 //!
@@ -49,9 +55,12 @@
 //! ```
 
 pub mod cluster;
+pub mod conformance;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod framing;
+pub mod hierarchy;
 pub mod membership;
 pub mod powersgd;
 pub mod primitives;
@@ -62,6 +71,7 @@ pub use cluster::ThreadCluster;
 pub use engine::{CommEngine, EngineOptions, Handle};
 pub use error::CommError;
 pub use fault::{ChaosTransport, FaultKind, FaultPlan, FaultStats};
+pub use hierarchy::{allreduce_hierarchical, Topology};
 pub use membership::{agree, Membership, MembershipView};
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
 pub use reduce::{allreduce, allreduce_scratch, AllreduceStats};

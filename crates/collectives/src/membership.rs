@@ -54,6 +54,29 @@ impl Membership {
         }
     }
 
+    /// A membership naming an explicit subset of `world` as alive, under
+    /// epoch 0. This is the subgroup constructor used by the hierarchical
+    /// allreduce to carve the per-node leader set out of the full fabric
+    /// (a [`MembershipView`] over it densely renumbers the leaders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is empty, unsorted/duplicated, or names a rank
+    /// outside `0..world`.
+    pub fn of_ranks(world: usize, ranks: &[usize]) -> Self {
+        assert!(!ranks.is_empty(), "subgroup needs at least one rank");
+        assert!(
+            ranks.windows(2).all(|w| w[0] < w[1]),
+            "subgroup ranks must be strictly ascending"
+        );
+        assert!(*ranks.last().expect("non-empty") < world, "rank out of range");
+        let mut alive = vec![false; world];
+        for &r in ranks {
+            alive[r] = true;
+        }
+        Membership { epoch: 0, alive }
+    }
+
     /// The agreement epoch (0 = initial, bumped once per recovery).
     pub fn epoch(&self) -> u32 {
         self.epoch

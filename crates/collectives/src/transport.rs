@@ -602,6 +602,15 @@ impl ShmTransport {
     /// a closed channel is permanently "ready" and would otherwise turn
     /// the select into a busy loop.
     pub fn wait_any_inbound(&self, timeout: Duration) -> bool {
+        // Traffic that an earlier tag-targeted probe already demuxed into
+        // an inbox is "arrived" for the caller even though the raw
+        // channels are quiet — selecting without this check would park
+        // the engine while deliverable payloads sit stashed.
+        for peer in 0..self.world {
+            if peer != self.rank && !self.inbox_lock(peer).is_empty() {
+                return true;
+            }
+        }
         let mut sel = Select::new();
         let mut peers = Vec::with_capacity(self.world.saturating_sub(1));
         for peer in 0..self.world {
@@ -635,24 +644,29 @@ impl ShmTransport {
         }
     }
 
-    fn has_stashed(&self, peer: usize, tag: Tag) -> bool {
+    /// Locks peer `peer`'s demux inbox, recovering from poisoning: inbox
+    /// mutations are single push/pop operations that cannot be observed
+    /// half-done, so a panic elsewhere must not take down this rank's
+    /// receive path too (the panicking worker is reported by the cluster).
+    fn inbox_lock(&self, peer: usize) -> std::sync::MutexGuard<'_, HashMap<Tag, VecDeque<Encoded>>> {
         self.inbox[peer]
             .lock()
-            .expect("inbox poisoned")
-            .contains_key(&tag)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn has_stashed(&self, peer: usize, tag: Tag) -> bool {
+        self.inbox_lock(peer).contains_key(&tag)
     }
 
     fn stash(&self, peer: usize, m: Message) {
-        self.inbox[peer]
-            .lock()
-            .expect("inbox poisoned")
+        self.inbox_lock(peer)
             .entry(m.tag)
             .or_default()
             .push_back(m.payload);
     }
 
     fn take_stashed(&self, peer: usize, tag: Tag) -> Option<Encoded> {
-        let mut inbox = self.inbox[peer].lock().expect("inbox poisoned");
+        let mut inbox = self.inbox_lock(peer);
         let queue = inbox.get_mut(&tag)?;
         let payload = queue.pop_front();
         if queue.is_empty() {

@@ -1,0 +1,30 @@
+//! Runs the generic [`cgx_collectives::conformance`] battery against the
+//! shared-memory transport and its chaos wrapper. The same suite is
+//! instantiated for the TCP transport in `cgx-net`; any divergence in
+//! `Transport` semantics between backends fails here first.
+
+use cgx_collectives::conformance::{self, BoxTransport};
+use cgx_collectives::{ChaosTransport, FaultPlan, ShmFabric};
+
+fn shm_builder(n: usize) -> Vec<BoxTransport> {
+    ShmFabric::build(n)
+        .into_iter()
+        .map(|t| Box::new(t) as BoxTransport)
+        .collect()
+}
+
+#[test]
+fn shm_transport_satisfies_the_transport_contract() {
+    conformance::run_all(&shm_builder);
+}
+
+#[test]
+fn quiet_chaos_wrapper_satisfies_the_transport_contract() {
+    let build = |n: usize| -> Vec<BoxTransport> {
+        ShmFabric::build(n)
+            .into_iter()
+            .map(|t| Box::new(ChaosTransport::new(t, FaultPlan::new(0))) as BoxTransport)
+            .collect()
+    };
+    conformance::run_all(&build);
+}

@@ -51,5 +51,6 @@ pub use nn::{EmbeddingLm, Mlp};
 pub use norm::MlpNorm;
 pub use optimizer::{clip_global_norm, Adam, LrSchedule, SgdMomentum};
 pub use trainer::{
-    train_data_parallel, LayerCompression, TrainConfig, TrainReport, TrainableModel,
+    train_data_parallel, train_rank, LayerCompression, RankOutput, TrainConfig, TrainReport,
+    TrainableModel,
 };

@@ -1,0 +1,181 @@
+//! `cgx-launch`: run the standard CGX workload as real OS processes over
+//! TCP.
+//!
+//! Two modes, selected by the environment:
+//!
+//! - **Worker** (`CGX_RANK` set): rendezvous with the mesh, train, and —
+//!   when `CGX_OUT_DIR` is set — write this replica's final parameters
+//!   to `<dir>/params_rank<rank>.bin` as little-endian `f32` bytes.
+//! - **Coordinator** (`CGX_RANK` unset): spawn one copy of this binary
+//!   per rank via [`ProcessCluster`], wait for all of them, and verify
+//!   every written replica is byte-identical.
+//!
+//! ```text
+//! cgx-launch --world 4 --out-dir /tmp/cgx [--nodes 0,0,1,1] [--steps 40] [--seed 4242]
+//! ```
+
+use cgx_net::cluster::{ProcessCluster, WorkerEnv};
+use cgx_net::rendezvous::{rendezvous, DEFAULT_BOOT_TIMEOUT};
+use cgx_net::workload::Workload;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const ENV_OUT_DIR: &str = "CGX_OUT_DIR";
+const ENV_STEPS: &str = "CGX_STEPS";
+const ENV_SEED: &str = "CGX_SEED";
+
+fn workload(world: usize) -> Workload {
+    let mut w = Workload::standard(world);
+    if let Ok(s) = std::env::var(ENV_STEPS) {
+        w.steps = s.parse().expect("CGX_STEPS must be a step count");
+    }
+    if let Ok(s) = std::env::var(ENV_SEED) {
+        w.seed = s.parse().expect("CGX_SEED must be a u64");
+    }
+    w
+}
+
+fn rank_file(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("params_rank{rank}.bin"))
+}
+
+fn run_worker(env: WorkerEnv) -> Result<(), String> {
+    let (transport, topo) = rendezvous(
+        env.rank,
+        env.world,
+        &env.rendezvous,
+        env.node,
+        DEFAULT_BOOT_TIMEOUT,
+    )
+    .map_err(|e| format!("rank {}: bootstrap failed: {e}", env.rank))?;
+    // A flat cluster (every rank on one node) runs the flat collective —
+    // identical semantics to the thread-backed reference; a multi-node
+    // roster switches on the hierarchical path.
+    let topology = (topo.num_nodes() > 1).then(|| topo.clone());
+    let params = workload(env.world)
+        .run_rank(&transport, topology)
+        .map_err(|e| format!("rank {}: training failed: {e}", env.rank))?;
+    if let Ok(dir) = std::env::var(ENV_OUT_DIR) {
+        // Hand-launched workers (no coordinator) may point at a directory
+        // nobody has created yet.
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("rank {}: creating {dir}: {e}", env.rank))?;
+        let path = rank_file(Path::new(&dir), env.rank);
+        std::fs::write(&path, &params)
+            .map_err(|e| format!("rank {}: writing {}: {e}", env.rank, path.display()))?;
+    }
+    println!(
+        "rank {}/{} done: {} param bytes, {} wire bytes sent",
+        env.rank,
+        env.world,
+        params.len(),
+        transport.wire_bytes_sent()
+    );
+    Ok(())
+}
+
+struct Cli {
+    world: usize,
+    nodes: Option<Vec<u32>>,
+    out_dir: Option<PathBuf>,
+    steps: Option<String>,
+    seed: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgx-launch [--world N] [--nodes 0,0,1,1] [--out-dir DIR] [--steps N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        world: 4,
+        nodes: None,
+        out_dir: None,
+        steps: None,
+        seed: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--world" => cli.world = value().parse().unwrap_or_else(|_| usage()),
+            "--nodes" => {
+                cli.nodes = Some(
+                    value()
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
+            }
+            "--out-dir" => cli.out_dir = Some(PathBuf::from(value())),
+            "--steps" => cli.steps = Some(value()),
+            "--seed" => cli.seed = Some(value()),
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn run_coordinator() -> Result<(), String> {
+    let cli = parse_cli();
+    let bin = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut cluster = ProcessCluster::new(bin, cli.world);
+    if let Some(nodes) = &cli.nodes {
+        if nodes.len() != cli.world {
+            return Err(format!(
+                "--nodes names {} ranks but --world is {}",
+                nodes.len(),
+                cli.world
+            ));
+        }
+        cluster = cluster.nodes(nodes);
+    }
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        cluster = cluster.env(ENV_OUT_DIR, dir.display().to_string());
+    }
+    if let Some(steps) = &cli.steps {
+        cluster = cluster.env(ENV_STEPS, steps);
+    }
+    if let Some(seed) = &cli.seed {
+        cluster = cluster.env(ENV_SEED, seed);
+    }
+    cluster.run().map_err(|e| e.to_string())?;
+    if let Some(dir) = &cli.out_dir {
+        let first = std::fs::read(rank_file(dir, 0))
+            .map_err(|e| format!("reading rank 0 replica: {e}"))?;
+        for rank in 1..cli.world {
+            let other = std::fs::read(rank_file(dir, rank))
+                .map_err(|e| format!("reading rank {rank} replica: {e}"))?;
+            if other != first {
+                return Err(format!("rank {rank} replica diverged from rank 0"));
+            }
+        }
+        println!(
+            "launch ok: {} ranks, replicas byte-identical ({} param bytes)",
+            cli.world,
+            first.len()
+        );
+    } else {
+        println!("launch ok: {} ranks", cli.world);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let result = match WorkerEnv::from_env() {
+        Ok(Some(env)) => run_worker(env),
+        Ok(None) => run_coordinator(),
+        Err(e) => Err(format!("bad worker environment: {e}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cgx-launch: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

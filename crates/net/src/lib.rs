@@ -1,0 +1,32 @@
+//! cgx-net: a real socket fabric for the CGX collectives.
+//!
+//! Everything below `crates/net` exists so the compression-aware
+//! collectives stop being a thread-only simulation: the same
+//! [`Transport`](cgx_collectives::Transport) contract the in-process
+//! [`ShmTransport`](cgx_collectives::ShmTransport) implements, backed by
+//! TCP sockets between real OS processes.
+//!
+//! - [`wire`] — length-prefixed frames that embed the chaos layer's
+//!   seq+FNV envelope, so corruption detection is identical on both
+//!   fabrics.
+//! - [`tcp`] — [`TcpTransport`]: per-peer reader threads feeding the
+//!   tag-demuxed, deadline-aware stash model.
+//! - [`rendezvous`] — bootstrap from "N processes and one address" to a
+//!   full mesh plus a node [`Topology`](cgx_collectives::Topology), and
+//!   [`TcpFabric`] for in-process loopback meshes.
+//! - [`cluster`] — [`ProcessCluster`]: spawn-and-wait of one OS process
+//!   per rank, env-driven (`CGX_RANK`, `CGX_WORLD`, `CGX_RENDEZVOUS`).
+//! - [`workload`] — the deterministic training workload behind the
+//!   `cgx-launch` binary and the Shm/TCP parity test.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod rendezvous;
+pub mod tcp;
+pub mod wire;
+pub mod workload;
+
+pub use cluster::ProcessCluster;
+pub use rendezvous::{rendezvous, TcpFabric, DEFAULT_BOOT_TIMEOUT};
+pub use tcp::TcpTransport;

@@ -1,0 +1,470 @@
+//! Rendezvous bootstrap: from "N processes and one address" to a
+//! connected full mesh plus a node [`Topology`].
+//!
+//! Protocol (all messages are [`crate::wire`] frames on the control tag):
+//!
+//! 1. Rank 0 listens on the rendezvous address. Every other rank binds
+//!    its own ephemeral listener, connects to rank 0, and sends
+//!    `HELLO { rank, world, node, listen_addr }`.
+//! 2. Once all `world - 1` HELLOs are in (worlds must agree, ranks must
+//!    be distinct), rank 0 answers each with a `ROSTER` carrying every
+//!    rank's node id and listener address. The rendezvous connections
+//!    are kept: they *are* the `0 <-> i` mesh links.
+//! 3. Rank `i` then connects to ranks `1..i` at their rostered
+//!    addresses (announcing itself with `PEER { rank }`) and accepts
+//!    connections from ranks `i+1..world` — each pair connects exactly
+//!    once, lower rank listening.
+//!
+//! Every step is bounded by a boot deadline; failures surface as
+//! [`CommError::Bootstrap`] (no membership exists yet to shrink).
+
+use crate::tcp::TcpTransport;
+use crate::wire;
+use cgx_collectives::transport::{Tag, CTRL_TAG, DEFAULT_TIMEOUT};
+use cgx_collectives::{CommError, Topology};
+use cgx_tensor::Shape;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Default budget for the whole bootstrap (listen, connect, mesh).
+pub const DEFAULT_BOOT_TIMEOUT: Duration = Duration::from_secs(30);
+
+const MSG_HELLO: u8 = 0x01;
+const MSG_ROSTER: u8 = 0x02;
+const MSG_PEER: u8 = 0x03;
+
+fn boot_err(detail: impl Into<String>) -> CommError {
+    CommError::Bootstrap {
+        detail: detail.into(),
+    }
+}
+
+fn send_ctrl<W: Write>(w: &mut W, body: &[u8]) -> Result<(), CommError> {
+    wire::write_frame(w, CTRL_TAG, 0, &Shape::new(vec![body.len()]), body)
+        .map_err(|e| boot_err(format!("control send failed: {e}")))
+}
+
+fn recv_ctrl<R: Read>(r: &mut R, expect: u8, what: &str) -> Result<Vec<u8>, CommError> {
+    let frame = wire::read_frame(r)
+        .map_err(|e| boot_err(format!("control recv failed while awaiting {what}: {e}")))?
+        .ok_or_else(|| boot_err(format!("peer closed while awaiting {what}")))?;
+    if frame.tag != CTRL_TAG {
+        return Err(boot_err(format!(
+            "expected control frame ({what}), got tag {:#x}",
+            frame.tag as Tag
+        )));
+    }
+    let body = frame.enc.payload().to_vec();
+    if body.first() != Some(&expect) {
+        return Err(boot_err(format!(
+            "expected {what} (op {expect:#x}), got op {:?}",
+            body.first()
+        )));
+    }
+    Ok(body)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_u32(body: &[u8], at: &mut usize) -> Result<u32, CommError> {
+    let end = *at + 4;
+    let bytes = body
+        .get(*at..end)
+        .ok_or_else(|| boot_err("truncated control message"))?;
+    *at = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn get_str(body: &[u8], at: &mut usize) -> Result<String, CommError> {
+    let len_bytes = body
+        .get(*at..*at + 2)
+        .ok_or_else(|| boot_err("truncated control message"))?;
+    let len = u16::from_le_bytes(len_bytes.try_into().expect("2 bytes")) as usize;
+    *at += 2;
+    let s = body
+        .get(*at..*at + len)
+        .ok_or_else(|| boot_err("truncated control string"))?;
+    *at += len;
+    String::from_utf8(s.to_vec()).map_err(|_| boot_err("control string is not UTF-8"))
+}
+
+/// Accepts one connection before `deadline` (the listener is switched to
+/// nonblocking polling so a missing peer cannot hang the boot forever).
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+    what: &str,
+) -> Result<TcpStream, CommError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| boot_err(format!("listener setup: {e}")))?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| boot_err(format!("accepted stream setup: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(boot_err(format!("timed out waiting for {what}")));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(boot_err(format!("accept failed: {e}"))),
+        }
+    }
+}
+
+fn connect_with_deadline(addr: &str, deadline: Instant, what: &str) -> Result<TcpStream, CommError> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(boot_err(format!(
+                        "could not connect to {what} at {addr}: {e}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Per-rank roster entry exchanged during bootstrap.
+#[derive(Debug, Clone)]
+struct RosterEntry {
+    node: u32,
+    addr: String,
+}
+
+fn roster_topology(entries: &[RosterEntry]) -> Topology {
+    Topology::new(entries.iter().map(|e| e.node as usize).collect())
+}
+
+fn rendezvous_root(
+    listener: TcpListener,
+    world: usize,
+    node: u32,
+    boot: Duration,
+    timeout: Duration,
+) -> Result<(TcpTransport, Topology), CommError> {
+    let deadline = Instant::now() + boot;
+    let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    let mut entries: Vec<Option<RosterEntry>> = (0..world).map(|_| None).collect();
+    entries[0] = Some(RosterEntry {
+        node,
+        addr: String::new(), // rank 0 never gets dialed during meshing
+    });
+    for _ in 1..world {
+        let mut stream = accept_with_deadline(&listener, deadline, "a HELLO connection")?;
+        let body = recv_ctrl(&mut stream, MSG_HELLO, "HELLO")?;
+        let mut at = 1;
+        let rank = get_u32(&body, &mut at)? as usize;
+        let their_world = get_u32(&body, &mut at)? as usize;
+        let their_node = get_u32(&body, &mut at)?;
+        let addr = get_str(&body, &mut at)?;
+        if their_world != world {
+            return Err(boot_err(format!(
+                "rank {rank} joined with world {their_world}, expected {world}"
+            )));
+        }
+        if rank == 0 || rank >= world {
+            return Err(boot_err(format!("implausible rank {rank} in HELLO")));
+        }
+        if streams[rank].is_some() {
+            return Err(boot_err(format!("rank {rank} joined twice")));
+        }
+        streams[rank] = Some(stream);
+        entries[rank] = Some(RosterEntry {
+            node: their_node,
+            addr,
+        });
+    }
+    let entries: Vec<RosterEntry> = entries
+        .into_iter()
+        .map(|e| e.expect("all ranks checked in"))
+        .collect();
+    let mut roster = vec![MSG_ROSTER];
+    roster.extend_from_slice(&(world as u32).to_le_bytes());
+    for e in &entries {
+        roster.extend_from_slice(&e.node.to_le_bytes());
+        put_str(&mut roster, &e.addr);
+    }
+    for stream in streams.iter_mut().flatten() {
+        send_ctrl(stream, &roster)?;
+    }
+    let topo = roster_topology(&entries);
+    Ok((TcpTransport::new(0, world, streams, timeout), topo))
+}
+
+fn rendezvous_peer(
+    rank: usize,
+    world: usize,
+    root_addr: &str,
+    node: u32,
+    boot: Duration,
+    timeout: Duration,
+) -> Result<(TcpTransport, Topology), CommError> {
+    let deadline = Instant::now() + boot;
+    // Bind before dialing in: once the root's ROSTER advertises this
+    // address, peers may dial it immediately.
+    let listener = TcpListener::bind("0.0.0.0:0")
+        .map_err(|e| boot_err(format!("could not bind mesh listener: {e}")))?;
+    let listen_port = listener
+        .local_addr()
+        .map_err(|e| boot_err(format!("mesh listener address: {e}")))?
+        .port();
+    let mut root = connect_with_deadline(root_addr, deadline, "rendezvous root")?;
+    // Advertise the address the root actually sees us on (works on
+    // localhost and on a LAN), with our own listener's port.
+    let my_ip = root
+        .local_addr()
+        .map_err(|e| boot_err(format!("local address: {e}")))?
+        .ip();
+    let my_addr = format!("{my_ip}:{listen_port}");
+    let mut hello = vec![MSG_HELLO];
+    hello.extend_from_slice(&(rank as u32).to_le_bytes());
+    hello.extend_from_slice(&(world as u32).to_le_bytes());
+    hello.extend_from_slice(&node.to_le_bytes());
+    put_str(&mut hello, &my_addr);
+    send_ctrl(&mut root, &hello)?;
+    let body = recv_ctrl(&mut root, MSG_ROSTER, "ROSTER")?;
+    let mut at = 1;
+    let roster_world = get_u32(&body, &mut at)? as usize;
+    if roster_world != world {
+        return Err(boot_err(format!(
+            "ROSTER names {roster_world} ranks, expected {world}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(world);
+    for _ in 0..world {
+        let node = get_u32(&body, &mut at)?;
+        let addr = get_str(&body, &mut at)?;
+        entries.push(RosterEntry { node, addr });
+    }
+    let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    streams[0] = Some(root);
+    // Dial every lower rank (they are already listening: their HELLO —
+    // sent after their bind — preceded the ROSTER we just read).
+    for (j, entry) in entries.iter().enumerate().take(rank).skip(1) {
+        let mut stream = connect_with_deadline(&entry.addr, deadline, &format!("rank {j}"))?;
+        let mut peer_msg = vec![MSG_PEER];
+        peer_msg.extend_from_slice(&(rank as u32).to_le_bytes());
+        send_ctrl(&mut stream, &peer_msg)?;
+        streams[j] = Some(stream);
+    }
+    // Accept every higher rank.
+    for _ in rank + 1..world {
+        let mut stream = accept_with_deadline(&listener, deadline, "a PEER connection")?;
+        let body = recv_ctrl(&mut stream, MSG_PEER, "PEER")?;
+        let mut at = 1;
+        let their_rank = get_u32(&body, &mut at)? as usize;
+        if their_rank <= rank || their_rank >= world {
+            return Err(boot_err(format!(
+                "unexpected PEER rank {their_rank} dialing rank {rank}"
+            )));
+        }
+        if streams[their_rank].is_some() {
+            return Err(boot_err(format!("rank {their_rank} dialed twice")));
+        }
+        streams[their_rank] = Some(stream);
+    }
+    let topo = roster_topology(&entries);
+    Ok((TcpTransport::new(rank, world, streams, timeout), topo))
+}
+
+/// Bootstraps one rank of a TCP mesh. Rank 0 listens on `root_addr`;
+/// every other rank dials it. Returns the connected endpoint plus the
+/// cluster's node [`Topology`] (from each rank's announced `node` id).
+///
+/// # Errors
+///
+/// [`CommError::Bootstrap`] when the cluster cannot form within `boot`
+/// (unreachable address, world-size disagreement, duplicate or missing
+/// ranks).
+pub fn rendezvous(
+    rank: usize,
+    world: usize,
+    root_addr: &str,
+    node: u32,
+    boot: Duration,
+) -> Result<(TcpTransport, Topology), CommError> {
+    assert!(world > 0, "world must be at least 1");
+    assert!(rank < world, "rank {rank} out of range for world {world}");
+    if world == 1 {
+        return Ok((
+            TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT),
+            Topology::new(vec![node as usize]),
+        ));
+    }
+    if rank == 0 {
+        let listener = TcpListener::bind(root_addr)
+            .map_err(|e| boot_err(format!("could not bind rendezvous address {root_addr}: {e}")))?;
+        rendezvous_root(listener, world, node, boot, DEFAULT_TIMEOUT)
+    } else {
+        rendezvous_peer(rank, world, root_addr, node, boot, DEFAULT_TIMEOUT)
+    }
+}
+
+/// In-process TCP fabrics over loopback: every rank is a thread in this
+/// process, but every byte crosses real sockets. The test and benchmark
+/// entry point.
+pub struct TcpFabric;
+
+impl TcpFabric {
+    /// Builds an `n`-rank loopback mesh with the given per-rank node ids
+    /// (driving the returned [`Topology`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of` is empty or bootstrap fails (loopback
+    /// rendezvous failing is a bug, not an environment problem).
+    pub fn build_local_with_nodes(node_of: &[u32]) -> (Vec<TcpTransport>, Topology) {
+        let world = node_of.len();
+        assert!(world > 0, "need at least one rank");
+        if world == 1 {
+            return (
+                vec![TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT)],
+                Topology::new(vec![node_of[0] as usize]),
+            );
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback rendezvous");
+        let root_addr = listener.local_addr().expect("rendezvous address").to_string();
+        let boot = DEFAULT_BOOT_TIMEOUT;
+        let results: Vec<(TcpTransport, Topology)> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(world);
+            let root_node = node_of[0];
+            let root_listener = listener;
+            handles.push(s.spawn(move || {
+                rendezvous_root(root_listener, world, root_node, boot, DEFAULT_TIMEOUT)
+                    .expect("root bootstrap")
+            }));
+            for (rank, &node) in node_of.iter().enumerate().skip(1) {
+                let addr = root_addr.clone();
+                handles.push(s.spawn(move || {
+                    rendezvous_peer(rank, world, &addr, node, boot, DEFAULT_TIMEOUT)
+                        .expect("peer bootstrap")
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bootstrap thread panicked"))
+                .collect()
+        });
+        let topo = results[0].1.clone();
+        for (_, t) in &results {
+            assert_eq!(*t, topo, "ranks disagree on the topology");
+        }
+        (results.into_iter().map(|(ep, _)| ep).collect(), topo)
+    }
+
+    /// Builds an `n`-rank loopback mesh, all ranks on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or bootstrap fails.
+    pub fn build_local(n: usize) -> Vec<TcpTransport> {
+        Self::build_local_with_nodes(&vec![0u32; n]).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgx_collectives::Transport;
+    use cgx_compress::Encoded;
+    use bytes::Bytes;
+
+    fn enc(data: &[u8]) -> Encoded {
+        Encoded::new(Shape::new(vec![data.len()]), Bytes::copy_from_slice(data))
+    }
+
+    #[test]
+    fn loopback_mesh_carries_tagged_traffic_all_pairs() {
+        let eps = TcpFabric::build_local(3);
+        std::thread::scope(|s| {
+            for ep in eps {
+                s.spawn(move || {
+                    let me = ep.rank();
+                    for peer in 0..3 {
+                        if peer != me {
+                            ep.send_tagged(peer, 7, enc(&[me as u8, peer as u8]))
+                                .expect("send");
+                        }
+                    }
+                    for peer in 0..3 {
+                        if peer != me {
+                            let got = ep.recv_tagged(peer, 7).expect("recv");
+                            assert_eq!(got.payload().as_ref(), &[peer as u8, me as u8]);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn node_ids_become_the_topology() {
+        let (eps, topo) = TcpFabric::build_local_with_nodes(&[0, 0, 1, 1]);
+        assert_eq!(topo, Topology::new(vec![0, 0, 1, 1]));
+        assert_eq!(topo.leaders(), vec![0, 2]);
+        assert_eq!(eps.len(), 4);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i);
+            assert_eq!(ep.world(), 4);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_needs_no_sockets() {
+        let (t, topo) = rendezvous(0, 1, "unused:0", 3, Duration::from_secs(1)).expect("boot");
+        assert_eq!(t.world(), 1);
+        assert_eq!(topo, Topology::new(vec![3]));
+    }
+
+    #[test]
+    fn world_disagreement_fails_bootstrap() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let boot = Duration::from_secs(5);
+        std::thread::scope(|s| {
+            let root = s.spawn(move || rendezvous_root(listener, 2, 0, boot, DEFAULT_TIMEOUT));
+            // This peer thinks the world has 3 ranks; the root expects 2.
+            let peer = s.spawn(move || rendezvous_peer(1, 3, &addr, 0, boot, DEFAULT_TIMEOUT));
+            let root_err = root.join().expect("root thread").expect_err("must fail");
+            assert!(
+                matches!(root_err, CommError::Bootstrap { ref detail } if detail.contains("world")),
+                "got {root_err:?}"
+            );
+            assert!(peer.join().expect("peer thread").is_err());
+        });
+    }
+
+    #[test]
+    fn wire_bytes_accounting_sees_real_traffic() {
+        let eps = TcpFabric::build_local(2);
+        let payload = enc(&[9u8; 64]);
+        let expected = wire::frame_wire_bytes(1, 64) as u64;
+        std::thread::scope(|s| {
+            let mut it = eps.into_iter();
+            let a = it.next().expect("rank 0");
+            let b = it.next().expect("rank 1");
+            s.spawn(move || {
+                a.send_tagged(1, 5, payload).expect("send");
+                assert_eq!(a.wire_bytes_sent(), expected);
+            });
+            s.spawn(move || {
+                let got = b.recv_tagged(0, 5).expect("recv");
+                assert_eq!(got.payload_bytes(), 64);
+                assert_eq!(b.wire_bytes_received(), expected);
+            });
+        });
+    }
+}

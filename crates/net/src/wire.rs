@@ -1,0 +1,242 @@
+//! The TCP wire format.
+//!
+//! One frame per tagged message:
+//!
+//! ```text
+//! [len: u32 LE]                      length of everything after this field
+//! [tag: u64 LE]                      demux tag (collective lane / control)
+//! [ndims: u8][dims: u32 LE x ndims]  tensor geometry of the payload
+//! [framing body]                     magic + seq + FNV checksum + payload
+//! ```
+//!
+//! The framing body is byte-for-byte the format of
+//! [`cgx_collectives::framing`] — the same seq+FNV envelope the chaos
+//! reliability layer uses in-process — so corruption detection and
+//! sequence accounting behave identically on both fabrics. TCP already
+//! guarantees ordered reliable delivery; the checksum is the
+//! end-to-end integrity check (paper: datacenter links do corrupt), and
+//! the per-`(peer, tag)` sequence number is the cheap assertion that the
+//! demux layer never reorders a lane.
+
+use cgx_collectives::framing;
+use cgx_collectives::transport::Tag;
+use cgx_compress::Encoded;
+use cgx_tensor::Shape;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's post-length size: a parter that hands us garbage
+/// for a length must not look like a 4 GiB allocation request.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Maximum tensor rank encodable in the geometry header.
+pub const MAX_DIMS: usize = 255;
+
+/// A decoded inbound frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Demux tag.
+    pub tag: Tag,
+    /// Per-`(sender, tag)` sequence number, verified by the checksum.
+    pub seq: u32,
+    /// Payload with its tensor geometry.
+    pub enc: Encoded,
+}
+
+/// Serialized size of a frame carrying `payload_len` payload bytes with
+/// `ndims` dimensions — the number that goes over the wire, used by the
+/// transport's byte accounting.
+pub fn frame_wire_bytes(ndims: usize, payload_len: usize) -> usize {
+    4 + 8 + 1 + 4 * ndims + framing::HEADER_LEN + payload_len
+}
+
+/// Writes one frame. The caller supplies the per-`(peer, tag)` sequence
+/// number; the checksum binds `(tag, seq, payload)`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+///
+/// # Panics
+///
+/// Panics if the shape has more than [`MAX_DIMS`] dimensions (no real
+/// tensor comes close).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    tag: Tag,
+    seq: u32,
+    shape: &Shape,
+    payload: &[u8],
+) -> io::Result<()> {
+    let dims = shape.dims();
+    assert!(dims.len() <= MAX_DIMS, "tensor rank {} too large", dims.len());
+    let body = framing::frame_bytes(tag, seq, payload);
+    let after_len = 8 + 1 + 4 * dims.len() + body.len();
+    let mut buf = Vec::with_capacity(4 + after_len);
+    buf.extend_from_slice(&(after_len as u32).to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.push(dims.len() as u8);
+    for &d in dims {
+        buf.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    buf.extend_from_slice(&body);
+    // One write_all for the whole frame: interleaving-safe under the
+    // per-peer writer lock and far fewer syscalls than field-at-a-time.
+    w.write_all(&buf)
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false); // clean EOF at a frame boundary
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, verifying the checksum. `Ok(None)` means the peer
+/// closed the connection cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// `InvalidData` for an oversized length, malformed geometry, or a
+/// checksum mismatch; `UnexpectedEof` for a mid-frame close; otherwise
+/// the underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len < 8 + 1 || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible frame length {len}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    if !read_exact_or_eof(r, &mut buf)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed after frame length",
+        ));
+    }
+    let tag = Tag::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+    let ndims = buf[8] as usize;
+    let geom_end = 9 + 4 * ndims;
+    if len < geom_end + framing::HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame shorter than its declared geometry",
+        ));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for i in 0..ndims {
+        let at = 9 + 4 * i;
+        dims.push(u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes")) as usize);
+    }
+    let body = bytes::Bytes::from(buf).slice(geom_end..);
+    let Some((seq, payload)) = framing::parse_verified(tag, &body) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checksum/header mismatch on tag {tag:#x}"),
+        ));
+    };
+    Ok(Some(Frame {
+        tag,
+        seq,
+        enc: Encoded::new(Shape::new(dims), payload),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tag: Tag, seq: u32, dims: Vec<usize>, payload: &[u8]) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag, seq, &Shape::new(dims), payload).expect("write");
+        let mut cursor = io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor).expect("read").expect("not EOF");
+        assert_eq!(cursor.position() as usize, cursor.get_ref().len(), "trailing bytes");
+        frame
+    }
+
+    #[test]
+    fn frames_roundtrip_bytes_and_geometry() {
+        let f = roundtrip(42, 7, vec![3, 4], &[1, 2, 3, 4, 5]);
+        assert_eq!(f.tag, 42);
+        assert_eq!(f.seq, 7);
+        assert_eq!(f.enc.shape().dims(), &[3, 4]);
+        assert_eq!(f.enc.payload().as_ref(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_payload_and_scalar_shape_roundtrip() {
+        let f = roundtrip(Tag::MAX, 0, vec![], &[]);
+        assert_eq!(f.enc.shape().dims(), &[] as &[usize]);
+        assert!(f.enc.payload().is_empty());
+    }
+
+    #[test]
+    fn wire_byte_accounting_matches_serialization() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 9, 1, &Shape::new(vec![2, 2]), &[0u8; 16]).expect("write");
+        assert_eq!(buf.len(), frame_wire_bytes(2, 16));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 0, &Shape::new(vec![1]), &[9]).expect("write");
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).expect("clean EOF").is_none());
+        let mut truncated = io::Cursor::new(buf[..buf.len() - 1].to_vec());
+        let err = read_frame(&mut truncated).expect_err("mid-frame close");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 5, 3, &Shape::new(vec![1]), &[7, 7, 7, 7]).expect("write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let err = read_frame(&mut io::Cursor::new(buf)).expect_err("corrupt");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_without_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        let err = read_frame(&mut io::Cursor::new(buf)).expect_err("giant length");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn back_to_back_frames_stream() {
+        let mut buf = Vec::new();
+        for seq in 0..3u32 {
+            write_frame(&mut buf, 77, seq, &Shape::new(vec![1]), &[seq as u8]).expect("write");
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for seq in 0..3u32 {
+            let f = read_frame(&mut cursor).expect("read").expect("frame");
+            assert_eq!(f.seq, seq);
+            assert_eq!(f.enc.payload().as_ref(), &[seq as u8]);
+        }
+        assert!(read_frame(&mut cursor).expect("eof").is_none());
+    }
+}

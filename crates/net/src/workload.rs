@@ -1,0 +1,148 @@
+//! The deterministic training workload behind `cgx-launch`.
+//!
+//! One fixed task (Gaussian-mixture classification with a small MLP,
+//! 4-bit CGX compression) that any rank can run over any
+//! [`Transport`] via [`cgx_engine::train_rank`]. Because the trainer's
+//! RNG streams are derived from `(seed, rank)` alone, a thread-backed
+//! [`ShmTransport`](cgx_collectives::ShmTransport) run and a
+//! process-backed TCP run of the same [`Workload`] produce
+//! byte-identical parameters — which is exactly what the launch parity
+//! test asserts.
+
+use cgx_collectives::{CommError, ShmTransport, ThreadCluster, Topology, Transport};
+use cgx_compress::ScratchPool;
+use cgx_tensor::Rng;
+use cgx_engine::data::GaussianMixture;
+use cgx_engine::nn::Mlp;
+use cgx_engine::{train_rank, LayerCompression, TrainConfig};
+
+/// A fully-specified training run: every rank constructs the same model,
+/// task, and config from this value, so the only cross-rank channel is
+/// the transport itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// World size.
+    pub workers: usize,
+    /// Optimization steps.
+    pub steps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The standard launch workload: small enough that a 4-process
+    /// loopback run finishes in seconds, long enough that divergence
+    /// between fabrics could not hide.
+    pub fn standard(workers: usize) -> Self {
+        Workload {
+            workers,
+            steps: 40,
+            seed: 4242,
+        }
+    }
+
+    fn task(&self) -> GaussianMixture {
+        GaussianMixture::new(4, 8, 1.5)
+    }
+
+    fn model(&self) -> Mlp {
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xB00);
+        Mlp::new(&mut rng, &[8, 16, 4])
+    }
+
+    fn config(&self, topology: Option<Topology>) -> TrainConfig {
+        let mut cfg = TrainConfig::new(self.workers, self.steps);
+        cfg.seed = self.seed;
+        cfg.compression = LayerCompression::cgx_default();
+        cfg.lr = 0.2;
+        cfg.topology = topology;
+        cfg
+    }
+
+    /// Runs this rank's share over an already-connected endpoint and
+    /// returns the final parameters as little-endian `f32` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-communication failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` disagrees with the endpoint's world size.
+    pub fn run_rank(
+        &self,
+        t: &dyn Transport,
+        topology: Option<Topology>,
+    ) -> Result<Vec<u8>, CommError> {
+        assert_eq!(t.world(), self.workers, "endpoint world mismatch");
+        let model = self.model();
+        let task = self.task();
+        let cfg = self.config(topology);
+        let pool = ScratchPool::new();
+        let sampler = |r: &mut Rng| task.sample_batch(r, 16);
+        let out = train_rank(t, &model, &sampler, &cfg, &pool)?
+            .expect("no fault plan, every rank survives");
+        Ok(params_bytes(&out.model))
+    }
+
+    /// Runs the same workload on the in-process shared-memory fabric and
+    /// returns rank 0's final parameters — the reference the TCP run must
+    /// match byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-communication failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` disagrees with `self.workers`.
+    pub fn run_reference_shm(&self, topology: Option<Topology>) -> Result<Vec<u8>, CommError> {
+        let outputs = ThreadCluster::try_run(self.workers, |raw: ShmTransport| {
+            self.run_rank(&raw, topology.clone())
+        })?;
+        let mut it = outputs.into_iter();
+        let first = it.next().expect("at least one rank");
+        for (i, other) in it.enumerate() {
+            assert_eq!(first, other, "rank {} diverged from rank 0", i + 1);
+        }
+        Ok(first)
+    }
+}
+
+/// Serializes a model's parameters as little-endian `f32` bytes, in
+/// forward order — the byte-comparable fingerprint of a replica.
+pub fn params_bytes(model: &Mlp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for p in model.params() {
+        for v in p.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shm_reference_is_deterministic_across_invocations() {
+        let w = Workload::standard(2);
+        let a = w.run_reference_shm(None).expect("run");
+        let b = w.run_reference_shm(None).expect("run");
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topology_changes_the_reduction_but_keeps_consensus() {
+        let w = Workload::standard(4);
+        let flat = w.run_reference_shm(None).expect("flat");
+        let hier = w
+            .run_reference_shm(Some(Topology::grouped(2, 2)))
+            .expect("hierarchical");
+        // Consensus inside each run is asserted by run_reference_shm;
+        // across association orders the floats legitimately differ.
+        assert_eq!(flat.len(), hier.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! The PR's acceptance test: a multi-process TCP run of the standard
+//! workload produces **byte-identical** final parameters to the same
+//! seed/config on the thread-backed shared-memory fabric.
+//!
+//! Real OS processes are spawned through [`ProcessCluster`] running the
+//! `cgx-launch` binary in worker mode; each rank writes its replica to a
+//! scratch directory and the test compares every file against the
+//! in-process reference.
+
+use cgx_collectives::Topology;
+use cgx_net::cluster::ProcessCluster;
+use cgx_net::workload::Workload;
+use std::path::PathBuf;
+
+/// Locates the `cgx-launch` binary: cargo exports it to integration
+/// tests at compile time; the offline harness points at its own copy via
+/// `CGX_LAUNCH_BIN`.
+fn launch_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("CGX_LAUNCH_BIN") {
+        return PathBuf::from(p);
+    }
+    if let Some(p) = option_env!("CARGO_BIN_EXE_cgx-launch") {
+        return PathBuf::from(p);
+    }
+    let fallback = PathBuf::from(".verify/cgx_launch");
+    assert!(
+        fallback.exists(),
+        "cgx-launch binary not found: set CGX_LAUNCH_BIN or run under cargo"
+    );
+    fallback
+}
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cgx_{label}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn read_replicas(dir: &ScratchDir, world: usize) -> Vec<Vec<u8>> {
+    (0..world)
+        .map(|rank| {
+            let path = dir.0.join(format!("params_rank{rank}.bin"));
+            std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+        })
+        .collect()
+}
+
+fn run_cluster(label: &str, world: usize, nodes: Option<&[u32]>) -> Vec<Vec<u8>> {
+    let dir = ScratchDir::new(label);
+    let mut cluster = ProcessCluster::new(launch_bin(), world)
+        .env("CGX_OUT_DIR", dir.0.display().to_string());
+    if let Some(nodes) = nodes {
+        cluster = cluster.nodes(nodes);
+    }
+    cluster.run().expect("process cluster");
+    read_replicas(&dir, world)
+}
+
+#[test]
+fn four_process_tcp_run_matches_the_shm_reference_byte_for_byte() {
+    let world = 4;
+    let replicas = run_cluster("parity_flat", world, None);
+    for (rank, r) in replicas.iter().enumerate().skip(1) {
+        assert_eq!(*r, replicas[0], "rank {rank} replica diverged");
+    }
+    let reference = Workload::standard(world)
+        .run_reference_shm(None)
+        .expect("shm reference");
+    assert!(!reference.is_empty());
+    assert_eq!(
+        replicas[0], reference,
+        "TCP replicas differ from the thread-backed reference"
+    );
+}
+
+#[test]
+fn hierarchical_process_run_matches_the_shm_reference_byte_for_byte() {
+    // 2 nodes x 2 ranks: workers derive the topology from their CGX_NODE
+    // ids through rendezvous; the reference pins the identical layout.
+    let world = 4;
+    let replicas = run_cluster("parity_hier", world, Some(&[0, 0, 1, 1]));
+    for (rank, r) in replicas.iter().enumerate().skip(1) {
+        assert_eq!(*r, replicas[0], "rank {rank} replica diverged");
+    }
+    let reference = Workload::standard(world)
+        .run_reference_shm(Some(Topology::grouped(2, 2)))
+        .expect("shm reference");
+    assert_eq!(
+        replicas[0], reference,
+        "hierarchical TCP replicas differ from the thread-backed reference"
+    );
+}

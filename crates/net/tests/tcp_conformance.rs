@@ -1,0 +1,19 @@
+//! Runs the generic [`cgx_collectives::conformance`] battery against the
+//! TCP transport over loopback sockets — the same suite the in-process
+//! `ShmTransport` passes. Tag demux, per-tag FIFO, deadline semantics,
+//! stash-beats-disconnect, quiesce: one contract, two fabrics.
+
+use cgx_collectives::conformance::{self, BoxTransport};
+use cgx_net::TcpFabric;
+
+fn tcp_builder(n: usize) -> Vec<BoxTransport> {
+    TcpFabric::build_local(n)
+        .into_iter()
+        .map(|t| Box::new(t) as BoxTransport)
+        .collect()
+}
+
+#[test]
+fn tcp_transport_satisfies_the_transport_contract() {
+    conformance::run_all(&tcp_builder);
+}

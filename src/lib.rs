@@ -25,7 +25,10 @@
 //! * [`core`] — the CGX session API, baselines (QNCCL, GRACE, PowerSGD
 //!   hook), and the end-to-end estimator;
 //! * [`qnccl`] — the QNCCL comparison artefact: quantization at the
-//!   communication-primitive level over fused buffers.
+//!   communication-primitive level over fused buffers;
+//! * [`net`] — the TCP fabric: socket-backed transport, rendezvous
+//!   bootstrap, the `cgx-launch` multi-process launcher, and node-aware
+//!   hierarchical reduction topologies.
 //!
 //! # Quickstart
 //!
@@ -71,6 +74,7 @@ pub use cgx_compress as compress;
 pub use cgx_core as core;
 pub use cgx_engine as engine;
 pub use cgx_models as models;
+pub use cgx_net as net;
 pub use cgx_qnccl as qnccl;
 pub use cgx_simnet as simnet;
 pub use cgx_tensor as tensor;
