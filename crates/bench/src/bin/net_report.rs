@@ -9,11 +9,23 @@
 //! Emits `BENCH_net.json` and asserts the paper's headline property on
 //! measured traffic: 4-bit quantization cuts wire bytes by at least 6x
 //! versus FP32 at every world size.
+//!
+//! Each row also breaks the step down by where the wire path spent it —
+//! `*_serialize_us` (header building, checksumming, frame parsing),
+//! `*_syscall_us` (read/write syscalls), `*_park_us` (parked in `poll`)
+//! — summed across ranks per step, plus `*_syscalls_per_step`, the
+//! fabric-wide syscall count a step costs, and
+//! `*_writev_frames_per_step`, frames moved by vectored writes.
+//!
+//! Regression-guard mode: when `CGX_NET_GUARD` names a baseline
+//! `BENCH_net.json`, the run fails if any world's measured q4 step time
+//! exceeds the baseline by more than `CGX_NET_GUARD_TOLERANCE`
+//! (default 1.5x) — CI runs this against the committed baseline.
 
-use cgx_collectives::reduce::allreduce_sra;
+use cgx_collectives::reduce::allreduce_sra_scratch;
 use cgx_collectives::{barrier, Transport};
-use cgx_compress::CompressionScheme;
-use cgx_net::TcpFabric;
+use cgx_compress::{CompressionScheme, ScratchPool};
+use cgx_net::{TcpFabric, WireStats};
 use cgx_tensor::{Rng, Tensor};
 use std::time::{Duration, Instant};
 
@@ -52,11 +64,13 @@ struct Measurement {
     wire_bytes_per_step: u64,
     /// Mean step wall time (max over ranks).
     step: Duration,
+    /// Wire-path cost per step, summed across all ranks.
+    stats: WireStats,
 }
 
 fn measure(world: usize, mode: Mode) -> Measurement {
     let eps = TcpFabric::build_local(world);
-    let per_rank: Vec<(u64, Duration)> = std::thread::scope(|s| {
+    let per_rank: Vec<(u64, Duration, WireStats)> = std::thread::scope(|s| {
         let handles: Vec<_> = eps
             .into_iter()
             .map(|ep| {
@@ -65,15 +79,21 @@ fn measure(world: usize, mode: Mode) -> Measurement {
                     let grad = Tensor::randn(&mut grad_rng, &[ELEMS]);
                     let mut comp = mode.scheme().build();
                     let mut rng = Rng::seed_from_u64(11 + ep.rank() as u64);
+                    // Persistent scratch, as the engine drives it: encode
+                    // buffers and accumulators recycle across steps.
+                    let pool = ScratchPool::new();
                     barrier(&ep).expect("barrier");
                     let base = ep.wire_bytes_sent();
+                    let stats_base = ep.wire_stats();
                     let start = Instant::now();
                     for _ in 0..REPS {
-                        allreduce_sra(&ep, &grad, comp.as_mut(), &mut rng).expect("allreduce");
+                        allreduce_sra_scratch(&ep, &grad, comp.as_mut(), &mut rng, &pool)
+                            .expect("allreduce");
                     }
                     let elapsed = start.elapsed();
                     let bytes = ep.wire_bytes_sent() - base;
-                    (bytes / REPS as u64, elapsed / REPS as u32)
+                    let stats = ep.wire_stats().since(&stats_base);
+                    (bytes / REPS as u64, elapsed / REPS as u32, stats)
                 })
             })
             .collect();
@@ -82,13 +102,60 @@ fn measure(world: usize, mode: Mode) -> Measurement {
             .map(|h| h.join().expect("rank thread"))
             .collect()
     });
+    let mut stats = WireStats::default();
+    for (_, _, s) in &per_rank {
+        stats.serialize_ns += s.serialize_ns / REPS as u64;
+        stats.syscall_ns += s.syscall_ns / REPS as u64;
+        stats.park_ns += s.park_ns / REPS as u64;
+        stats.read_syscalls += s.read_syscalls / REPS as u64;
+        stats.write_syscalls += s.write_syscalls / REPS as u64;
+        stats.poll_syscalls += s.poll_syscalls / REPS as u64;
+        stats.writev_frames += s.writev_frames / REPS as u64;
+    }
     Measurement {
-        wire_bytes_per_step: per_rank.iter().map(|(b, _)| *b).max().expect("ranks"),
-        step: per_rank.iter().map(|(_, d)| *d).max().expect("ranks"),
+        wire_bytes_per_step: per_rank.iter().map(|(b, _, _)| *b).max().expect("ranks"),
+        step: per_rank.iter().map(|(_, d, _)| *d).max().expect("ranks"),
+        stats,
     }
 }
 
+/// Pulls `"q4_step_us": <n>` for each world out of a baseline
+/// `BENCH_net.json` — the file is our own hand-built format, so a
+/// substring scan is an honest parser for it.
+fn baseline_q4_step_us(json: &str, world: usize) -> Option<u64> {
+    let row = json.split('{').find(|r| {
+        r.contains(&format!("\"world\": {world},")) || r.contains(&format!("\"world\": {world}}}"))
+    })?;
+    let at = row.find("\"q4_step_us\": ")?;
+    let digits: String = row[at + "\"q4_step_us\": ".len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn breakdown_fields(mode: Mode, m: &Measurement) -> String {
+    let label = mode.label();
+    format!(
+        "\"{label}_serialize_us\": {}, \"{label}_syscall_us\": {}, \"{label}_park_us\": {}, \"{label}_syscalls_per_step\": {}, \"{label}_writev_frames_per_step\": {}",
+        m.stats.serialize_ns / 1_000,
+        m.stats.syscall_ns / 1_000,
+        m.stats.park_ns / 1_000,
+        m.stats.syscalls(),
+        m.stats.writev_frames,
+    )
+}
+
 fn main() {
+    // Snapshot the guard baseline up front: CGX_NET_GUARD typically
+    // points at the committed BENCH_net.json, i.e. the very file this
+    // run overwrites — reading it after the write would compare the
+    // run against itself.
+    let guard = std::env::var("CGX_NET_GUARD").ok().map(|path| {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("CGX_NET_GUARD baseline {path}: {e}"));
+        (path, baseline)
+    });
     let worlds = [2usize, 4, 8];
     let mut rows = Vec::new();
     for &world in &worlds {
@@ -99,6 +166,16 @@ fn main() {
             "world {world}: fp32 {} B/step ({:.2?}), q4 {} B/step ({:.2?}), ratio {ratio:.2}x",
             fp32.wire_bytes_per_step, fp32.step, q4.wire_bytes_per_step, q4.step
         );
+        for (mode, m) in [(Mode::Fp32, &fp32), (Mode::Q4, &q4)] {
+            println!(
+                "  {} wait breakdown/step (all ranks): serialize {}us, syscall {}us ({} calls), park {}us",
+                mode.label(),
+                m.stats.serialize_ns / 1_000,
+                m.stats.syscall_ns / 1_000,
+                m.stats.syscalls(),
+                m.stats.park_ns / 1_000,
+            );
+        }
         assert!(
             ratio >= 6.0,
             "4-bit wire traffic must be >=6x smaller than fp32 at world {world}, got {ratio:.2}x"
@@ -112,7 +189,7 @@ fn main() {
     json.push_str("  \"worlds\": [\n");
     for (i, (world, fp32, q4, ratio)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"world\": {world}, \"{}_wire_bytes_per_step\": {}, \"{}_step_us\": {}, \"{}_wire_bytes_per_step\": {}, \"{}_step_us\": {}, \"compression_ratio\": {ratio:.2}}}{}\n",
+            "    {{\"world\": {world}, \"{}_wire_bytes_per_step\": {}, \"{}_step_us\": {}, \"{}_wire_bytes_per_step\": {}, \"{}_step_us\": {}, {}, {}, \"compression_ratio\": {ratio:.2}}}{}\n",
             Mode::Fp32.label(),
             fp32.wire_bytes_per_step,
             Mode::Fp32.label(),
@@ -121,10 +198,33 @@ fn main() {
             q4.wire_bytes_per_step,
             Mode::Q4.label(),
             q4.step.as_micros(),
+            breakdown_fields(Mode::Fp32, fp32),
+            breakdown_fields(Mode::Q4, q4),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
     print!("{json}");
+    if let Some((path, baseline)) = guard {
+        let tolerance: f64 = std::env::var("CGX_NET_GUARD_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.5);
+        for (world, _, q4, _) in &rows {
+            let Some(base_us) = baseline_q4_step_us(&baseline, *world) else {
+                panic!("baseline {path} has no q4_step_us for world {world}");
+            };
+            let measured = q4.step.as_micros() as f64;
+            let limit = base_us as f64 * tolerance;
+            println!(
+                "guard world {world}: q4 {measured}us vs baseline {base_us}us (limit {limit:.0}us)"
+            );
+            assert!(
+                measured <= limit,
+                "q4 step regression at world {world}: {measured}us > {tolerance}x baseline {base_us}us"
+            );
+        }
+        println!("guard: OK (tolerance {tolerance}x)");
+    }
 }

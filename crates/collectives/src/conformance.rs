@@ -278,6 +278,74 @@ pub fn check_concurrent_all_pairs(build: &FabricBuilder) {
     }
 }
 
+/// A payload far larger than any single socket write must arrive intact
+/// and in order: exercises partial/short-write handling (vectored writes
+/// that land fewer bytes than offered) and staged multi-read reassembly
+/// on the receive side. A small trailer frame after the bulk one proves
+/// the lane realigns at the next frame boundary.
+pub fn check_partial_short_writes(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    // Big enough to overflow loopback socket buffers several times over,
+    // with content that makes any splice/offset error visible.
+    const LEN: usize = 6 << 20;
+    let mut buf = BytesMut::with_capacity(LEN);
+    let mut x: u32 = 0x9E37_79B9;
+    for _ in 0..LEN {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        buf.put_u8((x >> 24) as u8);
+    }
+    let bulk = Encoded::new(Shape::vector(LEN), buf.freeze());
+    let expect = bulk.clone();
+    std::thread::scope(|s| {
+        // The sender must run on its own thread: a payload this size
+        // cannot fit in kernel buffers, so the send only completes once
+        // the receiver is draining.
+        s.spawn(move || {
+            a.send_tagged(1, 31, bulk).expect("bulk send");
+            a.send_tagged(1, 32, payload(1)).expect("trailer send");
+        });
+        let got = b.recv_tagged_deadline(0, 31, WAIT).expect("bulk recv");
+        assert_same(&got, &expect, "bulk payload");
+        let tail = b.recv_tagged_deadline(0, 32, WAIT).expect("trailer recv");
+        assert_same(&tail, &payload(1), "frame after bulk");
+    });
+}
+
+/// Many small frames sent through the nonblocking path with interleaved
+/// tags, then flushed: transports that coalesce small sends must preserve
+/// per-tag FIFO across batching, and the receive side must demux a burst
+/// of back-to-back frames landing in one read. `flush_outbound` is the
+/// contract point that makes deferred frames visible without a receive.
+pub fn check_interleaved_small_frame_bursts(build: &FabricBuilder) {
+    const ROUNDS: u32 = 50;
+    const TAGS: u64 = 4;
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    for round in 0..ROUNDS {
+        for t in 0..TAGS {
+            let tag: Tag = 500 + t;
+            let p = payload(round * TAGS as u32 + t as u32);
+            match a.try_send_tagged(1, tag, p).expect("try_send") {
+                None => {}
+                // A full channel hands the payload back; the blocking
+                // lane must still deliver it in order.
+                Some(returned) => a.send_tagged(1, tag, returned).expect("fallback send"),
+            }
+        }
+    }
+    a.flush_outbound().expect("flush");
+    for t in 0..TAGS {
+        let tag: Tag = 500 + t;
+        for round in 0..ROUNDS {
+            let got = b.recv_tagged_deadline(0, tag, WAIT).expect("burst recv");
+            assert_same(&got, &payload(round * TAGS as u32 + t as u32), "burst FIFO");
+        }
+    }
+}
+
 /// Runs the entire battery. Panics (with a check-specific message) on the
 /// first violation.
 pub fn run_all(build: &FabricBuilder) {
@@ -292,6 +360,8 @@ pub fn run_all(build: &FabricBuilder) {
     check_broadcast(build);
     check_stash_survives_disconnect(build);
     check_wait_any_inbound_sees_traffic(build);
+    check_partial_short_writes(build);
+    check_interleaved_small_frame_bursts(build);
     check_quiesce_completes(build);
     check_concurrent_all_pairs(build);
 }

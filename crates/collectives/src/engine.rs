@@ -489,6 +489,12 @@ impl<'a> CommEngine<'a> {
                 };
                 return Err(self.poison(e));
             }
+            // About to park: push any transport-coalesced frames onto the
+            // wire first, or the peers we are waiting on may in turn be
+            // waiting on bytes still sitting in our outbound queue.
+            if let Err(e) = self.t.flush_outbound() {
+                return Err(self.poison(e));
+            }
             // Nothing to do anywhere: park on the most-stalled machine's
             // expected inbound message so the sender's handoff wakes us
             // directly (same latency as a blocking recv), instead of

@@ -659,6 +659,12 @@ impl Transport for ChaosTransport {
         self.inner.rank()
     }
 
+    fn flush_outbound(&self) -> Result<(), CommError> {
+        // Default trait methods do not delegate through wrappers: forward
+        // explicitly so a coalescing inner fabric still gets flushed.
+        self.inner.flush_outbound()
+    }
+
     fn world(&self) -> usize {
         self.inner.world()
     }

@@ -3,8 +3,8 @@
 //! (`cgx-net`).
 //!
 //! A frame wraps one [`Encoded`] payload with a magic sentinel, a
-//! per-`(peer, tag)` sequence number, and an FNV-1a checksum over
-//! `(tag, seq, payload)`. The checksum binds the payload to its lane:
+//! per-`(peer, tag)` sequence number, and an FNV-style multiply-xor
+//! checksum over `(tag, seq, payload)`. The checksum binds the payload to its lane:
 //! a frame replayed under a different tag or sequence number fails
 //! verification, so frames can never alias across collectives, and any
 //! single-bit corruption of the body is caught. Both consumers use the
@@ -22,17 +22,29 @@ pub const HEADER_LEN: usize = 10;
 /// Sentinel distinguishing framed traffic from raw payloads.
 pub const FRAME_MAGIC: u16 = 0xC6FA;
 
-/// FNV-1a over the tag, the sequence number and the payload, folded to 32
-/// bits. Cheap, dependency-free, and plenty to catch single-bit flips.
+/// FNV-style multiply-xor chain over the tag, the sequence number, the
+/// payload length, and the payload in 64-bit lanes (zero-padded tail),
+/// folded to 32 bits. One multiply per 8 payload bytes instead of per
+/// byte — this runs over every wire byte twice (send and receive), so on
+/// the hot path its throughput matters; any single-bit flip still
+/// changes the lane it lands in and therefore the chain. Cheap and
+/// dependency-free.
 pub fn checksum(tag: Tag, seq: u32, payload: &[u8]) -> u32 {
     const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
     const PRIME: u64 = 0x1_0000_0001_B3;
-    let mut h = OFFSET;
-    for b in tag.to_le_bytes().iter().chain(&seq.to_le_bytes()) {
-        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    let mut h = (OFFSET ^ tag).wrapping_mul(PRIME);
+    h = (h ^ seq as u64).wrapping_mul(PRIME);
+    h = (h ^ payload.len() as u64).wrapping_mul(PRIME);
+    let mut lanes = payload.chunks_exact(8);
+    for lane in &mut lanes {
+        let w = u64::from_le_bytes(lane.try_into().expect("8 bytes"));
+        h = (h ^ w).wrapping_mul(PRIME);
     }
-    for b in payload {
-        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    let tail = lanes.remainder();
+    if !tail.is_empty() {
+        let mut w = [0u8; 8];
+        w[..tail.len()].copy_from_slice(tail);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(PRIME);
     }
     (h ^ (h >> 32)) as u32
 }
@@ -55,6 +67,16 @@ pub fn frame_bytes(tag: Tag, seq: u32, body: &[u8]) -> Bytes {
     buf.put_u32_le(checksum(tag, seq, body));
     buf.extend_from_slice(body);
     buf.freeze()
+}
+
+/// Appends only the [`HEADER_LEN`]-byte framing header for `body` to
+/// `dst`, without copying the body. The zero-copy wire path hands
+/// `(header, body)` to a vectored write instead of materializing the
+/// concatenation [`frame_bytes`] builds.
+pub fn append_header(dst: &mut Vec<u8>, tag: Tag, seq: u32, body: &[u8]) {
+    dst.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    dst.extend_from_slice(&seq.to_le_bytes());
+    dst.extend_from_slice(&checksum(tag, seq, body).to_le_bytes());
 }
 
 /// Splits a framed buffer into `(seq, stated checksum, body)`.
@@ -116,6 +138,16 @@ mod tests {
         assert_ne!(checksum(8, 1, &body), sum, "tag not bound");
         assert_ne!(checksum(7, 2, &body), sum, "seq not bound");
         assert_ne!(checksum(7, 1, &[1, 2, 4]), sum, "body not bound");
+    }
+
+    #[test]
+    fn append_header_matches_frame_bytes_prefix() {
+        let body = [4u8, 5, 6, 7, 8];
+        let framed = frame_bytes(0xBEEF, 12, &body);
+        let mut hdr = Vec::new();
+        append_header(&mut hdr, 0xBEEF, 12, &body);
+        assert_eq!(hdr.len(), HEADER_LEN);
+        assert_eq!(&framed[..HEADER_LEN], hdr.as_slice());
     }
 
     #[test]

@@ -298,6 +298,10 @@ impl Transport for MembershipView<'_> {
         self.inner.drain_inbound()
     }
 
+    fn flush_outbound(&self) -> Result<(), CommError> {
+        self.inner.flush_outbound()
+    }
+
     fn wait_inbound(&self, peer: usize, tag: Tag, timeout: Duration) -> Result<bool, CommError> {
         self.inner.wait_inbound(self.phys[peer], tag, timeout)
     }

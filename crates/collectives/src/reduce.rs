@@ -243,7 +243,10 @@ fn sra_with_ranges(
     // per-element sum is invariant under re-chunking — the property that
     // lets the communication engine coalesce small layers and segment
     // large ones without perturbing lossless results.
-    let mut out = grad.clone();
+    // The ranges partition the gradient and every non-empty range is
+    // overwritten by a decompress below, so `out` needs no copy of the
+    // input — zeros (one memset) instead of a clone (read + write).
+    let mut out = Tensor::zeros(grad.shape().dims());
     if !ranges[me].is_empty() {
         let mut mine = pool.take_f32(ranges[me].len());
         for j in 0..n {

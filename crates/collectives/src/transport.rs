@@ -165,6 +165,20 @@ pub trait Transport {
     /// blocking; returns the number of messages moved.
     fn drain_inbound(&self) -> usize;
 
+    /// Pushes any transport-internal queued outbound traffic onto the
+    /// fabric. Transports that coalesce small nonblocking sends (the TCP
+    /// wire path batches them into one vectored write) override this;
+    /// fabrics that transmit eagerly need nothing, so the default is a
+    /// no-op. The engine calls it before parking so deferred frames never
+    /// outlive the step that produced them.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Disconnected`] if a queued frame's peer is gone.
+    fn flush_outbound(&self) -> Result<(), CommError> {
+        Ok(())
+    }
+
     /// Blocks until some message arrives from `peer` or a payload with
     /// `tag` is already stashed; `Ok(false)` on timeout.
     ///
@@ -318,11 +332,12 @@ impl ShmTransport {
     /// `registry`. Call before moving the endpoint into its worker thread;
     /// endpoints without it pay nothing.
     pub fn set_obs(&mut self, registry: &MetricsRegistry) {
+        use cgx_obs::names;
         self.obs = Some(TransportMetrics {
-            msgs_sent: registry.counter("transport.msgs_sent"),
-            bytes_sent: registry.counter("transport.bytes_sent"),
-            msgs_recv: registry.counter("transport.msgs_recv"),
-            bytes_recv: registry.counter("transport.bytes_recv"),
+            msgs_sent: registry.counter(names::TRANSPORT_MSGS_SENT),
+            bytes_sent: registry.counter(names::TRANSPORT_BYTES_SENT),
+            msgs_recv: registry.counter(names::TRANSPORT_MSGS_RECV),
+            bytes_recv: registry.counter(names::TRANSPORT_BYTES_RECV),
         });
     }
 

@@ -250,6 +250,17 @@ pub struct TrainConfig {
     /// into its own forked ring. Disabled (the default) costs one branch
     /// per instrumented site and changes no delivered byte either way.
     pub obs: ObsHandle,
+    /// TCP wire-path tuning: per-peer read staging buffer, in bytes.
+    /// `None` defers to `CGX_NET_READ_BUF` or the fabric default. Only
+    /// consulted by process launchers that build a [`cgx-net`] transport
+    /// (the in-process Shm fabric has no wire); the thread-backed trainer
+    /// carries it so one `TrainConfig` describes a run on either fabric.
+    pub net_read_buf: Option<usize>,
+    /// TCP wire-path tuning: outbound coalescing budget, in bytes —
+    /// deferred small frames flush once their queue exceeds this. `None`
+    /// defers to `CGX_NET_COALESCE` or the fabric default. Same scope as
+    /// [`TrainConfig::net_read_buf`].
+    pub net_coalesce_budget: Option<usize>,
 }
 
 impl TrainConfig {
@@ -273,6 +284,8 @@ impl TrainConfig {
             comm_timeout: None,
             topology: None,
             obs: ObsHandle::disabled(),
+            net_read_buf: None,
+            net_coalesce_budget: None,
         }
     }
 }

@@ -15,7 +15,7 @@
 //! ```
 
 use cgx_net::cluster::{ProcessCluster, WorkerEnv};
-use cgx_net::rendezvous::{rendezvous, DEFAULT_BOOT_TIMEOUT};
+use cgx_net::rendezvous::{rendezvous_with_options, DEFAULT_BOOT_TIMEOUT};
 use cgx_net::workload::Workload;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,19 +40,21 @@ fn rank_file(dir: &Path, rank: usize) -> PathBuf {
 }
 
 fn run_worker(env: WorkerEnv) -> Result<(), String> {
-    let (transport, topo) = rendezvous(
+    let work = workload(env.world);
+    let (transport, topo) = rendezvous_with_options(
         env.rank,
         env.world,
         &env.rendezvous,
         env.node,
         DEFAULT_BOOT_TIMEOUT,
+        work.net_options(),
     )
     .map_err(|e| format!("rank {}: bootstrap failed: {e}", env.rank))?;
     // A flat cluster (every rank on one node) runs the flat collective —
     // identical semantics to the thread-backed reference; a multi-node
     // roster switches on the hierarchical path.
     let topology = (topo.num_nodes() > 1).then(|| topo.clone());
-    let params = workload(env.world)
+    let params = work
         .run_rank(&transport, topology)
         .map_err(|e| format!("rank {}: training failed: {e}", env.rank))?;
     if let Ok(dir) = std::env::var(ENV_OUT_DIR) {

@@ -8,6 +8,13 @@
 //! [`CommError::Bootstrap`]. The worker side reads the same variables
 //! back with [`WorkerEnv::from_env`] — `cgx-launch` is exactly that
 //! round trip.
+//!
+//! Workers inherit the coordinator's environment (spawning only *adds*
+//! the identity variables), so wire-path tuning set on the launcher —
+//! `CGX_NET_READ_BUF`, `CGX_NET_COALESCE`, `CGX_NET_COALESCE_FRAME`,
+//! `CGX_NET_NODELAY` (see [`NetOptions`](crate::NetOptions)) — reaches
+//! every rank without explicit plumbing; [`ProcessCluster::env`] can
+//! still override any of them per cluster.
 
 use cgx_collectives::CommError;
 use std::net::TcpListener;

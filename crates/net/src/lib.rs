@@ -9,8 +9,10 @@
 //! - [`wire`] — length-prefixed frames that embed the chaos layer's
 //!   seq+FNV envelope, so corruption detection is identical on both
 //!   fabrics.
-//! - [`tcp`] — [`TcpTransport`]: per-peer reader threads feeding the
-//!   tag-demuxed, deadline-aware stash model.
+//! - [`tcp`] — [`TcpTransport`]: a caller-driven readiness event loop
+//!   (nonblocking sockets, `poll(2)`, in-place frame parsing, vectored
+//!   coalesced writes) feeding the tag-demuxed, deadline-aware stash
+//!   model with zero extra threads.
 //! - [`rendezvous`] — bootstrap from "N processes and one address" to a
 //!   full mesh plus a node [`Topology`](cgx_collectives::Topology), and
 //!   [`TcpFabric`] for in-process loopback meshes.
@@ -28,5 +30,5 @@ pub mod wire;
 pub mod workload;
 
 pub use cluster::ProcessCluster;
-pub use rendezvous::{rendezvous, TcpFabric, DEFAULT_BOOT_TIMEOUT};
-pub use tcp::TcpTransport;
+pub use rendezvous::{rendezvous, rendezvous_with_options, TcpFabric, DEFAULT_BOOT_TIMEOUT};
+pub use tcp::{NetOptions, TcpTransport, WireStats};

@@ -18,7 +18,7 @@
 //! Every step is bounded by a boot deadline; failures surface as
 //! [`CommError::Bootstrap`] (no membership exists yet to shrink).
 
-use crate::tcp::TcpTransport;
+use crate::tcp::{NetOptions, TcpTransport};
 use crate::wire;
 use cgx_collectives::transport::{Tag, CTRL_TAG, DEFAULT_TIMEOUT};
 use cgx_collectives::{CommError, Topology};
@@ -154,6 +154,7 @@ fn rendezvous_root(
     node: u32,
     boot: Duration,
     timeout: Duration,
+    opts: NetOptions,
 ) -> Result<(TcpTransport, Topology), CommError> {
     let deadline = Instant::now() + boot;
     let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
@@ -201,7 +202,7 @@ fn rendezvous_root(
         send_ctrl(stream, &roster)?;
     }
     let topo = roster_topology(&entries);
-    Ok((TcpTransport::new(0, world, streams, timeout), topo))
+    Ok((TcpTransport::new(0, world, streams, timeout, opts)?, topo))
 }
 
 fn rendezvous_peer(
@@ -211,6 +212,7 @@ fn rendezvous_peer(
     node: u32,
     boot: Duration,
     timeout: Duration,
+    opts: NetOptions,
 ) -> Result<(TcpTransport, Topology), CommError> {
     let deadline = Instant::now() + boot;
     // Bind before dialing in: once the root's ROSTER advertises this
@@ -277,7 +279,7 @@ fn rendezvous_peer(
         streams[their_rank] = Some(stream);
     }
     let topo = roster_topology(&entries);
-    Ok((TcpTransport::new(rank, world, streams, timeout), topo))
+    Ok((TcpTransport::new(rank, world, streams, timeout, opts)?, topo))
 }
 
 /// Bootstraps one rank of a TCP mesh. Rank 0 listens on `root_addr`;
@@ -296,20 +298,37 @@ pub fn rendezvous(
     node: u32,
     boot: Duration,
 ) -> Result<(TcpTransport, Topology), CommError> {
+    rendezvous_with_options(rank, world, root_addr, node, boot, NetOptions::from_env())
+}
+
+/// [`rendezvous`] with explicit wire-path tuning instead of the
+/// `CGX_NET_*` environment defaults.
+///
+/// # Errors
+///
+/// Same failure modes as [`rendezvous`].
+pub fn rendezvous_with_options(
+    rank: usize,
+    world: usize,
+    root_addr: &str,
+    node: u32,
+    boot: Duration,
+    opts: NetOptions,
+) -> Result<(TcpTransport, Topology), CommError> {
     assert!(world > 0, "world must be at least 1");
     assert!(rank < world, "rank {rank} out of range for world {world}");
     if world == 1 {
         return Ok((
-            TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT),
+            TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT, opts)?,
             Topology::new(vec![node as usize]),
         ));
     }
     if rank == 0 {
         let listener = TcpListener::bind(root_addr)
             .map_err(|e| boot_err(format!("could not bind rendezvous address {root_addr}: {e}")))?;
-        rendezvous_root(listener, world, node, boot, DEFAULT_TIMEOUT)
+        rendezvous_root(listener, world, node, boot, DEFAULT_TIMEOUT, opts)
     } else {
-        rendezvous_peer(rank, world, root_addr, node, boot, DEFAULT_TIMEOUT)
+        rendezvous_peer(rank, world, root_addr, node, boot, DEFAULT_TIMEOUT, opts)
     }
 }
 
@@ -327,11 +346,24 @@ impl TcpFabric {
     /// Panics if `node_of` is empty or bootstrap fails (loopback
     /// rendezvous failing is a bug, not an environment problem).
     pub fn build_local_with_nodes(node_of: &[u32]) -> (Vec<TcpTransport>, Topology) {
+        Self::build_local_with_nodes_opts(node_of, NetOptions::from_env())
+    }
+
+    /// [`Self::build_local_with_nodes`] with explicit wire-path tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_of` is empty or bootstrap fails.
+    pub fn build_local_with_nodes_opts(
+        node_of: &[u32],
+        opts: NetOptions,
+    ) -> (Vec<TcpTransport>, Topology) {
         let world = node_of.len();
         assert!(world > 0, "need at least one rank");
         if world == 1 {
             return (
-                vec![TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT)],
+                vec![TcpTransport::new(0, 1, vec![None], DEFAULT_TIMEOUT, opts)
+                    .expect("socketless single-rank endpoint")],
                 Topology::new(vec![node_of[0] as usize]),
             );
         }
@@ -343,13 +375,13 @@ impl TcpFabric {
             let root_node = node_of[0];
             let root_listener = listener;
             handles.push(s.spawn(move || {
-                rendezvous_root(root_listener, world, root_node, boot, DEFAULT_TIMEOUT)
+                rendezvous_root(root_listener, world, root_node, boot, DEFAULT_TIMEOUT, opts)
                     .expect("root bootstrap")
             }));
             for (rank, &node) in node_of.iter().enumerate().skip(1) {
                 let addr = root_addr.clone();
                 handles.push(s.spawn(move || {
-                    rendezvous_peer(rank, world, &addr, node, boot, DEFAULT_TIMEOUT)
+                    rendezvous_peer(rank, world, &addr, node, boot, DEFAULT_TIMEOUT, opts)
                         .expect("peer bootstrap")
                 }));
             }
@@ -372,6 +404,15 @@ impl TcpFabric {
     /// Panics if `n` is zero or bootstrap fails.
     pub fn build_local(n: usize) -> Vec<TcpTransport> {
         Self::build_local_with_nodes(&vec![0u32; n]).0
+    }
+
+    /// Builds an `n`-rank loopback mesh with explicit wire-path tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or bootstrap fails.
+    pub fn build_local_with(n: usize, opts: NetOptions) -> Vec<TcpTransport> {
+        Self::build_local_with_nodes_opts(&vec![0u32; n], opts).0
     }
 }
 
@@ -435,9 +476,10 @@ mod tests {
         let addr = listener.local_addr().expect("addr").to_string();
         let boot = Duration::from_secs(5);
         std::thread::scope(|s| {
-            let root = s.spawn(move || rendezvous_root(listener, 2, 0, boot, DEFAULT_TIMEOUT));
+            let opts = NetOptions::default();
+            let root = s.spawn(move || rendezvous_root(listener, 2, 0, boot, DEFAULT_TIMEOUT, opts));
             // This peer thinks the world has 3 ranks; the root expects 2.
-            let peer = s.spawn(move || rendezvous_peer(1, 3, &addr, 0, boot, DEFAULT_TIMEOUT));
+            let peer = s.spawn(move || rendezvous_peer(1, 3, &addr, 0, boot, DEFAULT_TIMEOUT, opts));
             let root_err = root.join().expect("root thread").expect_err("must fail");
             assert!(
                 matches!(root_err, CommError::Bootstrap { ref detail } if detail.contains("world")),

@@ -67,21 +67,105 @@ pub fn write_frame<W: Write>(
     shape: &Shape,
     payload: &[u8],
 ) -> io::Result<()> {
-    let dims = shape.dims();
-    assert!(dims.len() <= MAX_DIMS, "tensor rank {} too large", dims.len());
-    let body = framing::frame_bytes(tag, seq, payload);
-    let after_len = 8 + 1 + 4 * dims.len() + body.len();
-    let mut buf = Vec::with_capacity(4 + after_len);
-    buf.extend_from_slice(&(after_len as u32).to_le_bytes());
-    buf.extend_from_slice(&tag.to_le_bytes());
-    buf.push(dims.len() as u8);
-    for &d in dims {
-        buf.extend_from_slice(&(d as u32).to_le_bytes());
-    }
-    buf.extend_from_slice(&body);
+    let mut buf = Vec::with_capacity(frame_wire_bytes(shape.dims().len(), payload.len()));
+    append_frame_header(&mut buf, tag, seq, shape, payload);
+    buf.extend_from_slice(payload);
     // One write_all for the whole frame: interleaving-safe under the
     // per-peer writer lock and far fewer syscalls than field-at-a-time.
     w.write_all(&buf)
+}
+
+/// Serializes everything that precedes the payload — length prefix, tag,
+/// geometry, and the seq+checksum framing envelope — into `dst`,
+/// returning the number of header bytes appended. The payload itself is
+/// *not* copied: the zero-copy send path hands `(header, payload)` to a
+/// vectored socket write, so the payload's only copy is the kernel's.
+///
+/// # Panics
+///
+/// Panics if the shape has more than [`MAX_DIMS`] dimensions (no real
+/// tensor comes close).
+pub fn append_frame_header(
+    dst: &mut Vec<u8>,
+    tag: Tag,
+    seq: u32,
+    shape: &Shape,
+    payload: &[u8],
+) -> usize {
+    let dims = shape.dims();
+    assert!(dims.len() <= MAX_DIMS, "tensor rank {} too large", dims.len());
+    let before = dst.len();
+    let after_len = 8 + 1 + 4 * dims.len() + framing::HEADER_LEN + payload.len();
+    dst.extend_from_slice(&(after_len as u32).to_le_bytes());
+    dst.extend_from_slice(&tag.to_le_bytes());
+    dst.push(dims.len() as u8);
+    for &d in dims {
+        dst.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    framing::append_header(dst, tag, seq, payload);
+    dst.len() - before
+}
+
+/// Attempts to decode one frame from the *front* of `buf` without
+/// consuming a reader: `Ok(None)` means the buffer does not yet hold a
+/// complete frame (read more), `Ok(Some((frame, consumed)))` hands back
+/// the decoded frame and how many bytes it occupied. The event loop's
+/// staging buffers parse arrivals in place with this — the payload is
+/// copied exactly once, out of the staging ring into its own allocation.
+///
+/// # Errors
+///
+/// `InvalidData` for an implausible length, malformed geometry, or a
+/// checksum mismatch.
+pub fn parse_frame(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len < 8 + 1 + framing::HEADER_LEN || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible frame length {len}"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = &buf[4..4 + len];
+    let tag = Tag::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
+    let ndims = frame[8] as usize;
+    let geom_end = 9 + 4 * ndims;
+    if len < geom_end + framing::HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame shorter than its declared geometry",
+        ));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for i in 0..ndims {
+        let at = 9 + 4 * i;
+        dims.push(u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes")) as usize);
+    }
+    let envelope = &frame[geom_end..];
+    let magic = u16::from_le_bytes([envelope[0], envelope[1]]);
+    let seq = u32::from_le_bytes(envelope[2..6].try_into().expect("4 bytes"));
+    let stated = u32::from_le_bytes(envelope[6..10].try_into().expect("4 bytes"));
+    let body = &envelope[framing::HEADER_LEN..];
+    if magic != framing::FRAME_MAGIC || framing::checksum(tag, seq, body) != stated {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checksum/header mismatch on tag {tag:#x}"),
+        ));
+    }
+    let payload = bytes::Bytes::copy_from_slice(body);
+    Ok(Some((
+        Frame {
+            tag,
+            seq,
+            enc: Encoded::new(Shape::new(dims), payload),
+        },
+        4 + len,
+    )))
 }
 
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
@@ -222,6 +306,55 @@ mod tests {
         let mut buf = (u32::MAX).to_le_bytes().to_vec();
         buf.extend_from_slice(&[0u8; 32]);
         let err = read_frame(&mut io::Cursor::new(buf)).expect_err("giant length");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn header_plus_payload_equals_write_frame_bytes() {
+        let shape = Shape::new(vec![2, 3]);
+        let payload = [9u8, 1, 1, 2, 3, 5];
+        let mut whole = Vec::new();
+        write_frame(&mut whole, 17, 4, &shape, &payload).expect("write");
+        let mut hdr = Vec::new();
+        let n = append_frame_header(&mut hdr, 17, 4, &shape, &payload);
+        assert_eq!(n, hdr.len());
+        assert_eq!(n + payload.len(), whole.len());
+        assert_eq!(&whole[..n], hdr.as_slice());
+        assert_eq!(&whole[n..], &payload);
+    }
+
+    #[test]
+    fn parse_frame_is_incremental_and_reports_consumed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 33, 2, &Shape::new(vec![4]), &[1, 2, 3, 4]).expect("write");
+        write_frame(&mut buf, 34, 0, &Shape::new(vec![1]), &[9]).expect("write");
+        // Every strict prefix of the first frame is "need more bytes".
+        let first_len = buf.len() - frame_wire_bytes(1, 1);
+        for cut in 0..first_len {
+            assert!(
+                parse_frame(&buf[..cut]).expect("prefix parses clean").is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (f1, used1) = parse_frame(&buf).expect("parse").expect("complete");
+        assert_eq!(used1, first_len);
+        assert_eq!((f1.tag, f1.seq), (33, 2));
+        assert_eq!(f1.enc.payload().as_ref(), &[1, 2, 3, 4]);
+        let (f2, used2) = parse_frame(&buf[used1..]).expect("parse").expect("complete");
+        assert_eq!(used1 + used2, buf.len());
+        assert_eq!((f2.tag, f2.seq), (34, 0));
+    }
+
+    #[test]
+    fn parse_frame_rejects_corruption_in_place() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 5, 3, &Shape::new(vec![1]), &[7, 7, 7, 7]).expect("write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let err = parse_frame(&buf).expect_err("corrupt");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let giant = (u32::MAX).to_le_bytes();
+        let err = parse_frame(&giant).expect_err("giant length");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 

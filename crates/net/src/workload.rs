@@ -59,6 +59,25 @@ impl Workload {
         cfg
     }
 
+    /// Wire-path tuning for a TCP run of this workload: the config's
+    /// explicit `net_*` fields layered over the `CGX_NET_*` environment
+    /// (and fabric defaults below that). Launchers call this *before*
+    /// rendezvous — the knobs are topology-independent — and pass the
+    /// result to [`rendezvous_with_options`](crate::rendezvous_with_options),
+    /// so a `TrainConfig` field and an env var steer the same socket
+    /// options.
+    pub fn net_options(&self) -> crate::NetOptions {
+        let cfg = self.config(None);
+        let mut opts = crate::NetOptions::from_env();
+        if let Some(bytes) = cfg.net_read_buf {
+            opts = opts.with_read_buf(bytes);
+        }
+        if let Some(bytes) = cfg.net_coalesce_budget {
+            opts = opts.with_coalesce_budget(bytes);
+        }
+        opts
+    }
+
     /// Runs this rank's share over an already-connected endpoint and
     /// returns the final parameters as little-endian `f32` bytes.
     ///

@@ -33,7 +33,8 @@ pub use export::{
     chrome_trace_json, json_f64, json_string, overlap_ratio, render_breakdown_table, TimeBreakdown,
 };
 pub use metrics::{
-    Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
+    names, Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
 };
 
 #[cfg(test)]

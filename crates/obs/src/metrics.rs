@@ -11,6 +11,31 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Well-known metric names shared across crates.
+///
+/// Transports, engines, and reports all meet in one registry namespace;
+/// these constants keep the producer (`set_obs` wiring in the transport
+/// crates) and every consumer (dashboards, report binaries, tests
+/// asserting on snapshots) spelling a name identically. Names are
+/// `component.what` in `snake_case`.
+pub mod names {
+    /// Payload messages handed to the transport for sending.
+    pub const TRANSPORT_MSGS_SENT: &str = "transport.msgs_sent";
+    /// Payload bytes handed to the transport (pre-framing).
+    pub const TRANSPORT_BYTES_SENT: &str = "transport.bytes_sent";
+    /// Bytes actually placed on the wire, framing included (TCP only).
+    pub const TRANSPORT_WIRE_BYTES_SENT: &str = "transport.wire_bytes_sent";
+    /// Payload messages delivered to receivers.
+    pub const TRANSPORT_MSGS_RECV: &str = "transport.msgs_recv";
+    /// Payload bytes delivered to receivers.
+    pub const TRANSPORT_BYTES_RECV: &str = "transport.bytes_recv";
+    /// Frames moved by vectored (`writev`-style) socket writes — the
+    /// zero-copy wire path's coalescing effectiveness (TCP only).
+    pub const TRANSPORT_WRITEV_FRAMES: &str = "transport.writev_frames";
+    /// Socket-facing syscalls issued (reads + writes + polls; TCP only).
+    pub const TRANSPORT_SYSCALLS: &str = "transport.syscalls";
+}
+
 /// Monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Arc<AtomicU64>);
