@@ -12,6 +12,14 @@ RUSTC="rustc --edition 2021 -O -L $L"
 echo "== stubs"
 $RUSTC --crate-type rlib --crate-name bytes $V/stubs/bytes.rs -o "$L/libbytes.rlib" -A dead_code
 $RUSTC --crate-type rlib --crate-name crossbeam $V/stubs/crossbeam.rs -o "$L/libcrossbeam.rlib" -A dead_code
+rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive $V/stubs/serde_derive.rs \
+  -o "$L/libserde_derive.so" -A dead_code
+$RUSTC --crate-type rlib --crate-name serde $V/stubs/serde.rs \
+  --extern serde_derive="$L/libserde_derive.so" -o "$L/libserde.rlib" -A dead_code
+$RUSTC --crate-type rlib --crate-name criterion $V/stubs/criterion.rs \
+  -o "$L/libcriterion.rlib" -A dead_code
+$RUSTC --crate-type rlib --crate-name proptest $V/stubs/proptest.rs \
+  -o "$L/libproptest.rlib" -A dead_code
 
 echo "== cgx_tensor"
 $RUSTC --crate-type rlib --crate-name cgx_tensor crates/tensor/src/lib.rs -o "$L/libcgx_tensor.rlib"
@@ -36,12 +44,32 @@ echo "== cgx_models"
 $RUSTC --crate-type rlib --crate-name cgx_models crates/models/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" -o "$L/libcgx_models.rlib"
 
+echo "== cgx_simnet"
+$RUSTC --crate-type rlib --crate-name cgx_simnet crates/simnet/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern serde="$L/libserde.rlib" \
+  -o "$L/libcgx_simnet.rlib"
+
+echo "== cgx_adaptive"
+$RUSTC --crate-type rlib --crate-name cgx_adaptive crates/adaptive/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" \
+  -o "$L/libcgx_adaptive.rlib"
+
 echo "== cgx_engine"
 $RUSTC --crate-type rlib --crate-name cgx_engine crates/engine/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
   --extern cgx_obs="$L/libcgx_obs.rlib" \
   -o "$L/libcgx_engine.rlib"
+
+echo "== cgx_core"
+$RUSTC --crate-type rlib --crate-name cgx_core crates/core/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_adaptive="$L/libcgx_adaptive.rlib" \
+  -o "$L/libcgx_core.rlib"
 
 echo "== cgx_net"
 $RUSTC --crate-type rlib --crate-name cgx_net crates/net/src/lib.rs \
@@ -114,6 +142,33 @@ $RUSTC --test --crate-name launch_parity crates/net/tests/launch_parity.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
   -o "$V/test_launch_parity"
 
+$RUSTC --test --crate-name cgx_simnet_tests crates/simnet/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern serde="$L/libserde.rlib" \
+  -o "$V/test_simnet"
+$RUSTC --test --crate-name cgx_core_tests crates/core/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_adaptive="$L/libcgx_adaptive.rlib" \
+  -o "$V/test_core"
+$RUSTC --test --crate-name recommend crates/core/tests/recommend.rs \
+  --extern cgx_core="$L/libcgx_core.rlib" --extern cgx_simnet="$L/libcgx_simnet.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" \
+  -o "$V/test_recommend"
+$RUSTC --crate-type rlib --crate-name cgx src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_adaptive="$L/libcgx_adaptive.rlib" --extern cgx_core="$L/libcgx_core.rlib" \
+  --extern cgx_qnccl="$L/libcgx_qnccl.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  -o "$L/libcgx.rlib"
+$RUSTC --test --crate-name simnet_properties tests/simnet_properties.rs \
+  --extern cgx="$L/libcgx.rlib" --extern proptest="$L/libproptest.rlib" \
+  -o "$V/test_simnet_properties"
+
 echo "== kernel_report bin"
 $RUSTC --crate-name kernel_report crates/bench/src/bin/kernel_report.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
@@ -155,5 +210,17 @@ $RUSTC --crate-name net_report crates/bench/src/bin/net_report.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   --extern cgx_net="$L/libcgx_net.rlib" \
   -o "$V/net_report"
+
+echo "== des bench (criterion stub compile check)"
+$RUSTC --crate-name des_bench crates/bench/benches/des.rs \
+  --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern criterion="$L/libcriterion.rlib" \
+  -o "$V/des_bench"
+
+echo "== sim_sweep bin"
+$RUSTC --crate-name sim_sweep crates/bench/src/bin/sim_sweep.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern cgx_collectives="$L/libcgx_collectives.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_core="$L/libcgx_core.rlib" \
+  -o "$V/sim_sweep"
 
 echo "BUILD OK"

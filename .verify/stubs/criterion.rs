@@ -1,0 +1,104 @@
+//! Minimal criterion façade for offline verification builds: enough API
+//! surface to *compile* the `crates/bench/benches/*.rs` targets (real
+//! benchmarking uses the real criterion from CI). Measurements here are
+//! single uninstrumented calls.
+
+use std::time::Duration;
+
+/// Benchmark identifier (group/function/parameter).
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(_f: S, _p: P) -> Self {
+        BenchmarkId
+    }
+}
+
+/// Throughput annotation.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration bencher.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs the routine once (stub: no timing).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    /// Sets the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    /// Sets the warm-up time (ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    /// Sets the measurement time (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    /// Sets the throughput annotation (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    /// Runs one benchmark with an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, _name: S) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,12 @@
+//! Minimal serde façade for offline verification builds: re-exports the
+//! no-op derives and blanket-implements the two traits so bounds (if
+//! any appear) keep compiling.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub trait; every type implements it.
+pub trait Serialize {}
+impl<T> Serialize for T {}
+
+/// Stub trait; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}

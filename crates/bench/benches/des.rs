@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the DES cores: events/sec of the
+//! calendar-wheel engine at 8/64/512 ranks on SRA and ring graphs, and
+//! the legacy binary-heap core on the same workloads — the measurement
+//! behind the ">= 10x on the 512-rank SRA graph" acceptance bar.
+//!
+//! Graphs are prebuilt and scratch is reused, so the wheel numbers
+//! measure the run loop itself (the steady state of a sweep); the
+//! legacy numbers include its per-run op-list allocation, which is how
+//! that core was always driven.
+
+use cgx_simnet::des::legacy;
+use cgx_simnet::{build_ring, build_sra, run, DesScratch, Fabric, OpGraph, SimError};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BYTES: f64 = 100e6;
+const LANE_BW: f64 = 1e9;
+const ALPHA: f64 = 5e-6;
+
+type Builder = fn(&mut OpGraph, usize) -> Result<(), SimError>;
+type LegacyOps = fn(usize, f64) -> Vec<legacy::SendOp>;
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des-wheel");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let builders: [(&str, Builder); 2] = [("sra", build_sra), ("ring", build_ring)];
+    for &ranks in &[8usize, 64, 512] {
+        for &(name, build) in &builders {
+            let mut graph = OpGraph::new();
+            build(&mut graph, ranks).unwrap();
+            let mut scratch = DesScratch::new();
+            let fabric = Fabric::uniform(ranks, LANE_BW, ALPHA).unwrap();
+            group.throughput(Throughput::Elements(graph.len() as u64));
+            group.bench_with_input(BenchmarkId::new(name, ranks), &ranks, |b, _| {
+                b.iter(|| black_box(run(&graph, &fabric, BYTES, &mut scratch).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_legacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des-legacy");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let op_lists: [(&str, LegacyOps); 2] = [("sra", legacy::sra_ops), ("ring", legacy::ring_ops)];
+    for &ranks in &[8usize, 64, 512] {
+        for &(name, ops) in &op_lists {
+            let n_ops = ops(ranks, BYTES / ranks as f64).len();
+            let net = legacy::NetworkDes::new(ranks, LANE_BW, ALPHA);
+            group.throughput(Throughput::Elements(n_ops as u64));
+            group.bench_with_input(BenchmarkId::new(name, ranks), &ranks, |b, _| {
+                b.iter(|| {
+                    let ops = ops(ranks, BYTES / ranks as f64);
+                    black_box(net.run(&ops))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wheel, bench_legacy);
+criterion_main!(benches);

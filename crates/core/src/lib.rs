@@ -13,7 +13,10 @@
 //!   linear scaling);
 //! * [`adaptive`] — periodic adaptive layer-wise compression wired to the
 //!   gradient statistics of a registered model;
-//! * [`cloud`] — the cost-efficiency arithmetic of Table 4.
+//! * [`cloud`] — the cost-efficiency arithmetic of Table 4;
+//! * [`topology_select`] — simulation-backed reduction-layout choice:
+//!   replay the model's exchange through the DES on the target cluster
+//!   and hand the winning `Option<Topology>` to `TrainConfig::topology`.
 //!
 //! # Examples
 //!
@@ -44,9 +47,13 @@ pub mod api;
 pub mod cloud;
 pub mod estimate;
 pub mod session_sim;
+pub mod topology_select;
 
 pub use adaptive::{adaptive_compression_for, AdaptiveOutcome};
 pub use api::{Cgx, CgxBuilder};
 pub use cloud::{cost_efficiency, CloudOffer};
 pub use estimate::{estimate, estimate_fp32, estimate_with_schemes, Estimate, SystemSetup};
 pub use session_sim::{simulate_adaptive_session, AdaptationEpoch, SessionReport};
+pub use topology_select::{
+    recommend_topology, recommend_topology_with, RankedScheme, TopologyRecommendation,
+};

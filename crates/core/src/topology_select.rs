@@ -1,0 +1,205 @@
+//! Simulation-backed topology selection: "simulate before you launch".
+//!
+//! Before paying for a cluster run, replay the model's gradient exchange
+//! through the DES on a [`MachineSpec`]-derived fabric and rank the
+//! reduction layouts — flat SRA / Ring / Tree and (on multi-node
+//! machines) the node-aware hierarchical reduction the engine implements
+//! behind [`TrainConfig::topology`](cgx_engine::TrainConfig). The winner
+//! is directly consumable: [`TopologyRecommendation::train_topology`]
+//! returns the `Option<Topology>` to drop into the config.
+
+use cgx_collectives::Topology;
+use cgx_compress::CompressionScheme;
+use cgx_models::{ModelId, ModelSpec};
+use cgx_simnet::{
+    build_hierarchical, build_ring, build_sra, build_tree, run, CommBackend, MachineSpec, OpGraph,
+    SimError, SimWorkspace,
+};
+
+/// One simulated reduction layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedScheme {
+    /// Layout name: `"sra"`, `"ring"`, `"tree"`, or `"hierarchical"`.
+    pub name: &'static str,
+    /// Simulated time of one full gradient exchange, seconds.
+    pub seconds: f64,
+    /// Whether this layout is the node-aware hierarchical reduction.
+    pub hierarchical: bool,
+}
+
+/// The outcome of [`recommend_topology`]: every candidate layout ranked
+/// by simulated exchange time, fastest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyRecommendation {
+    /// Model whose gradient exchange was simulated.
+    pub model: ModelId,
+    /// Total ranks simulated.
+    pub world: usize,
+    /// Nodes in the cluster (1 on a single machine).
+    pub nodes: usize,
+    /// Ranks per node.
+    pub per_node: usize,
+    /// Candidates, ascending by [`RankedScheme::seconds`].
+    pub ranked: Vec<RankedScheme>,
+}
+
+impl TopologyRecommendation {
+    /// The fastest layout.
+    pub fn best(&self) -> &RankedScheme {
+        &self.ranked[0]
+    }
+
+    /// Whether the node-aware hierarchical reduction won.
+    pub fn use_hierarchical(&self) -> bool {
+        self.best().hierarchical
+    }
+
+    /// The value for [`TrainConfig::topology`](cgx_engine::TrainConfig):
+    /// a grouped node layout when the hierarchical reduction won, `None`
+    /// (keep the flat collective) otherwise.
+    pub fn train_topology(&self) -> Option<Topology> {
+        self.use_hierarchical()
+            .then(|| Topology::grouped(self.nodes, self.per_node))
+    }
+}
+
+/// Wire bytes of one full gradient exchange under `scheme`, with the
+/// uncompressed gradient size as the fallback for shape-dependent
+/// schemes (PowerSGD) whose nominal width is undefined.
+fn wire_bytes(spec: &ModelSpec, scheme: CompressionScheme) -> f64 {
+    let raw = spec.grad_bytes() as f64;
+    let bits = scheme.nominal_bits_per_element();
+    if bits.is_finite() && bits > 0.0 {
+        (spec.param_count() as f64 * bits / 8.0).min(raw)
+    } else {
+        raw
+    }
+}
+
+/// Ranks reduction layouts for training `model` on `cluster` with the
+/// paper's default compression, simulating each candidate exchange on a
+/// fabric lowered from the machine catalog (per-rank lane heterogeneity,
+/// shared inter-node uplinks). See [`recommend_topology_with`] for
+/// scheme and workspace control.
+pub fn recommend_topology(
+    model: ModelId,
+    cluster: &MachineSpec,
+) -> Result<TopologyRecommendation, SimError> {
+    recommend_topology_with(
+        model,
+        cluster,
+        CompressionScheme::cgx_default(),
+        &mut SimWorkspace::new(),
+    )
+}
+
+/// [`recommend_topology`] with an explicit compression scheme and a
+/// caller-provided workspace (graph + scratch reuse across calls).
+pub fn recommend_topology_with(
+    model: ModelId,
+    cluster: &MachineSpec,
+    scheme: CompressionScheme,
+    ws: &mut SimWorkspace,
+) -> Result<TopologyRecommendation, SimError> {
+    let spec = ModelSpec::build(model);
+    let raw = spec.grad_bytes() as f64;
+    let wire = wire_bytes(&spec, scheme);
+    let world = cluster.total_gpus();
+    let fabric = cluster.fabric(CommBackend::Shm)?;
+
+    let mut ranked = Vec::with_capacity(4);
+    let flat: [(&'static str, fn(&mut OpGraph, usize) -> Result<(), SimError>); 3] =
+        [("sra", build_sra), ("ring", build_ring), ("tree", build_tree)];
+    for (name, build) in flat {
+        build(&mut ws.graph, world)?;
+        let stats = run(&ws.graph, &fabric, wire, &mut ws.scratch)?;
+        ranked.push(RankedScheme {
+            name,
+            seconds: stats.makespan_seconds(),
+            hierarchical: false,
+        });
+    }
+    if cluster.is_multi_node() {
+        // The engine's hierarchical path stages raw floats inside each
+        // node and compresses only the leader exchange.
+        let inter_frac = if raw > 0.0 { wire / raw } else { 1.0 };
+        build_hierarchical(
+            &mut ws.graph,
+            cluster.nodes(),
+            cluster.gpus_per_node(),
+            inter_frac,
+        )?;
+        let stats = run(&ws.graph, &fabric, raw, &mut ws.scratch)?;
+        ranked.push(RankedScheme {
+            name: "hierarchical",
+            seconds: stats.makespan_seconds(),
+            hierarchical: true,
+        });
+    }
+    ranked.sort_by(|a, b| a.seconds.total_cmp(&b.seconds));
+    Ok(TopologyRecommendation {
+        model,
+        world,
+        nodes: cluster.nodes(),
+        per_node: cluster.gpus_per_node(),
+        ranked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_recommends_flat() {
+        let rec = recommend_topology(ModelId::ResNet50, &MachineSpec::dgx1()).unwrap();
+        assert_eq!(rec.world, 8);
+        assert_eq!(rec.ranked.len(), 3, "no hierarchical candidate on one node");
+        assert!(!rec.use_hierarchical());
+        assert_eq!(rec.train_topology(), None);
+        assert!(rec.ranked.windows(2).all(|w| w[0].seconds <= w[1].seconds));
+    }
+
+    #[test]
+    fn slow_interconnect_cluster_recommends_hierarchical() {
+        // NVLink-class nodes over a millisecond-latency interconnect:
+        // the raw intra-node staging is nearly free and the flat ring's
+        // long dependency chains keep paying the inter-node α, so the
+        // node-aware leader exchange (two α-deep SRA phases) wins.
+        let cluster = MachineSpec::dgx1().scale_out(8, 1.25e9, 5e-3);
+        let rec = recommend_topology(ModelId::ResNet50, &cluster).unwrap();
+        assert_eq!(rec.world, 64);
+        assert_eq!(rec.ranked.len(), 4);
+        assert!(rec.use_hierarchical(), "ranked: {:?}", rec.ranked);
+        let topo = rec.train_topology().expect("grouped topology");
+        assert_eq!(topo.world(), 64);
+        // On an all-PCIe cluster the raw staging is no longer free; the
+        // recommendation must be allowed to flip back to a flat scheme.
+        let pcie = recommend_topology(ModelId::Vgg16, &MachineSpec::genesis_cluster()).unwrap();
+        assert_eq!(pcie.ranked.len(), 4, "hierarchical stays a candidate");
+    }
+
+    #[test]
+    fn scale_out_to_512_ranks_is_simulable() {
+        let cluster = MachineSpec::rtx3090().scale_out(64, 1.25e9, 1.5e-3);
+        let mut ws = SimWorkspace::new();
+        let rec = recommend_topology_with(
+            ModelId::ResNet50,
+            &cluster,
+            CompressionScheme::cgx_default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(rec.world, 512);
+        assert!(rec.best().seconds > 0.0);
+        // Compression must not change the candidate set, only the times.
+        let fp32 =
+            recommend_topology_with(ModelId::ResNet50, &cluster, CompressionScheme::None, &mut ws)
+                .unwrap();
+        assert_eq!(fp32.ranked.len(), rec.ranked.len());
+        let t = |r: &TopologyRecommendation, n: &str| {
+            r.ranked.iter().find(|s| s.name == n).unwrap().seconds
+        };
+        assert!(t(&rec, "sra") < t(&fp32, "sra"), "q4 must beat fp32 on the wire");
+    }
+}

@@ -1,0 +1,43 @@
+//! End-to-end check of the "simulate before you launch" flow: the
+//! recommendation from [`cgx_core::recommend_topology`] feeds directly
+//! into [`TrainConfig::topology`] and the resulting run trains.
+
+use cgx_core::recommend_topology;
+use cgx_engine::{train_data_parallel, GaussianMixture, LayerCompression, Mlp, TrainConfig};
+use cgx_models::ModelId;
+use cgx_simnet::MachineSpec;
+use cgx_tensor::Rng;
+
+#[test]
+fn recommendation_feeds_train_config_and_trains() {
+    // A 2-node x 2-GPU cluster: NVLink-class nodes behind a slow
+    // uplink, the regime where the node-aware layout wins. The produced
+    // Topology must drive a real (thread-backed) training run.
+    let cluster = MachineSpec::aws_p3_8xlarge()
+        .with_gpus(2)
+        .scale_out(2, 0.2e9, 1.5e-3);
+    let rec = recommend_topology(ModelId::ResNet50, &cluster).unwrap();
+    assert_eq!(rec.world, 4);
+    assert!(rec.use_hierarchical(), "ranked: {:?}", rec.ranked);
+
+    let task = GaussianMixture::new(6, 12, 1.2);
+    let mut rng = Rng::seed_from_u64(5);
+    let model = Mlp::new(&mut rng, &[12, 32, 6]);
+    let mut cfg = TrainConfig::new(rec.world, 60);
+    cfg.compression = LayerCompression::cgx_default();
+    cfg.topology = rec.train_topology();
+    assert!(cfg.topology.is_some());
+    let t = task.clone();
+    let (_, report) = train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg).unwrap();
+    assert!(report.bytes_sent_per_worker > 0);
+    assert!(report.losses.last().unwrap() < report.losses.first().unwrap());
+}
+
+#[test]
+fn fast_single_node_stays_flat() {
+    let rec = recommend_topology(ModelId::BertBase, &MachineSpec::dgx1()).unwrap();
+    assert_eq!(rec.train_topology(), None);
+    let mut cfg = TrainConfig::new(4, 1);
+    cfg.topology = rec.train_topology();
+    assert!(cfg.topology.is_none());
+}

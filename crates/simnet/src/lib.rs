@@ -21,6 +21,8 @@
 //!   (Figure 10);
 //! * [`des`] — a first-principles discrete-event network simulation that
 //!   cross-validates the closed forms (lane contention, dependency stalls);
+//! * [`calibrate`] — fits the DES loopback fabric to measured
+//!   `BENCH_net.json` points and reports per-point relative error;
 //! * [`step`] — the per-step overlap simulator behind Figures 1 and 3 and
 //!   Tables 4-8.
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 pub mod backend;
+pub mod calibrate;
 pub mod collective;
 pub mod des;
 pub mod hardware;
@@ -49,11 +52,15 @@ pub mod step;
 pub mod topology;
 
 pub use backend::CommBackend;
+pub use calibrate::{calibrate, parse_bench_net, CalPoint, CalibrationReport, LoopbackModel, NetPoint};
 pub use collective::{
     allreduce_time, flat_multinode_allreduce_time, hierarchical_allreduce_time, CommCost,
     ReductionScheme,
 };
-pub use des::{NetworkDes, SendOp};
+pub use des::{
+    build_hierarchical, build_ring, build_sra, build_tree, run, run_with_times, Bus, DesScratch,
+    Fabric, NetworkDes, OpGraph, RunStats, SimError, SimWorkspace,
+};
 pub use hardware::{GpuModel, GpuSpec};
 pub use machine::MachineSpec;
 pub use memory::{max_batch, recipe_batch_fits, training_memory_mb, OptimizerKind};

@@ -8,6 +8,7 @@
 //! 8x RTX 3090 box despite 13-16 GB/s pairwise links).
 
 use crate::backend::CommBackend;
+use crate::des::{Fabric, SimError};
 use crate::hardware::GpuModel;
 use crate::topology::{self, Topology};
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,70 @@ impl MachineSpec {
         let mut m = self.clone();
         m.gpus_per_node = n;
         m
+    }
+
+    /// Scales this machine out to `nodes` copies of itself joined by an
+    /// interconnect of `inter_bw` bytes/s per node and `inter_alpha`
+    /// seconds per round — the constructor behind the 512-rank
+    /// heterogeneous sweeps (e.g. `rtx3090().scale_out(64, ..)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero, `inter_bw` is not positive, or
+    /// `inter_alpha` is negative (catalog construction is programmer
+    /// input, matching [`MachineSpec::with_gpus`]).
+    pub fn scale_out(&self, nodes: usize, inter_bw: f64, inter_alpha: f64) -> MachineSpec {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(
+            inter_bw.is_finite() && inter_bw > 0.0,
+            "inter-node bandwidth must be positive"
+        );
+        assert!(
+            inter_alpha.is_finite() && inter_alpha >= 0.0,
+            "inter-node alpha must be non-negative"
+        );
+        let mut m = self.clone();
+        if nodes == 1 {
+            m.nodes = 1;
+            m.inter_node_bw = None;
+            m.inter_alpha = 0.0;
+            return m;
+        }
+        m.name = format!("{}x {}", nodes, self.name);
+        m.nodes = nodes;
+        m.inter_node_bw = Some(inter_bw);
+        m.inter_alpha = inter_alpha;
+        m.price_per_hour = self.price_per_hour.map(|p| p * nodes as f64);
+        m
+    }
+
+    /// Lowers the machine onto a DES [`Fabric`]: one rank per GPU, with
+    /// per-rank lane bandwidth shaped by the node topology's lane
+    /// envelope (GPUs on slower switches get proportionally slower
+    /// lanes around the calibrated per-GPU stream bandwidth), the
+    /// backend's α, and — on multi-node machines — shared per-node
+    /// uplink/downlink lanes at the calibrated inter-node bandwidth.
+    pub fn fabric(&self, backend: CommBackend) -> Result<Fabric, SimError> {
+        let ranks = self.total_gpus();
+        let base_bw = self.stream_bandwidth(backend);
+        let mut f = Fabric::uniform(ranks, base_bw, backend.alpha())?;
+        let lanes = self.topology.gpu_lane_bandwidths();
+        let peak = lanes.iter().copied().fold(0.0, f64::max);
+        if peak > 0.0 {
+            // Only the GPUs of one node appear in the topology; the
+            // pattern repeats on every node.
+            let gpn = self.gpus_per_node.min(lanes.len());
+            for r in 0..ranks {
+                let rel = lanes[r % gpn] / peak;
+                if rel < 1.0 {
+                    f.scale_rank_bandwidth(r, rel)?;
+                }
+            }
+        }
+        if let Some(inter_bw) = self.inter_node_bw {
+            f.set_nodes(self.gpus_per_node, inter_bw, self.inter_alpha)?;
+        }
+        Ok(f)
     }
 
     // ----- Table 2 systems -----
@@ -309,6 +374,49 @@ mod tests {
     fn cloud_instances_have_prices() {
         assert_eq!(MachineSpec::aws_p3_8xlarge().price_per_hour(), Some(12.2));
         assert_eq!(MachineSpec::genesis_3090().price_per_hour(), Some(6.8));
+    }
+
+    #[test]
+    fn scale_out_multiplies_ranks_and_price() {
+        let m = MachineSpec::rtx3090().scale_out(64, 1.25e9, 1e-3);
+        assert_eq!(m.total_gpus(), 512);
+        assert!(m.is_multi_node());
+        assert_eq!(m.inter_node_bandwidth(), Some(1.25e9));
+        assert_eq!(m.inter_alpha(), 1e-3);
+        let single = MachineSpec::genesis_cluster().scale_out(1, 1.0, 0.0);
+        assert!(!single.is_multi_node());
+        assert_eq!(single.inter_node_bandwidth(), None);
+    }
+
+    #[test]
+    fn fabric_reflects_scale_out_and_runs() {
+        use crate::des::{build_sra, OpGraph, DesScratch, run};
+        let m = MachineSpec::genesis_3090();
+        let flat = m.fabric(CommBackend::Shm).unwrap();
+        assert_eq!(flat.ranks(), 4);
+        let cluster = m.scale_out(4, 0.625e9, 1.5e-3);
+        let fat = cluster.fabric(CommBackend::Shm).unwrap();
+        assert_eq!(fat.ranks(), 16);
+        let mut g = OpGraph::new();
+        let mut s = DesScratch::new();
+        build_sra(&mut g, 16).unwrap();
+        let bytes = 10_000_000.0;
+        let t_clustered = run(&g, &fat, bytes, &mut s).unwrap().makespan_seconds();
+        let wide = Fabric::uniform(16, m.stream_bandwidth(CommBackend::Shm), 0.0).unwrap();
+        let t_flat = run(&g, &wide, bytes, &mut s).unwrap().makespan_seconds();
+        // The shared 0.625 GB/s uplinks must slow the same graph down.
+        assert!(t_clustered > 2.0 * t_flat, "{t_clustered} vs {t_flat}");
+    }
+
+    #[test]
+    fn lane_envelope_shapes_per_rank_bandwidth() {
+        // The dual-NUMA RTX box routes some GPUs over a slower bus; the
+        // lane envelope must not be uniform.
+        let m = MachineSpec::rtx3090();
+        let lanes = m.topology().gpu_lane_bandwidths();
+        assert_eq!(lanes.len(), 8);
+        assert!(lanes.iter().all(|&b| b > 0.0));
+        m.fabric(CommBackend::Shm).unwrap(); // must validate
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub fn simulate_step_ordered(
             let (i, _) = pending
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
                 .expect("non-empty pending");
             now = pending[i].0;
             i

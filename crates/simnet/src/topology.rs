@@ -152,12 +152,7 @@ impl Topology {
         // explored fastest-first so that among equal-hop paths the
         // highest-bandwidth route wins (NVLink over the PCIe fallback).
         let mut order: Vec<usize> = (0..self.links.len()).collect();
-        order.sort_by(|x, y| {
-            self.links[*y]
-                .bandwidth
-                .partial_cmp(&self.links[*x].bandwidth)
-                .expect("finite bandwidth")
-        });
+        order.sort_by(|x, y| self.links[*y].bandwidth.total_cmp(&self.links[*x].bandwidth));
         let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.devices.len()];
         let mut visited = vec![false; self.devices.len()];
         visited[from] = true;
@@ -207,6 +202,25 @@ impl Topology {
         path.iter()
             .map(|li| self.links[*li].bandwidth)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-GPU lane envelope: for each GPU rank, the fastest link leaving
+    /// its device — the physical ceiling of that GPU's egress/ingress lane
+    /// regardless of routing. This is what seeds per-rank bandwidth
+    /// heterogeneity when a topology is lowered onto a DES
+    /// [`Fabric`](crate::des::Fabric): GPUs hanging off a slower PCIe
+    /// switch get proportionally slower lanes.
+    pub fn gpu_lane_bandwidths(&self) -> Vec<f64> {
+        (0..self.gpu_count() as u32)
+            .map(|r| {
+                let di = self.gpu_index(r);
+                self.links
+                    .iter()
+                    .filter(|l| l.a == di || l.b == di)
+                    .map(|l| l.bandwidth)
+                    .fold(0.0, f64::max)
+            })
+            .collect()
     }
 
     /// Full GPU-to-GPU bandwidth matrix (diagonal is 0).

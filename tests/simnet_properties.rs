@@ -3,8 +3,8 @@
 //! topology invariants, for randomized parameters.
 
 use cgx::simnet::{
-    allreduce_time, fuse_messages, simulate_step, CommCost, ComputeProfile, LayerMsg, MachineSpec,
-    NetworkDes, ReductionScheme, StepConfig,
+    allreduce_time, fuse_messages, run, simulate_step, CommCost, ComputeProfile, DesScratch,
+    Fabric, LayerMsg, MachineSpec, NetworkDes, OpGraph, ReductionScheme, SimError, StepConfig,
 };
 use proptest::prelude::*;
 
@@ -93,6 +93,8 @@ proptest! {
         let bytes = mb as f64 * 1e6;
         let bw = bw_gbps as f64 * 1e9;
         let des = NetworkDes::new(n, bw, 10e-6).sra_allreduce(bytes);
+        prop_assert!(des.is_ok());
+        let des = des.unwrap();
         let analytic = allreduce_time(
             ReductionScheme::ScatterReduceAllgather,
             n,
@@ -101,6 +103,103 @@ proptest! {
         );
         let ratio = des / analytic;
         prop_assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn des_and_analytic_ring_agree(
+        n in 2usize..10,
+        mb in 1u32..200,
+        bw_gbps in 1u32..50,
+    ) {
+        let bytes = mb as f64 * 1e6;
+        let bw = bw_gbps as f64 * 1e9;
+        let des = NetworkDes::new(n, bw, 10e-6).ring_allreduce(bytes);
+        prop_assert!(des.is_ok());
+        let des = des.unwrap();
+        let analytic = allreduce_time(
+            ReductionScheme::Ring,
+            n,
+            bytes as usize,
+            CommCost::new(bw, 10e-6),
+        );
+        let ratio = des / analytic;
+        prop_assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wheel_runs_any_valid_graph_without_panicking(
+        ranks in 2usize..24,
+        ops in prop::collection::vec((0usize..24, 0usize..24, 1u32..1000), 1..120),
+        mb in 1u32..64,
+        straggle_ms in 0u32..3,
+        jitter_milli in 0u32..900,
+        seed in any::<u64>(),
+    ) {
+        // Random DAG: transfers between random ranks (computes when the
+        // pair collapses), each depending on up to two earlier ops.
+        let mut g = OpGraph::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for &(a, b, frac_m) in &ops {
+            let (src, dst) = (a % ranks, b % ranks);
+            let deps: Vec<u32> = ids.iter().rev().take(2).copied().collect();
+            let id = if src == dst {
+                g.push_compute(src, frac_m, &deps).unwrap()
+            } else {
+                g.push_transfer(src, dst, frac_m as f64 / 1000.0, &deps).unwrap()
+            };
+            ids.push(id);
+        }
+        g.seal();
+        let mut fabric = Fabric::uniform(ranks, 5e9, 8e-6).unwrap();
+        if straggle_ms > 0 {
+            fabric.scale_rank_bandwidth(0, 0.5).unwrap();
+            fabric.set_release(0, straggle_ms as f64 * 1e-3).unwrap();
+        }
+        fabric.set_jitter(seed, jitter_milli as f64 / 1000.0).unwrap();
+        let mut scratch = DesScratch::new();
+        let stats = run(&g, &fabric, mb as f64 * 1e6, &mut scratch);
+        prop_assert!(stats.is_ok(), "valid graph must simulate: {:?}", stats.err());
+        let s = stats.unwrap();
+        prop_assert_eq!(s.events as usize, g.len());
+        // Re-running with the same scratch is deterministic.
+        let s2 = run(&g, &fabric, mb as f64 * 1e6, &mut scratch).unwrap();
+        prop_assert_eq!(s.makespan_ns, s2.makespan_ns);
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking(
+        ranks in 2usize..16,
+        bad_idx in 0usize..3,
+    ) {
+        // Bad fabrics are rejected up front.
+        let bad_bw = [f64::NAN, 0.0, -3.0][bad_idx];
+        prop_assert!(Fabric::uniform(ranks, bad_bw, 1e-6).is_err());
+        prop_assert!(Fabric::uniform(0, 1e9, 1e-6).is_err());
+        // Self-transfers, non-finite fractions, and forward deps are
+        // rejected at push time.
+        let mut g = OpGraph::new();
+        prop_assert!(g.push_transfer(1, 1, 0.5, &[]).is_err());
+        prop_assert!(g.push_transfer(0, 1, f64::NAN, &[]).is_err());
+        prop_assert!(g.push_transfer(0, 1, 0.5, &[9]).is_err());
+        // A rank beyond the fabric is caught at run time, as an error.
+        g.push_transfer(0, ranks, 0.5, &[]).unwrap();
+        g.seal();
+        let fabric = Fabric::uniform(ranks, 1e9, 1e-6).unwrap();
+        let mut scratch = DesScratch::new();
+        prop_assert!(matches!(
+            run(&g, &fabric, 1e6, &mut scratch),
+            Err(SimError::BadRank { .. })
+        ));
+        // Unsealed graphs are refused.
+        let mut g2 = OpGraph::new();
+        g2.push_transfer(0, 1, 0.5, &[]).unwrap();
+        prop_assert!(matches!(
+            run(&g2, &fabric, 1e6, &mut scratch),
+            Err(SimError::Unsealed)
+        ));
+        // Non-finite reference byte counts are refused.
+        g2.seal();
+        prop_assert!(run(&g2, &fabric, f64::NAN, &mut scratch).is_err());
     }
 
     #[test]
