@@ -141,6 +141,13 @@ $RUSTC --test --crate-name launch_parity crates/net/tests/launch_parity.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
   -o "$V/test_launch_parity"
+$RUSTC --test --crate-name net_chaos crates/net/tests/net_chaos.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/test_net_chaos"
+$RUSTC --test --crate-name net_backoff_properties crates/net/tests/backoff_properties.rs \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern proptest="$L/libproptest.rlib" \
+  -o "$V/test_net_backoff_properties"
 
 $RUSTC --test --crate-name cgx_simnet_tests crates/simnet/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
@@ -203,6 +210,13 @@ $RUSTC --crate-name cgx_launch crates/net/src/bin/cgx_launch.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   --extern cgx_net="$L/libcgx_net.rlib" \
   -o "$V/cgx_launch"
+
+echo "== chaos_net_report bin"
+$RUSTC --crate-name chaos_net_report crates/bench/src/bin/chaos_net_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_net="$L/libcgx_net.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$V/chaos_net_report"
 
 echo "== net_report bin"
 $RUSTC --crate-name net_report crates/bench/src/bin/net_report.rs \

@@ -12,6 +12,12 @@
 //!
 //! Fault rates are per-frame probabilities applied independently to
 //! drop, corruption and duplication (so "1%" is ~3% of frames touched).
+//!
+//! Regression-guard mode: when `CGX_CHAOS_GUARD` names a baseline
+//! `BENCH_chaos.json`, the run fails if any fault rate's wall time (or
+//! the fail-stop scenario's) exceeds the baseline by more than
+//! `CGX_CHAOS_GUARD_TOLERANCE` (default 1.5x) — recovery getting slower
+//! is a regression even while delivered bytes stay perfect.
 
 use cgx_bench::{note, render_table};
 use cgx_collectives::FaultPlan;
@@ -51,7 +57,29 @@ fn run(task: &GaussianMixture, model: &Mlp, chaos: Option<FaultPlan>) -> (Vec<f6
     (rep.losses, wall, m, rep.faults)
 }
 
+/// Pulls `"wall_ms": <n>` out of the baseline object whose row contains
+/// `marker` (a `"fault_rate": x` or `"fail_stop"` key) — the file is our
+/// own hand-built format, so a substring scan is an honest parser.
+fn baseline_wall_ms(json: &str, marker: &str) -> Option<f64> {
+    let row = json.split('{').find(|r| r.contains(marker))?;
+    let at = row.find("\"wall_ms\": ")?;
+    let digits: String = row[at + "\"wall_ms\": ".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() {
+    // Snapshot the guard baseline up front: CGX_CHAOS_GUARD typically
+    // points at the committed BENCH_chaos.json, i.e. the very file this
+    // run overwrites — reading it after the write would compare the run
+    // against itself.
+    let guard = std::env::var("CGX_CHAOS_GUARD").ok().map(|path| {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("CGX_CHAOS_GUARD baseline {path}: {e}"));
+        (path, baseline)
+    });
     let task = GaussianMixture::new(6, 12, 1.2);
     let mut rng = Rng::seed_from_u64(5);
     let model = Mlp::new(&mut rng, &[12, 32, 6]);
@@ -144,6 +172,30 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
     print!("{json}");
+
+    if let Some((path, baseline)) = &guard {
+        let tolerance: f64 = std::env::var("CGX_CHAOS_GUARD_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.5);
+        let mut checks: Vec<(String, f64)> = rows
+            .iter()
+            .map(|r| (format!("\"fault_rate\": {}", r.rate), r.wall_ms))
+            .collect();
+        checks.push(("\"killed_rank\"".to_string(), kill_ms));
+        for (marker, measured) in &checks {
+            let Some(base_ms) = baseline_wall_ms(baseline, marker) else {
+                panic!("baseline {path} has no wall_ms for {marker}");
+            };
+            let limit = base_ms * tolerance;
+            println!("guard {marker}: {measured:.1}ms vs baseline {base_ms:.1}ms (limit {limit:.0}ms)");
+            assert!(
+                *measured <= limit,
+                "chaos wall-time regression at {marker}: {measured:.1}ms > {tolerance}x baseline {base_ms:.1}ms"
+            );
+        }
+        println!("guard: OK (tolerance {tolerance}x)");
+    }
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -204,6 +204,47 @@ pub fn check_stash_survives_disconnect(build: &FabricBuilder) {
     }
 }
 
+/// A closed/killed peer surfaces a *typed*, peer-scoped error within the
+/// caller's deadline — never a panic, never an indefinite block. Both
+/// the clean-shutdown error ([`CommError::Disconnected`]) and the
+/// process-death error ([`CommError::PeerDead`]) satisfy the contract;
+/// which one surfaces depends on how much of the failure the fabric can
+/// see. The write path is held to the same standard: sending into the
+/// dead lane either buffers or fails naming the peer — it must not
+/// panic.
+pub fn check_peer_death_is_typed_and_bounded(build: &FabricBuilder) {
+    let mut eps = build(2);
+    let b = eps.pop().expect("rank 1");
+    let a = eps.pop().expect("rank 0");
+    drop(a);
+    let budget = Duration::from_secs(5);
+    let start = std::time::Instant::now();
+    let err = b
+        .recv_tagged_deadline(0, 77, budget)
+        .expect_err("peer is gone, nothing was sent");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(
+            err,
+            CommError::Disconnected { .. } | CommError::PeerDead { .. }
+        ),
+        "death must be typed, got {err:?}"
+    );
+    assert_eq!(err.peer(), Some(0), "error must name the dead peer");
+    assert!(
+        elapsed < budget,
+        "death took {elapsed:?} to surface — slower than waiting out the deadline"
+    );
+    match b.send_tagged(0, 78, payload(1)) {
+        Ok(()) => {}
+        Err(e) => assert_eq!(
+            e.peer(),
+            Some(0),
+            "send into a dead lane must name the peer, got {e:?}"
+        ),
+    }
+}
+
 /// `wait_any_inbound` observes a pending message (returning `true`) and
 /// leaves it receivable.
 pub fn check_wait_any_inbound_sees_traffic(build: &FabricBuilder) {
@@ -359,6 +400,7 @@ pub fn run_all(build: &FabricBuilder) {
     check_legacy_and_tagged_coexist(build);
     check_broadcast(build);
     check_stash_survives_disconnect(build);
+    check_peer_death_is_typed_and_bounded(build);
     check_wait_any_inbound_sees_traffic(build);
     check_partial_short_writes(build);
     check_interleaved_small_frame_bursts(build);

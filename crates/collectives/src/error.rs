@@ -53,6 +53,15 @@ pub enum CommError {
         /// How many retransmission requests were issued before giving up.
         retries: u32,
     },
+    /// The peer's *process* is known dead: its socket reset or EOF'd
+    /// mid-frame, a write to it failed, or its liveness deadline elapsed
+    /// with no heartbeat. Stronger than [`CommError::Disconnected`]
+    /// (which also covers orderly shutdown): the rank is gone and will
+    /// not come back on this connection.
+    PeerDead {
+        /// The rank whose process died.
+        rank: usize,
+    },
     /// A peer is unrecoverably gone mid-collective. Emitted by the
     /// communication engine in place of the raw transport error so callers
     /// can run membership recovery and continue on the shrunken world.
@@ -101,6 +110,7 @@ impl CommError {
             | CommError::Corrupted { peer, .. }
             | CommError::Lost { peer, .. }
             | CommError::PeerLost { peer, .. } => Some(*peer),
+            CommError::PeerDead { rank } => Some(*rank),
             _ => None,
         }
     }
@@ -130,6 +140,9 @@ impl fmt::Display for CommError {
                     f,
                     "frame from rank {peer} lost after {retries} retransmission requests"
                 )
+            }
+            CommError::PeerDead { rank } => {
+                write!(f, "rank {rank} process is dead (socket reset or liveness deadline elapsed)")
             }
             CommError::PeerLost { peer, cause } => {
                 write!(f, "peer {peer} lost ({cause})")
@@ -186,6 +199,9 @@ mod tests {
             failures: vec![(0, "a".into()), (2, "b".into())],
         };
         assert!(e.to_string().contains("rank 2"));
+        let e = CommError::PeerDead { rank: 6 };
+        assert!(e.to_string().contains("rank 6"));
+        assert!(e.to_string().contains("dead"));
         let e = CommError::Bootstrap {
             detail: "rendezvous refused".into(),
         };
@@ -206,6 +222,7 @@ mod tests {
             Some(1)
         );
         assert_eq!(CommError::Lost { peer: 2, retries: 1 }.peer(), Some(2));
+        assert_eq!(CommError::PeerDead { rank: 7 }.peer(), Some(7));
         assert_eq!(
             CommError::PeerLost {
                 peer: 5,

@@ -70,7 +70,7 @@ pub mod transport;
 pub use cluster::ThreadCluster;
 pub use engine::{CommEngine, EngineOptions, Handle};
 pub use error::CommError;
-pub use fault::{ChaosTransport, FaultKind, FaultPlan, FaultStats};
+pub use fault::{ChaosTransport, FaultKind, FaultPlan, FaultStats, ReconnectPolicy};
 pub use hierarchy::{allreduce_hierarchical, Topology};
 pub use membership::{agree, Membership, MembershipView};
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};

@@ -29,7 +29,7 @@ use cgx_collectives::membership::agree;
 use cgx_collectives::reduce::{allreduce_scratch, Algorithm};
 use cgx_collectives::{
     ChaosTransport, CommEngine, CommError, EngineOptions, FaultPlan, FaultStats, Membership,
-    MembershipView, ShmTransport, ThreadCluster, Topology, Transport,
+    MembershipView, ReconnectPolicy, ShmTransport, ThreadCluster, Topology, Transport,
 };
 use cgx_compress::{CompressionScheme, Compressor, NoneCompressor, ScratchPool};
 use cgx_obs::{MetricsSnapshot, ObsHandle};
@@ -261,6 +261,18 @@ pub struct TrainConfig {
     /// defers to `CGX_NET_COALESCE` or the fabric default. Same scope as
     /// [`TrainConfig::net_read_buf`].
     pub net_coalesce_budget: Option<usize>,
+    /// TCP liveness: `(interval, deadline)` — emit heartbeat frames on
+    /// the control lane every `interval` and declare a peer dead after
+    /// `deadline` of silence. `None` (the default) disables heartbeats;
+    /// a dead peer is then only noticed when the socket reports it. Only
+    /// consulted by process launchers building a [`cgx-net`] transport —
+    /// same scope as [`TrainConfig::net_read_buf`].
+    pub heartbeat: Option<(Duration, Duration)>,
+    /// TCP reconnect policy for transient link drops: jittered
+    /// exponential backoff between redial attempts. `None` (the default)
+    /// treats every socket loss as a process death. Same scope as
+    /// [`TrainConfig::net_read_buf`].
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl TrainConfig {
@@ -286,6 +298,8 @@ impl TrainConfig {
             obs: ObsHandle::disabled(),
             net_read_buf: None,
             net_coalesce_budget: None,
+            heartbeat: None,
+            reconnect: None,
         }
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! - **Worker** (`CGX_RANK` set): rendezvous with the mesh, train, and —
 //!   when `CGX_OUT_DIR` is set — write this replica's final parameters
-//!   to `<dir>/params_rank<rank>.bin` as little-endian `f32` bytes.
+//!   to `<dir>/params_rank<rank>.bin` as little-endian `f32` bytes plus
+//!   a `report_rank<rank>.txt` sidecar (final world, recovery epochs).
 //! - **Coordinator** (`CGX_RANK` unset): spawn one copy of this binary
 //!   per rank via [`ProcessCluster`], wait for all of them, and verify
 //!   every written replica is byte-identical.
@@ -13,10 +14,22 @@
 //! ```text
 //! cgx-launch --world 4 --out-dir /tmp/cgx [--nodes 0,0,1,1] [--steps 40] [--seed 4242]
 //! ```
+//!
+//! Chaos mode (`--kill rank@step`, optionally `--sigkill`) arms the
+//! fault plan in every worker's environment, supervises the cluster
+//! instead of requiring unanimous success, and verifies that the
+//! *survivors* converged to byte-identical parameters on the shrunken
+//! world:
+//!
+//! ```text
+//! cgx-launch --world 4 --out-dir /tmp/cgx --kill 2@20 --sigkill --comm-timeout-ms 2000
+//! ```
 
 use cgx_net::cluster::{ProcessCluster, WorkerEnv};
+use cgx_net::fault::{ENV_NET_KILL, ENV_NET_SIGKILL};
 use cgx_net::rendezvous::{rendezvous_with_options, DEFAULT_BOOT_TIMEOUT};
-use cgx_net::workload::Workload;
+use cgx_net::workload::{ElasticOptions, Workload, ENV_COMM_TIMEOUT_MS, ENV_ELASTIC};
+use cgx_net::NetFaultPlan;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -39,9 +52,13 @@ fn rank_file(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("params_rank{rank}.bin"))
 }
 
+fn report_file(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("report_rank{rank}.txt"))
+}
+
 fn run_worker(env: WorkerEnv) -> Result<(), String> {
     let work = workload(env.world);
-    let (transport, topo) = rendezvous_with_options(
+    let (mut transport, topo) = rendezvous_with_options(
         env.rank,
         env.world,
         &env.rendezvous,
@@ -50,13 +67,23 @@ fn run_worker(env: WorkerEnv) -> Result<(), String> {
         work.net_options(),
     )
     .map_err(|e| format!("rank {}: bootstrap failed: {e}", env.rank))?;
+    if let Some(plan) = NetFaultPlan::from_env() {
+        transport.set_fault(plan);
+    }
     // A flat cluster (every rank on one node) runs the flat collective —
     // identical semantics to the thread-backed reference; a multi-node
     // roster switches on the hierarchical path.
     let topology = (topo.num_nodes() > 1).then(|| topo.clone());
-    let params = work
-        .run_rank(&transport, topology)
+    let run = work
+        .run_rank_elastic(&transport, topology, &ElasticOptions::from_env())
         .map_err(|e| format!("rank {}: training failed: {e}", env.rank))?;
+    let Some(params) = run.params else {
+        // Scheduled orderly death: the endpoint was dropped mid-run and
+        // the survivors are shrinking around us. Exiting zero is the
+        // contract — this rank did exactly what the plan asked.
+        println!("rank {}/{} died on schedule", env.rank, env.world);
+        return Ok(());
+    };
     if let Ok(dir) = std::env::var(ENV_OUT_DIR) {
         // Hand-launched workers (no coordinator) may point at a directory
         // nobody has created yet.
@@ -65,13 +92,21 @@ fn run_worker(env: WorkerEnv) -> Result<(), String> {
         let path = rank_file(Path::new(&dir), env.rank);
         std::fs::write(&path, &params)
             .map_err(|e| format!("rank {}: writing {}: {e}", env.rank, path.display()))?;
+        let report = report_file(Path::new(&dir), env.rank);
+        let body = format!(
+            "final_world={}\nrecovery_epochs={}\n",
+            run.final_world, run.recovery_epochs
+        );
+        std::fs::write(&report, body)
+            .map_err(|e| format!("rank {}: writing {}: {e}", env.rank, report.display()))?;
     }
     println!(
-        "rank {}/{} done: {} param bytes, {} wire bytes sent",
+        "rank {}/{} done: {} param bytes, {} wire bytes sent, final world {}",
         env.rank,
         env.world,
         params.len(),
-        transport.wire_bytes_sent()
+        transport.wire_bytes_sent(),
+        run.final_world,
     );
     Ok(())
 }
@@ -82,11 +117,15 @@ struct Cli {
     out_dir: Option<PathBuf>,
     steps: Option<String>,
     seed: Option<String>,
+    kill: Option<(usize, usize)>,
+    sigkill: bool,
+    comm_timeout_ms: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cgx-launch [--world N] [--nodes 0,0,1,1] [--out-dir DIR] [--steps N] [--seed N]"
+        "usage: cgx-launch [--world N] [--nodes 0,0,1,1] [--out-dir DIR] [--steps N] [--seed N] \
+         [--kill RANK@STEP] [--sigkill] [--comm-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -98,6 +137,9 @@ fn parse_cli() -> Cli {
         out_dir: None,
         steps: None,
         seed: None,
+        kill: None,
+        sigkill: false,
+        comm_timeout_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -115,10 +157,55 @@ fn parse_cli() -> Cli {
             "--out-dir" => cli.out_dir = Some(PathBuf::from(value())),
             "--steps" => cli.steps = Some(value()),
             "--seed" => cli.seed = Some(value()),
+            "--kill" => {
+                let v = value();
+                let Some((r, s)) = v.split_once('@') else {
+                    usage()
+                };
+                let rank = r.trim().parse().unwrap_or_else(|_| usage());
+                let step = s.trim().parse().unwrap_or_else(|_| usage());
+                cli.kill = Some((rank, step));
+            }
+            "--sigkill" => cli.sigkill = true,
+            "--comm-timeout-ms" => cli.comm_timeout_ms = Some(value()),
             _ => usage(),
         }
     }
     cli
+}
+
+/// Verifies that every rank in `ranks` wrote a byte-identical replica
+/// and returns `(replica bytes, consensus final_world)` from the
+/// sidecars.
+fn check_consensus(dir: &Path, ranks: &[usize]) -> Result<(Vec<u8>, usize), String> {
+    let first_rank = *ranks.first().ok_or("no survivors to compare")?;
+    let first = std::fs::read(rank_file(dir, first_rank))
+        .map_err(|e| format!("reading rank {first_rank} replica: {e}"))?;
+    let mut final_world = None;
+    for &rank in ranks {
+        let other = std::fs::read(rank_file(dir, rank))
+            .map_err(|e| format!("reading rank {rank} replica: {e}"))?;
+        if other != first {
+            return Err(format!("rank {rank} replica diverged from rank {first_rank}"));
+        }
+        let report = std::fs::read_to_string(report_file(dir, rank))
+            .map_err(|e| format!("reading rank {rank} report: {e}"))?;
+        let fw: usize = report
+            .lines()
+            .find_map(|l| l.strip_prefix("final_world="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("rank {rank} report lacks final_world"))?;
+        match final_world {
+            None => final_world = Some(fw),
+            Some(prev) if prev != fw => {
+                return Err(format!(
+                    "rank {rank} finished with world {fw}, others with {prev}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok((first, final_world.expect("at least one rank")))
 }
 
 fn run_coordinator() -> Result<(), String> {
@@ -145,25 +232,79 @@ fn run_coordinator() -> Result<(), String> {
     if let Some(seed) = &cli.seed {
         cluster = cluster.env(ENV_SEED, seed);
     }
-    cluster.run().map_err(|e| e.to_string())?;
-    if let Some(dir) = &cli.out_dir {
-        let first = std::fs::read(rank_file(dir, 0))
-            .map_err(|e| format!("reading rank 0 replica: {e}"))?;
-        for rank in 1..cli.world {
-            let other = std::fs::read(rank_file(dir, rank))
-                .map_err(|e| format!("reading rank {rank} replica: {e}"))?;
-            if other != first {
-                return Err(format!("rank {rank} replica diverged from rank 0"));
-            }
+    let Some((krank, kstep)) = cli.kill else {
+        if cli.sigkill || cli.comm_timeout_ms.is_some() {
+            return Err("--sigkill/--comm-timeout-ms require --kill".into());
         }
-        println!(
-            "launch ok: {} ranks, replicas byte-identical ({} param bytes)",
-            cli.world,
-            first.len()
-        );
-    } else {
-        println!("launch ok: {} ranks", cli.world);
+        cluster.run().map_err(|e| e.to_string())?;
+        if let Some(dir) = &cli.out_dir {
+            let ranks: Vec<usize> = (0..cli.world).collect();
+            let (first, _) = check_consensus(dir, &ranks)?;
+            println!(
+                "launch ok: {} ranks, replicas byte-identical ({} param bytes)",
+                cli.world,
+                first.len()
+            );
+        } else {
+            println!("launch ok: {} ranks", cli.world);
+        }
+        return Ok(());
+    };
+    // Chaos mode: arm the fault plan in every worker, supervise, and
+    // require the *survivors* to agree on a shrunken world.
+    if krank >= cli.world {
+        return Err(format!(
+            "--kill names rank {krank} but --world is {}",
+            cli.world
+        ));
     }
+    cluster = cluster
+        .env(ENV_NET_KILL, format!("{krank}@{kstep}"))
+        .env(ENV_ELASTIC, "1");
+    if cli.sigkill {
+        cluster = cluster.env(ENV_NET_SIGKILL, "1");
+    }
+    if let Some(ms) = &cli.comm_timeout_ms {
+        cluster = cluster.env(ENV_COMM_TIMEOUT_MS, ms);
+    }
+    let report = cluster.run_supervised().map_err(|e| e.to_string())?;
+    for exit in &report.exits {
+        if exit.rank != krank && !exit.success {
+            return Err(format!("survivor failed: {}", exit.detail));
+        }
+    }
+    let doomed = &report.exits[krank];
+    if cli.sigkill && doomed.success {
+        return Err(format!("rank {krank} was SIGKILL-scheduled but exited clean"));
+    }
+    if !cli.sigkill && !doomed.success {
+        return Err(format!(
+            "rank {krank} should have died an orderly death: {}",
+            doomed.detail
+        ));
+    }
+    let Some(dir) = &cli.out_dir else {
+        println!(
+            "chaos launch ok: {}/{} survivors (rank {krank} killed at step {kstep})",
+            cli.world - 1,
+            cli.world
+        );
+        return Ok(());
+    };
+    let survivors: Vec<usize> = (0..cli.world).filter(|&r| r != krank).collect();
+    let (first, final_world) = check_consensus(dir, &survivors)?;
+    if final_world != cli.world - 1 {
+        return Err(format!(
+            "survivors finished with world {final_world}, expected {}",
+            cli.world - 1
+        ));
+    }
+    println!(
+        "chaos launch ok: rank {krank} killed at step {kstep}, {} survivors byte-identical \
+         on world {final_world} ({} param bytes)",
+        survivors.len(),
+        first.len()
+    );
     Ok(())
 }
 

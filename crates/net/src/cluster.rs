@@ -29,6 +29,13 @@ pub const ENV_WORLD: &str = "CGX_WORLD";
 pub const ENV_RENDEZVOUS: &str = "CGX_RENDEZVOUS";
 /// Environment variable carrying this rank's node id (default `0`).
 pub const ENV_NODE: &str = "CGX_NODE";
+/// Environment variable: per-rank restart budget for
+/// [`ProcessCluster::run_supervised`] (default `0`, i.e. no restarts).
+/// A restarted worker cannot rejoin an already-formed mesh — rendezvous
+/// is one-shot — so restarts only help with failures *before* bootstrap
+/// completes (spawn races, transient port exhaustion). Elastic chaos
+/// runs deliberately leave this off and let the survivors shrink.
+pub const ENV_RESTART: &str = "CGX_RESTART";
 
 fn boot_err(detail: impl Into<String>) -> CommError {
     CommError::Bootstrap {
@@ -113,6 +120,7 @@ pub struct ProcessCluster {
     nodes: Vec<u32>,
     env: Vec<(String, String)>,
     args: Vec<String>,
+    restart_budget: u32,
 }
 
 impl ProcessCluster {
@@ -131,7 +139,17 @@ impl ProcessCluster {
             nodes: vec![0; world],
             env: Vec::new(),
             args: Vec::new(),
+            restart_budget: 0,
         }
+    }
+
+    /// Grants each rank a restart budget for
+    /// [`run_supervised`](Self::run_supervised) (see [`ENV_RESTART`] for
+    /// the caveats; the env var overrides this when set).
+    #[must_use]
+    pub fn restarts(mut self, budget: u32) -> Self {
+        self.restart_budget = budget;
+        self
     }
 
     /// Overrides the rendezvous address (e.g. a routable one for a
@@ -168,6 +186,18 @@ impl ProcessCluster {
         self
     }
 
+    fn spawn_rank(&self, rank: usize) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.bin);
+        cmd.args(&self.args)
+            .envs(self.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_WORLD, self.world.to_string())
+            .env(ENV_RENDEZVOUS, &self.rendezvous)
+            .env(ENV_NODE, self.nodes[rank].to_string())
+            .stdin(Stdio::null());
+        cmd.spawn()
+    }
+
     /// Spawns all ranks and waits for them. Succeeds only when every
     /// worker exits zero.
     ///
@@ -176,42 +206,158 @@ impl ProcessCluster {
     /// [`CommError::Bootstrap`] naming every rank that failed to spawn
     /// or exited nonzero.
     pub fn run(&self) -> Result<(), CommError> {
-        let mut children: Vec<(usize, Child)> = Vec::with_capacity(self.world);
-        let mut failures: Vec<String> = Vec::new();
-        for rank in 0..self.world {
-            let mut cmd = Command::new(&self.bin);
-            cmd.args(&self.args)
-                .envs(self.env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
-                .env(ENV_RANK, rank.to_string())
-                .env(ENV_WORLD, self.world.to_string())
-                .env(ENV_RENDEZVOUS, &self.rendezvous)
-                .env(ENV_NODE, self.nodes[rank].to_string())
-                .stdin(Stdio::null());
-            match cmd.spawn() {
-                Ok(child) => children.push((rank, child)),
-                Err(e) => failures.push(format!("rank {rank} failed to spawn: {e}")),
-            }
-        }
-        // A missing rank means the mesh can never form: put the spawned
-        // ranks out of their misery rather than waiting out their boot
-        // timeout.
-        if !failures.is_empty() {
-            for (_, child) in &mut children {
-                let _ = child.kill();
-            }
-        }
-        for (rank, mut child) in children {
-            match child.wait() {
-                Ok(status) if status.success() => {}
-                Ok(status) => failures.push(format!("rank {rank} exited with {status}")),
-                Err(e) => failures.push(format!("rank {rank} could not be awaited: {e}")),
-            }
-        }
+        let report = self.run_supervised()?;
+        let failures: Vec<&str> = report
+            .exits
+            .iter()
+            .filter(|e| !e.success)
+            .map(|e| e.detail.as_str())
+            .collect();
         if failures.is_empty() {
             Ok(())
         } else {
             Err(boot_err(failures.join("; ")))
         }
+    }
+
+    /// Spawns all ranks, supervises them to completion, and reports each
+    /// rank's fate instead of folding deaths into an error — the entry
+    /// point for chaos runs, where a worker dying is the *plan*. When
+    /// [`ENV_RESTART`] grants a budget, a rank that dies is respawned up
+    /// to that many times before its failure is recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Bootstrap`] only when a rank cannot be *spawned* at
+    /// all (the mesh can then never form, so every spawned rank is
+    /// killed rather than left to wait out its boot timeout). Deaths
+    /// after a successful spawn are data, not errors.
+    pub fn run_supervised(&self) -> Result<ClusterReport, CommError> {
+        let restart_budget: u32 = std::env::var(ENV_RESTART)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.restart_budget);
+        let mut children: Vec<(usize, Child)> = Vec::with_capacity(self.world);
+        let mut spawn_failures: Vec<String> = Vec::new();
+        for rank in 0..self.world {
+            match self.spawn_rank(rank) {
+                Ok(child) => children.push((rank, child)),
+                Err(e) => spawn_failures.push(format!("rank {rank} failed to spawn: {e}")),
+            }
+        }
+        if !spawn_failures.is_empty() {
+            for (_, child) in &mut children {
+                let _ = child.kill();
+            }
+            for (_, mut child) in children {
+                let _ = child.wait();
+            }
+            return Err(boot_err(spawn_failures.join("; ")));
+        }
+        let mut exits: Vec<RankExit> = Vec::with_capacity(self.world);
+        for (rank, mut child) in children {
+            let mut restarts = 0u32;
+            let exit = loop {
+                match child.wait() {
+                    Ok(status) if status.success() => {
+                        break RankExit {
+                            rank,
+                            success: true,
+                            code: status.code(),
+                            restarts,
+                            detail: format!("rank {rank} ok"),
+                        }
+                    }
+                    Ok(status) => {
+                        if restarts < restart_budget {
+                            match self.spawn_rank(rank) {
+                                Ok(next) => {
+                                    restarts += 1;
+                                    child = next;
+                                    continue;
+                                }
+                                Err(e) => {
+                                    break RankExit {
+                                        rank,
+                                        success: false,
+                                        code: status.code(),
+                                        restarts,
+                                        detail: format!(
+                                            "rank {rank} exited with {status}; respawn failed: {e}"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                        break RankExit {
+                            rank,
+                            success: false,
+                            code: status.code(),
+                            restarts,
+                            detail: format!("rank {rank} exited with {status}"),
+                        };
+                    }
+                    Err(e) => {
+                        break RankExit {
+                            rank,
+                            success: false,
+                            code: None,
+                            restarts,
+                            detail: format!("rank {rank} could not be awaited: {e}"),
+                        }
+                    }
+                }
+            };
+            exits.push(exit);
+        }
+        Ok(ClusterReport { exits })
+    }
+}
+
+/// One rank's fate under [`ProcessCluster::run_supervised`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankExit {
+    /// The rank.
+    pub rank: usize,
+    /// Whether the final attempt exited zero.
+    pub success: bool,
+    /// The exit code of the final attempt; `None` when the process was
+    /// killed by a signal (e.g. `SIGKILL`) or could not be awaited.
+    pub code: Option<i32>,
+    /// Restarts consumed before the final attempt.
+    pub restarts: u32,
+    /// Human-readable description of the outcome.
+    pub detail: String,
+}
+
+/// Per-rank outcomes of a supervised cluster run — the coordinator-side
+/// [`FaultStats`](cgx_collectives::FaultStats) analogue: which processes
+/// lived, which died, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// One entry per rank, in rank order.
+    pub exits: Vec<RankExit>,
+}
+
+impl ClusterReport {
+    /// Ranks whose final attempt exited zero.
+    pub fn survivors(&self) -> usize {
+        self.exits.iter().filter(|e| e.success).count()
+    }
+
+    /// Ranks whose final attempt died (nonzero exit, signal, or
+    /// unawaitable).
+    pub fn deaths(&self) -> usize {
+        self.exits.len() - self.survivors()
+    }
+
+    /// The ranks that died, in rank order.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.exits
+            .iter()
+            .filter(|e| !e.success)
+            .map(|e| e.rank)
+            .collect()
     }
 }
 
@@ -231,6 +377,46 @@ mod tests {
             }
             other => panic!("expected Bootstrap, got {other:?}"),
         }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn supervised_run_reports_deaths_instead_of_erroring() {
+        // Ranks 1 and 2 die (exit = rank); the supervisor records that
+        // rather than failing the whole cluster.
+        let report = ProcessCluster::new("/bin/sh", 3)
+            .arg("-c")
+            .arg("exit $CGX_RANK")
+            .run_supervised()
+            .expect("all ranks spawn");
+        assert_eq!(report.survivors(), 1);
+        assert_eq!(report.deaths(), 2);
+        assert_eq!(report.dead_ranks(), vec![1, 2]);
+        assert_eq!(report.exits[1].code, Some(1));
+        assert_eq!(report.exits[2].code, Some(2));
+        assert!(report.exits.iter().all(|e| e.restarts == 0));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn restart_budget_respawns_a_crashed_rank() {
+        // First attempt leaves a marker and dies; the respawn sees the
+        // marker and exits clean.
+        let mark = std::env::temp_dir().join(format!(
+            "cgx-restart-mark-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&mark);
+        let report = ProcessCluster::new("/bin/sh", 1)
+            .arg("-c")
+            .arg("if [ -f \"$CGX_MARK\" ]; then exit 0; else : > \"$CGX_MARK\"; exit 1; fi")
+            .env("CGX_MARK", mark.display().to_string())
+            .restarts(1)
+            .run_supervised()
+            .expect("spawns");
+        let _ = std::fs::remove_file(&mark);
+        assert_eq!(report.survivors(), 1);
+        assert_eq!(report.exits[0].restarts, 1);
     }
 
     #[test]

@@ -17,18 +17,24 @@
 //!   full mesh plus a node [`Topology`](cgx_collectives::Topology), and
 //!   [`TcpFabric`] for in-process loopback meshes.
 //! - [`cluster`] — [`ProcessCluster`]: spawn-and-wait of one OS process
-//!   per rank, env-driven (`CGX_RANK`, `CGX_WORLD`, `CGX_RENDEZVOUS`).
+//!   per rank, env-driven (`CGX_RANK`, `CGX_WORLD`, `CGX_RENDEZVOUS`),
+//!   with supervised mode reporting per-rank deaths.
 //! - [`workload`] — the deterministic training workload behind the
 //!   `cgx-launch` binary and the Shm/TCP parity test.
+//! - [`fault`] — [`NetFaultPlan`]: process kills (orderly or `SIGKILL`)
+//!   and socket resets, the OS-level mirror of the in-process chaos
+//!   plan.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod rendezvous;
 pub mod tcp;
 pub mod wire;
 pub mod workload;
 
-pub use cluster::ProcessCluster;
+pub use cluster::{ClusterReport, ProcessCluster, RankExit};
+pub use fault::{NetFaultPlan, ResetPlan};
 pub use rendezvous::{rendezvous, rendezvous_with_options, TcpFabric, DEFAULT_BOOT_TIMEOUT};
 pub use tcp::{NetOptions, TcpTransport, WireStats};

@@ -108,6 +108,16 @@ fn accept_with_deadline(
                 stream
                     .set_nonblocking(false)
                     .map_err(|e| boot_err(format!("accepted stream setup: {e}")))?;
+                // A peer that connects and then dies mid-handshake must
+                // not hang the boot: bound the upcoming control read by
+                // the remaining budget. Cleared once the handshake is
+                // done.
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(10));
+                stream
+                    .set_read_timeout(Some(remaining))
+                    .map_err(|e| boot_err(format!("accepted stream deadline: {e}")))?;
                 return Ok(stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -182,6 +192,7 @@ fn rendezvous_root(
         if streams[rank].is_some() {
             return Err(boot_err(format!("rank {rank} joined twice")));
         }
+        let _ = stream.set_read_timeout(None);
         streams[rank] = Some(stream);
         entries[rank] = Some(RosterEntry {
             node: their_node,
@@ -202,7 +213,15 @@ fn rendezvous_root(
         send_ctrl(stream, &roster)?;
     }
     let topo = roster_topology(&entries);
-    Ok((TcpTransport::new(0, world, streams, timeout, opts)?, topo))
+    let transport = TcpTransport::new(0, world, streams, timeout, opts)?;
+    let transport = if opts.reconnect.is_some() {
+        // Rank 0 never dials: it keeps its rendezvous listener so every
+        // dropped peer can redial it.
+        transport.with_mesh(listener, vec![None; world])?
+    } else {
+        transport
+    };
+    Ok((transport, topo))
 }
 
 fn rendezvous_peer(
@@ -237,7 +256,15 @@ fn rendezvous_peer(
     hello.extend_from_slice(&node.to_le_bytes());
     put_str(&mut hello, &my_addr);
     send_ctrl(&mut root, &hello)?;
+    // The root may die mid-bootstrap; bound the ROSTER wait by the
+    // remaining budget instead of hanging on a silent socket.
+    let remaining = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(10));
+    root.set_read_timeout(Some(remaining))
+        .map_err(|e| boot_err(format!("root stream deadline: {e}")))?;
     let body = recv_ctrl(&mut root, MSG_ROSTER, "ROSTER")?;
+    let _ = root.set_read_timeout(None);
     let mut at = 1;
     let roster_world = get_u32(&body, &mut at)? as usize;
     if roster_world != world {
@@ -276,10 +303,25 @@ fn rendezvous_peer(
         if streams[their_rank].is_some() {
             return Err(boot_err(format!("rank {their_rank} dialed twice")));
         }
+        let _ = stream.set_read_timeout(None);
         streams[their_rank] = Some(stream);
     }
     let topo = roster_topology(&entries);
-    Ok((TcpTransport::new(rank, world, streams, timeout, opts)?, topo))
+    let transport = TcpTransport::new(rank, world, streams, timeout, opts)?;
+    let transport = if opts.reconnect.is_some() {
+        // Redial direction mirrors bootstrap: this rank re-dials the
+        // root and every lower rank (at their rostered addresses);
+        // higher ranks redial us on the retained mesh listener.
+        let mut addrs: Vec<Option<String>> = vec![None; world];
+        addrs[0] = Some(root_addr.to_string());
+        for (j, entry) in entries.iter().enumerate().take(rank).skip(1) {
+            addrs[j] = Some(entry.addr.clone());
+        }
+        transport.with_mesh(listener, addrs)?
+    } else {
+        transport
+    };
+    Ok((transport, topo))
 }
 
 /// Bootstraps one rank of a TCP mesh. Rank 0 listens on `root_addr`;
@@ -486,6 +528,31 @@ mod tests {
                 "got {root_err:?}"
             );
             assert!(peer.join().expect("peer thread").is_err());
+        });
+    }
+
+    #[test]
+    fn root_bootstrap_bounds_a_silent_hello() {
+        // A worker that connects and then freezes (or dies without the
+        // kernel noticing) before sending HELLO must not hang the root:
+        // the handshake read is bounded by the boot budget.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let boot = Duration::from_millis(500);
+        std::thread::scope(|s| {
+            let opts = NetOptions::default();
+            let root =
+                s.spawn(move || rendezvous_root(listener, 3, 0, boot, DEFAULT_TIMEOUT, opts));
+            let zombie = TcpStream::connect(&addr).expect("connect");
+            let t0 = Instant::now();
+            let err = root.join().expect("root thread").expect_err("boot must fail");
+            assert!(matches!(err, CommError::Bootstrap { .. }), "got {err:?}");
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "silent HELLO took {:?}, budget was 500ms",
+                t0.elapsed()
+            );
+            drop(zombie);
         });
     }
 

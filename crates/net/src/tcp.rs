@@ -52,16 +52,17 @@
 //!   [`TcpTransport::wire_stats`] breaks the wall time into
 //!   serialize / syscall / park for the same report.
 
+use crate::fault::NetFaultPlan;
 use crate::wire;
-use cgx_collectives::transport::{Tag, QUIESCE_TAG};
-use cgx_collectives::{CommError, Transport};
+use cgx_collectives::transport::{Tag, CTRL_TAG, QUIESCE_TAG};
+use cgx_collectives::{CommError, ReconnectPolicy, Transport};
 use cgx_compress::Encoded;
 use cgx_obs::MetricsRegistry;
 use cgx_tensor::Shape;
 use std::collections::{HashMap, VecDeque};
 use std::io::{IoSlice, Read, Write};
-use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -74,6 +75,19 @@ pub const ENV_COALESCE_FRAME: &str = "CGX_NET_COALESCE_FRAME";
 /// Environment variable overriding [`NetOptions::nodelay`] (`0`/`false`
 /// disables).
 pub const ENV_NODELAY: &str = "CGX_NET_NODELAY";
+/// Environment variable enabling liveness heartbeats: the interval in
+/// milliseconds between CTRL-lane probes (`0` disables).
+pub const ENV_HEARTBEAT_MS: &str = "CGX_NET_HEARTBEAT_MS";
+/// Environment variable overriding the liveness deadline in milliseconds
+/// (a peer silent for longer is declared [`CommError::PeerDead`]).
+pub const ENV_HEARTBEAT_TIMEOUT_MS: &str = "CGX_NET_HEARTBEAT_TIMEOUT_MS";
+/// Environment variable enabling the reconnect path: the number of
+/// redial attempts before a dropped peer is condemned (`0` disables).
+pub const ENV_RECONNECT_ATTEMPTS: &str = "CGX_NET_RECONNECT_ATTEMPTS";
+/// Environment variable overriding the reconnect backoff base (ms).
+pub const ENV_RECONNECT_BASE_MS: &str = "CGX_NET_RECONNECT_BASE_MS";
+/// Environment variable overriding the reconnect backoff cap (ms).
+pub const ENV_RECONNECT_CAP_MS: &str = "CGX_NET_RECONNECT_CAP_MS";
 
 /// Tuning knobs for the TCP wire path. Defaults are right for collective
 /// traffic on loopback and LAN; every field can be overridden per-process
@@ -94,6 +108,18 @@ pub struct NetOptions {
     /// are latency-sensitive and already batched into single vectored
     /// writes; delaying them only serializes the reduction.
     pub nodelay: bool,
+    /// Liveness probing: interval between heartbeat frames on the CTRL
+    /// lane. `None` (the default) disables both emission and the
+    /// silence deadline — a quiet peer is then only discovered through
+    /// socket errors.
+    pub heartbeat_interval: Option<Duration>,
+    /// Silence deadline: with heartbeats on, a peer not heard from for
+    /// this long is declared [`CommError::PeerDead`]. Only enforced when
+    /// `heartbeat_interval` is set.
+    pub heartbeat_timeout: Duration,
+    /// Redial policy for transient socket drops. `None` (the default)
+    /// fails fast: any socket error condemns the peer immediately.
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl Default for NetOptions {
@@ -103,6 +129,9 @@ impl Default for NetOptions {
             coalesce_budget_bytes: 256 * 1024,
             coalesce_frame_bytes: 16 * 1024,
             nodelay: true,
+            heartbeat_interval: None,
+            heartbeat_timeout: Duration::from_secs(1),
+            reconnect: None,
         }
     }
 }
@@ -123,6 +152,27 @@ impl NetOptions {
         if let Ok(v) = std::env::var(ENV_NODELAY) {
             o.nodelay = !matches!(v.as_str(), "0" | "false" | "no");
         }
+        if let Some(ms) = env_usize(ENV_HEARTBEAT_MS) {
+            o.heartbeat_interval = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            o.heartbeat_timeout = Duration::from_millis((ms as u64 * 5).max(250));
+        }
+        if let Some(ms) = env_usize(ENV_HEARTBEAT_TIMEOUT_MS) {
+            o.heartbeat_timeout = Duration::from_millis(ms as u64);
+        }
+        if let Some(attempts) = env_usize(ENV_RECONNECT_ATTEMPTS) {
+            if attempts > 0 {
+                let base = env_usize(ENV_RECONNECT_BASE_MS).unwrap_or(20) as u64;
+                let cap = env_usize(ENV_RECONNECT_CAP_MS).unwrap_or(1000) as u64;
+                o.reconnect = Some(ReconnectPolicy::new(
+                    Duration::from_millis(base.max(1)),
+                    Duration::from_millis(cap.max(base.max(1))),
+                    attempts as u32,
+                    0x5EED_C0DE,
+                ));
+            } else {
+                o.reconnect = None;
+            }
+        }
         o
     }
 
@@ -138,6 +188,22 @@ impl NetOptions {
     #[must_use]
     pub fn with_coalesce_budget(mut self, bytes: usize) -> Self {
         self.coalesce_budget_bytes = bytes;
+        self
+    }
+
+    /// Returns `self` with liveness heartbeats every `interval` and a
+    /// silence deadline of `timeout`.
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
+        self.heartbeat_interval = Some(interval);
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Returns `self` with the given redial policy for transient drops.
+    #[must_use]
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
         self
     }
 }
@@ -176,6 +242,10 @@ mod sys {
 
     pub fn raw_fd(stream: &TcpStream) -> i32 {
         stream.as_raw_fd()
+    }
+
+    pub fn raw_listener_fd(listener: &std::net::TcpListener) -> i32 {
+        listener.as_raw_fd()
     }
 
     /// `poll(2)` retrying `EINTR`. Nonzero sub-millisecond timeouts round
@@ -221,6 +291,10 @@ mod sys {
     }
 
     pub fn raw_fd(_stream: &TcpStream) -> i32 {
+        0
+    }
+
+    pub fn raw_listener_fd(_listener: &std::net::TcpListener) -> i32 {
         0
     }
 
@@ -334,11 +408,14 @@ impl Staging {
 
 /// One queued outbound frame: header bytes live in the slot's arena, the
 /// payload is the caller's reference-counted buffer — nothing is
-/// concatenated.
+/// concatenated. Tag and shape are kept so an unsent frame can be
+/// re-serialized with a fresh sequence number after a reconnect.
 struct QueuedFrame {
     hdr_start: usize,
     hdr_len: usize,
     payload: bytes::Bytes,
+    tag: Tag,
+    shape: Shape,
 }
 
 impl QueuedFrame {
@@ -383,7 +460,59 @@ struct Demux {
     /// Why a peer's lane is closed, once it is (EOF, I/O error, or
     /// checksum/sequence mismatch). Set exactly once.
     closed: Vec<Option<CommError>>,
+    /// When each peer was last heard from (any successful read). Drives
+    /// the liveness deadline when heartbeats are enabled.
+    last_heard: Vec<Instant>,
+    /// Per-peer link state machine for the reconnect path.
+    reconn: Vec<PeerLink>,
 }
+
+/// Link state for one peer: healthy, mid-reconnect, or condemned.
+#[derive(Clone, Copy)]
+enum PeerLink {
+    /// Connected and flowing.
+    Up,
+    /// The socket dropped but the redial budget is not exhausted. The
+    /// dialing side (the rank that dialed this link at bootstrap) redials
+    /// per the backoff schedule; the accepting side just waits for the
+    /// redial until `give_up`.
+    Pending {
+        attempts: u32,
+        next_at: Instant,
+        give_up: Instant,
+        /// Whether the writer slot's queue/seq state has been rebuilt for
+        /// the post-reconnect sequence space (done lazily by whichever
+        /// side notices first).
+        writer_reset: bool,
+    },
+    /// Condemned; `closed` carries the error.
+    Down,
+}
+
+/// Reconnect support: the retained bootstrap listener plus the dialable
+/// address of every peer this rank originally dialed (`None` for peers
+/// that dial *us* on a drop).
+struct Mesh {
+    listener: TcpListener,
+    addrs: Vec<Option<String>>,
+}
+
+/// Outcome of one vectored write attempt.
+enum WriteProgress {
+    /// Bytes moved (or the queue drained).
+    Sent,
+    /// The socket would block; the queue is intact.
+    Full,
+    /// The link failed into the reconnect state; the queue was
+    /// re-sequenced and parked until the link heals.
+    Deferred,
+}
+
+/// Preamble identifying a redial on the mesh listener: magic + rank.
+const RECON_MAGIC: [u8; 4] = *b"CGXR";
+/// Heartbeat payload on the CTRL lane (intercepted by the demux, never
+/// stashed).
+const HB_PAYLOAD: [u8; 1] = [0x48];
 
 /// A rank's endpoint into a TCP full mesh. Built by
 /// [`crate::rendezvous::rendezvous`] (multi-process) or
@@ -402,6 +531,22 @@ pub struct TcpTransport {
     wire_bytes_in: AtomicU64,
     clocks: WireClocks,
     obs: Option<TcpMetrics>,
+    /// Endpoint birth, the epoch for the heartbeat emission clock.
+    born: Instant,
+    /// Nanoseconds after `born` when the last heartbeat round was
+    /// emitted (CAS-claimed so only one pumping thread emits per
+    /// interval).
+    hb_last_ns: AtomicU64,
+    /// Re-entrancy guard: a flush inside heartbeat emission pumps, and
+    /// that pump must not recurse into emission.
+    hb_guard: AtomicBool,
+    heartbeats_out: AtomicU64,
+    peer_deaths: AtomicU64,
+    reconnects_done: AtomicU64,
+    mesh: Option<Mesh>,
+    fault: Option<NetFaultPlan>,
+    fault_frames: AtomicU64,
+    fault_fired: AtomicBool,
 }
 
 #[derive(Clone)]
@@ -413,6 +558,9 @@ struct TcpMetrics {
     bytes_recv: cgx_obs::Counter,
     writev_frames: cgx_obs::Counter,
     syscalls: cgx_obs::Counter,
+    peer_dead: cgx_obs::Counter,
+    reconnects: cgx_obs::Counter,
+    heartbeats: cgx_obs::Counter,
 }
 
 /// How long one `poll` may park: long enough that waiting is cheap,
@@ -474,6 +622,7 @@ impl TcpTransport {
                 front_written: 0,
             })));
         }
+        let now = Instant::now();
         Ok(TcpTransport {
             rank,
             world,
@@ -488,13 +637,74 @@ impl TcpTransport {
                 arrivals: vec![0; world],
                 total_arrivals: 0,
                 closed: (0..world).map(|_| None).collect(),
+                last_heard: vec![now; world],
+                reconn: vec![PeerLink::Up; world],
             }),
             pending_frames: AtomicU64::new(0),
             wire_bytes_out: AtomicU64::new(0),
             wire_bytes_in: AtomicU64::new(0),
             clocks: WireClocks::default(),
             obs: None,
+            born: now,
+            hb_last_ns: AtomicU64::new(0),
+            hb_guard: AtomicBool::new(false),
+            heartbeats_out: AtomicU64::new(0),
+            peer_deaths: AtomicU64::new(0),
+            reconnects_done: AtomicU64::new(0),
+            mesh: None,
+            fault: None,
+            fault_frames: AtomicU64::new(0),
+            fault_fired: AtomicBool::new(false),
         })
+    }
+
+    /// Arms the reconnect path: retains the mesh `listener` (for redials
+    /// from peers that originally dialed us) and records the dialable
+    /// address of every peer we originally dialed (`addrs[p]`; `None`
+    /// for peers that redial us). Used by the rendezvous when
+    /// [`NetOptions::reconnect`] is set.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Bootstrap`] if the listener cannot be switched to
+    /// nonblocking accepts.
+    pub fn with_mesh(
+        mut self,
+        listener: TcpListener,
+        addrs: Vec<Option<String>>,
+    ) -> Result<Self, CommError> {
+        assert_eq!(addrs.len(), self.world, "need one addr slot per rank");
+        listener.set_nonblocking(true).map_err(|e| CommError::Bootstrap {
+            detail: format!("nonblocking mesh listener: {e}"),
+        })?;
+        self.mesh = Some(Mesh { listener, addrs });
+        Ok(self)
+    }
+
+    /// Arms deterministic socket-level fault injection (tests and the
+    /// chaos harness only). Must be called before the endpoint is shared.
+    pub fn set_fault(&mut self, plan: NetFaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Socket-level drop injection: once the configured number of frames
+    /// has been enqueued toward the planned peer, shut the socket down
+    /// under the wire path's feet — exactly what a mid-run RST or cable
+    /// pull looks like to the rest of the stack. One-shot.
+    fn maybe_inject_reset(&self, peer: usize, slot: &WriterSlot) {
+        let Some(plan) = &self.fault else {
+            return;
+        };
+        let Some(reset) = &plan.reset else {
+            return;
+        };
+        if reset.rank != self.rank || reset.peer != peer {
+            return;
+        }
+        let n = self.fault_frames.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= reset.after_frames && !self.fault_fired.swap(true, Ordering::Relaxed) {
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
     }
 
     /// Overrides the receive timeout.
@@ -531,7 +741,26 @@ impl TcpTransport {
             bytes_recv: registry.counter(names::TRANSPORT_BYTES_RECV),
             writev_frames: registry.counter(names::TRANSPORT_WRITEV_FRAMES),
             syscalls: registry.counter(names::TRANSPORT_SYSCALLS),
+            peer_dead: registry.counter(names::TRANSPORT_PEER_DEAD),
+            reconnects: registry.counter(names::TRANSPORT_RECONNECTS),
+            heartbeats: registry.counter(names::TRANSPORT_HEARTBEATS),
         });
+    }
+
+    /// Peers this endpoint has declared dead (socket failure past the
+    /// redial budget, or liveness deadline elapsed).
+    pub fn peer_deaths(&self) -> u64 {
+        self.peer_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Links this endpoint has successfully re-established after a drop.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects_done.load(Ordering::Relaxed)
+    }
+
+    /// Heartbeat frames this endpoint has emitted on the CTRL lane.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats_out.load(Ordering::Relaxed)
     }
 
     /// Total serialized bytes this endpoint has committed to its sockets,
@@ -558,9 +787,16 @@ impl TcpTransport {
         }
     }
 
-    fn writer(&self, peer: usize) -> MutexGuard<'_, WriterSlot> {
+    /// The writer slot for `peer`. A missing slot is a fault condition
+    /// (the lane was torn down), not a caller bug — surfaced as a typed
+    /// [`CommError::PeerDead`] instead of a panic so fault paths stay
+    /// recoverable. Out-of-range/self peers are still caller bugs.
+    fn writer(&self, peer: usize) -> Result<MutexGuard<'_, WriterSlot>, CommError> {
         assert!(peer < self.world && peer != self.rank, "bad peer {peer}");
-        lock(self.writers[peer].as_ref().expect("peer has a connected stream"))
+        match self.writers[peer].as_ref() {
+            Some(m) => Ok(lock(m)),
+            None => Err(CommError::PeerDead { rank: peer }),
+        }
     }
 
     fn note_syscall(&self, counter: &AtomicU64, elapsed: Duration) {
@@ -597,6 +833,11 @@ impl TcpTransport {
     /// sockets, then drain and parse every burst. Returns the number of
     /// frames stashed. `Duration::ZERO` is a nonblocking probe.
     fn pump(&self, timeout: Duration) -> usize {
+        self.maybe_emit_heartbeats();
+        self.mesh_service();
+        // usize::MAX marks the mesh listener's slot in the poll set: a
+        // redialing peer must wake a parked receiver immediately.
+        const LISTENER: usize = usize::MAX;
         let mut fds: Vec<(usize, i32)> = Vec::with_capacity(self.world);
         {
             let d = lock(&self.demux);
@@ -607,6 +848,9 @@ impl TcpTransport {
                     }
                 }
             }
+        }
+        if let Some(mesh) = &self.mesh {
+            fds.push((LISTENER, sys::raw_listener_fd(&mesh.listener)));
         }
         if fds.is_empty() {
             if !timeout.is_zero() {
@@ -640,17 +884,100 @@ impl TcpTransport {
         if let Some(m) = &self.obs {
             m.syscalls.inc();
         }
-        if ready == 0 {
-            return 0;
-        }
         let mut stashed = 0;
-        let mut d = lock(&self.demux);
-        for (i, &(peer, _)) in fds.iter().enumerate() {
-            if pollfds[i].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
-                stashed += self.read_peer(&mut d, peer);
+        let mut accept_ready = false;
+        if ready > 0 {
+            let mut d = lock(&self.demux);
+            for (i, &(peer, _)) in fds.iter().enumerate() {
+                if pollfds[i].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                    if peer == LISTENER {
+                        accept_ready = true;
+                    } else {
+                        stashed += self.read_peer(&mut d, peer);
+                    }
+                }
             }
         }
+        self.check_liveness();
+        if accept_ready {
+            self.mesh_accept();
+        }
         stashed
+    }
+
+    /// Condemns any peer silent past the heartbeat deadline. A frozen
+    /// process keeps its sockets open, so this is the only way it is
+    /// ever detected. No-op unless heartbeats are enabled.
+    fn check_liveness(&self) {
+        let Some(_) = self.opts.heartbeat_interval else {
+            return;
+        };
+        let deadline = self.opts.heartbeat_timeout;
+        let mut d = lock(&self.demux);
+        for peer in 0..self.world {
+            if peer == self.rank || d.closed[peer].is_some() || d.streams[peer].is_none() {
+                continue;
+            }
+            if !matches!(d.reconn[peer], PeerLink::Up) {
+                continue;
+            }
+            if d.last_heard[peer].elapsed() > deadline {
+                self.condemn(&mut d, peer, CommError::PeerDead { rank: peer });
+            }
+        }
+    }
+
+    /// Marks `peer` permanently gone: records the error (first one
+    /// wins), tears down its read lane, and bumps the death counters.
+    fn condemn(&self, d: &mut Demux, peer: usize, err: CommError) {
+        d.streams[peer] = None;
+        d.reconn[peer] = PeerLink::Down;
+        if d.closed[peer].is_none() {
+            if matches!(err, CommError::PeerDead { .. }) {
+                self.peer_deaths.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.obs {
+                    m.peer_dead.inc();
+                }
+            }
+            d.closed[peer] = Some(err);
+        }
+    }
+
+    /// Routes a detected link failure: transient classes enter the
+    /// reconnect state machine when one is armed, everything else (and
+    /// every failure past the budget) condemns the peer. Called with the
+    /// demux lock held.
+    fn fail_link(&self, d: &mut Demux, peer: usize, err: CommError) {
+        d.streams[peer] = None;
+        if d.closed[peer].is_some() {
+            return;
+        }
+        // Corruption (checksum/sequence damage) is not healed by a
+        // redial: the stream itself is lying. Everything socket-shaped
+        // is worth one backoff schedule.
+        let transient = !matches!(err, CommError::Corrupted { .. });
+        if transient && self.mesh.is_some() {
+            if let Some(policy) = self.opts.reconnect {
+                match d.reconn[peer] {
+                    PeerLink::Pending { .. } => return,
+                    PeerLink::Down => {}
+                    PeerLink::Up => {
+                        let now = Instant::now();
+                        d.reconn[peer] = PeerLink::Pending {
+                            attempts: 0,
+                            next_at: now,
+                            // The accepting side has no dial schedule to
+                            // exhaust; it waits out the dialer's whole
+                            // budget plus slack for the dials themselves.
+                            give_up: now + policy.budget() + 2 * policy.cap,
+                            writer_reset: false,
+                        };
+                        return;
+                    }
+                }
+            }
+        }
+        self.condemn(d, peer, err);
     }
 
     /// Drains one readable peer socket into its staging buffer and
@@ -670,10 +997,21 @@ impl TcpTransport {
             let res = Read::read(&mut &*stream, &mut stg.buf[stg.end..]);
             self.note_syscall(&self.clocks.read_syscalls, t0.elapsed());
             match res {
-                Ok(0) => break Some(CommError::Disconnected { peer }),
+                Ok(0) => {
+                    // Clean EOF on a frame boundary is an orderly
+                    // shutdown (the peer dropped its endpoint); EOF with
+                    // a partial frame staged means the process died
+                    // mid-write.
+                    break Some(if d.staging[peer].start == d.staging[peer].end {
+                        CommError::Disconnected { peer }
+                    } else {
+                        CommError::PeerDead { rank: peer }
+                    });
+                }
                 Ok(n) => {
                     let space = stg.buf.len() - stg.end;
                     stg.end += n;
+                    d.last_heard[peer] = Instant::now();
                     match self.parse_staged(d, peer, &mut stashed) {
                         Ok(()) => {}
                         Err(e) => break Some(e),
@@ -686,12 +1024,13 @@ impl TcpTransport {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break None,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => break Some(CommError::Disconnected { peer }),
+                // ECONNRESET and friends: the peer's process is gone (or
+                // its host is), not merely done sending.
+                Err(_) => break Some(CommError::PeerDead { rank: peer }),
             }
         };
         if let Some(err) = outcome {
-            d.closed[peer] = Some(err);
-            d.streams[peer] = None;
+            self.fail_link(d, peer, err);
         }
         stashed
     }
@@ -729,6 +1068,12 @@ impl TcpTransport {
             }
             *want += 1;
             self.wire_bytes_in.fetch_add(used as u64, Ordering::Relaxed);
+            // Heartbeats are liveness signal only: sequence-checked like
+            // any CTRL frame (above), but never stashed — receivers must
+            // not observe them as traffic.
+            if frame.tag == CTRL_TAG && frame.enc.payload().as_ref() == HB_PAYLOAD {
+                continue;
+            }
             d.inbox[peer].entry(frame.tag).or_default().push_back(frame.enc);
             d.arrivals[peer] += 1;
             d.total_arrivals += 1;
@@ -759,6 +1104,8 @@ impl TcpTransport {
             hdr_start,
             hdr_len,
             payload: body,
+            tag,
+            shape,
         });
         slot.queued_bytes += hdr_len + payload_bytes;
         self.pending_frames.fetch_add(1, Ordering::Relaxed);
@@ -774,14 +1121,20 @@ impl TcpTransport {
         }
     }
 
-    /// Writes the slot's whole queue with vectored writes, handling
-    /// partial writes by cursor and `WouldBlock` by waiting for
-    /// `POLLOUT` — draining our own inbound between waits so a mesh of
-    /// mutually-blocked senders cannot deadlock.
-    fn flush_slot(&self, peer: usize, slot: &mut WriterSlot) -> Result<(), CommError> {
+    /// Whether `peer`'s link is mid-reconnect (outbound frames are
+    /// parked in the writer queue until the link heals).
+    fn link_pending(&self, peer: usize) -> bool {
+        matches!(lock(&self.demux).reconn[peer], PeerLink::Pending { .. })
+    }
+
+    /// One vectored write attempt over the front of the queue. `Sent`
+    /// means bytes moved; `Full` means the socket would block;
+    /// `Deferred` means the link failed but entered the reconnect state
+    /// (the queue was re-sequenced and parked).
+    fn writev_slot(&self, peer: usize, slot: &mut WriterSlot) -> Result<WriteProgress, CommError> {
         // Cap the slices per writev well under IOV_MAX.
         const MAX_FRAMES_PER_WRITE: usize = 64;
-        while !slot.queue.is_empty() {
+        loop {
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(
                 2 * slot.queue.len().min(MAX_FRAMES_PER_WRITE),
             );
@@ -807,7 +1160,7 @@ impl TcpTransport {
             match res {
                 Ok(0) => {
                     self.note_syscall(&self.clocks.write_syscalls, t0.elapsed());
-                    return Err(self.drop_queue(slot, peer));
+                    return self.fail_writer(slot, peer);
                 }
                 Ok(n) => {
                     self.note_syscall(&self.clocks.write_syscalls, t0.elapsed());
@@ -826,8 +1179,42 @@ impl TcpTransport {
                             m.writev_frames.inc();
                         }
                     }
+                    return Ok(WriteProgress::Sent);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(WriteProgress::Full);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return self.fail_writer(slot, peer),
+            }
+        }
+    }
+
+    /// Writes the slot's whole queue with vectored writes, handling
+    /// partial writes by cursor and `WouldBlock` by waiting for
+    /// `POLLOUT` — draining our own inbound between waits so a mesh of
+    /// mutually-blocked senders cannot deadlock. Bounded: a socket that
+    /// stays full past the endpoint timeout surfaces
+    /// [`CommError::Timeout`] instead of parking forever on a peer that
+    /// stopped reading.
+    fn flush_slot(&self, peer: usize, slot: &mut WriterSlot) -> Result<(), CommError> {
+        if !slot.queue.is_empty() && self.link_pending(peer) {
+            // Mid-reconnect: frames wait for the link to heal.
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.timeout;
+        while !slot.queue.is_empty() {
+            match self.writev_slot(peer, slot)? {
+                WriteProgress::Sent => {}
+                WriteProgress::Deferred => return Ok(()),
+                WriteProgress::Full => {
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout {
+                            from: peer,
+                            waited: self.timeout,
+                            in_flight: 0,
+                        });
+                    }
                     // Socket full: drain our own inbound (the peer may be
                     // blocked sending to us), then wait for writability.
                     self.pump(Duration::ZERO);
@@ -846,8 +1233,6 @@ impl TcpTransport {
                         m.syscalls.inc();
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return Err(self.drop_queue(slot, peer)),
             }
         }
         slot.hdrs.clear();
@@ -856,16 +1241,306 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// A write error means the peer is gone: discard its queue (the
-    /// frames can never be delivered) and report the disconnect.
-    fn drop_queue(&self, slot: &mut WriterSlot, peer: usize) -> CommError {
+    /// A write error: the socket is gone. With a reconnect policy armed
+    /// the queued frames are re-serialized into the fresh (post-reset)
+    /// sequence space and parked for the healed link — nothing queued is
+    /// lost. Without one the queue is discarded and the peer condemned
+    /// as [`CommError::PeerDead`].
+    fn fail_writer(
+        &self,
+        slot: &mut WriterSlot,
+        peer: usize,
+    ) -> Result<WriteProgress, CommError> {
+        let mut d = lock(&self.demux);
+        self.fail_link(&mut d, peer, CommError::PeerDead { rank: peer });
+        if let PeerLink::Pending { writer_reset, .. } = &mut d.reconn[peer] {
+            *writer_reset = true;
+            drop(d);
+            self.requeue_for_resync(slot);
+            return Ok(WriteProgress::Deferred);
+        }
+        drop(d);
         self.pending_frames
             .fetch_sub(slot.queue.len() as u64, Ordering::Relaxed);
         slot.queue.clear();
         slot.hdrs.clear();
+        slot.seq.clear();
         slot.front_written = 0;
         slot.queued_bytes = 0;
-        CommError::Disconnected { peer }
+        Err(CommError::PeerDead { rank: peer })
+    }
+
+    /// Rebuilds the writer queue for a fresh connection: every queued
+    /// frame is re-serialized with sequence numbers starting from zero
+    /// (the reconnected receiver resets its expectations), in the same
+    /// per-tag order. The partially-written front frame is resent whole —
+    /// the receiver discards partial staging on reconnect.
+    fn requeue_for_resync(&self, slot: &mut WriterSlot) {
+        let old: Vec<QueuedFrame> = slot.queue.drain(..).collect();
+        slot.hdrs.clear();
+        slot.seq.clear();
+        slot.front_written = 0;
+        slot.queued_bytes = 0;
+        for qf in old {
+            let seq = slot.seq.entry(qf.tag).or_insert(0);
+            let this_seq = *seq;
+            *seq += 1;
+            let hdr_start = slot.hdrs.len();
+            let hdr_len =
+                wire::append_frame_header(&mut slot.hdrs, qf.tag, this_seq, &qf.shape, &qf.payload);
+            slot.queued_bytes += hdr_len + qf.payload.len();
+            slot.queue.push_back(QueuedFrame {
+                hdr_start,
+                hdr_len,
+                payload: qf.payload,
+                tag: qf.tag,
+                shape: qf.shape,
+            });
+        }
+    }
+
+    // ---- liveness and reconnect -----------------------------------------
+
+    /// Emits one heartbeat round on the CTRL lane when the interval has
+    /// elapsed. Never blocks: busy writer slots are skipped (their
+    /// traffic is itself proof of life) and a full socket leaves the
+    /// frame queued for the next flush.
+    fn maybe_emit_heartbeats(&self) {
+        let Some(interval) = self.opts.heartbeat_interval else {
+            return;
+        };
+        let now_ns = self.born.elapsed().as_nanos() as u64;
+        let last = self.hb_last_ns.load(Ordering::Relaxed);
+        if now_ns.saturating_sub(last) < interval.as_nanos() as u64 {
+            return;
+        }
+        if self
+            .hb_last_ns
+            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        if self.hb_guard.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let up: Vec<usize> = {
+            let d = lock(&self.demux);
+            (0..self.world)
+                .filter(|&p| {
+                    p != self.rank
+                        && d.closed[p].is_none()
+                        && d.streams[p].is_some()
+                        && matches!(d.reconn[p], PeerLink::Up)
+                })
+                .collect()
+        };
+        for peer in up {
+            let Some(m) = self.writers[peer].as_ref() else {
+                continue;
+            };
+            // try_lock: a slot busy flushing is already proving this
+            // rank alive, and blocking here could deadlock with a flush
+            // that pumps on this same thread.
+            let mut slot = match m.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => continue,
+            };
+            let hb = Encoded::new(
+                Shape::new(vec![1]),
+                bytes::Bytes::from_static(&HB_PAYLOAD),
+            );
+            self.enqueue_frame(&mut slot, CTRL_TAG, hb);
+            self.heartbeats_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(mm) = &self.obs {
+                mm.heartbeats.inc();
+            }
+            // One nonblocking attempt; a full socket keeps it queued.
+            let _ = self.writev_slot(peer, &mut slot);
+        }
+        self.hb_guard.store(false, Ordering::Relaxed);
+    }
+
+    /// Advances the reconnect state machine: condemns links past their
+    /// budget and redials every due peer we originally dialed. Cheap
+    /// no-op without a mesh. Takes no locks across the dials themselves.
+    fn mesh_service(&self) {
+        let Some(mesh) = &self.mesh else {
+            return;
+        };
+        let Some(policy) = self.opts.reconnect else {
+            return;
+        };
+        let now = Instant::now();
+        let mut dials: Vec<(usize, String)> = Vec::new();
+        {
+            let mut d = lock(&self.demux);
+            for peer in 0..self.world {
+                if peer == self.rank {
+                    continue;
+                }
+                if let PeerLink::Pending {
+                    attempts,
+                    next_at,
+                    give_up,
+                    ..
+                } = d.reconn[peer]
+                {
+                    if now >= give_up || attempts >= policy.max_attempts {
+                        self.condemn(&mut d, peer, CommError::PeerDead { rank: peer });
+                        continue;
+                    }
+                    if now >= next_at {
+                        if let Some(addr) = mesh.addrs[peer].clone() {
+                            dials.push((peer, addr));
+                        }
+                    }
+                }
+            }
+        }
+        for (peer, addr) in dials {
+            self.try_dial(peer, &addr, policy);
+        }
+    }
+
+    /// One redial attempt toward `peer`: connect, announce ourselves
+    /// with the reconnect preamble, and install the fresh link. Failures
+    /// advance the backoff schedule; exhausting it condemns the peer.
+    fn try_dial(&self, peer: usize, addr: &str, policy: ReconnectPolicy) {
+        let dialed = TcpStream::connect(addr).and_then(|mut s| {
+            let mut hello = [0u8; 8];
+            hello[..4].copy_from_slice(&RECON_MAGIC);
+            hello[4..].copy_from_slice(&(self.rank as u32).to_le_bytes());
+            s.write_all(&hello)?;
+            Ok(s)
+        });
+        match dialed {
+            Ok(s) => {
+                let _ = self.install_link(peer, s);
+            }
+            Err(_) => {
+                let mut d = lock(&self.demux);
+                if let PeerLink::Pending {
+                    attempts, next_at, ..
+                } = &mut d.reconn[peer]
+                {
+                    *attempts += 1;
+                    let n = *attempts;
+                    if n >= policy.max_attempts {
+                        self.condemn(&mut d, peer, CommError::PeerDead { rank: peer });
+                    } else {
+                        *next_at = Instant::now() + policy.delay(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the mesh listener: every pending connection must open with
+    /// the reconnect preamble naming a valid peer, whose link is then
+    /// replaced. Anything else is dropped.
+    fn mesh_accept(&self) {
+        let Some(mesh) = &self.mesh else {
+            return;
+        };
+        loop {
+            match mesh.listener.accept() {
+                Ok((stream, _)) => {
+                    let mut hello = [0u8; 8];
+                    let ok = stream
+                        .set_read_timeout(Some(Duration::from_millis(500)))
+                        .and_then(|()| (&stream).read_exact(&mut hello))
+                        .is_ok();
+                    if !ok || hello[..4] != RECON_MAGIC {
+                        continue;
+                    }
+                    let peer = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]) as usize;
+                    if peer >= self.world || peer == self.rank {
+                        continue;
+                    }
+                    let _ = stream.set_read_timeout(None);
+                    let _ = self.install_link(peer, stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Replaces `peer`'s link with a fresh stream (either side of a
+    /// reconnect): swaps the socket into the writer slot and the demux,
+    /// resets staging and per-tag sequence expectations (the writer side
+    /// re-sequences from zero, see [`Self::requeue_for_resync`]), clears
+    /// the closure, and reopens the lane. Stashed frames from the old
+    /// connection stay deliverable.
+    fn install_link(&self, peer: usize, stream: TcpStream) -> Result<(), CommError> {
+        let boot = |what: &str, e: std::io::Error| CommError::Bootstrap {
+            detail: format!("reconnecting link to rank {peer}: {what}: {e}"),
+        };
+        stream
+            .set_nodelay(self.opts.nodelay)
+            .map_err(|e| boot("TCP_NODELAY", e))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| boot("nonblocking mode", e))?;
+        let read_half = stream.try_clone().map_err(|e| boot("demux clone", e))?;
+        let Some(m) = self.writers[peer].as_ref() else {
+            return Err(CommError::PeerDead { rank: peer });
+        };
+        // try_lock, never block: this can run inside a flush's own pump
+        // (possibly already holding this very slot), and a blocking lock
+        // would deadlock. A persistently busy slot aborts the install —
+        // the dialing side simply redials on its backoff schedule.
+        let mut slot = 'acquire: {
+            for _ in 0..5 {
+                match m.try_lock() {
+                    Ok(g) => break 'acquire g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => break 'acquire p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+            return Err(CommError::Timeout {
+                from: peer,
+                waited: Duration::from_millis(10),
+                in_flight: 0,
+            });
+        };
+        {
+            let mut d = lock(&self.demux);
+            // If no write failed during the outage the queue still
+            // carries pre-drop sequence numbers — rebuild it for the
+            // fresh connection's sequence space.
+            let was_reset = matches!(
+                d.reconn[peer],
+                PeerLink::Pending { writer_reset: true, .. }
+            );
+            if !was_reset {
+                self.requeue_for_resync(&mut slot);
+            }
+            slot.stream = stream;
+            d.streams[peer] = Some(read_half);
+            d.staging[peer].start = 0;
+            d.staging[peer].end = 0;
+            d.expected[peer].clear();
+            d.closed[peer] = None;
+            d.reconn[peer] = PeerLink::Up;
+            d.last_heard[peer] = Instant::now();
+        }
+        self.reconnects_done.fetch_add(1, Ordering::Relaxed);
+        if let Some(mm) = &self.obs {
+            mm.reconnects.inc();
+        }
+        // One nonblocking push of anything parked during the outage —
+        // the peer is likely blocked waiting on it; leftovers go out on
+        // the next flush. (No blocking flush here: it could pump, and
+        // this may already be running inside a pump.)
+        if !slot.queue.is_empty() {
+            let _ = self.writev_slot(peer, &mut slot)?;
+        }
+        Ok(())
     }
 
     /// Flushes every peer's coalescing queue. Fast no-op when nothing is
@@ -911,11 +1586,20 @@ impl Transport for TcpTransport {
     }
 
     fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
-        let mut slot = self.writer(peer);
+        let mut slot = self.writer(peer)?;
         self.enqueue_frame(&mut slot, tag, payload);
+        self.maybe_inject_reset(peer, &slot);
         // One vectored write covers any coalesced backlog plus this
         // frame, preserving per-peer submission order.
-        self.flush_slot(peer, &mut slot)
+        let r = self.flush_slot(peer, &mut slot);
+        drop(slot);
+        if r.is_ok() && self.mesh.is_some() && self.link_pending(peer) {
+            // The frame parked behind a reconnect: drive the redial now
+            // (with the slot released so the install can take it) so a
+            // pure sender still heals its own links.
+            self.pump(Duration::ZERO);
+        }
+        r
     }
 
     fn try_send_tagged(
@@ -925,8 +1609,9 @@ impl Transport for TcpTransport {
         payload: Encoded,
     ) -> Result<Option<Encoded>, CommError> {
         let defer = payload.payload_bytes() <= self.opts.coalesce_frame_bytes;
-        let mut slot = self.writer(peer);
+        let mut slot = self.writer(peer)?;
         self.enqueue_frame(&mut slot, tag, payload);
+        self.maybe_inject_reset(peer, &slot);
         // Small frames coalesce until the budget overflows (mirroring
         // the engine's coalescer); large ones go out now — kernel socket
         // buffers absorb collective-sized frames, so the blocking flush
@@ -934,6 +1619,10 @@ impl Transport for TcpTransport {
         // drains inbound while it waits).
         if !defer || slot.queued_bytes >= self.opts.coalesce_budget_bytes {
             self.flush_slot(peer, &mut slot)?;
+        }
+        drop(slot);
+        if self.mesh.is_some() && self.link_pending(peer) {
+            self.pump(Duration::ZERO);
         }
         Ok(None)
     }
@@ -1010,6 +1699,13 @@ impl Transport for TcpTransport {
     fn drain_inbound(&self) -> usize {
         let _ = self.flush_all();
         self.pump(Duration::ZERO)
+    }
+
+    fn begin_step(&self, step: usize) -> bool {
+        let Some(plan) = &self.fault else {
+            return false;
+        };
+        plan.should_die(self.rank, step)
     }
 
     fn flush_outbound(&self) -> Result<(), CommError> {
@@ -1251,9 +1947,156 @@ mod tests {
                 coalesce_budget_bytes: 2048,
                 coalesce_frame_bytes: 512,
                 nodelay: false,
+                ..NetOptions::default()
             }
         );
         let d = NetOptions::from_env();
         assert_eq!(d, NetOptions::default());
+    }
+
+    #[test]
+    fn fault_env_knobs_arm_heartbeats_and_reconnect() {
+        std::env::set_var(ENV_HEARTBEAT_MS, "40");
+        std::env::set_var(ENV_RECONNECT_ATTEMPTS, "3");
+        std::env::set_var(ENV_RECONNECT_BASE_MS, "10");
+        std::env::set_var(ENV_RECONNECT_CAP_MS, "80");
+        let o = NetOptions::from_env();
+        std::env::remove_var(ENV_HEARTBEAT_MS);
+        std::env::remove_var(ENV_RECONNECT_ATTEMPTS);
+        std::env::remove_var(ENV_RECONNECT_BASE_MS);
+        std::env::remove_var(ENV_RECONNECT_CAP_MS);
+        assert_eq!(o.heartbeat_interval, Some(Duration::from_millis(40)));
+        assert_eq!(o.heartbeat_timeout, Duration::from_millis(250));
+        let policy = o.reconnect.expect("reconnect armed");
+        assert_eq!(policy.max_attempts, 3);
+        assert_eq!(policy.base, Duration::from_millis(10));
+        assert_eq!(policy.cap, Duration::from_millis(80));
+        assert_eq!(NetOptions::from_env().reconnect, None);
+    }
+
+    #[test]
+    fn heartbeats_flow_and_detect_a_frozen_peer() {
+        // 2 ranks with aggressive liveness settings. Rank 1 "freezes":
+        // it never pumps, so it stops emitting heartbeats, and rank 0
+        // must condemn it as PeerDead within the deadline — even though
+        // the socket stays open (the case plain EOF detection misses).
+        let opts = NetOptions::default()
+            .with_heartbeat(Duration::from_millis(20), Duration::from_millis(150));
+        let mut eps = TcpFabric::build_local_with(2, opts);
+        let frozen = eps.pop().expect("rank 1");
+        let a = eps.pop().expect("rank 0");
+        let t0 = Instant::now();
+        let err = a
+            .recv_tagged_deadline(1, 5, Duration::from_secs(10))
+            .expect_err("frozen peer must be detected");
+        assert!(
+            matches!(err, CommError::PeerDead { rank: 1 }),
+            "got {err:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "detection took {:?}, deadline was 150ms",
+            t0.elapsed()
+        );
+        assert!(a.heartbeats_sent() > 0, "rank 0 emitted heartbeats");
+        assert_eq!(a.peer_deaths(), 1);
+        drop(frozen);
+    }
+
+    #[test]
+    fn heartbeats_are_invisible_to_receivers() {
+        // With heartbeats far faster than the traffic, real payloads
+        // must still arrive unperturbed and in order.
+        let opts = NetOptions::default()
+            .with_heartbeat(Duration::from_millis(5), Duration::from_secs(5));
+        let eps = TcpFabric::build_local_with(2, opts);
+        std::thread::scope(|s| {
+            let mut it = eps.into_iter();
+            let a = it.next().expect("rank 0");
+            let b = it.next().expect("rank 1");
+            s.spawn(move || {
+                for i in 0..20u8 {
+                    std::thread::sleep(Duration::from_millis(2));
+                    let p = Encoded::new(
+                        Shape::new(vec![1]),
+                        bytes::Bytes::from(vec![i]),
+                    );
+                    a.send_tagged(1, 13, p).expect("send");
+                }
+            });
+            for i in 0..20u8 {
+                let got = b.recv_tagged(0, 13).expect("recv");
+                assert_eq!(got.payload().as_ref(), &[i]);
+            }
+        });
+    }
+
+    #[test]
+    fn injected_socket_reset_heals_through_reconnect() {
+        // Rank 1 (the dialer of the 0<->1 link) has its socket shut down
+        // after 3 outbound frames. With a reconnect policy armed the
+        // link must heal transparently: all 10 payloads arrive, in
+        // order, and the transports record a reconnect.
+        let policy = ReconnectPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(100),
+            8,
+            7,
+        );
+        let opts = NetOptions::default().with_reconnect(policy);
+        let mut eps = crate::rendezvous::TcpFabric::build_local_with(2, opts);
+        let mut b = eps.pop().expect("rank 1");
+        let a = eps.pop().expect("rank 0");
+        b.set_fault(NetFaultPlan::new(7).with_reset(1, 0, 3));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10u8 {
+                    let p = Encoded::new(
+                        Shape::new(vec![1]),
+                        bytes::Bytes::from(vec![i]),
+                    );
+                    b.send_tagged(0, 21, p).expect("send survives the reset");
+                }
+                assert!(b.reconnects() >= 1, "rank 1 redialed");
+            });
+            for i in 0..10u8 {
+                let got = a
+                    .recv_tagged_deadline(1, 21, Duration::from_secs(10))
+                    .expect("recv across the reset");
+                assert_eq!(got.payload().as_ref(), &[i]);
+            }
+            assert!(a.reconnects() >= 1, "rank 0 accepted the redial");
+        });
+    }
+
+    #[test]
+    fn reconnect_budget_exhaustion_condemns_the_peer() {
+        // Rank 1 vanishes entirely (endpoint dropped, listener gone).
+        // Rank 0's redials must all fail and surface a typed PeerDead
+        // once the budget is spent — bounded, no hang.
+        let policy = ReconnectPolicy::new(
+            Duration::from_millis(2),
+            Duration::from_millis(10),
+            3,
+            11,
+        );
+        let opts = NetOptions::default().with_reconnect(policy);
+        let mut eps = crate::rendezvous::TcpFabric::build_local_with(2, opts);
+        let b = eps.pop().expect("rank 1");
+        let a = eps.pop().expect("rank 0");
+        drop(b);
+        let t0 = Instant::now();
+        let err = a
+            .recv_tagged_deadline(1, 9, Duration::from_secs(10))
+            .expect_err("peer never comes back");
+        assert!(
+            matches!(err, CommError::PeerDead { rank: 1 }),
+            "got {err:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "budget exhaustion took {:?}",
+            t0.elapsed()
+        );
     }
 }

@@ -15,6 +15,58 @@ use cgx_tensor::Rng;
 use cgx_engine::data::GaussianMixture;
 use cgx_engine::nn::Mlp;
 use cgx_engine::{train_rank, LayerCompression, TrainConfig};
+use std::time::Duration;
+
+/// Environment variable: when truthy, workers train elastically — an
+/// unrecoverable peer loss shrinks the world and training continues on
+/// the survivors instead of failing the run.
+pub const ENV_ELASTIC: &str = "CGX_ELASTIC";
+/// Environment variable overriding the transport receive timeout, in
+/// milliseconds — the budget after which a silent peer is declared lost.
+pub const ENV_COMM_TIMEOUT_MS: &str = "CGX_COMM_TIMEOUT_MS";
+
+/// Fault-tolerance knobs for a launch, read from the `CGX_*` environment
+/// in spawned workers so the coordinator's chaos schedule reaches every
+/// rank without explicit plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElasticOptions {
+    /// Shrink-and-continue on unrecoverable peer loss.
+    pub elastic: bool,
+    /// Receive-timeout override (`None` keeps the fabric default).
+    pub comm_timeout: Option<Duration>,
+}
+
+impl ElasticOptions {
+    /// The options described by `CGX_ELASTIC` / `CGX_COMM_TIMEOUT_MS`.
+    pub fn from_env() -> Self {
+        let elastic = std::env::var(ENV_ELASTIC)
+            .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "no"))
+            .unwrap_or(false);
+        let comm_timeout = std::env::var(ENV_COMM_TIMEOUT_MS)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis);
+        ElasticOptions {
+            elastic,
+            comm_timeout,
+        }
+    }
+}
+
+/// What one rank's run produced, fault-tolerant form: a rank scheduled
+/// to die reports `params: None`; survivors report their final replica
+/// plus how much world they finished with and how many recovery epochs
+/// it took to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRun {
+    /// Final parameters as little-endian `f32` bytes, or `None` when
+    /// this rank died per its fault plan.
+    pub params: Option<Vec<u8>>,
+    /// World size this rank finished with (0 for a dead rank).
+    pub final_world: usize,
+    /// Membership epochs completed after unrecoverable peer losses.
+    pub recovery_epochs: usize,
+}
 
 /// A fully-specified training run: every rank constructs the same model,
 /// task, and config from this value, so the only cross-rank channel is
@@ -75,6 +127,12 @@ impl Workload {
         if let Some(bytes) = cfg.net_coalesce_budget {
             opts = opts.with_coalesce_budget(bytes);
         }
+        if let Some((interval, deadline)) = cfg.heartbeat {
+            opts = opts.with_heartbeat(interval, deadline);
+        }
+        if let Some(policy) = cfg.reconnect {
+            opts = opts.with_reconnect(policy);
+        }
         opts
     }
 
@@ -93,15 +151,55 @@ impl Workload {
         t: &dyn Transport,
         topology: Option<Topology>,
     ) -> Result<Vec<u8>, CommError> {
+        let run = self.run_rank_elastic(t, topology, &ElasticOptions::default())?;
+        Ok(run
+            .params
+            .expect("no fault plan, every rank survives"))
+    }
+
+    /// Runs this rank's share tolerating scheduled deaths: a rank whose
+    /// fault plan kills it mid-run returns `params: None` instead of
+    /// panicking, and with `opts.elastic` the survivors shrink the world
+    /// and finish. The transport's fault plan (if any) must have been
+    /// installed before this call — see
+    /// [`TcpTransport::set_fault`](crate::TcpTransport::set_fault).
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-communication failures that recovery could
+    /// not mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` disagrees with the endpoint's world size.
+    pub fn run_rank_elastic(
+        &self,
+        t: &dyn Transport,
+        topology: Option<Topology>,
+        opts: &ElasticOptions,
+    ) -> Result<RankRun, CommError> {
         assert_eq!(t.world(), self.workers, "endpoint world mismatch");
         let model = self.model();
         let task = self.task();
-        let cfg = self.config(topology);
+        let mut cfg = self.config(topology);
+        cfg.elastic = opts.elastic;
+        if opts.comm_timeout.is_some() {
+            cfg.comm_timeout = opts.comm_timeout;
+        }
         let pool = ScratchPool::new();
         let sampler = |r: &mut Rng| task.sample_batch(r, 16);
-        let out = train_rank(t, &model, &sampler, &cfg, &pool)?
-            .expect("no fault plan, every rank survives");
-        Ok(params_bytes(&out.model))
+        Ok(match train_rank(t, &model, &sampler, &cfg, &pool)? {
+            Some(out) => RankRun {
+                final_world: out.final_world,
+                recovery_epochs: out.faults.recovery_epochs,
+                params: Some(params_bytes(&out.model)),
+            },
+            None => RankRun {
+                params: None,
+                final_world: 0,
+                recovery_epochs: 0,
+            },
+        })
     }
 
     /// Runs the same workload on the in-process shared-memory fabric and

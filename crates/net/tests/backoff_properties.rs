@@ -1,0 +1,79 @@
+//! Property tests for the reconnect backoff schedule
+//! ([`ReconnectPolicy`]): every delay stays within `[base, cap]`, the
+//! schedule is monotone nondecreasing until it clamps at the cap, and
+//! the jitter stream is a pure function of the seed — two policies built
+//! from the same parameters produce identical schedules, which is what
+//! makes chaos runs replayable.
+
+use cgx_collectives::ReconnectPolicy;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn delays_stay_within_base_and_cap(
+        base_ms in 1u64..=50,
+        extra_ms in 0u64..=2000,
+        attempts in 1u32..=12,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms + extra_ms);
+        let policy = ReconnectPolicy::new(base, cap, attempts, seed);
+        for k in 0..attempts {
+            let d = policy.delay(k);
+            prop_assert!(d >= base, "attempt {} delay {:?} below base {:?}", k, d, base);
+            prop_assert!(d <= cap, "attempt {} delay {:?} above cap {:?}", k, d, cap);
+        }
+    }
+
+    #[test]
+    fn schedule_is_monotone_until_the_cap(
+        base_ms in 1u64..=50,
+        extra_ms in 0u64..=2000,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms + extra_ms);
+        let policy = ReconnectPolicy::new(base, cap, 12, seed);
+        let mut prev = Duration::ZERO;
+        let mut capped = false;
+        for k in 0..policy.max_attempts {
+            let d = policy.delay(k);
+            if capped {
+                // Once a delay hits the cap, every later one sits there.
+                prop_assert_eq!(d, cap, "attempt {} left the cap", k);
+            } else {
+                prop_assert!(
+                    d >= prev,
+                    "attempt {} delay {:?} shrank from {:?} before the cap",
+                    k, d, prev
+                );
+            }
+            capped = capped || d == cap;
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_fixed_seed(
+        base_ms in 1u64..=50,
+        extra_ms in 0u64..=2000,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms + extra_ms);
+        let a = ReconnectPolicy::new(base, cap, 8, seed);
+        let b = ReconnectPolicy::new(base, cap, 8, seed);
+        for k in 0..a.max_attempts {
+            prop_assert_eq!(a.delay(k), b.delay(k), "attempt {} not replayable", k);
+        }
+        prop_assert_eq!(a.budget(), b.budget());
+        // A different seed is allowed to (and in general does) move the
+        // delays, but never outside the bounds checked above; budget
+        // stays within [attempts*base, attempts*cap] either way.
+        let c = ReconnectPolicy::new(base, cap, 8, seed ^ 0xDEAD_BEEF);
+        prop_assert!(c.budget() >= base * 8, "budget below the floor");
+        prop_assert!(c.budget() <= cap * 8, "budget above the ceiling");
+    }
+}

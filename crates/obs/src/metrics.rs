@@ -34,6 +34,14 @@ pub mod names {
     pub const TRANSPORT_WRITEV_FRAMES: &str = "transport.writev_frames";
     /// Socket-facing syscalls issued (reads + writes + polls; TCP only).
     pub const TRANSPORT_SYSCALLS: &str = "transport.syscalls";
+    /// Peers declared dead (socket reset, EOF mid-frame, or liveness
+    /// deadline elapsed; TCP only).
+    pub const TRANSPORT_PEER_DEAD: &str = "transport.peer_dead";
+    /// Successful socket re-establishments after a transient drop
+    /// (TCP only).
+    pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+    /// Liveness heartbeat frames emitted on the CTRL lane (TCP only).
+    pub const TRANSPORT_HEARTBEATS: &str = "transport.heartbeats";
 }
 
 /// Monotonically increasing counter.
