@@ -112,14 +112,33 @@ pub struct NetOptions {
     /// lane. `None` (the default) disables both emission and the
     /// silence deadline — a quiet peer is then only discovered through
     /// socket errors.
+    ///
+    /// Emission is **caller-driven**: this transport has no background
+    /// threads, so heartbeats go out from inside transport calls
+    /// (receives, waits, sends, flushes). A rank that spends longer
+    /// than the silence deadline in pure compute between transport
+    /// calls emits nothing during that gap and will be falsely
+    /// condemned by its peers — size `heartbeat_timeout` above the
+    /// longest inter-collective gap the workload can produce.
     pub heartbeat_interval: Option<Duration>,
     /// Silence deadline: with heartbeats on, a peer not heard from for
     /// this long is declared [`CommError::PeerDead`]. Only enforced when
-    /// `heartbeat_interval` is set.
+    /// `heartbeat_interval` is set, and floored at
+    /// [`HB_TIMEOUT_FLOOR_INTERVALS`] emission intervals by every
+    /// constructor — a deadline at or below the interval would
+    /// guarantee false deaths.
     pub heartbeat_timeout: Duration,
     /// Redial policy for transient socket drops. `None` (the default)
     /// fails fast: any socket error condemns the peer immediately.
     pub reconnect: Option<ReconnectPolicy>,
+    /// Per-peer cap on retained flushed frames (bytes on the wire).
+    /// With reconnect armed, frames that have been fully written to a
+    /// socket are kept until the peer acknowledges delivery in the
+    /// reconnect handshake, so the undelivered suffix of a dropped
+    /// link can be retransmitted. A delivery gap that outgrew this cap
+    /// is unrecoverable and condemns the peer instead of healing into
+    /// silently misaligned payloads.
+    pub retain_bytes: usize,
 }
 
 impl Default for NetOptions {
@@ -132,9 +151,15 @@ impl Default for NetOptions {
             heartbeat_interval: None,
             heartbeat_timeout: Duration::from_secs(1),
             reconnect: None,
+            retain_bytes: 8 * 1024 * 1024,
         }
     }
 }
+
+/// Minimum ratio of liveness deadline to heartbeat interval. Below ~2
+/// intervals a single delayed emission round trips the deadline; three
+/// leaves margin for scheduling jitter on loaded hosts.
+pub const HB_TIMEOUT_FLOOR_INTERVALS: u32 = 3;
 
 impl NetOptions {
     /// Defaults overridden by any `CGX_NET_*` environment variables.
@@ -158,6 +183,11 @@ impl NetOptions {
         }
         if let Some(ms) = env_usize(ENV_HEARTBEAT_TIMEOUT_MS) {
             o.heartbeat_timeout = Duration::from_millis(ms as u64);
+        }
+        if let Some(interval) = o.heartbeat_interval {
+            o.heartbeat_timeout = o
+                .heartbeat_timeout
+                .max(interval * HB_TIMEOUT_FLOOR_INTERVALS);
         }
         if let Some(attempts) = env_usize(ENV_RECONNECT_ATTEMPTS) {
             if attempts > 0 {
@@ -192,11 +222,13 @@ impl NetOptions {
     }
 
     /// Returns `self` with liveness heartbeats every `interval` and a
-    /// silence deadline of `timeout`.
+    /// silence deadline of `timeout`, floored at
+    /// [`HB_TIMEOUT_FLOOR_INTERVALS`] intervals (a deadline at or below
+    /// the emission interval would condemn every healthy peer).
     #[must_use]
     pub fn with_heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
         self.heartbeat_interval = Some(interval);
-        self.heartbeat_timeout = timeout;
+        self.heartbeat_timeout = timeout.max(interval * HB_TIMEOUT_FLOOR_INTERVALS);
         self
     }
 
@@ -408,20 +440,38 @@ impl Staging {
 
 /// One queued outbound frame: header bytes live in the slot's arena, the
 /// payload is the caller's reference-counted buffer — nothing is
-/// concatenated. Tag and shape are kept so an unsent frame can be
-/// re-serialized with a fresh sequence number after a reconnect.
+/// concatenated. Tag, shape, and the assigned sequence number are kept
+/// so the frame can be retained and re-headered for retransmission
+/// after a reconnect (sequence spaces survive a socket swap).
 struct QueuedFrame {
     hdr_start: usize,
     hdr_len: usize,
     payload: bytes::Bytes,
     tag: Tag,
     shape: Shape,
+    seq: u32,
 }
 
 impl QueuedFrame {
     fn wire_len(&self) -> usize {
         self.hdr_len + self.payload.len()
     }
+}
+
+/// A frame fully written to a socket whose delivery the peer has not
+/// yet confirmed. The kernel can accept bytes it never puts on the wire
+/// (and an RST discards a receiver's undrained buffer), so with
+/// reconnect armed these are kept — bounded by
+/// [`NetOptions::retain_bytes`] — and the undelivered suffix is
+/// retransmitted after the reconnect handshake reveals the receiver's
+/// per-tag delivery state. Headers are re-serialized at retransmission
+/// (the original seq is reused), so no arena offsets are held here.
+struct RetainedFrame {
+    seq: u32,
+    tag: Tag,
+    shape: Shape,
+    payload: bytes::Bytes,
+    wire_len: usize,
 }
 
 /// Outbound half of one peer link.
@@ -436,6 +486,12 @@ struct WriterSlot {
     queued_bytes: usize,
     /// Bytes of the front frame already written (partial-write cursor).
     front_written: usize,
+    /// Flushed-but-unacknowledged frames, oldest first (empty unless
+    /// reconnect is armed). Pruned from the front past
+    /// [`NetOptions::retain_bytes`]; emptied by the reconnect handshake
+    /// (delivered frames are acknowledged, the rest re-queued).
+    retained: VecDeque<RetainedFrame>,
+    retained_bytes: usize,
 }
 
 /// Demux state: per-peer staging, sequence verification, and the
@@ -480,12 +536,11 @@ enum PeerLink {
         attempts: u32,
         next_at: Instant,
         give_up: Instant,
-        /// Whether the writer slot's queue/seq state has been rebuilt for
-        /// the post-reconnect sequence space (done lazily by whichever
-        /// side notices first).
-        writer_reset: bool,
     },
-    /// Condemned; `closed` carries the error.
+    /// Condemned; `closed` carries the error. Final for this
+    /// incarnation: a later redial from a condemned peer is refused —
+    /// the error may already have driven an elastic-membership decision
+    /// that a resurrected lane would contradict.
     Down,
 }
 
@@ -509,10 +564,57 @@ enum WriteProgress {
 }
 
 /// Preamble identifying a redial on the mesh listener: magic + rank.
+/// Followed by the dialer's delivery state (what it has contiguously
+/// received from the acceptor, per tag); the acceptor answers with its
+/// own delivery state before either side installs the link. Note the
+/// preamble is unauthenticated — the mesh listener trusts its network,
+/// which for this fabric means the single-run rendezvous scope.
 const RECON_MAGIC: [u8; 4] = *b"CGXR";
+/// Bound on either blocking read of the reconnect handshake. Runs on
+/// the pump path, so it also bounds how long one malformed or stalled
+/// redial can stall an endpoint's receive loop.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_millis(500);
+/// Sanity cap on delivery-state entries (live tag lanes per link); a
+/// redial claiming more is malformed and dropped.
+const MAX_STATE_ENTRIES: usize = 65_536;
 /// Heartbeat payload on the CTRL lane (intercepted by the demux, never
 /// stashed).
 const HB_PAYLOAD: [u8; 1] = [0x48];
+
+/// Serializes one side's delivery state for the reconnect handshake:
+/// entry count, then `(tag, next-expected seq)` pairs — everything this
+/// endpoint has contiguously received from the peer, per tag lane.
+fn encode_delivery_state(expected: &HashMap<Tag, u32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + expected.len() * 12);
+    out.extend_from_slice(&(expected.len() as u32).to_le_bytes());
+    for (&tag, &seq) in expected {
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
+    out
+}
+
+/// Reads a delivery-state table off a blocking handshake stream.
+fn read_delivery_state(stream: &mut impl Read) -> std::io::Result<HashMap<Tag, u32>> {
+    let mut count = [0u8; 4];
+    stream.read_exact(&mut count)?;
+    let count = u32::from_le_bytes(count) as usize;
+    if count > MAX_STATE_ENTRIES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized delivery state",
+        ));
+    }
+    let mut map = HashMap::with_capacity(count);
+    let mut entry = [0u8; 12];
+    for _ in 0..count {
+        stream.read_exact(&mut entry)?;
+        let tag = Tag::from_le_bytes(entry[..8].try_into().expect("8 bytes"));
+        let seq = u32::from_le_bytes(entry[8..].try_into().expect("4 bytes"));
+        map.insert(tag, seq);
+    }
+    Ok(map)
+}
 
 /// A rank's endpoint into a TCP full mesh. Built by
 /// [`crate::rendezvous::rendezvous`] (multi-process) or
@@ -620,6 +722,8 @@ impl TcpTransport {
                 queue: VecDeque::new(),
                 queued_bytes: 0,
                 front_written: 0,
+                retained: VecDeque::new(),
+                retained_bytes: 0,
             })));
         }
         let now = Instant::now();
@@ -970,7 +1074,6 @@ impl TcpTransport {
                             // exhaust; it waits out the dialer's whole
                             // budget plus slack for the dials themselves.
                             give_up: now + policy.budget() + 2 * policy.cap,
-                            writer_reset: false,
                         };
                         return;
                     }
@@ -1106,6 +1209,7 @@ impl TcpTransport {
             payload: body,
             tag,
             shape,
+            seq: this_seq,
         });
         slot.queued_bytes += hdr_len + payload_bytes;
         self.pending_frames.fetch_add(1, Ordering::Relaxed);
@@ -1165,6 +1269,11 @@ impl TcpTransport {
                 Ok(n) => {
                     self.note_syscall(&self.clocks.write_syscalls, t0.elapsed());
                     slot.front_written += n;
+                    // A fully-written frame is only *kernel*-accepted, not
+                    // delivered; with reconnect armed it moves to the
+                    // retention buffer until the peer acknowledges it in
+                    // a reconnect handshake (or the link stays healthy).
+                    let retain = self.mesh.is_some() && self.opts.reconnect.is_some();
                     while let Some(front) = slot.queue.front() {
                         let total = front.wire_len();
                         if slot.front_written < total {
@@ -1172,7 +1281,23 @@ impl TcpTransport {
                         }
                         slot.front_written -= total;
                         slot.queued_bytes -= total;
-                        slot.queue.pop_front();
+                        let sent = slot.queue.pop_front().expect("front exists");
+                        if retain {
+                            slot.retained_bytes += total;
+                            slot.retained.push_back(RetainedFrame {
+                                seq: sent.seq,
+                                tag: sent.tag,
+                                shape: sent.shape,
+                                payload: sent.payload,
+                                wire_len: total,
+                            });
+                            while slot.retained_bytes > self.opts.retain_bytes {
+                                let Some(old) = slot.retained.pop_front() else {
+                                    break;
+                                };
+                                slot.retained_bytes -= old.wire_len;
+                            }
+                        }
                         self.pending_frames.fetch_sub(1, Ordering::Relaxed);
                         self.clocks.writev_frames.fetch_add(1, Ordering::Relaxed);
                         if let Some(m) = &self.obs {
@@ -1242,10 +1367,11 @@ impl TcpTransport {
     }
 
     /// A write error: the socket is gone. With a reconnect policy armed
-    /// the queued frames are re-serialized into the fresh (post-reset)
-    /// sequence space and parked for the healed link — nothing queued is
-    /// lost. Without one the queue is discarded and the peer condemned
-    /// as [`CommError::PeerDead`].
+    /// the queued frames keep their sequence numbers and park until the
+    /// link heals (sequence spaces survive a socket swap); only the
+    /// partial-write cursor resets, so the front frame is resent whole.
+    /// Without one the queue is discarded and the peer condemned as
+    /// [`CommError::PeerDead`].
     fn fail_writer(
         &self,
         slot: &mut WriterSlot,
@@ -1253,10 +1379,9 @@ impl TcpTransport {
     ) -> Result<WriteProgress, CommError> {
         let mut d = lock(&self.demux);
         self.fail_link(&mut d, peer, CommError::PeerDead { rank: peer });
-        if let PeerLink::Pending { writer_reset, .. } = &mut d.reconn[peer] {
-            *writer_reset = true;
+        if matches!(d.reconn[peer], PeerLink::Pending { .. }) {
             drop(d);
-            self.requeue_for_resync(slot);
+            slot.front_written = 0;
             return Ok(WriteProgress::Deferred);
         }
         drop(d);
@@ -1267,36 +1392,88 @@ impl TcpTransport {
         slot.seq.clear();
         slot.front_written = 0;
         slot.queued_bytes = 0;
+        slot.retained.clear();
+        slot.retained_bytes = 0;
         Err(CommError::PeerDead { rank: peer })
     }
 
-    /// Rebuilds the writer queue for a fresh connection: every queued
-    /// frame is re-serialized with sequence numbers starting from zero
-    /// (the reconnected receiver resets its expectations), in the same
-    /// per-tag order. The partially-written front frame is resent whole —
-    /// the receiver discards partial staging on reconnect.
-    fn requeue_for_resync(&self, slot: &mut WriterSlot) {
-        let old: Vec<QueuedFrame> = slot.queue.drain(..).collect();
-        slot.hdrs.clear();
-        slot.seq.clear();
-        slot.front_written = 0;
-        slot.queued_bytes = 0;
-        for qf in old {
-            let seq = slot.seq.entry(qf.tag).or_insert(0);
-            let this_seq = *seq;
-            *seq += 1;
-            let hdr_start = slot.hdrs.len();
-            let hdr_len =
-                wire::append_frame_header(&mut slot.hdrs, qf.tag, this_seq, &qf.shape, &qf.payload);
-            slot.queued_bytes += hdr_len + qf.payload.len();
-            slot.queue.push_back(QueuedFrame {
-                hdr_start,
-                hdr_len,
-                payload: qf.payload,
-                tag: qf.tag,
-                shape: qf.shape,
+    /// Rebuilds the writer queue against the receiver's declared
+    /// delivery state (from the reconnect handshake). Frames the
+    /// receiver acknowledges are pruned from retention; flushed frames
+    /// it never got are re-queued from retention ahead of the unsent
+    /// queue, keeping their original sequence numbers, so the healed
+    /// link resumes exactly at the receiver's next-expected seq per
+    /// tag. A gap retention no longer covers — or a state table that
+    /// contradicts what was ever sent — is unrecoverable: the caller
+    /// condemns the peer rather than heal into silently misaligned
+    /// payloads.
+    fn rebuild_for_delivery(
+        &self,
+        slot: &mut WriterSlot,
+        peer: usize,
+        theirs: &HashMap<Tag, u32>,
+    ) -> Result<(), CommError> {
+        // First queued (unsent) seq per tag; everything below it was
+        // fully flushed to the old socket.
+        let mut first_queued: HashMap<Tag, u32> = HashMap::new();
+        for qf in &slot.queue {
+            first_queued.entry(qf.tag).or_insert(qf.seq);
+        }
+        for (&tag, &next) in &slot.seq {
+            let exp = theirs.get(&tag).copied().unwrap_or(0);
+            let flushed_end = first_queued.get(&tag).copied().unwrap_or(next);
+            if exp > flushed_end {
+                return Err(CommError::Corrupted {
+                    peer,
+                    detail: format!(
+                        "reconnect state: peer expects seq {exp} on tag {tag:#x}, \
+                         only {flushed_end} frames ever flushed"
+                    ),
+                });
+            }
+            // Retention per tag is a contiguous suffix of the flushed
+            // frames, so holding the oldest undelivered one implies
+            // holding the whole gap.
+            if exp < flushed_end
+                && !slot.retained.iter().any(|r| r.tag == tag && r.seq == exp)
+            {
+                return Err(CommError::PeerDead { rank: peer });
+            }
+        }
+        if theirs.keys().any(|tag| !slot.seq.contains_key(tag)) {
+            return Err(CommError::Corrupted {
+                peer,
+                detail: "reconnect state: peer expects frames on a tag never sent".into(),
             });
         }
+        // Drain retention: acknowledged frames are gone for good, the
+        // undelivered suffix goes back on the queue (oldest first,
+        // ahead of the unsent frames — inter-tag order is irrelevant,
+        // per-tag order is preserved).
+        let mut resend: Vec<RetainedFrame> = Vec::new();
+        while let Some(r) = slot.retained.pop_front() {
+            slot.retained_bytes -= r.wire_len;
+            if r.seq >= theirs.get(&r.tag).copied().unwrap_or(0) {
+                resend.push(r);
+            }
+        }
+        for r in resend.into_iter().rev() {
+            let hdr_start = slot.hdrs.len();
+            let hdr_len =
+                wire::append_frame_header(&mut slot.hdrs, r.tag, r.seq, &r.shape, &r.payload);
+            slot.queued_bytes += hdr_len + r.payload.len();
+            slot.queue.push_front(QueuedFrame {
+                hdr_start,
+                hdr_len,
+                payload: r.payload,
+                tag: r.tag,
+                shape: r.shape,
+                seq: r.seq,
+            });
+            self.pending_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.front_written = 0;
+        Ok(())
     }
 
     // ---- liveness and reconnect -----------------------------------------
@@ -1309,21 +1486,24 @@ impl TcpTransport {
         let Some(interval) = self.opts.heartbeat_interval else {
             return;
         };
+        let interval_ns = interval.as_nanos() as u64;
         let now_ns = self.born.elapsed().as_nanos() as u64;
-        let last = self.hb_last_ns.load(Ordering::Relaxed);
-        if now_ns.saturating_sub(last) < interval.as_nanos() as u64 {
+        if now_ns.saturating_sub(self.hb_last_ns.load(Ordering::Relaxed)) < interval_ns {
             return;
         }
-        if self
-            .hb_last_ns
-            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
+        // Take the guard *before* advancing the interval clock: a round
+        // that loses to a concurrent (or re-entrant) emitter is retried
+        // on the next pump instead of being skipped with its timestamp
+        // already consumed, which would stretch emission gaps toward
+        // 2x the interval and erode the liveness margin.
+        if self.hb_guard.swap(true, Ordering::Acquire) {
             return;
         }
-        if self.hb_guard.swap(true, Ordering::Relaxed) {
+        if now_ns.saturating_sub(self.hb_last_ns.load(Ordering::Relaxed)) < interval_ns {
+            self.hb_guard.store(false, Ordering::Release);
             return;
         }
+        self.hb_last_ns.store(now_ns, Ordering::Relaxed);
         let up: Vec<usize> = {
             let d = lock(&self.demux);
             (0..self.world)
@@ -1359,7 +1539,7 @@ impl TcpTransport {
             // One nonblocking attempt; a full socket keeps it queued.
             let _ = self.writev_slot(peer, &mut slot);
         }
-        self.hb_guard.store(false, Ordering::Relaxed);
+        self.hb_guard.store(false, Ordering::Release);
     }
 
     /// Advances the reconnect state machine: condemns links past their
@@ -1405,19 +1585,33 @@ impl TcpTransport {
     }
 
     /// One redial attempt toward `peer`: connect, announce ourselves
-    /// with the reconnect preamble, and install the fresh link. Failures
-    /// advance the backoff schedule; exhausting it condemns the peer.
+    /// with the reconnect preamble plus our delivery state, read the
+    /// acceptor's delivery state back, and install the fresh link.
+    /// Failures advance the backoff schedule; exhausting it condemns
+    /// the peer.
+    ///
+    /// Our delivery state is stable across the handshake: the read lane
+    /// to `peer` was detached when the link entered `Pending`
+    /// ([`Self::fail_link`]), so no sibling thread can advance
+    /// `expected[peer]` between the snapshot and the install.
     fn try_dial(&self, peer: usize, addr: &str, policy: ReconnectPolicy) {
+        let state = encode_delivery_state(&lock(&self.demux).expected[peer]);
         let dialed = TcpStream::connect(addr).and_then(|mut s| {
             let mut hello = [0u8; 8];
             hello[..4].copy_from_slice(&RECON_MAGIC);
             hello[4..].copy_from_slice(&(self.rank as u32).to_le_bytes());
             s.write_all(&hello)?;
-            Ok(s)
+            s.write_all(&state)?;
+            // The acceptor answers with its own delivery state; bound
+            // the wait so a wedged acceptor just advances the backoff.
+            s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let theirs = read_delivery_state(&mut &s)?;
+            s.set_read_timeout(None)?;
+            Ok((s, theirs))
         });
         match dialed {
-            Ok(s) => {
-                let _ = self.install_link(peer, s);
+            Ok((s, theirs)) => {
+                let _ = self.install_link(peer, s, &theirs);
             }
             Err(_) => {
                 let mut d = lock(&self.demux);
@@ -1438,8 +1632,9 @@ impl TcpTransport {
     }
 
     /// Drains the mesh listener: every pending connection must open with
-    /// the reconnect preamble naming a valid peer, whose link is then
-    /// replaced. Anything else is dropped.
+    /// the reconnect preamble naming a valid, un-condemned peer and
+    /// carry the dialer's delivery state; we answer with ours and then
+    /// replace the peer's link. Anything else is dropped.
     fn mesh_accept(&self) {
         let Some(mesh) = &self.mesh else {
             return;
@@ -1447,20 +1642,59 @@ impl TcpTransport {
         loop {
             match mesh.listener.accept() {
                 Ok((stream, _)) => {
-                    let mut hello = [0u8; 8];
-                    let ok = stream
-                        .set_read_timeout(Some(Duration::from_millis(500)))
-                        .and_then(|()| (&stream).read_exact(&mut hello))
-                        .is_ok();
-                    if !ok || hello[..4] != RECON_MAGIC {
+                    // Sockets accepted from a nonblocking listener
+                    // inherit O_NONBLOCK on some platforms (macOS/BSD);
+                    // force blocking mode so the bounded read timeout —
+                    // not an instant WouldBlock — governs the handshake.
+                    if stream.set_nonblocking(false).is_err() {
                         continue;
                     }
+                    let mut hello = [0u8; 8];
+                    let handshake = stream
+                        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+                        .and_then(|()| (&stream).read_exact(&mut hello))
+                        .and_then(|()| {
+                            if hello[..4] == RECON_MAGIC {
+                                read_delivery_state(&mut &stream)
+                            } else {
+                                Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    "bad reconnect preamble",
+                                ))
+                            }
+                        });
+                    let Ok(theirs) = handshake else {
+                        continue;
+                    };
                     let peer = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]) as usize;
                     if peer >= self.world || peer == self.rank {
                         continue;
                     }
+                    let mine = {
+                        let mut d = lock(&self.demux);
+                        // Once condemned, the verdict is final: the
+                        // error may already have been surfaced and
+                        // acted on. Refuse the redial.
+                        if matches!(d.reconn[peer], PeerLink::Down) || d.closed[peer].is_some() {
+                            continue;
+                        }
+                        // Quiesce the old lane before declaring our
+                        // delivery state: drain whatever the dead
+                        // socket still holds, then detach it so no
+                        // sibling thread advances `expected[peer]`
+                        // between this reply and the install.
+                        self.read_peer(&mut d, peer);
+                        if matches!(d.reconn[peer], PeerLink::Down) || d.closed[peer].is_some() {
+                            continue;
+                        }
+                        d.streams[peer] = None;
+                        encode_delivery_state(&d.expected[peer])
+                    };
+                    if (&stream).write_all(&mine).is_err() {
+                        continue;
+                    }
                     let _ = stream.set_read_timeout(None);
-                    let _ = self.install_link(peer, stream);
+                    let _ = self.install_link(peer, stream, &theirs);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(_) => break,
@@ -1469,15 +1703,28 @@ impl TcpTransport {
     }
 
     /// Replaces `peer`'s link with a fresh stream (either side of a
-    /// reconnect): swaps the socket into the writer slot and the demux,
-    /// resets staging and per-tag sequence expectations (the writer side
-    /// re-sequences from zero, see [`Self::requeue_for_resync`]), clears
-    /// the closure, and reopens the lane. Stashed frames from the old
-    /// connection stay deliverable.
-    fn install_link(&self, peer: usize, stream: TcpStream) -> Result<(), CommError> {
+    /// reconnect). Sequence spaces survive the swap: the receive side
+    /// keeps its per-tag expectations (only partial staging from the
+    /// old socket is discarded), and the writer queue is rebuilt
+    /// against `theirs` — the peer's delivery state from the handshake
+    /// — retransmitting the flushed-but-undelivered suffix from
+    /// retention ([`Self::rebuild_for_delivery`]). Stashed frames from
+    /// the old connection stay deliverable. A condemned peer is
+    /// refused: the [`CommError::PeerDead`] verdict is final for this
+    /// incarnation, and a gap retention cannot cover condemns here
+    /// rather than heal into misaligned payloads.
+    fn install_link(
+        &self,
+        peer: usize,
+        stream: TcpStream,
+        theirs: &HashMap<Tag, u32>,
+    ) -> Result<(), CommError> {
         let boot = |what: &str, e: std::io::Error| CommError::Bootstrap {
             detail: format!("reconnecting link to rank {peer}: {what}: {e}"),
         };
+        if matches!(lock(&self.demux).reconn[peer], PeerLink::Down) {
+            return Err(CommError::PeerDead { rank: peer });
+        }
         stream
             .set_nodelay(self.opts.nodelay)
             .map_err(|e| boot("TCP_NODELAY", e))?;
@@ -1510,22 +1757,31 @@ impl TcpTransport {
         };
         {
             let mut d = lock(&self.demux);
-            // If no write failed during the outage the queue still
-            // carries pre-drop sequence numbers — rebuild it for the
-            // fresh connection's sequence space.
-            let was_reset = matches!(
-                d.reconn[peer],
-                PeerLink::Pending { writer_reset: true, .. }
-            );
-            if !was_reset {
-                self.requeue_for_resync(&mut slot);
+            // Re-check under the lock: the peer may have been condemned
+            // (budget exhausted, liveness expiry) while the handshake
+            // ran, and a condemned verdict must stay final. A lane that
+            // is already live again means a racing install won — drop
+            // this connection rather than double-install.
+            if matches!(d.reconn[peer], PeerLink::Down) || d.closed[peer].is_some() {
+                return Err(CommError::PeerDead { rank: peer });
+            }
+            if d.streams[peer].is_some() {
+                return Err(CommError::Bootstrap {
+                    detail: format!("link to rank {peer} is already live"),
+                });
+            }
+            if let Err(e) = self.rebuild_for_delivery(&mut slot, peer, theirs) {
+                self.condemn(&mut d, peer, e.clone());
+                return Err(e);
             }
             slot.stream = stream;
             d.streams[peer] = Some(read_half);
+            // Partial staging from the old socket is discarded; the
+            // sender retransmits that frame whole. Sequence
+            // expectations are *kept* — the handshake advertised them,
+            // and the rebuilt writer queue resumes exactly there.
             d.staging[peer].start = 0;
             d.staging[peer].end = 0;
-            d.expected[peer].clear();
-            d.closed[peer] = None;
             d.reconn[peer] = PeerLink::Up;
             d.last_heard[peer] = Instant::now();
         }
@@ -1586,6 +1842,10 @@ impl Transport for TcpTransport {
     }
 
     fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
+        // Send-side emission too, not just pump(): a rank that only
+        // sends for a while must still prove itself alive to peers it
+        // is not currently sending to.
+        self.maybe_emit_heartbeats();
         let mut slot = self.writer(peer)?;
         self.enqueue_frame(&mut slot, tag, payload);
         self.maybe_inject_reset(peer, &slot);
@@ -1608,6 +1868,7 @@ impl Transport for TcpTransport {
         tag: Tag,
         payload: Encoded,
     ) -> Result<Option<Encoded>, CommError> {
+        self.maybe_emit_heartbeats();
         let defer = payload.payload_bytes() <= self.opts.coalesce_frame_bytes;
         let mut slot = self.writer(peer)?;
         self.enqueue_frame(&mut slot, tag, payload);
@@ -1972,6 +2233,19 @@ mod tests {
         assert_eq!(policy.base, Duration::from_millis(10));
         assert_eq!(policy.cap, Duration::from_millis(80));
         assert_eq!(NetOptions::from_env().reconnect, None);
+
+        // A deadline at or below the interval guarantees false deaths:
+        // both the env path and the builder floor it at
+        // HB_TIMEOUT_FLOOR_INTERVALS emission intervals.
+        std::env::set_var(ENV_HEARTBEAT_MS, "100");
+        std::env::set_var(ENV_HEARTBEAT_TIMEOUT_MS, "50");
+        let clamped = NetOptions::from_env();
+        std::env::remove_var(ENV_HEARTBEAT_MS);
+        std::env::remove_var(ENV_HEARTBEAT_TIMEOUT_MS);
+        assert_eq!(clamped.heartbeat_timeout, Duration::from_millis(300));
+        let built = NetOptions::default()
+            .with_heartbeat(Duration::from_millis(50), Duration::from_millis(50));
+        assert_eq!(built.heartbeat_timeout, Duration::from_millis(150));
     }
 
     #[test]
@@ -2098,5 +2372,149 @@ mod tests {
             "budget exhaustion took {:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn delivery_state_roundtrips_and_bounds_entries() {
+        let mut map: HashMap<Tag, u32> = HashMap::new();
+        map.insert(7, 3);
+        map.insert(CTRL_TAG, 12);
+        map.insert(0, 1);
+        let bytes = encode_delivery_state(&map);
+        let back = read_delivery_state(&mut &bytes[..]).expect("roundtrip");
+        assert_eq!(back, map);
+        assert!(
+            read_delivery_state(&mut &encode_delivery_state(&HashMap::new())[..])
+                .expect("empty state")
+                .is_empty()
+        );
+        // An implausible entry count is rejected before allocation.
+        let huge = (MAX_STATE_ENTRIES as u32 + 1).to_le_bytes();
+        assert!(read_delivery_state(&mut &huge[..]).is_err());
+    }
+
+    /// Builds a 2-rank mesh where rank 0 has flushed 3 frames on tag 7
+    /// (now in retention) and still queues 2 unsent ones (seqs 3, 4).
+    fn retention_fixture() -> Vec<TcpTransport> {
+        let policy = ReconnectPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+            4,
+            3,
+        );
+        let opts = NetOptions::default().with_reconnect(policy);
+        let eps = TcpFabric::build_local_with(2, opts);
+        for i in 0..3u8 {
+            let p = Encoded::new(Shape::new(vec![1]), bytes::Bytes::from(vec![i]));
+            eps[0].send_tagged(1, 7, p).expect("flushed send");
+        }
+        for i in 3..5u8 {
+            let p = Encoded::new(Shape::new(vec![1]), bytes::Bytes::from(vec![i]));
+            assert!(eps[0].try_send_tagged(1, 7, p).expect("deferred").is_none());
+        }
+        {
+            let slot = lock(eps[0].writers[1].as_ref().expect("slot"));
+            assert_eq!(slot.retained.len(), 3, "flushed frames are retained");
+            assert_eq!(slot.queue.len(), 2, "small frames coalesce unsent");
+        }
+        eps
+    }
+
+    #[test]
+    fn rebuild_resumes_at_the_receivers_delivery_state() {
+        // Everything flushed was delivered: retention is acknowledged
+        // away and only the unsent frames remain, seqs untouched.
+        let eps = retention_fixture();
+        let mut slot = lock(eps[0].writers[1].as_ref().expect("slot"));
+        let theirs: HashMap<Tag, u32> = [(7, 3)].into_iter().collect();
+        eps[0]
+            .rebuild_for_delivery(&mut slot, 1, &theirs)
+            .expect("no gap");
+        assert_eq!(slot.retained.len(), 0);
+        assert_eq!(slot.retained_bytes, 0);
+        let seqs: Vec<u32> = slot.queue.iter().map(|q| q.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn rebuild_retransmits_the_undelivered_suffix_from_retention() {
+        // The receiver only got seq 0: seqs 1 and 2 come back out of
+        // retention ahead of the unsent frames, original numbering.
+        let eps = retention_fixture();
+        let mut slot = lock(eps[0].writers[1].as_ref().expect("slot"));
+        let theirs: HashMap<Tag, u32> = [(7, 1)].into_iter().collect();
+        eps[0]
+            .rebuild_for_delivery(&mut slot, 1, &theirs)
+            .expect("retention covers the gap");
+        assert_eq!(slot.retained.len(), 0);
+        let seqs: Vec<u32> = slot.queue.iter().map(|q| q.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        assert_eq!(slot.front_written, 0, "front frame resent whole");
+    }
+
+    #[test]
+    fn rebuild_condemns_when_the_gap_outgrew_retention() {
+        // Retention no longer holds seq 1 (pruned): healing would skip
+        // a frame the receiver never got — refuse with a typed error.
+        let eps = retention_fixture();
+        let mut slot = lock(eps[0].writers[1].as_ref().expect("slot"));
+        let dropped = slot.retained.pop_front().expect("seq 0");
+        slot.retained_bytes -= dropped.wire_len;
+        let dropped = slot.retained.pop_front().expect("seq 1");
+        slot.retained_bytes -= dropped.wire_len;
+        let theirs: HashMap<Tag, u32> = [(7, 1)].into_iter().collect();
+        let err = eps[0]
+            .rebuild_for_delivery(&mut slot, 1, &theirs)
+            .expect_err("gap not covered");
+        assert!(matches!(err, CommError::PeerDead { rank: 1 }), "got {err:?}");
+    }
+
+    #[test]
+    fn rebuild_rejects_contradictory_delivery_state() {
+        // A peer claiming more frames than were ever flushed, or frames
+        // on a tag never sent, is lying about shared history.
+        let eps = retention_fixture();
+        let mut slot = lock(eps[0].writers[1].as_ref().expect("slot"));
+        let ahead: HashMap<Tag, u32> = [(7, 99)].into_iter().collect();
+        assert!(matches!(
+            eps[0].rebuild_for_delivery(&mut slot, 1, &ahead),
+            Err(CommError::Corrupted { peer: 1, .. })
+        ));
+        let unknown: HashMap<Tag, u32> = [(9, 1)].into_iter().collect();
+        assert!(matches!(
+            eps[0].rebuild_for_delivery(&mut slot, 1, &unknown),
+            Err(CommError::Corrupted { peer: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn a_condemned_peer_cannot_be_resurrected_by_a_late_redial() {
+        // Once PeerDead has been decided (and possibly surfaced to the
+        // elastic layer), install_link must refuse the fresh socket and
+        // leave the verdict in place.
+        let policy = ReconnectPolicy::new(
+            Duration::from_millis(2),
+            Duration::from_millis(10),
+            2,
+            5,
+        );
+        let opts = NetOptions::default().with_reconnect(policy);
+        let eps = TcpFabric::build_local_with(2, opts);
+        {
+            let mut d = lock(&eps[0].demux);
+            eps[0].condemn(&mut d, 1, CommError::PeerDead { rank: 1 });
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dial = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+        let (late, _) = listener.accept().expect("accept");
+        let _ = dial.join().expect("dialer");
+        let err = eps[0]
+            .install_link(1, late, &HashMap::new())
+            .expect_err("condemned is final");
+        assert!(matches!(err, CommError::PeerDead { rank: 1 }), "got {err:?}");
+        let d = lock(&eps[0].demux);
+        assert!(matches!(d.reconn[1], PeerLink::Down), "verdict stands");
+        assert!(d.closed[1].is_some(), "error stays recorded");
     }
 }
