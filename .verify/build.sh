@@ -60,7 +60,7 @@ echo "== cgx_engine"
 $RUSTC --crate-type rlib --crate-name cgx_engine crates/engine/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
-  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" --extern cgx_adaptive="$L/libcgx_adaptive.rlib" \
   -o "$L/libcgx_engine.rlib"
 
 echo "== cgx_core"
@@ -101,10 +101,14 @@ $RUSTC --test --crate-name cgx_qnccl_tests crates/qnccl/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$V/test_qnccl"
+$RUSTC --test --crate-name cgx_adaptive_tests crates/adaptive/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_models="$L/libcgx_models.rlib" \
+  -o "$V/test_adaptive"
 $RUSTC --test --crate-name cgx_engine_tests crates/engine/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
-  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" --extern cgx_adaptive="$L/libcgx_adaptive.rlib" \
   -o "$V/test_engine"
 $RUSTC --test --crate-name fused_training crates/qnccl/tests/fused_training.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
@@ -148,6 +152,15 @@ $RUSTC --test --crate-name net_chaos crates/net/tests/net_chaos.rs \
 $RUSTC --test --crate-name net_backoff_properties crates/net/tests/backoff_properties.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern proptest="$L/libproptest.rlib" \
   -o "$V/test_net_backoff_properties"
+$RUSTC --test --crate-name adaptive_parity crates/net/tests/adaptive_parity.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
+  --extern cgx_net="$L/libcgx_net.rlib" \
+  -o "$V/test_adaptive_parity"
+$RUSTC --test --crate-name budget_properties crates/adaptive/tests/budget_properties.rs \
+  --extern cgx_adaptive="$L/libcgx_adaptive.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern proptest="$L/libproptest.rlib" \
+  -o "$V/test_budget_properties"
 
 $RUSTC --test --crate-name cgx_simnet_tests crates/simnet/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
@@ -224,6 +237,12 @@ $RUSTC --crate-name net_report crates/bench/src/bin/net_report.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   --extern cgx_net="$L/libcgx_net.rlib" \
   -o "$V/net_report"
+
+echo "== adaptive_live_report bin"
+$RUSTC --crate-name adaptive_live_report crates/bench/src/bin/adaptive_live_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_engine="$L/libcgx_engine.rlib" --extern cgx_core="$L/libcgx_core.rlib" \
+  -o "$V/adaptive_live_report"
 
 echo "== des bench (criterion stub compile check)"
 $RUSTC --crate-name des_bench crates/bench/benches/des.rs \

@@ -35,10 +35,16 @@
 //! assert!(a.bits[0] <= a.bits[2]);
 //! ```
 
+pub mod controller;
 pub mod kmeans;
 pub mod policy;
 
+pub use controller::{
+    AdaptiveController, AdaptivePlanTrace, AdaptiveTrainConfig, ControlledLayer, PlanRecord,
+    PlanUpdate,
+};
 pub use kmeans::{kmeans, KMeansResult};
 pub use policy::{
-    assign_bits, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment, LayerProfile,
+    assign_bits, quant_levels, uniform_assignment, AdaptiveOptions, AdaptivePolicy, BitAssignment,
+    LayerProfile,
 };

@@ -88,6 +88,55 @@ impl Default for AdaptiveOptions {
     }
 }
 
+impl AdaptiveOptions {
+    /// Checks the options for degenerate values that would otherwise
+    /// surface as NaN scores or shift overflows deep inside the repair
+    /// loops: empty/duplicate/out-of-range `bit_choices` and a
+    /// non-positive or non-finite `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violation.
+    pub fn validate(&self) {
+        assert!(!self.bit_choices.is_empty(), "bit_choices is empty");
+        for &b in &self.bit_choices {
+            assert!(
+                (1..=32).contains(&b),
+                "bit choice {b} out of range (want 1..=32)"
+            );
+        }
+        let mut sorted = self.bit_choices.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "duplicate bit choice {} in bit_choices",
+                w[0]
+            );
+        }
+        assert!(
+            self.alpha.is_finite() && self.alpha > 0.0,
+            "alpha must be finite and > 0, got {}",
+            self.alpha
+        );
+    }
+}
+
+/// Quantization levels `s(b)` for a `b`-bit scheme: `2^(b-1) - 1`, floored
+/// at one level so 1-bit (sign) compression yields a finite error model
+/// instead of a division by zero.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 (no such scheme) or above 32.
+pub fn quant_levels(bits: u32) -> f64 {
+    assert!(
+        (1..=32).contains(&bits),
+        "bit width {bits} out of range (want 1..=32)"
+    );
+    (((1u64 << (bits - 1)) - 1) as f64).max(1.0)
+}
+
 /// A per-layer bit-width and bucket-size assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BitAssignment {
@@ -100,9 +149,14 @@ pub struct BitAssignment {
 impl BitAssignment {
     /// Bucket size CGX pairs with a bit-width (lower precision tolerates —
     /// and wants — larger buckets to amortize the scale overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 — there is no zero-bit scheme.
     pub fn bucket_for_bits(bits: u32) -> usize {
+        assert!(bits > 0, "no zero-bit scheme");
         match bits {
-            0..=2 => 1024,
+            1..=2 => 1024,
             3 => 512,
             4 => 128,
             _ => 64,
@@ -114,26 +168,31 @@ impl BitAssignment {
         BitAssignment { bits, bucket_sizes }
     }
 
-    /// Total compressed payload in bits for the profiled layers.
+    /// Total compressed payload in bits for the profiled layers. Matches
+    /// the nominal cost of the scheme [`to_schemes`](Self::to_schemes)
+    /// emits: QSGD carries one `f32` scale per bucket; 1-bit sign
+    /// compression carries two (scale + mean magnitude).
     pub fn compressed_bits_total(&self, profiles: &[LayerProfile]) -> f64 {
         self.bits
             .iter()
             .zip(&self.bucket_sizes)
             .zip(profiles)
-            .map(|((b, bucket), p)| p.size as f64 * (*b as f64 + 32.0 / *bucket as f64))
+            .map(|((b, bucket), p)| {
+                let overhead = if *b == 1 { 64.0 } else { 32.0 };
+                p.size as f64 * (*b as f64 + overhead / *bucket as f64)
+            })
             .sum()
     }
 
     /// Modelled total compression error: per layer, quantization error
-    /// scales as `‖G_ℓ‖ / s(b)` with `s(b) = 2^(b-1) - 1` levels; errors
-    /// add in quadrature.
+    /// scales as `‖G_ℓ‖ / s(b)` with `s(b) = max(2^(b-1) - 1, 1)` levels
+    /// (see [`quant_levels`]); errors add in quadrature.
     pub fn estimated_error(&self, profiles: &[LayerProfile]) -> f64 {
         self.bits
             .iter()
             .zip(profiles)
             .map(|(b, p)| {
-                let s = ((1u32 << (b - 1)) - 1) as f64;
-                let e = p.grad_norm / s;
+                let e = p.grad_norm / quant_levels(*b);
                 e * e
             })
             .sum::<f64>()
@@ -145,14 +204,23 @@ impl BitAssignment {
         self.compressed_bits_total(profiles) / other.compressed_bits_total(profiles)
     }
 
-    /// Converts to per-layer [`CompressionScheme`]s (QSGD everywhere).
+    /// Converts to per-layer [`CompressionScheme`]s: QSGD for 2+ bits,
+    /// sign compression ([`CompressionScheme::OneBit`]) for 1-bit layers.
     pub fn to_schemes(&self) -> Vec<CompressionScheme> {
         self.bits
             .iter()
             .zip(&self.bucket_sizes)
-            .map(|(b, bucket)| CompressionScheme::Qsgd {
-                bits: *b,
-                bucket_size: *bucket,
+            .map(|(b, bucket)| {
+                if *b == 1 {
+                    CompressionScheme::OneBit {
+                        bucket_size: *bucket,
+                    }
+                } else {
+                    CompressionScheme::Qsgd {
+                        bits: *b,
+                        bucket_size: *bucket,
+                    }
+                }
             })
             .collect()
     }
@@ -169,14 +237,15 @@ pub fn uniform_assignment(profiles: &[LayerProfile], bits: u32) -> BitAssignment
 ///
 /// # Panics
 ///
-/// Panics if `profiles` is empty or the options are degenerate.
+/// Panics if `profiles` is empty or the options are degenerate (see
+/// [`AdaptiveOptions::validate`]).
 pub fn assign_bits(
     policy: AdaptivePolicy,
     profiles: &[LayerProfile],
     opts: &AdaptiveOptions,
 ) -> BitAssignment {
     assert!(!profiles.is_empty(), "no layers to assign");
-    assert!(!opts.bit_choices.is_empty(), "no bit choices");
+    opts.validate();
     let mut choices = opts.bit_choices.clone();
     choices.sort_unstable();
     let budget = opts.alpha * uniform_assignment(profiles, 4).estimated_error(profiles);
@@ -406,8 +475,12 @@ fn search_bits(
             best = Some((size, cand));
         }
     }
+    // No feasible sample: saturate at the largest *available* width and
+    // let the caller's repair pass do what it can. Falling back to a
+    // literal 4 bits here would smuggle an out-of-set width into the
+    // plan whenever 4 ∉ choices (e.g. a pure sign-SGD ladder).
     best.map(|(_, a)| a)
-        .unwrap_or_else(|| uniform_assignment(profiles, 4))
+        .unwrap_or_else(|| uniform_assignment(profiles, *choices.last().expect("non-empty")))
 }
 
 /// Promotes layers to the next bit-width until the estimated error fits
@@ -450,8 +523,7 @@ fn enforce_budget(
 }
 
 fn layer_error(profiles: &[LayerProfile], a: &BitAssignment, i: usize) -> f64 {
-    let s = ((1u32 << (a.bits[i] - 1)) - 1) as f64;
-    profiles[i].grad_norm / s
+    profiles[i].grad_norm / quant_levels(a.bits[i])
 }
 
 /// Greedy per-layer demotion maximizing *exposure-weighted* wire savings
@@ -472,8 +544,8 @@ fn exploit_budget_time_aware(
                 continue;
             };
             // Error variance added by the demotion.
-            let s_cur = ((1u32 << (cur - 1)) - 1) as f64;
-            let s_to = ((1u32 << (to - 1)) - 1) as f64;
+            let s_cur = quant_levels(cur);
+            let s_to = quant_levels(to);
             let added = (p.grad_norm / s_to).powi(2) - (p.grad_norm / s_cur).powi(2);
             // Does the whole assignment stay feasible?
             let total_sq = assignment.estimated_error(profiles).powi(2) + added;
@@ -697,6 +769,154 @@ mod tests {
         let a = assign_bits(AdaptivePolicy::BayesOpt { trials: 100 }, &profiles, &opts);
         let b = assign_bits(AdaptivePolicy::BayesOpt { trials: 100 }, &profiles, &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_bit_levels_floor_at_one() {
+        assert_eq!(quant_levels(1), 1.0);
+        assert_eq!(quant_levels(2), 1.0);
+        assert_eq!(quant_levels(4), 7.0);
+        let profiles = txl_like();
+        let e1 = uniform_assignment(&profiles, 1).estimated_error(&profiles);
+        assert!(e1.is_finite(), "1-bit error must be finite, got {e1}");
+    }
+
+    #[test]
+    fn one_bit_choices_assign_finite_error_and_repair_without_panic() {
+        // Regression: s(1) = 2^0 - 1 = 0 used to make grad_norm / s(b)
+        // infinite (NaN for zero-norm layers), which panicked
+        // enforce_budget's partial_cmp on the first repair pass.
+        let profiles = txl_like();
+        let opts = AdaptiveOptions {
+            bit_choices: vec![1, 2, 4, 8],
+            ..AdaptiveOptions::default()
+        };
+        let budget = opts.alpha * uniform_assignment(&profiles, 4).estimated_error(&profiles);
+        let max_bits = *opts.bit_choices.iter().max().unwrap();
+        for policy in [
+            AdaptivePolicy::KMeans,
+            AdaptivePolicy::Linear,
+            AdaptivePolicy::BayesOpt { trials: 100 },
+            AdaptivePolicy::TimeAware,
+        ] {
+            let a = assign_bits(policy, &profiles, &opts);
+            let e = a.estimated_error(&profiles);
+            assert!(e.is_finite(), "{policy:?} produced non-finite error");
+            assert!(
+                e <= budget * (1.0 + 1e-9) || a.bits.iter().all(|&b| b == max_bits),
+                "{policy:?} violates budget without saturating: {e} > {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_bit_assignment_maps_to_sign_compression() {
+        let a = BitAssignment::from_bits(vec![1, 4]);
+        let schemes = a.to_schemes();
+        assert_eq!(
+            schemes[0],
+            CompressionScheme::OneBit { bucket_size: 1024 }
+        );
+        assert_eq!(
+            schemes[1],
+            CompressionScheme::Qsgd {
+                bits: 4,
+                bucket_size: 128
+            }
+        );
+        // The size model matches the emitted schemes' nominal bit cost.
+        let profiles = vec![
+            LayerProfile::new("a", 4096, 1.0),
+            LayerProfile::new("b", 4096, 1.0),
+        ];
+        let expect: f64 = schemes
+            .iter()
+            .zip(&profiles)
+            .map(|(s, p)| s.nominal_bits_per_element() * p.size as f64)
+            .sum();
+        assert!((a.compressed_bits_total(&profiles) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_norm_layers_are_benign() {
+        // Frozen/converged layers report grad_norm == 0.0 (allowed by
+        // LayerProfile::new); every policy must keep scores finite.
+        let mut profiles = txl_like();
+        profiles.push(LayerProfile::new("frozen", 1024, 0.0));
+        for policy in [
+            AdaptivePolicy::KMeans,
+            AdaptivePolicy::Linear,
+            AdaptivePolicy::BayesOpt { trials: 50 },
+            AdaptivePolicy::TimeAware,
+        ] {
+            let a = assign_bits(policy, &profiles, &AdaptiveOptions::default());
+            assert!(a.estimated_error(&profiles).is_finite());
+            assert_eq!(a.bits.len(), profiles.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit_choices is empty")]
+    fn empty_bit_choices_rejected() {
+        let profiles = vec![LayerProfile::new("x", 10, 1.0)];
+        let opts = AdaptiveOptions {
+            bit_choices: vec![],
+            ..AdaptiveOptions::default()
+        };
+        assign_bits(AdaptivePolicy::KMeans, &profiles, &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bit_choice_rejected() {
+        let profiles = vec![LayerProfile::new("x", 10, 1.0)];
+        let opts = AdaptiveOptions {
+            bit_choices: vec![0, 4],
+            ..AdaptiveOptions::default()
+        };
+        assign_bits(AdaptivePolicy::KMeans, &profiles, &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bit choice")]
+    fn duplicate_bit_choices_rejected() {
+        let profiles = vec![LayerProfile::new("x", 10, 1.0)];
+        let opts = AdaptiveOptions {
+            bit_choices: vec![4, 2, 4],
+            ..AdaptiveOptions::default()
+        };
+        assign_bits(AdaptivePolicy::Linear, &profiles, &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite and > 0")]
+    fn non_positive_alpha_rejected() {
+        let profiles = vec![LayerProfile::new("x", 10, 1.0)];
+        let opts = AdaptiveOptions {
+            alpha: 0.0,
+            ..AdaptiveOptions::default()
+        };
+        assign_bits(AdaptivePolicy::KMeans, &profiles, &opts);
+    }
+
+    #[test]
+    fn infeasible_search_saturates_within_the_choice_set() {
+        // Regression: when no randomized-search sample met the budget,
+        // `search_bits` fell back to a literal uniform 4-bit plan — an
+        // out-of-set width whenever 4 ∉ bit_choices. It must saturate at
+        // the largest available choice instead.
+        let profiles = txl_like();
+        let opts = AdaptiveOptions {
+            bit_choices: vec![1, 2],
+            alpha: 1.0, // tight budget: nothing in {1,2} bits is feasible
+            ..AdaptiveOptions::default()
+        };
+        let a = assign_bits(AdaptivePolicy::BayesOpt { trials: 8 }, &profiles, &opts);
+        assert!(
+            a.bits.iter().all(|&b| b == 1 || b == 2),
+            "out-of-set bit-widths: {:?}",
+            a.bits
+        );
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Live adaptive-compression report: the controller running *inside real
+//! training*, not the offline planner.
+//!
+//! Two sections, both emitted into `BENCH_adaptive.json`:
+//!
+//! 1. **Real training** — the standard Gaussian-mixture MLP workload on
+//!    the thread-backed fabric, static 4-bit CGX vs the live
+//!    [`AdaptiveTrainConfig`] controller (choice set `{2,3,4}`, so every
+//!    committed plan can only shrink the wire). Records measured wire
+//!    bytes per worker, committed re-plans, the plan-trace digest, and
+//!    wall time; asserts the controller re-planned at least twice and
+//!    cut real wire bytes.
+//! 2. **Zoo live sessions** — [`live_adaptive_session`] drives the same
+//!    controller over the paper's model zoo with closed-form gradient
+//!    statistics; asserts the headline: at least one transformer model
+//!    saves ≥20% integrated wire traffic vs uniform static 4-bit.
+//!
+//! Regression-guard mode mirrors `net_report`: when
+//! `CGX_ADAPTIVE_GUARD` names a baseline `BENCH_adaptive.json`, the run
+//! fails if the adaptive training step time exceeds the baseline by
+//! more than `CGX_ADAPTIVE_GUARD_TOLERANCE` (default 1.5x), or if the
+//! zoo wire-ratio regressed above its recorded value by more than the
+//! same factor.
+
+use cgx_core::live_adaptive_session;
+use cgx_engine::data::GaussianMixture;
+use cgx_engine::nn::Mlp;
+use cgx_engine::{
+    train_data_parallel, AdaptiveTrainConfig, LayerCompression, TrainConfig, TrainReport,
+};
+use cgx_models::{ModelId, ModelSpec};
+use cgx_tensor::Rng;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+const STEPS: usize = 60;
+const ZOO_STEPS: usize = 64;
+
+struct TrainRow {
+    label: &'static str,
+    bytes_per_worker: usize,
+    replans: usize,
+    plan_digest: Option<u64>,
+    wall: Duration,
+}
+
+fn train(adaptive: Option<AdaptiveTrainConfig>, label: &'static str) -> TrainRow {
+    let task = GaussianMixture::new(4, 16, 1.5);
+    let mut rng = Rng::seed_from_u64(53);
+    let model = Mlp::new(&mut rng, &[16, 64, 4]);
+    let cfg = TrainConfig {
+        compression: LayerCompression::cgx_default(),
+        adaptive,
+        ..TrainConfig::new(WORKERS, STEPS)
+    };
+    let t = task.clone();
+    let start = Instant::now();
+    let (_, report): (_, TrainReport) =
+        train_data_parallel(&model, move |r| t.sample_batch(r, 8), &cfg).expect("training run");
+    let wall = start.elapsed();
+    TrainRow {
+        label,
+        bytes_per_worker: report.bytes_sent_per_worker,
+        replans: report.adaptive.as_ref().map_or(0, |t| t.replans()),
+        plan_digest: report.adaptive.as_ref().map(|t| t.digest()),
+        wall,
+    }
+}
+
+struct ZooRow {
+    model: &'static str,
+    transformer: bool,
+    replans: usize,
+    wire_ratio: f64,
+    final_bits_per_element: f64,
+}
+
+fn zoo_session(id: ModelId) -> ZooRow {
+    let spec = ModelSpec::build(id);
+    let report = live_adaptive_session(&spec, &AdaptiveTrainConfig::default(), ZOO_STEPS, 7);
+    ZooRow {
+        model: id.name(),
+        transformer: matches!(id, ModelId::TransformerXl | ModelId::BertBase | ModelId::Gpt2),
+        replans: report.trace.replans(),
+        wire_ratio: report.wire_ratio_vs_static4(),
+        final_bits_per_element: report
+            .trace
+            .records
+            .last()
+            .map_or(4.25, |r| r.nominal_bits_per_element),
+    }
+}
+
+/// Pulls a `"key": <float>` out of our own hand-built JSON.
+fn baseline_field(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\": "))?;
+    let digits: String = json[at + key.len() + 4..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    // Snapshot the guard baseline before overwriting the report file.
+    let guard = std::env::var("CGX_ADAPTIVE_GUARD").ok().map(|path| {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("CGX_ADAPTIVE_GUARD baseline {path}: {e}"));
+        (path, baseline)
+    });
+
+    // Section 1: real training on the thread fabric.
+    let static4 = train(None, "static_q4");
+    let acfg = AdaptiveTrainConfig {
+        bit_choices: vec![2, 3, 4],
+        ..AdaptiveTrainConfig::default()
+    };
+    let adaptive = train(Some(acfg), "adaptive");
+    let train_saving = 1.0 - adaptive.bytes_per_worker as f64 / static4.bytes_per_worker as f64;
+    println!(
+        "training: static {} B/worker, adaptive {} B/worker ({} re-plans, {:.1}% wire saved)",
+        static4.bytes_per_worker,
+        adaptive.bytes_per_worker,
+        adaptive.replans,
+        train_saving * 100.0
+    );
+    assert!(
+        adaptive.replans >= 2,
+        "controller committed only {} re-plans mid-run",
+        adaptive.replans
+    );
+    assert!(
+        adaptive.bytes_per_worker < static4.bytes_per_worker,
+        "live adaptation saved no real wire bytes"
+    );
+
+    // Section 2: zoo live sessions.
+    let zoo: Vec<ZooRow> = [
+        ModelId::ResNet50,
+        ModelId::Vgg16,
+        ModelId::VitBase,
+        ModelId::TransformerXl,
+        ModelId::BertBase,
+        ModelId::Gpt2,
+    ]
+    .into_iter()
+    .map(zoo_session)
+    .collect();
+    for row in &zoo {
+        println!(
+            "zoo {}: wire ratio {:.3} vs static 4-bit, {} re-plans, final {:.2} bits/elem",
+            row.model, row.wire_ratio, row.replans, row.final_bits_per_element
+        );
+    }
+    let best_transformer = zoo
+        .iter()
+        .filter(|r| r.transformer)
+        .map(|r| r.wire_ratio)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_transformer <= 0.8,
+        "headline: no transformer saved >=20% wire traffic (best ratio {best_transformer:.3})"
+    );
+
+    // Emit BENCH_adaptive.json (hand-rolled, like every other report).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workers\": {WORKERS},\n  \"steps\": {STEPS},\n  \"zoo_steps\": {ZOO_STEPS},\n"
+    ));
+    json.push_str("  \"training\": [\n");
+    for (i, row) in [&static4, &adaptive].iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wire_bytes_per_worker\": {}, \"replans\": {}, \"plan_digest\": {}, \"step_us\": {}}}{}\n",
+            row.label,
+            row.bytes_per_worker,
+            row.replans,
+            row.plan_digest
+                .map_or("null".to_string(), |d| d.to_string()),
+            (row.wall.as_micros() as usize) / STEPS,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"training_wire_saving\": {train_saving:.4},\n"
+    ));
+    json.push_str("  \"zoo\": [\n");
+    for (i, row) in zoo.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"transformer\": {}, \"wire_ratio_vs_static4\": {:.4}, \"replans\": {}, \"final_bits_per_element\": {:.4}}}{}\n",
+            row.model,
+            row.transformer,
+            row.wire_ratio,
+            row.replans,
+            row.final_bits_per_element,
+            if i + 1 < zoo.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_adaptive.json", &json).expect("write BENCH_adaptive.json");
+    print!("{json}");
+
+    if let Some((path, baseline)) = guard {
+        let tolerance: f64 = std::env::var("CGX_ADAPTIVE_GUARD_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.5);
+        // Step-time regression on the adaptive training run: the live
+        // controller must stay cheap (re-planning is off the hot path).
+        let adaptive_us = (adaptive.wall.as_micros() as usize / STEPS) as f64;
+        let base_rows: Vec<&str> = baseline.split('{').collect();
+        let base_us = base_rows
+            .iter()
+            .find(|r| r.contains("\"mode\": \"adaptive\""))
+            .and_then(|r| baseline_field(r, "step_us"))
+            .unwrap_or_else(|| panic!("baseline {path} has no adaptive step_us"));
+        let limit = base_us * tolerance;
+        println!("guard: adaptive step {adaptive_us}us vs baseline {base_us}us (limit {limit:.0}us)");
+        assert!(
+            adaptive_us <= limit,
+            "adaptive step regression: {adaptive_us}us > {tolerance}x baseline {base_us}us"
+        );
+        // Wire-ratio regression on the zoo headline.
+        let base_ratio = baseline_field(&baseline, "training_wire_saving")
+            .unwrap_or_else(|| panic!("baseline {path} has no training_wire_saving"));
+        assert!(
+            train_saving >= base_ratio / tolerance,
+            "training wire saving regressed: {train_saving:.4} vs baseline {base_ratio:.4}"
+        );
+        println!("guard: OK (tolerance {tolerance}x)");
+    }
+}

@@ -116,6 +116,22 @@ impl Default for EngineOptions {
     }
 }
 
+/// Packs a membership epoch and a compression-plan epoch into the 8-bit
+/// lane-epoch field of [`EngineOptions::epoch`]: membership in the low
+/// nibble, plan in the high nibble (both modulo 16 — collision would
+/// need 16 live re-plans or recoveries *in flight at once*, while the
+/// engine drains every collective between steps).
+///
+/// With `plan_epoch == 0` this reproduces the historical
+/// `(membership & 0xFF) as u8` stamping for memberships below 16, so
+/// non-adaptive runs keep their wire format byte-identical. Adaptive
+/// trainers stamp both so a rank that somehow committed a different
+/// plan (or missed one) fails fast with a tag mismatch instead of
+/// silently reducing payloads encoded under different schemes.
+pub fn lane_epoch(membership_epoch: u64, plan_epoch: u64) -> u8 {
+    ((membership_epoch & 0x0F) | ((plan_epoch & 0x0F) << 4)) as u8
+}
+
 /// Identifies one submitted reduction; redeem with [`CommEngine::wait`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Handle(usize);
@@ -1525,6 +1541,20 @@ impl RingMachine {
 mod tests {
     use super::*;
     use crate::cluster::ThreadCluster;
+
+    #[test]
+    fn lane_epoch_packs_and_preserves_legacy_format() {
+        // plan 0 reproduces the historical membership stamping.
+        for m in 0..16u64 {
+            assert_eq!(lane_epoch(m, 0), (m & 0xFF) as u8);
+        }
+        // Nibble packing: membership low, plan high, both mod 16.
+        assert_eq!(lane_epoch(3, 5), 0x53);
+        assert_eq!(lane_epoch(0x13, 0x25), 0x53);
+        // Any change in either nibble changes the lane tag.
+        assert_ne!(lane_epoch(1, 2), lane_epoch(1, 3));
+        assert_ne!(lane_epoch(1, 2), lane_epoch(2, 2));
+    }
     use crate::reduce::allreduce_scratch;
     use cgx_compress::CompressionScheme;
     use std::time::Duration;

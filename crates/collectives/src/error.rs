@@ -98,6 +98,14 @@ pub enum CommError {
         /// Human-readable description of what went wrong.
         detail: String,
     },
+    /// A run was configured inconsistently (e.g. a per-layer compression
+    /// list whose length disagrees with the model's parameter count).
+    /// Raised before any collective starts, so no rank is implicated and
+    /// no recovery applies — fix the configuration.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl CommError {
@@ -162,6 +170,9 @@ impl fmt::Display for CommError {
             }
             CommError::Bootstrap { detail } => {
                 write!(f, "cluster bootstrap failed: {detail}")
+            }
+            CommError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
             }
         }
     }

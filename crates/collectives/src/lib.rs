@@ -68,7 +68,7 @@ pub mod reduce;
 pub mod transport;
 
 pub use cluster::ThreadCluster;
-pub use engine::{CommEngine, EngineOptions, Handle};
+pub use engine::{lane_epoch, CommEngine, EngineOptions, Handle};
 pub use error::CommError;
 pub use fault::{ChaosTransport, FaultKind, FaultPlan, FaultStats, ReconnectPolicy};
 pub use hierarchy::{allreduce_hierarchical, Topology};

@@ -49,7 +49,9 @@ pub mod estimate;
 pub mod session_sim;
 pub mod topology_select;
 
-pub use adaptive::{adaptive_compression_for, AdaptiveOutcome};
+pub use adaptive::{
+    adaptive_compression_for, live_adaptive_session, AdaptiveOutcome, LiveSessionReport,
+};
 pub use api::{Cgx, CgxBuilder};
 pub use cloud::{cost_efficiency, CloudOffer};
 pub use estimate::{estimate, estimate_fp32, estimate_with_schemes, Estimate, SystemSetup};

@@ -51,6 +51,9 @@ pub use nn::{EmbeddingLm, Mlp};
 pub use norm::MlpNorm;
 pub use optimizer::{clip_global_norm, Adam, LrSchedule, SgdMomentum};
 pub use trainer::{
-    train_data_parallel, train_rank, LayerCompression, RankOutput, TrainConfig, TrainReport,
-    TrainableModel,
+    train_data_parallel, train_rank, LayerCompression, PerLayerMismatch, RankOutput, TrainConfig,
+    TrainReport, TrainableModel,
 };
+// The adaptive knobs a `TrainConfig` carries, re-exported so trainer
+// callers need not depend on `cgx-adaptive` directly.
+pub use cgx_adaptive::{AdaptivePlanTrace, AdaptiveTrainConfig};

@@ -9,15 +9,20 @@
 //! sync period; compression composes on top of the parameter deltas.
 
 use crate::optimizer::SgdMomentum;
-use crate::trainer::{check_elastic, resync_params, wrap_endpoint, TrainConfig, TrainableModel};
+use crate::trainer::{
+    build_controller, check_elastic, publish_replan, resync_params, tensor_norm, wrap_endpoint,
+    TrainConfig, TrainableModel,
+};
+use cgx_adaptive::{AdaptiveController, AdaptivePlanTrace};
 use cgx_collectives::membership::agree;
 use cgx_collectives::reduce::allreduce_scratch;
 use cgx_collectives::{
-    CommEngine, CommError, EngineOptions, FaultStats, Membership, MembershipView, ShmTransport,
-    ThreadCluster, Transport,
+    lane_epoch, CommEngine, CommError, EngineOptions, FaultStats, Membership, MembershipView,
+    ShmTransport, ThreadCluster, Transport,
 };
 use cgx_compress::{Compressor, NoneCompressor, ScratchPool};
 use cgx_tensor::{Rng, Tensor};
+use std::time::Instant;
 
 /// Result of a local-SGD run.
 #[derive(Debug, Clone)]
@@ -38,6 +43,11 @@ pub struct LocalSgdReport {
     /// aggregated across all workers. Empty when observability is
     /// disabled.
     pub metrics: cgx_obs::MetricsSnapshot,
+    /// The live controller's re-plan history ([`TrainConfig::adaptive`]);
+    /// `None` on static-compression runs. For local SGD the controller
+    /// observes the mean *parameter deltas* of each sync round, and
+    /// `replan_interval`/`warmup` count sync rounds rather than steps.
+    pub adaptive: Option<AdaptivePlanTrace>,
 }
 
 /// Trains with local SGD: `cfg.workers` replicas, `cfg.steps` total steps,
@@ -70,6 +80,11 @@ where
     assert!(cfg.workers > 0 && cfg.steps > 0, "degenerate config");
     check_elastic(cfg);
     let specs = model.param_specs();
+    if let Err(e) = cfg.compression.validate(specs.len()) {
+        return Err(CommError::InvalidConfig {
+            detail: e.to_string(),
+        });
+    }
     let pool = ScratchPool::new();
     // Elastic recovery retries syncs through the engine's epoch-scoped
     // lanes; plain runs honor the configured path.
@@ -91,6 +106,16 @@ where
             .collect();
         let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut lossless = NoneCompressor::new();
+        // The live controller, when configured: it observes the norms of
+        // each sync round's mean deltas (rank-replicated, like the
+        // trainer's mean gradients) and counts rounds, not steps.
+        let mut controller = cfg
+            .adaptive
+            .as_ref()
+            .map(|acfg| build_controller(acfg, &cfg.compression, &specs, model.params()));
+        let mut plan_epoch = 0u64;
+        let mut bw_bytes_mark = 0usize;
+        let mut bw_instant_mark = Instant::now();
         let mut losses = Vec::with_capacity(cfg.steps);
         let mut bytes = 0usize;
         let mut sync_rounds = 0usize;
@@ -116,6 +141,9 @@ where
                 loop {
                     let view = MembershipView::new(t, &membership);
                     let world = view.world() as f32;
+                    // Norms of this round's mean deltas, for the live
+                    // controller (rank-replicated values, fixed order).
+                    let mut round_norms = vec![0.0f64; specs.len()];
                     let sync: Result<(), CommError> = if use_engine {
                         // Layer-parallel path: every layer's delta is in
                         // flight at once; the engine coalesces the small
@@ -131,7 +159,13 @@ where
                             })
                             .collect();
                         let opts = EngineOptions {
-                            epoch: (membership.epoch() & 0xFF) as u8,
+                            // Adaptive runs stamp the plan epoch into the
+                            // lane tag alongside the membership epoch.
+                            epoch: if controller.is_some() {
+                                lane_epoch(membership.epoch() as u64, plan_epoch)
+                            } else {
+                                (membership.epoch() & 0xFF) as u8
+                            },
                             ..cfg.engine
                         };
                         let mut eng =
@@ -151,6 +185,7 @@ where
                                     compressors[i] = Some(comp);
                                     mean_delta.scale(1.0 / world);
                                     bytes += stats.bytes_sent;
+                                    round_norms[i] = tensor_norm(&mean_delta);
                                     let p = &mut local.params_mut()[i];
                                     *p = anchor[i].clone();
                                     p.add_assign(&mean_delta);
@@ -185,6 +220,7 @@ where
                                 Ok((mut mean_delta, stats)) => {
                                     mean_delta.scale(1.0 / world);
                                     bytes += stats.bytes_sent;
+                                    round_norms[i] = tensor_norm(&mean_delta);
                                     *p = anchor[i].clone();
                                     p.add_assign(&mean_delta);
                                 }
@@ -197,7 +233,33 @@ where
                         res
                     };
                     match sync {
-                        Ok(()) => break,
+                        Ok(()) => {
+                            if let Some(ctl) = controller.as_mut() {
+                                ctl.observe_norms(&round_norms);
+                                // Advisory only — never affects plan bits.
+                                let now = Instant::now();
+                                ctl.observe_bandwidth(
+                                    (bytes - bw_bytes_mark) as u64,
+                                    now.duration_since(bw_instant_mark),
+                                );
+                                bw_bytes_mark = bytes;
+                                bw_instant_mark = now;
+                                if step < cfg.steps {
+                                    if let Some(up) = ctl
+                                        .maybe_replan(sync_rounds, membership.epoch() as u64)
+                                    {
+                                        for (i, &changed) in up.changed.iter().enumerate() {
+                                            if changed {
+                                                compressors[i] = Some(up.schemes[i].build());
+                                            }
+                                        }
+                                        plan_epoch = up.plan_epoch;
+                                        publish_replan(&obs, &up);
+                                    }
+                                }
+                            }
+                            break;
+                        }
                         Err(e) => {
                             let Some(vpeer) = e.peer().filter(|_| cfg.elastic) else {
                                 return Err(e);
@@ -207,12 +269,21 @@ where
                                 agree(t, &membership, &[dead], step as u64, t.timeout());
                             membership = next;
                             recoveries += 1;
-                            compressors = cfg
-                                .compression
-                                .build_all(&specs)
-                                .into_iter()
-                                .map(Some)
-                                .collect();
+                            // Rebuild from the live plan when adaptive, so
+                            // recovery does not revert committed re-plans.
+                            compressors = match controller.as_ref() {
+                                Some(ctl) => ctl
+                                    .current_schemes()
+                                    .iter()
+                                    .map(|s| Some(s.build()))
+                                    .collect(),
+                                None => cfg
+                                    .compression
+                                    .build_all(&specs)
+                                    .into_iter()
+                                    .map(Some)
+                                    .collect(),
+                            };
                             // The recovery re-sync *is* a model-averaging
                             // round over the survivors (lossless mean of
                             // raw parameters), so the interrupted sync is
@@ -237,6 +308,7 @@ where
             sync_rounds,
             faults,
             membership.num_alive(),
+            controller.map(AdaptiveController::into_trace),
         )))
     })?;
     // Pick the authoritative survivor: largest final world (a frozen
@@ -246,13 +318,13 @@ where
     for out in outputs.into_iter().flatten() {
         let replace = match &chosen {
             None => true,
-            Some((_, _, _, _, _, w)) => out.5 > *w,
+            Some((_, _, _, _, _, w, _)) => out.5 > *w,
         };
         if replace {
             chosen = Some(out);
         }
     }
-    let (model0, losses, bytes, sync_rounds, faults, final_world) =
+    let (model0, losses, bytes, sync_rounds, faults, final_world, adaptive) =
         chosen.expect("at least one rank survived");
     if cfg.obs.enabled() {
         pool.publish(cfg.obs.registry());
@@ -267,6 +339,7 @@ where
             faults,
             final_world,
             metrics: cfg.obs.registry().snapshot(),
+            adaptive,
         },
     ))
 }
@@ -439,6 +512,43 @@ mod tests {
             eval(&trained, &task) > 0.8,
             "survivors stopped learning after recovery"
         );
+    }
+
+    #[test]
+    fn adaptive_local_sgd_replans_on_sync_rounds_and_stays_on_budget() {
+        // The controller observes mean parameter *deltas* here (its
+        // interval counts sync rounds, not steps): 240 steps at period 8
+        // gives 30 rounds, so the default interval of 8 commits several
+        // re-plans. The run must still learn and every plan must respect
+        // its error budget.
+        let (task, model) = setup();
+        let cfg = TrainConfig {
+            lr: 0.2,
+            compression: LayerCompression::cgx_default(),
+            adaptive: Some(cgx_adaptive::AdaptiveTrainConfig::default()),
+            ..TrainConfig::new(4, 240)
+        };
+        let t = task.clone();
+        let (trained, report) =
+            train_local_sgd(&model, move |r| t.sample_batch(r, 16), &cfg, 8).unwrap();
+        assert_eq!(report.sync_rounds, 30);
+        let trace = report.adaptive.as_ref().expect("adaptive trace present");
+        assert!(
+            trace.replans() >= 2,
+            "only {} re-plans over {} sync rounds",
+            trace.replans(),
+            report.sync_rounds
+        );
+        for rec in &trace.records {
+            let max_bits = 8;
+            assert!(
+                rec.estimated_error <= rec.budget * (1.0 + 1e-9)
+                    || rec.bits.iter().all(|&b| b == max_bits),
+                "plan epoch {} exceeds budget",
+                rec.plan_epoch
+            );
+        }
+        assert!(eval(&trained, &task) > 0.85);
     }
 
     #[test]

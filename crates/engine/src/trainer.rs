@@ -24,17 +24,18 @@
 
 use crate::nn::ParamSpec;
 use crate::optimizer::{clip_global_norm, SgdMomentum};
+use cgx_adaptive::{AdaptiveController, AdaptivePlanTrace, AdaptiveTrainConfig, ControlledLayer};
 use cgx_collectives::hierarchy::allreduce_hierarchical;
 use cgx_collectives::membership::agree;
 use cgx_collectives::reduce::{allreduce_scratch, Algorithm};
 use cgx_collectives::{
-    ChaosTransport, CommEngine, CommError, EngineOptions, FaultPlan, FaultStats, Membership,
-    MembershipView, ReconnectPolicy, ShmTransport, ThreadCluster, Topology, Transport,
+    lane_epoch, ChaosTransport, CommEngine, CommError, EngineOptions, FaultPlan, FaultStats,
+    Membership, MembershipView, ReconnectPolicy, ShmTransport, ThreadCluster, Topology, Transport,
 };
 use cgx_compress::{CompressionScheme, Compressor, NoneCompressor, ScratchPool};
 use cgx_obs::{MetricsSnapshot, ObsHandle};
 use cgx_tensor::{Rng, Tensor};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A model trainable by [`train_data_parallel`].
 pub trait TrainableModel: Clone + Send {
@@ -93,6 +94,31 @@ impl TrainableModel for crate::nn::EmbeddingLm {
         crate::nn::EmbeddingLm::loss_and_grads(self, ctx, tgt)
     }
 }
+
+/// A per-layer compression list that does not cover the model: the list
+/// holds `got` schemes but the model has `expected` parameters. Raised by
+/// [`LayerCompression::validate`] when a [`TrainConfig`] is applied,
+/// instead of schemes silently falling back to the default (too short) or
+/// being ignored (too long) deep in the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerLayerMismatch {
+    /// The model's parameter count.
+    pub expected: usize,
+    /// The configured list's length.
+    pub got: usize,
+}
+
+impl std::fmt::Display for PerLayerMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "per-layer compression list has {} schemes but the model has {} parameters",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for PerLayerMismatch {}
 
 /// Per-layer compression policy: a default scheme, the CGX small-layer
 /// filter, optional name-based overrides, and optional explicit per-layer
@@ -176,6 +202,26 @@ impl LayerCompression {
             return CompressionScheme::None;
         }
         self.default
+    }
+
+    /// Checks this policy against a model with `n_params` parameters: an
+    /// explicit per-layer list must cover every parameter exactly.
+    /// Trainers run this when the config is applied, so a stale
+    /// assignment (model edited after the adaptive plan was computed)
+    /// fails fast with a typed error instead of compressing the wrong
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// [`PerLayerMismatch`] on a length disagreement.
+    pub fn validate(&self, n_params: usize) -> Result<(), PerLayerMismatch> {
+        match &self.per_layer {
+            Some(list) if list.len() != n_params => Err(PerLayerMismatch {
+                expected: n_params,
+                got: list.len(),
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Builds one compressor per parameter.
@@ -273,6 +319,18 @@ pub struct TrainConfig {
     /// treats every socket loss as a process death. Same scope as
     /// [`TrainConfig::net_read_buf`].
     pub reconnect: Option<ReconnectPolicy>,
+    /// Live adaptive compression: when set, every rank runs an
+    /// [`AdaptiveController`] that accumulates the per-layer norms of the
+    /// synchronized mean gradients and every `replan_interval` steps
+    /// re-solves the paper's bit-assignment problem, swapping the new
+    /// per-layer schemes into the running engine without stopping it.
+    /// Because the observed statistics are rank-replicated, all ranks
+    /// commit identical plans at identical steps and training stays
+    /// byte-identical across ranks and fabrics. The starting (plan-epoch
+    /// 0) schemes come from [`TrainConfig::compression`]; layers that
+    /// policy leaves uncompressed stay uncompressed forever. `None` (the
+    /// default) keeps the static policy for the whole run.
+    pub adaptive: Option<AdaptiveTrainConfig>,
 }
 
 impl TrainConfig {
@@ -300,6 +358,7 @@ impl TrainConfig {
             net_coalesce_budget: None,
             heartbeat: None,
             reconnect: None,
+            adaptive: None,
         }
     }
 }
@@ -324,6 +383,9 @@ pub struct TrainReport {
     /// engine, transport, pool and fault counters aggregated across all
     /// workers. Empty when observability is disabled.
     pub metrics: MetricsSnapshot,
+    /// The live controller's re-plan history ([`TrainConfig::adaptive`]);
+    /// `None` on static-compression runs.
+    pub adaptive: Option<AdaptivePlanTrace>,
 }
 
 /// Wraps a raw fabric endpoint per the run's chaos configuration, timeout
@@ -383,6 +445,72 @@ pub(crate) fn resync_params(
     Ok(())
 }
 
+/// Builds the live controller for a model: the plan-epoch-0 schemes are
+/// whatever the static policy resolves per layer, and a layer is under
+/// adaptive control iff that policy compresses it at all (filtered norm
+/// and bias layers stay lossless forever). Exposure decays with forward
+/// position — early layers (embeddings) finish their backward pass last,
+/// so their transfers sit exposed on the critical path.
+pub(crate) fn build_controller(
+    acfg: &AdaptiveTrainConfig,
+    compression: &LayerCompression,
+    specs: &[ParamSpec],
+    params: &[Tensor],
+) -> AdaptiveController {
+    let base: Vec<CompressionScheme> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| compression.scheme_for(i, s))
+        .collect();
+    let total = specs.len().max(1);
+    let layers: Vec<ControlledLayer> = specs
+        .iter()
+        .zip(params)
+        .enumerate()
+        .map(|(i, (spec, p))| ControlledLayer {
+            name: spec.name.clone(),
+            elements: p.len(),
+            compressible: base[i] != CompressionScheme::None,
+            exposure: 1.0 - i as f64 / total as f64,
+        })
+        .collect();
+    AdaptiveController::new(acfg.clone(), layers, base)
+}
+
+/// L2 norm of a tensor, accumulated in `f64` — the controller's
+/// observation unit. Fixed accumulation order keeps the value
+/// byte-identical wherever the tensor is.
+pub(crate) fn tensor_norm(t: &Tensor) -> f64 {
+    t.as_slice()
+        .iter()
+        .map(|&v| {
+            let v = v as f64;
+            v * v
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Exports one committed re-plan into the run's metrics registry
+/// (`adaptive.*` namespace). Counters count once per rank; the gauges are
+/// last-write-wins over values identical on every rank (except the
+/// advisory bandwidth, which is per-rank by nature).
+pub(crate) fn publish_replan(obs: &ObsHandle, up: &cgx_adaptive::PlanUpdate) {
+    if !obs.enabled() {
+        return;
+    }
+    let reg = obs.registry();
+    reg.counter(cgx_obs::names::ADAPTIVE_REPLANS).inc();
+    reg.gauge(cgx_obs::names::ADAPTIVE_PLAN_EPOCH).set(up.plan_epoch);
+    reg.gauge(cgx_obs::names::ADAPTIVE_MILLIBITS_PER_ELEMENT)
+        .set((up.record.nominal_bits_per_element * 1000.0) as u64);
+    reg.gauge(cgx_obs::names::ADAPTIVE_SIZE_RATIO_PERMILLE)
+        .set((up.record.size_ratio_vs_static4 * 1000.0) as u64);
+    if let Some(bw) = up.record.measured_bandwidth_bps {
+        reg.gauge(cgx_obs::names::ADAPTIVE_BANDWIDTH_BPS).set(bw as u64);
+    }
+}
+
 /// Validates an elastic configuration (see [`TrainConfig::elastic`]).
 pub(crate) fn check_elastic(cfg: &TrainConfig) {
     if cfg.elastic {
@@ -417,6 +545,10 @@ pub struct RankOutput<M> {
     pub faults: FaultStats,
     /// World size this rank finished with.
     pub final_world: usize,
+    /// The live controller's re-plan history ([`TrainConfig::adaptive`]);
+    /// `None` on static-compression runs. Byte-identical across ranks —
+    /// the cross-fabric parity tests compare its digest.
+    pub adaptive: Option<AdaptivePlanTrace>,
 }
 
 /// Picks the authoritative survivor: the one that finished with the
@@ -477,6 +609,11 @@ where
         );
     }
     let specs = model.param_specs();
+    if let Err(e) = cfg.compression.validate(specs.len()) {
+        return Err(CommError::InvalidConfig {
+            detail: e.to_string(),
+        });
+    }
     // Elastic recovery retries steps through the engine's epoch-scoped
     // lanes; plain runs honor the configured path. A topology always
     // takes the blocking hierarchical path.
@@ -496,6 +633,16 @@ where
         .map(Some)
         .collect();
     let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    // The live controller, when configured: plan-epoch-0 schemes are the
+    // static policy's, so warmup steps are byte-identical to a
+    // non-adaptive run.
+    let mut controller = cfg
+        .adaptive
+        .as_ref()
+        .map(|acfg| build_controller(acfg, &cfg.compression, &specs, model.params()));
+    let mut plan_epoch = 0u64;
+    let mut bw_bytes_mark = 0usize;
+    let mut bw_instant_mark = Instant::now();
     let mut losses = Vec::with_capacity(cfg.steps);
     let mut bytes = 0usize;
     let mut kernel_calls = 0usize;
@@ -560,7 +707,15 @@ where
             // reductions and coalesces small FP32 layers; results are
             // byte-identical to the sequential loop below.
             let opts = EngineOptions {
-                epoch: (membership.epoch() & 0xFF) as u8,
+                // Adaptive runs stamp the plan epoch into the lane tag
+                // alongside the membership epoch: a rank on a diverged
+                // plan fails fast with a tag mismatch instead of
+                // silently reducing differently-encoded payloads.
+                epoch: if controller.is_some() {
+                    lane_epoch(membership.epoch() as u64, plan_epoch)
+                } else {
+                    (membership.epoch() & 0xFF) as u8
+                },
                 ..cfg.engine
             };
             let mut eng = CommEngine::new(&view, pool.clone(), opts).with_obs(obs.clone());
@@ -624,15 +779,52 @@ where
             let (next, resume) = agree(t, &membership, &[dead], step as u64, t.timeout());
             membership = next;
             recoveries += 1;
-            compressors = cfg
-                .compression
-                .build_all(&specs)
-                .into_iter()
-                .map(Some)
-                .collect();
+            // Rebuild the compressors the poisoned engine kept — from
+            // the live plan when adaptive, so recovery does not silently
+            // revert committed re-plans. The controller itself survives
+            // untouched; its next maybe_replan sees the new membership
+            // epoch and forces a re-plan (the bandwidth picture changed).
+            compressors = match controller.as_ref() {
+                Some(ctl) => ctl.current_schemes().iter().map(|s| Some(s.build())).collect(),
+                None => cfg
+                    .compression
+                    .build_all(&specs)
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+            };
             resync_params(t, &membership, local.params_mut(), pool, cfg.engine)?;
             step = step.max(resume as usize);
             continue 'steps;
+        }
+        if let Some(ctl) = controller.as_mut() {
+            // The synchronized mean gradients are byte-identical on every
+            // rank, so this observation — and any re-plan it triggers —
+            // transitions every rank's controller through identical
+            // states with no control traffic. Observed *before* clipping
+            // so the statistics match what the wire actually carried.
+            let norms: Vec<f64> = grads.iter().map(tensor_norm).collect();
+            ctl.observe_norms(&norms);
+            // Advisory only: this rank's local byte counter over local
+            // wall-clock. Never feeds back into plan bits.
+            let now = Instant::now();
+            ctl.observe_bandwidth(
+                (bytes - bw_bytes_mark) as u64,
+                now.duration_since(bw_instant_mark),
+            );
+            bw_bytes_mark = bytes;
+            bw_instant_mark = now;
+            if step + 1 < cfg.steps {
+                if let Some(up) = ctl.maybe_replan(step + 1, membership.epoch() as u64) {
+                    for (i, &changed) in up.changed.iter().enumerate() {
+                        if changed {
+                            compressors[i] = Some(up.schemes[i].build());
+                        }
+                    }
+                    plan_epoch = up.plan_epoch;
+                    publish_replan(&obs, &up);
+                }
+            }
         }
         losses.push(loss);
         if let Some(max_norm) = cfg.clip {
@@ -654,6 +846,7 @@ where
         kernel_calls,
         faults,
         final_world: membership.num_alive(),
+        adaptive: controller.map(AdaptiveController::into_trace),
     }))
 }
 
@@ -717,6 +910,7 @@ where
             faults: out.faults,
             final_world: out.final_world,
             metrics: cfg.obs.registry().snapshot(),
+            adaptive: out.adaptive,
         },
     ))
 }
@@ -1179,6 +1373,168 @@ mod tests {
         let (x, y) = task.sample_batch(&mut eval_rng, 1024);
         let acc = trained.accuracy(&x, &y);
         assert!(acc > 0.8, "survivors stopped learning: accuracy {acc}");
+    }
+
+    #[test]
+    fn adaptive_training_replans_and_replicas_stay_identical() {
+        // The live controller's determinism contract on a real run: every
+        // rank re-plans at least twice mid-training, all replicas remain
+        // byte-identical, the plan traces agree digest-for-digest, and
+        // every committed plan respects its α·E₄ error budget.
+        let task = GaussianMixture::new(6, 12, 1.2);
+        let mut rng = Rng::seed_from_u64(51);
+        let model = Mlp::new(&mut rng, &[12, 32, 6]);
+        let cfg = TrainConfig {
+            lr: 0.2,
+            compression: LayerCompression::cgx_default(),
+            adaptive: Some(AdaptiveTrainConfig::default()),
+            ..TrainConfig::new(4, 60)
+        };
+        let pool = ScratchPool::new();
+        let t = task.clone();
+        let outputs = ThreadCluster::try_run(cfg.workers, |raw| {
+            let endpoint = wrap_endpoint(raw, &cfg);
+            let sampler = |r: &mut Rng| t.sample_batch(r, 16);
+            train_rank(endpoint.as_ref(), &model, &sampler, &cfg, &pool)
+        })
+        .unwrap();
+        let reference = outputs[0].as_ref().expect("rank 0 survived");
+        let trace = reference.adaptive.as_ref().expect("adaptive trace present");
+        assert!(
+            trace.replans() >= 2,
+            "only {} re-plans in {} steps",
+            trace.replans(),
+            cfg.steps
+        );
+        let max_bits = *AdaptiveTrainConfig::default().bit_choices.iter().max().unwrap();
+        for rec in &trace.records {
+            assert!(
+                rec.estimated_error <= rec.budget * (1.0 + 1e-9)
+                    || rec.bits.iter().all(|&b| b == max_bits),
+                "plan epoch {} exceeds budget: {} > {}",
+                rec.plan_epoch,
+                rec.estimated_error,
+                rec.budget
+            );
+        }
+        for out in outputs.iter().skip(1) {
+            let out = out.as_ref().expect("rank survived");
+            for (a, b) in out.model.params().iter().zip(reference.model.params()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "adaptive replicas diverged");
+            }
+            let other = out.adaptive.as_ref().expect("adaptive trace present");
+            assert_eq!(other.digest(), trace.digest(), "plan sequences diverged");
+        }
+    }
+
+    #[test]
+    fn adaptive_training_cuts_wire_bytes_vs_static_4bit() {
+        // With the 8-bit escape hatch removed from the choice set, every
+        // committed plan is at most 4 bits per element, so the adaptive run
+        // can only save wire bytes vs the static 4-bit baseline — and with
+        // α = 2 the policy has room to actually demote layers. The obs
+        // registry must report the re-plans it performed.
+        let task = GaussianMixture::new(4, 16, 1.5);
+        let mut rng = Rng::seed_from_u64(53);
+        let model = Mlp::new(&mut rng, &[16, 64, 4]);
+        let run = |adaptive: Option<AdaptiveTrainConfig>| {
+            let cfg = TrainConfig {
+                compression: LayerCompression::cgx_default(),
+                adaptive,
+                obs: ObsHandle::new_enabled(),
+                ..TrainConfig::new(4, 60)
+            };
+            let t = task.clone();
+            train_data_parallel(&model, move |r| t.sample_batch(r, 8), &cfg)
+                .unwrap()
+                .1
+        };
+        let static4 = run(None);
+        let acfg = AdaptiveTrainConfig {
+            bit_choices: vec![2, 3, 4],
+            ..AdaptiveTrainConfig::default()
+        };
+        let adaptive = run(Some(acfg));
+        let trace = adaptive.adaptive.as_ref().expect("adaptive trace present");
+        assert!(trace.replans() >= 2, "no mid-run re-planning happened");
+        assert!(
+            adaptive.bytes_sent_per_worker < static4.bytes_sent_per_worker,
+            "adaptive {} vs static 4-bit {}",
+            adaptive.bytes_sent_per_worker,
+            static4.bytes_sent_per_worker
+        );
+        // Every rank runs its own controller against the shared registry,
+        // so the counter reads workers x the per-rank re-plan count.
+        let replans = adaptive
+            .metrics
+            .get("adaptive.replans")
+            .expect("adaptive metrics published");
+        assert_eq!(
+            replans as usize,
+            4 * trace.replans(),
+            "metric disagrees with trace"
+        );
+        assert!(adaptive.metrics.get("adaptive.plan_epoch").is_some());
+        assert!(adaptive.metrics.get("adaptive.millibits_per_element").is_some());
+        assert!(static4.metrics.get("adaptive.replans").is_none());
+    }
+
+    #[test]
+    fn adaptive_run_survives_elastic_shrink_and_forces_replan() {
+        // A membership epoch must force a re-plan even when the periodic
+        // interval is nowhere near due, and the committed plans must keep
+        // flowing on the shrunken world.
+        let task = GaussianMixture::new(4, 8, 1.5);
+        let mut rng = Rng::seed_from_u64(57);
+        let model = Mlp::new(&mut rng, &[8, 16, 4]);
+        let cfg = TrainConfig {
+            lr: 0.2,
+            chaos: Some(cgx_collectives::FaultPlan::new(5).with_kill(2, 40)),
+            elastic: true,
+            comm_timeout: Some(std::time::Duration::from_millis(300)),
+            compression: LayerCompression::cgx_default(),
+            adaptive: Some(AdaptiveTrainConfig {
+                replan_interval: 10_000,
+                ..AdaptiveTrainConfig::default()
+            }),
+            ..TrainConfig::new(4, 120)
+        };
+        let t = task.clone();
+        let (trained, report) =
+            train_data_parallel(&model, move |r| t.sample_batch(r, 16), &cfg).unwrap();
+        assert_eq!(report.final_world, 3, "world did not shrink to survivors");
+        let trace = report.adaptive.as_ref().expect("adaptive trace present");
+        assert!(
+            trace.records.iter().any(|r| r.membership_epoch >= 1),
+            "membership change did not force a re-plan: {:?}",
+            trace.records
+        );
+        for p in trained.params() {
+            assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn per_layer_length_mismatch_is_rejected_up_front() {
+        // Satellite bugfix: a per-layer list whose length disagrees with
+        // the model surfaces as a typed InvalidConfig before any
+        // collective starts, not as an index panic mid-loop.
+        let task = GaussianMixture::new(3, 6, 1.5);
+        let mut rng = Rng::seed_from_u64(55);
+        let model = Mlp::new(&mut rng, &[6, 10, 3]);
+        let cfg = TrainConfig {
+            compression: LayerCompression::per_layer(vec![CompressionScheme::None; 2]),
+            ..TrainConfig::new(1, 5)
+        };
+        let t = task.clone();
+        let err = train_data_parallel(&model, move |r| t.sample_batch(r, 8), &cfg).unwrap_err();
+        match err {
+            CommError::InvalidConfig { detail } => {
+                assert!(detail.contains("2 schemes"), "detail: {detail}");
+                assert!(detail.contains("4 parameters"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

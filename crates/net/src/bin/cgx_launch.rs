@@ -28,7 +28,10 @@
 use cgx_net::cluster::{ProcessCluster, WorkerEnv};
 use cgx_net::fault::{ENV_NET_KILL, ENV_NET_SIGKILL};
 use cgx_net::rendezvous::{rendezvous_with_options, DEFAULT_BOOT_TIMEOUT};
-use cgx_net::workload::{ElasticOptions, Workload, ENV_COMM_TIMEOUT_MS, ENV_ELASTIC};
+use cgx_net::workload::{
+    adaptive_from_env, ElasticOptions, Workload, ENV_ADAPTIVE, ENV_ADAPTIVE_ALPHA,
+    ENV_ADAPTIVE_INTERVAL, ENV_ADAPTIVE_WARMUP, ENV_COMM_TIMEOUT_MS, ENV_ELASTIC,
+};
 use cgx_net::NetFaultPlan;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -75,7 +78,12 @@ fn run_worker(env: WorkerEnv) -> Result<(), String> {
     // roster switches on the hierarchical path.
     let topology = (topo.num_nodes() > 1).then(|| topo.clone());
     let run = work
-        .run_rank_elastic(&transport, topology, &ElasticOptions::from_env())
+        .run_rank_adaptive(
+            &transport,
+            topology,
+            &ElasticOptions::from_env(),
+            adaptive_from_env(),
+        )
         .map_err(|e| format!("rank {}: training failed: {e}", env.rank))?;
     let Some(params) = run.params else {
         // Scheduled orderly death: the endpoint was dropped mid-run and
@@ -93,10 +101,13 @@ fn run_worker(env: WorkerEnv) -> Result<(), String> {
         std::fs::write(&path, &params)
             .map_err(|e| format!("rank {}: writing {}: {e}", env.rank, path.display()))?;
         let report = report_file(Path::new(&dir), env.rank);
-        let body = format!(
+        let mut body = format!(
             "final_world={}\nrecovery_epochs={}\n",
             run.final_world, run.recovery_epochs
         );
+        if let Some(digest) = run.plan_digest {
+            body.push_str(&format!("plan_digest={digest}\n"));
+        }
         std::fs::write(&report, body)
             .map_err(|e| format!("rank {}: writing {}: {e}", env.rank, report.display()))?;
     }
@@ -120,12 +131,17 @@ struct Cli {
     kill: Option<(usize, usize)>,
     sigkill: bool,
     comm_timeout_ms: Option<String>,
+    adaptive: Option<String>,
+    adaptive_alpha: Option<String>,
+    adaptive_interval: Option<String>,
+    adaptive_warmup: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cgx-launch [--world N] [--nodes 0,0,1,1] [--out-dir DIR] [--steps N] [--seed N] \
-         [--kill RANK@STEP] [--sigkill] [--comm-timeout-ms N]"
+         [--kill RANK@STEP] [--sigkill] [--comm-timeout-ms N] \
+         [--adaptive POLICY] [--adaptive-alpha A] [--adaptive-interval N] [--adaptive-warmup N]"
     );
     std::process::exit(2);
 }
@@ -140,6 +156,10 @@ fn parse_cli() -> Cli {
         kill: None,
         sigkill: false,
         comm_timeout_ms: None,
+        adaptive: None,
+        adaptive_alpha: None,
+        adaptive_interval: None,
+        adaptive_warmup: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -168,6 +188,10 @@ fn parse_cli() -> Cli {
             }
             "--sigkill" => cli.sigkill = true,
             "--comm-timeout-ms" => cli.comm_timeout_ms = Some(value()),
+            "--adaptive" => cli.adaptive = Some(value()),
+            "--adaptive-alpha" => cli.adaptive_alpha = Some(value()),
+            "--adaptive-interval" => cli.adaptive_interval = Some(value()),
+            "--adaptive-warmup" => cli.adaptive_warmup = Some(value()),
             _ => usage(),
         }
     }
@@ -182,6 +206,7 @@ fn check_consensus(dir: &Path, ranks: &[usize]) -> Result<(Vec<u8>, usize), Stri
     let first = std::fs::read(rank_file(dir, first_rank))
         .map_err(|e| format!("reading rank {first_rank} replica: {e}"))?;
     let mut final_world = None;
+    let mut plan_digest: Option<Option<u64>> = None;
     for &rank in ranks {
         let other = std::fs::read(rank_file(dir, rank))
             .map_err(|e| format!("reading rank {rank} replica: {e}"))?;
@@ -200,6 +225,21 @@ fn check_consensus(dir: &Path, ranks: &[usize]) -> Result<(Vec<u8>, usize), Stri
             Some(prev) if prev != fw => {
                 return Err(format!(
                     "rank {rank} finished with world {fw}, others with {prev}"
+                ))
+            }
+            Some(_) => {}
+        }
+        // Adaptive runs also write their plan-trace digest; every rank
+        // must have committed the identical plan sequence.
+        let pd: Option<u64> = report
+            .lines()
+            .find_map(|l| l.strip_prefix("plan_digest="))
+            .and_then(|v| v.parse().ok());
+        match plan_digest {
+            None => plan_digest = Some(pd),
+            Some(prev) if prev != pd => {
+                return Err(format!(
+                    "rank {rank} plan digest {pd:?} disagrees with {prev:?}"
                 ))
             }
             Some(_) => {}
@@ -231,6 +271,23 @@ fn run_coordinator() -> Result<(), String> {
     }
     if let Some(seed) = &cli.seed {
         cluster = cluster.env(ENV_SEED, seed);
+    }
+    if let Some(policy) = &cli.adaptive {
+        cluster = cluster.env(ENV_ADAPTIVE, policy);
+    } else if cli.adaptive_alpha.is_some()
+        || cli.adaptive_interval.is_some()
+        || cli.adaptive_warmup.is_some()
+    {
+        return Err("--adaptive-alpha/--adaptive-interval/--adaptive-warmup require --adaptive".into());
+    }
+    if let Some(v) = &cli.adaptive_alpha {
+        cluster = cluster.env(ENV_ADAPTIVE_ALPHA, v);
+    }
+    if let Some(v) = &cli.adaptive_interval {
+        cluster = cluster.env(ENV_ADAPTIVE_INTERVAL, v);
+    }
+    if let Some(v) = &cli.adaptive_warmup {
+        cluster = cluster.env(ENV_ADAPTIVE_WARMUP, v);
     }
     let Some((krank, kstep)) = cli.kill else {
         if cli.sigkill || cli.comm_timeout_ms.is_some() {

@@ -14,7 +14,7 @@ use cgx_compress::ScratchPool;
 use cgx_tensor::Rng;
 use cgx_engine::data::GaussianMixture;
 use cgx_engine::nn::Mlp;
-use cgx_engine::{train_rank, LayerCompression, TrainConfig};
+use cgx_engine::{train_rank, AdaptiveTrainConfig, LayerCompression, TrainConfig};
 use std::time::Duration;
 
 /// Environment variable: when truthy, workers train elastically — an
@@ -24,6 +24,67 @@ pub const ENV_ELASTIC: &str = "CGX_ELASTIC";
 /// Environment variable overriding the transport receive timeout, in
 /// milliseconds — the budget after which a silent peer is declared lost.
 pub const ENV_COMM_TIMEOUT_MS: &str = "CGX_COMM_TIMEOUT_MS";
+/// Environment variable switching on the live adaptive-compression
+/// controller. Truthy values enable the default policy; a policy name
+/// (`kmeans`, `linear`, `timeaware`, `bayesopt`, `bayesopt:N`) selects
+/// one explicitly.
+pub const ENV_ADAPTIVE: &str = "CGX_ADAPTIVE";
+/// Environment variable overriding the adaptive error-budget multiplier
+/// α (error allowed relative to uniform 4-bit).
+pub const ENV_ADAPTIVE_ALPHA: &str = "CGX_ADAPTIVE_ALPHA";
+/// Environment variable overriding how many observed steps sit between
+/// re-plans.
+pub const ENV_ADAPTIVE_INTERVAL: &str = "CGX_ADAPTIVE_INTERVAL";
+/// Environment variable overriding the warm-up steps before the first
+/// re-plan may commit.
+pub const ENV_ADAPTIVE_WARMUP: &str = "CGX_ADAPTIVE_WARMUP";
+
+/// The adaptive-controller configuration described by the `CGX_ADAPTIVE*`
+/// keys, read through `get` so the parse is pure and testable. `None`
+/// means the switch is absent or falsy and the run stays on its static
+/// plan.
+///
+/// # Panics
+///
+/// Panics when the switch names an unknown policy or a numeric override
+/// fails to parse — a misconfigured launch must fail loudly, not train
+/// silently without adaptation.
+pub fn adaptive_options_from(
+    get: impl Fn(&str) -> Option<String>,
+) -> Option<AdaptiveTrainConfig> {
+    let switch = get(ENV_ADAPTIVE)?;
+    if matches!(switch.as_str(), "" | "0" | "false" | "no") {
+        return None;
+    }
+    let mut cfg = AdaptiveTrainConfig::default();
+    if !matches!(switch.as_str(), "1" | "true" | "yes" | "on") {
+        cfg.policy = AdaptiveTrainConfig::parse_policy(&switch)
+            .unwrap_or_else(|| panic!("{ENV_ADAPTIVE} names unknown policy {switch:?}"));
+    }
+    if let Some(v) = get(ENV_ADAPTIVE_ALPHA) {
+        cfg.alpha = v
+            .parse()
+            .unwrap_or_else(|_| panic!("{ENV_ADAPTIVE_ALPHA} must be a float, got {v:?}"));
+    }
+    if let Some(v) = get(ENV_ADAPTIVE_INTERVAL) {
+        cfg.replan_interval = v
+            .parse()
+            .unwrap_or_else(|_| panic!("{ENV_ADAPTIVE_INTERVAL} must be a step count, got {v:?}"));
+    }
+    if let Some(v) = get(ENV_ADAPTIVE_WARMUP) {
+        cfg.warmup = v
+            .parse()
+            .unwrap_or_else(|_| panic!("{ENV_ADAPTIVE_WARMUP} must be a step count, got {v:?}"));
+    }
+    cfg.validate();
+    Some(cfg)
+}
+
+/// [`adaptive_options_from`] over the real process environment — what
+/// spawned workers call, mirroring [`ElasticOptions::from_env`].
+pub fn adaptive_from_env() -> Option<AdaptiveTrainConfig> {
+    adaptive_options_from(|k| std::env::var(k).ok())
+}
 
 /// Fault-tolerance knobs for a launch, read from the `CGX_*` environment
 /// in spawned workers so the coordinator's chaos schedule reaches every
@@ -66,6 +127,9 @@ pub struct RankRun {
     pub final_world: usize,
     /// Membership epochs completed after unrecoverable peer losses.
     pub recovery_epochs: usize,
+    /// Digest of the adaptive plan trace when the live controller ran —
+    /// identical on every rank of a correct run, whatever the fabric.
+    pub plan_digest: Option<u64>,
 }
 
 /// A fully-specified training run: every rank constructs the same model,
@@ -178,6 +242,29 @@ impl Workload {
         topology: Option<Topology>,
         opts: &ElasticOptions,
     ) -> Result<RankRun, CommError> {
+        self.run_rank_adaptive(t, topology, opts, None)
+    }
+
+    /// [`Self::run_rank_elastic`] with the live adaptive-compression
+    /// controller optionally enabled: per-layer bit-widths re-plan
+    /// mid-run from observed gradient norms, byte-identically on every
+    /// rank (the returned [`RankRun::plan_digest`] is the proof).
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-communication failures that recovery could
+    /// not mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` disagrees with the endpoint's world size.
+    pub fn run_rank_adaptive(
+        &self,
+        t: &dyn Transport,
+        topology: Option<Topology>,
+        opts: &ElasticOptions,
+        adaptive: Option<AdaptiveTrainConfig>,
+    ) -> Result<RankRun, CommError> {
         assert_eq!(t.world(), self.workers, "endpoint world mismatch");
         let model = self.model();
         let task = self.task();
@@ -186,18 +273,21 @@ impl Workload {
         if opts.comm_timeout.is_some() {
             cfg.comm_timeout = opts.comm_timeout;
         }
+        cfg.adaptive = adaptive;
         let pool = ScratchPool::new();
         let sampler = |r: &mut Rng| task.sample_batch(r, 16);
         Ok(match train_rank(t, &model, &sampler, &cfg, &pool)? {
             Some(out) => RankRun {
                 final_world: out.final_world,
                 recovery_epochs: out.faults.recovery_epochs,
+                plan_digest: out.adaptive.as_ref().map(|t| t.digest()),
                 params: Some(params_bytes(&out.model)),
             },
             None => RankRun {
                 params: None,
                 final_world: 0,
                 recovery_epochs: 0,
+                plan_digest: None,
             },
         })
     }
@@ -221,6 +311,55 @@ impl Workload {
         let first = it.next().expect("at least one rank");
         for (i, other) in it.enumerate() {
             assert_eq!(first, other, "rank {} diverged from rank 0", i + 1);
+        }
+        Ok(first)
+    }
+
+    /// The shared-memory reference run with the adaptive controller on:
+    /// returns rank 0's `(params, plan digest)` after asserting every
+    /// rank produced byte-identical parameters *and* the same plan
+    /// sequence — the consensus a TCP run of the same workload must hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-communication failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` disagrees with `self.workers` or any rank
+    /// diverges.
+    pub fn run_reference_shm_adaptive(
+        &self,
+        topology: Option<Topology>,
+        adaptive: &AdaptiveTrainConfig,
+    ) -> Result<(Vec<u8>, u64), CommError> {
+        let outputs = ThreadCluster::try_run(self.workers, |raw: ShmTransport| {
+            let run = self.run_rank_adaptive(
+                &raw,
+                topology.clone(),
+                &ElasticOptions::default(),
+                Some(adaptive.clone()),
+            )?;
+            Ok::<_, CommError>((
+                run.params.expect("no fault plan, every rank survives"),
+                run.plan_digest.expect("controller was enabled"),
+            ))
+        })?;
+        let mut it = outputs.into_iter();
+        let first = it.next().expect("at least one rank");
+        for (i, other) in it.enumerate() {
+            assert_eq!(
+                first.0,
+                other.0,
+                "rank {} params diverged from rank 0",
+                i + 1
+            );
+            assert_eq!(
+                first.1,
+                other.1,
+                "rank {} plan sequence diverged from rank 0",
+                i + 1
+            );
         }
         Ok(first)
     }
@@ -249,6 +388,49 @@ mod tests {
         let b = w.run_reference_shm(None).expect("run");
         assert!(!a.is_empty());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_env_parser_handles_switch_policy_and_overrides() {
+        let get = |map: &'static [(&str, &str)]| {
+            move |k: &str| {
+                map.iter()
+                    .find(|(key, _)| *key == k)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        // Absent or falsy switch: no controller.
+        assert!(adaptive_options_from(get(&[])).is_none());
+        assert!(adaptive_options_from(get(&[("CGX_ADAPTIVE", "0")])).is_none());
+        assert!(adaptive_options_from(get(&[("CGX_ADAPTIVE", "no")])).is_none());
+        // Truthy switch: defaults.
+        let dflt = AdaptiveTrainConfig::default();
+        let cfg = adaptive_options_from(get(&[("CGX_ADAPTIVE", "1")])).expect("enabled");
+        assert_eq!(cfg.policy, dflt.policy);
+        assert_eq!(cfg.replan_interval, dflt.replan_interval);
+        // Policy name plus numeric overrides.
+        let cfg = adaptive_options_from(get(&[
+            ("CGX_ADAPTIVE", "linear"),
+            ("CGX_ADAPTIVE_ALPHA", "3.5"),
+            ("CGX_ADAPTIVE_INTERVAL", "16"),
+            ("CGX_ADAPTIVE_WARMUP", "2"),
+        ]))
+        .expect("enabled");
+        assert_eq!(
+            cfg.policy,
+            AdaptiveTrainConfig::parse_policy("linear").unwrap()
+        );
+        assert_eq!(cfg.alpha, 3.5);
+        assert_eq!(cfg.replan_interval, 16);
+        assert_eq!(cfg.warmup, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn adaptive_env_parser_rejects_unknown_policy() {
+        adaptive_options_from(|k| {
+            (k == ENV_ADAPTIVE).then(|| "quantum-annealing".to_string())
+        });
     }
 
     #[test]

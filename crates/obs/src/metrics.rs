@@ -42,6 +42,19 @@ pub mod names {
     pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
     /// Liveness heartbeat frames emitted on the CTRL lane (TCP only).
     pub const TRANSPORT_HEARTBEATS: &str = "transport.heartbeats";
+    /// Re-plans committed by the live adaptive compression controller.
+    pub const ADAPTIVE_REPLANS: &str = "adaptive.replans";
+    /// Current adaptive plan epoch (gauge; 0 = base plan).
+    pub const ADAPTIVE_PLAN_EPOCH: &str = "adaptive.plan_epoch";
+    /// Nominal wire bits per compressible element of the current plan,
+    /// in millibits (gauge — gauges are integral).
+    pub const ADAPTIVE_MILLIBITS_PER_ELEMENT: &str = "adaptive.millibits_per_element";
+    /// Current plan's compressed size vs uniform 4-bit, in parts per
+    /// thousand (gauge).
+    pub const ADAPTIVE_SIZE_RATIO_PERMILLE: &str = "adaptive.size_ratio_permille";
+    /// Advisory measured wire bandwidth EWMA, bytes/s (gauge; never
+    /// feeds back into plan bits — see the controller docs).
+    pub const ADAPTIVE_BANDWIDTH_BPS: &str = "adaptive.bandwidth_bps";
 }
 
 /// Monotonically increasing counter.
