@@ -85,6 +85,13 @@ $RUSTC --crate-type rlib --crate-name cgx_qnccl crates/qnccl/src/lib.rs \
   --extern cgx_collectives="$L/libcgx_collectives.rlib" \
   -o "$L/libcgx_qnccl.rlib"
 
+echo "== cgx_serve"
+$RUSTC --crate-type rlib --crate-name cgx_serve crates/serve/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
+  -o "$L/libcgx_serve.rlib"
+
 echo "== unit test binaries"
 $RUSTC --test --crate-name cgx_obs_tests crates/obs/src/lib.rs \
   -o "$V/test_obs"
@@ -161,6 +168,25 @@ $RUSTC --test --crate-name budget_properties crates/adaptive/tests/budget_proper
   --extern cgx_adaptive="$L/libcgx_adaptive.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
   --extern proptest="$L/libproptest.rlib" \
   -o "$V/test_budget_properties"
+$RUSTC --test --crate-name cgx_serve_tests crates/serve/src/lib.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern bytes="$L/libbytes.rlib" \
+  -o "$V/test_serve"
+$RUSTC --test --crate-name serve_conformance crates/serve/tests/serve_conformance.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  --extern cgx_serve="$L/libcgx_serve.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$V/test_serve_conformance"
+$RUSTC --test --crate-name qos_properties crates/serve/tests/qos_properties.rs \
+  --extern cgx_serve="$L/libcgx_serve.rlib" --extern proptest="$L/libproptest.rlib" \
+  -o "$V/test_qos_properties"
+$RUSTC --test --crate-name tenancy crates/serve/tests/tenancy.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  --extern cgx_engine="$L/libcgx_engine.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_serve="$L/libcgx_serve.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$V/test_tenancy"
 
 $RUSTC --test --crate-name cgx_simnet_tests crates/simnet/src/lib.rs \
   --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
@@ -183,7 +209,7 @@ $RUSTC --crate-type rlib --crate-name cgx src/lib.rs \
   --extern cgx_models="$L/libcgx_models.rlib" --extern cgx_engine="$L/libcgx_engine.rlib" \
   --extern cgx_adaptive="$L/libcgx_adaptive.rlib" --extern cgx_core="$L/libcgx_core.rlib" \
   --extern cgx_qnccl="$L/libcgx_qnccl.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
-  --extern cgx_obs="$L/libcgx_obs.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" --extern cgx_serve="$L/libcgx_serve.rlib" \
   -o "$L/libcgx.rlib"
 $RUSTC --test --crate-name simnet_properties tests/simnet_properties.rs \
   --extern cgx="$L/libcgx.rlib" --extern proptest="$L/libproptest.rlib" \
@@ -248,6 +274,22 @@ echo "== des bench (criterion stub compile check)"
 $RUSTC --crate-name des_bench crates/bench/benches/des.rs \
   --extern cgx_simnet="$L/libcgx_simnet.rlib" --extern criterion="$L/libcriterion.rlib" \
   -o "$V/des_bench"
+
+echo "== cgx_serve bin"
+$RUSTC --crate-name cgx_serve_bin crates/serve/src/bin/cgx_serve.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  --extern cgx_engine="$L/libcgx_engine.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_obs="$L/libcgx_obs.rlib" --extern cgx_serve="$L/libcgx_serve.rlib" \
+  -o "$V/cgx_serve"
+
+echo "== tenant_report bin"
+$RUSTC --crate-name tenant_report crates/bench/src/bin/tenant_report.rs \
+  --extern cgx_tensor="$L/libcgx_tensor.rlib" --extern cgx_compress="$L/libcgx_compress.rlib" \
+  --extern cgx_collectives="$L/libcgx_collectives.rlib" --extern cgx_net="$L/libcgx_net.rlib" \
+  --extern cgx_engine="$L/libcgx_engine.rlib" --extern cgx_models="$L/libcgx_models.rlib" \
+  --extern cgx_serve="$L/libcgx_serve.rlib" --extern bytes="$L/libbytes.rlib" \
+  -o "$V/tenant_report"
 
 echo "== sim_sweep bin"
 $RUSTC --crate-name sim_sweep crates/bench/src/bin/sim_sweep.rs \

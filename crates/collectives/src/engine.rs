@@ -570,7 +570,10 @@ impl<'a> CommEngine<'a> {
 
     fn alloc_op_id(&mut self) -> u32 {
         let id = self.next_op_id;
-        self.next_op_id += 1;
+        // Wrap below the job-namespace boundary so the tag's top byte
+        // stays free for `cgx-serve` multiplexing (2^24 collectives can
+        // never be simultaneously in flight, so reuse is safe).
+        self.next_op_id = (self.next_op_id + 1) % crate::transport::MAX_NAMESPACED_OP;
         id
     }
 

@@ -75,4 +75,7 @@ pub use hierarchy::{allreduce_hierarchical, Topology};
 pub use membership::{agree, Membership, MembershipView};
 pub use primitives::{barrier, broadcast, gather, reduce_to_root, scatter};
 pub use reduce::{allreduce, allreduce_scratch, AllreduceStats};
-pub use transport::{ShmFabric, ShmTransport, Transport};
+pub use transport::{
+    namespace_tag, split_tag, tag_namespace, ShmFabric, ShmTransport, Transport,
+    MAX_NAMESPACED_OP, MAX_TENANT_NS, NATIVE_JOB, SERVE_CTRL_NS,
+};

@@ -100,6 +100,104 @@ pub fn membership_tag(epoch: u32, round: u16) -> Tag {
     ((epoch as u64) << 32) | ((round as u64) << 16) | ((MEMBERSHIP_PHASE as u64) << 8)
 }
 
+// ---------------------------------------------------------------------------
+// Tag namespacing: the `(job, lane)` wire tag space of the `cgx-serve`
+// multi-tenant daemon.
+//
+// The daemon multiplexes many independent jobs over one physical fabric by
+// widening the tag layout to `[job:8][op:24][segment:16][phase:8][epoch:8]`:
+// the collective id's top byte becomes a job namespace. Byte 0x00 is the
+// *native* namespace — a fabric with no daemon in front of it, whose tags
+// are bit-identical to the historical single-job layout (ops stay below
+// [`MAX_NAMESPACED_OP`], so their top byte was always zero). Bytes
+// 0x01..=0xFD address tenant jobs, 0xFE is the daemon's control plane
+// (attach/detach frames), and 0xFF is never sent as a namespace: it is the
+// top byte of the reserved special tags ([`LEGACY_TAG`], [`CTRL_TAG`],
+// [`QUIESCE_TAG`]), which [`namespace_tag`] relocates into each job's
+// low-56-bit space so per-job legacy/control/quiesce lanes stay distinct.
+// ---------------------------------------------------------------------------
+
+/// Exclusive upper bound on collective ids once a job namespace rides the
+/// tag's top byte. The engine allocates op ids per instance from zero and
+/// wraps here, so the bound is unreachable in practice (2^24 concurrent
+/// collectives) while keeping every engine tag namespace-clean.
+pub const MAX_NAMESPACED_OP: u32 = 1 << 24;
+
+/// The native (daemon-less) job namespace: tags map through unchanged.
+pub const NATIVE_JOB: u8 = 0;
+
+/// Namespace byte reserved for the serve daemon's control plane
+/// (attach/detach/admission frames between daemons).
+pub const SERVE_CTRL_NS: u8 = 0xFE;
+
+/// Highest namespace byte assignable to a tenant job (0xFE is the control
+/// plane, 0xFF belongs to the special tags).
+pub const MAX_TENANT_NS: u8 = 0xFD;
+
+const LOW56: u64 = (1 << 56) - 1;
+/// Low-56-bit values at or above this floor are relocated special tags
+/// (the specials are `u64::MAX - k` for small `k`, so their low 56 bits
+/// land in the top 256 values of the low-56 space — unreachable by any
+/// collective/membership tag, whose phase byte caps far below all-ones).
+const SPECIAL_LOW_FLOOR: u64 = 0x00FF_FFFF_FFFF_FF00;
+
+/// Maps a job-local tag into job `job`'s slice of the wire tag space.
+///
+/// Identity for [`NATIVE_JOB`]; for every other namespace the job byte is
+/// stamped into the top byte, with the three reserved special tags
+/// ([`LEGACY_TAG`] and friends) folded into the top of the job's low-56
+/// space so they round-trip through [`split_tag`].
+///
+/// # Panics
+///
+/// Panics if a non-special tag already carries a namespace byte (op ids
+/// must stay below [`MAX_NAMESPACED_OP`]).
+#[inline]
+#[must_use]
+pub fn namespace_tag(job: u8, tag: Tag) -> Tag {
+    if job == NATIVE_JOB {
+        return tag;
+    }
+    if tag >> 56 == 0xFF && tag & LOW56 >= SPECIAL_LOW_FLOOR {
+        // LEGACY/CTRL/QUIESCE: relocate into this job's low-56 space.
+        return ((job as u64) << 56) | (tag & LOW56);
+    }
+    assert!(
+        tag >> 56 == 0,
+        "tag {tag:#x} already carries a namespace byte \
+         (ops and membership epochs must stay below 2^24 under a daemon)"
+    );
+    ((job as u64) << 56) | tag
+}
+
+/// Splits a wire tag into `(job, job-local tag)`, inverting
+/// [`namespace_tag`]. Native traffic — namespace byte 0x00, plus the
+/// special tags whose top byte is 0xFF — decodes as [`NATIVE_JOB`] with
+/// the tag unchanged.
+#[inline]
+#[must_use]
+pub fn split_tag(wire: Tag) -> (u8, Tag) {
+    let ns = (wire >> 56) as u8;
+    if ns == NATIVE_JOB || ns == 0xFF {
+        return (NATIVE_JOB, wire);
+    }
+    let low = wire & LOW56;
+    if low >= SPECIAL_LOW_FLOOR {
+        // A relocated special: restore its all-ones top byte.
+        (ns, (0xFFu64 << 56) | low)
+    } else {
+        (ns, low)
+    }
+}
+
+/// The namespace byte a wire tag is addressed to; [`NATIVE_JOB`] for
+/// daemon-less traffic (including the 0xFF-prefixed special tags).
+#[inline]
+#[must_use]
+pub fn tag_namespace(wire: Tag) -> u8 {
+    split_tag(wire).0
+}
+
 /// Object-safe transport abstraction.
 ///
 /// [`ShmTransport`] is the concrete fabric; [`crate::fault::ChaosTransport`]
@@ -261,6 +359,17 @@ pub trait Transport {
     /// its default is a no-op.
     fn quiesce(&self, peers: &[usize]) {
         let _ = peers;
+    }
+
+    /// Removes and returns every stashed message addressed to a non-native
+    /// tag namespace (see [`split_tag`]), as `(peer, wire_tag, payload)`
+    /// triples in per-(peer, tag) FIFO order. The serve daemon's pump loop
+    /// pairs this with [`Transport::drain_inbound`] to act as the fabric's
+    /// sole physical drainer, routing tenant traffic to per-job inboxes;
+    /// native traffic stays stashed for the endpoint's own collectives.
+    /// Fabrics that never sit under a daemon keep the empty default.
+    fn take_namespaced_stashed(&self) -> Vec<(usize, Tag, Encoded)> {
+        Vec::new()
     }
 }
 
@@ -692,6 +801,29 @@ impl ShmTransport {
         payload
     }
 
+    /// Removes every stashed message whose tag carries a non-native
+    /// namespace byte (see [`Transport::take_namespaced_stashed`]).
+    pub fn take_namespaced_stashed(&self) -> Vec<(usize, Tag, Encoded)> {
+        let mut out = Vec::new();
+        for peer in 0..self.world {
+            if peer == self.rank {
+                continue;
+            }
+            let mut inbox = self.inbox_lock(peer);
+            let tags: Vec<Tag> = inbox
+                .keys()
+                .copied()
+                .filter(|&t| tag_namespace(t) != NATIVE_JOB)
+                .collect();
+            for tag in tags {
+                if let Some(queue) = inbox.remove(&tag) {
+                    out.extend(queue.into_iter().map(|p| (peer, tag, p)));
+                }
+            }
+        }
+        out
+    }
+
     /// Sends `payload` to every other rank on the legacy lane.
     ///
     /// # Errors
@@ -756,6 +888,10 @@ impl Transport for ShmTransport {
 
     fn wait_any_inbound(&self, timeout: Duration) -> bool {
         ShmTransport::wait_any_inbound(self, timeout)
+    }
+
+    fn take_namespaced_stashed(&self) -> Vec<(usize, Tag, Encoded)> {
+        ShmTransport::take_namespaced_stashed(self)
     }
 }
 
@@ -1099,6 +1235,71 @@ mod tests {
         // And a live arrival still wakes it.
         b.send_tagged(2, LEGACY_TAG, payload(3)).unwrap();
         assert!(c.wait_any_inbound(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn namespace_tag_round_trips_and_is_native_transparent() {
+        // Native job: identity, including the reserved specials.
+        for t in [
+            collective_tag(7, 3, 1),
+            membership_tag(2, 1),
+            LEGACY_TAG,
+            CTRL_TAG,
+            QUIESCE_TAG,
+        ] {
+            assert_eq!(namespace_tag(NATIVE_JOB, t), t);
+            assert_eq!(split_tag(t), (NATIVE_JOB, t));
+        }
+        // Tenant jobs: every (job, tag) pair round-trips, and distinct
+        // jobs never alias each other or native traffic.
+        for job in [1u8, 7, MAX_TENANT_NS, SERVE_CTRL_NS] {
+            for t in [
+                collective_tag(0, 0, 0),
+                collective_tag_in_epoch(MAX_NAMESPACED_OP - 1, u16::MAX, 0xEE, 0xFF),
+                membership_tag(MAX_NAMESPACED_OP - 1, u16::MAX),
+                LEGACY_TAG,
+                CTRL_TAG,
+                QUIESCE_TAG,
+            ] {
+                let wire = namespace_tag(job, t);
+                assert_eq!(split_tag(wire), (job, t), "job {job} tag {t:#x}");
+                assert_ne!(wire, t, "job {job} tag {t:#x} aliases native");
+                assert_eq!(tag_namespace(wire), job);
+            }
+        }
+        // Same tag under different jobs stays distinct.
+        let t = collective_tag(9, 1, 2);
+        assert_ne!(namespace_tag(1, t), namespace_tag(2, t));
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries a namespace byte")]
+    fn namespacing_an_already_namespaced_tag_panics() {
+        let wire = namespace_tag(3, collective_tag(1, 0, 1));
+        let _ = namespace_tag(4, wire);
+    }
+
+    #[test]
+    fn take_namespaced_stashed_partitions_tenant_from_native() {
+        let mut eps = ShmFabric::build(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let native = collective_tag(5, 0, 1);
+        let t1 = namespace_tag(1, collective_tag(5, 0, 1));
+        let t2 = namespace_tag(2, LEGACY_TAG);
+        a.send_tagged(1, native, payload(1)).unwrap();
+        a.send_tagged(1, t1, payload(2)).unwrap();
+        a.send_tagged(1, t1, payload(3)).unwrap();
+        a.send_tagged(1, t2, payload(4)).unwrap();
+        b.drain_inbound();
+        let mut taken = ShmTransport::take_namespaced_stashed(&b);
+        taken.sort_by_key(|(_, tag, p)| (*tag, p.payload()[0]));
+        let got: Vec<(usize, Tag, u8)> =
+            taken.iter().map(|(p, t, e)| (*p, *t, e.payload()[0])).collect();
+        assert_eq!(got, vec![(0, t1, 2), (0, t1, 3), (0, t2, 4)]);
+        // Native traffic is untouched and still deliverable.
+        assert_eq!(b.recv_tagged(0, native).unwrap().payload().as_ref(), &[1]);
+        assert!(ShmTransport::take_namespaced_stashed(&b).is_empty());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod trainer;
 
 pub use attention::AttentionLm;
 pub use data::{GaussianMixture, MarkovChainLm};
-pub use local_sgd::{train_local_sgd, LocalSgdReport};
+pub use local_sgd::{local_sgd_rank, train_local_sgd, LocalSgdRankOutput, LocalSgdReport};
 pub use nn::{EmbeddingLm, Mlp};
 pub use norm::MlpNorm;
 pub use optimizer::{clip_global_norm, Adam, LrSchedule, SgdMomentum};

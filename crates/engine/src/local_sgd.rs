@@ -50,18 +50,296 @@ pub struct LocalSgdReport {
     pub adaptive: Option<AdaptivePlanTrace>,
 }
 
-/// Trains with local SGD: `cfg.workers` replicas, `cfg.steps` total steps,
-/// parameters averaged every `sync_period` steps (and once at the end if
-/// the step count is not a multiple).
+/// Per-rank result of [`local_sgd_rank`]: the fields a survivor needs to
+/// elect an authoritative replica and assemble a [`LocalSgdReport`].
+#[derive(Debug, Clone)]
+pub struct LocalSgdRankOutput<M> {
+    /// The locally trained (and finally averaged) replica.
+    pub model: M,
+    /// Training loss per step on this rank.
+    pub losses: Vec<f64>,
+    /// Wire bytes this rank transmitted.
+    pub bytes_sent: usize,
+    /// Synchronization rounds performed.
+    pub sync_rounds: usize,
+    /// Fault and recovery counters from this rank's endpoint.
+    pub faults: FaultStats,
+    /// World size at the end of the run (post elastic shrink).
+    pub final_world: usize,
+    /// The live controller's re-plan history, when adaptive.
+    pub adaptive: Option<AdaptivePlanTrace>,
+}
+
+/// Runs one rank's share of a local-SGD run over an already-connected
+/// endpoint: the transport-agnostic core of [`train_local_sgd`], equally
+/// at home on a [`ShmTransport`] thread, a `cgx-net` TCP endpoint in its
+/// own OS process, or a `cgx-serve` tenant handle multiplexed onto a
+/// shared fabric. Every rank in the world must call this with identical
+/// `model`, `cfg` and sampler semantics; determinism comes from the
+/// rank-derived RNG streams, so runs over different fabrics with the same
+/// seed produce byte-identical replicas.
 ///
-/// The `cfg.compression` policy applies to the *parameter deltas*
-/// (`current - at_last_sync`), which is how compressed model averaging is
-/// done in practice: deltas are gradient-like and compress well, while raw
-/// parameters do not.
+/// Returns `Ok(None)` when the fault plan kills this rank mid-run.
 ///
 /// # Errors
 ///
-/// Propagates collective failures.
+/// Propagates collective failures (after exhausting elastic recovery,
+/// when enabled).
+///
+/// # Panics
+///
+/// Panics if `sync_period` is zero.
+pub fn local_sgd_rank<M, S>(
+    t: &dyn Transport,
+    model: &M,
+    sampler: &S,
+    cfg: &TrainConfig,
+    sync_period: usize,
+    pool: &ScratchPool,
+) -> Result<Option<LocalSgdRankOutput<M>>, CommError>
+where
+    M: TrainableModel,
+    S: Fn(&mut Rng) -> M::Batch,
+{
+    assert!(sync_period > 0, "sync period must be at least 1");
+    let specs = model.param_specs();
+    if let Err(e) = cfg.compression.validate(specs.len()) {
+        return Err(CommError::InvalidConfig {
+            detail: e.to_string(),
+        });
+    }
+    // Elastic recovery retries syncs through the engine's epoch-scoped
+    // lanes; plain runs honor the configured path.
+    let use_engine = cfg.layer_parallel || cfg.elastic;
+    // Shared registry, per-worker event ring (single-writer).
+    let obs = cfg.obs.fork_rank(cgx_obs::DEFAULT_RING_CAPACITY);
+    let mut local = model.clone();
+    let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
+    let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
+    let mut compressors: Vec<Option<Box<dyn Compressor>>> = cfg
+        .compression
+        .build_all(&specs)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    let mut lossless = NoneCompressor::new();
+    // The live controller, when configured: it observes the norms of
+    // each sync round's mean deltas (rank-replicated, like the
+    // trainer's mean gradients) and counts rounds, not steps.
+    let mut controller = cfg
+        .adaptive
+        .as_ref()
+        .map(|acfg| build_controller(acfg, &cfg.compression, &specs, model.params()));
+    let mut plan_epoch = 0u64;
+    let mut bw_bytes_mark = 0usize;
+    let mut bw_instant_mark = Instant::now();
+    let mut losses = Vec::with_capacity(cfg.steps);
+    let mut bytes = 0usize;
+    let mut sync_rounds = 0usize;
+    let mut membership = Membership::full(t.world());
+    let mut recoveries = 0usize;
+    // Parameters at the last synchronization point (identical across
+    // replicas by construction).
+    let mut anchor: Vec<Tensor> = local.params().to_vec();
+    for step in 1..=cfg.steps {
+        if t.begin_step(step) {
+            // Fail-stop injection: this rank dies here; survivors
+            // notice at their next sync round and shrink around it.
+            return Ok(None);
+        }
+        let batch = sampler(&mut data_rng);
+        let (loss, grads) = local.loss_and_grads(&batch);
+        losses.push(loss);
+        opt.step(local.params_mut(), &grads);
+        if step % sync_period == 0 || step == cfg.steps {
+            sync_rounds += 1;
+            // Compressed model averaging: all-reduce the deltas from
+            // the shared anchor, then rebuild params = anchor + mean.
+            loop {
+                let view = MembershipView::new(t, &membership);
+                let world = view.world() as f32;
+                // Norms of this round's mean deltas, for the live
+                // controller (rank-replicated values, fixed order).
+                let mut round_norms = vec![0.0f64; specs.len()];
+                let sync: Result<(), CommError> = if use_engine {
+                    // Layer-parallel path: every layer's delta is in
+                    // flight at once; the engine coalesces the small
+                    // FP32 ones. Byte-identical to the loop below.
+                    let deltas: Vec<Tensor> = local
+                        .params()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            let mut d = p.clone();
+                            d.sub_assign(&anchor[i]);
+                            d
+                        })
+                        .collect();
+                    let opts = EngineOptions {
+                        // Adaptive runs stamp the plan epoch into the
+                        // lane tag alongside the membership epoch.
+                        epoch: if controller.is_some() {
+                            lane_epoch(membership.epoch() as u64, plan_epoch)
+                        } else {
+                            (membership.epoch() & 0xFF) as u8
+                        },
+                        ..cfg.engine
+                    };
+                    let mut eng =
+                        CommEngine::new(&view, pool.clone(), opts).with_obs(obs.clone());
+                    let handles: Vec<_> = deltas
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| {
+                            let comp = compressors[i].take().expect("compressor present");
+                            eng.submit(cfg.algorithm, d, comp, &mut comp_rng)
+                        })
+                        .collect();
+                    let mut first_err = None;
+                    for (i, h) in handles.into_iter().enumerate() {
+                        match eng.wait(h) {
+                            Ok((mut mean_delta, stats, comp)) => {
+                                compressors[i] = Some(comp);
+                                mean_delta.scale(1.0 / world);
+                                bytes += stats.bytes_sent;
+                                round_norms[i] = tensor_norm(&mean_delta);
+                                let p = &mut local.params_mut()[i];
+                                *p = anchor[i].clone();
+                                p.add_assign(&mean_delta);
+                            }
+                            // Drain every handle so nothing stays in
+                            // flight; lent compressors are rebuilt
+                            // during recovery.
+                            Err(e) => first_err = first_err.or(Some(e)),
+                        }
+                    }
+                    first_err.map_or(Ok(()), Err)
+                } else {
+                    let mut res = Ok(());
+                    for (i, p) in local.params_mut().iter_mut().enumerate() {
+                        let mut delta = p.clone();
+                        delta.sub_assign(&anchor[i]);
+                        let comp: &mut dyn Compressor = if world > 1.0 {
+                            compressors[i].as_deref_mut().expect("compressor present")
+                        } else {
+                            &mut lossless
+                        };
+                        // One RNG draw per layer, matching the engine.
+                        let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
+                        match allreduce_scratch(
+                            cfg.algorithm,
+                            &view,
+                            &delta,
+                            comp,
+                            &mut layer_rng,
+                            &pool,
+                        ) {
+                            Ok((mut mean_delta, stats)) => {
+                                mean_delta.scale(1.0 / world);
+                                bytes += stats.bytes_sent;
+                                round_norms[i] = tensor_norm(&mean_delta);
+                                *p = anchor[i].clone();
+                                p.add_assign(&mean_delta);
+                            }
+                            Err(e) => {
+                                res = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    res
+                };
+                match sync {
+                    Ok(()) => {
+                        if let Some(ctl) = controller.as_mut() {
+                            ctl.observe_norms(&round_norms);
+                            // Advisory only — never affects plan bits.
+                            let now = Instant::now();
+                            ctl.observe_bandwidth(
+                                (bytes - bw_bytes_mark) as u64,
+                                now.duration_since(bw_instant_mark),
+                            );
+                            bw_bytes_mark = bytes;
+                            bw_instant_mark = now;
+                            if step < cfg.steps {
+                                if let Some(up) = ctl
+                                    .maybe_replan(sync_rounds, membership.epoch() as u64)
+                                {
+                                    for (i, &changed) in up.changed.iter().enumerate() {
+                                        if changed {
+                                            compressors[i] = Some(up.schemes[i].build());
+                                        }
+                                    }
+                                    plan_epoch = up.plan_epoch;
+                                    publish_replan(&obs, &up);
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        let Some(vpeer) = e.peer().filter(|_| cfg.elastic) else {
+                            return Err(e);
+                        };
+                        let dead = view.physical(vpeer);
+                        let (next, _resume) =
+                            agree(t, &membership, &[dead], step as u64, t.timeout());
+                        membership = next;
+                        recoveries += 1;
+                        // Rebuild from the live plan when adaptive, so
+                        // recovery does not revert committed re-plans.
+                        compressors = match controller.as_ref() {
+                            Some(ctl) => ctl
+                                .current_schemes()
+                                .iter()
+                                .map(|s| Some(s.build()))
+                                .collect(),
+                            None => cfg
+                                .compression
+                                .build_all(&specs)
+                                .into_iter()
+                                .map(Some)
+                                .collect(),
+                        };
+                        // The recovery re-sync *is* a model-averaging
+                        // round over the survivors (lossless mean of
+                        // raw parameters), so the interrupted sync is
+                        // complete once it lands.
+                        resync_params(t, &membership, local.params_mut(), &pool, cfg.engine)?;
+                        break;
+                    }
+                }
+            }
+            anchor = local.params().to_vec();
+        }
+    }
+    // Teardown barrier: keep serving retransmissions until every
+    // survivor has drained its final traffic (lossless fabrics no-op).
+    t.quiesce(&membership.physical_ranks());
+    let mut faults = t.fault_stats();
+    faults.recovery_epochs += recoveries;
+    Ok(Some(LocalSgdRankOutput {
+        model: local,
+        losses,
+        bytes_sent: bytes,
+        sync_rounds,
+        faults,
+        final_world: membership.num_alive(),
+        adaptive: controller.map(AdaptiveController::into_trace),
+    }))
+}
+
+/// Trains `model` with local SGD over a thread-per-rank shared-memory
+/// fabric, averaging parameters every `sync_period` steps. Thin harness
+/// over [`local_sgd_rank`]: spawns `cfg.workers` threads, wires each to
+/// its [`ShmTransport`] endpoint (with chaos injection when configured),
+/// and elects the authoritative survivor.
+///
+/// # Errors
+///
+/// Propagates configuration and collective failures (after exhausting
+/// elastic recovery, when enabled).
 ///
 /// # Panics
 ///
@@ -77,269 +355,41 @@ where
     S: Fn(&mut Rng) -> M::Batch + Send + Sync,
 {
     assert!(sync_period > 0, "sync period must be at least 1");
-    assert!(cfg.workers > 0 && cfg.steps > 0, "degenerate config");
     check_elastic(cfg);
-    let specs = model.param_specs();
-    if let Err(e) = cfg.compression.validate(specs.len()) {
-        return Err(CommError::InvalidConfig {
-            detail: e.to_string(),
-        });
-    }
     let pool = ScratchPool::new();
-    // Elastic recovery retries syncs through the engine's epoch-scoped
-    // lanes; plain runs honor the configured path.
-    let use_engine = cfg.layer_parallel || cfg.elastic;
     let outputs = ThreadCluster::try_run(cfg.workers, |fabric: ShmTransport| {
         let pool = pool.clone();
         let endpoint = wrap_endpoint(fabric, cfg);
-        let t: &dyn Transport = endpoint.as_ref();
-        // Shared registry, per-worker event ring (single-writer).
-        let obs = cfg.obs.fork_rank(cgx_obs::DEFAULT_RING_CAPACITY);
-        let mut local = model.clone();
-        let mut data_rng = Rng::seed_from_u64(cfg.seed ^ (0xD00D + t.rank() as u64 * 7919));
-        let mut comp_rng = Rng::seed_from_u64(cfg.seed ^ (0xC0FFEE + t.rank() as u64 * 104_729));
-        let mut compressors: Vec<Option<Box<dyn Compressor>>> = cfg
-            .compression
-            .build_all(&specs)
-            .into_iter()
-            .map(Some)
-            .collect();
-        let mut opt = SgdMomentum::new(cfg.lr, cfg.momentum, cfg.weight_decay);
-        let mut lossless = NoneCompressor::new();
-        // The live controller, when configured: it observes the norms of
-        // each sync round's mean deltas (rank-replicated, like the
-        // trainer's mean gradients) and counts rounds, not steps.
-        let mut controller = cfg
-            .adaptive
-            .as_ref()
-            .map(|acfg| build_controller(acfg, &cfg.compression, &specs, model.params()));
-        let mut plan_epoch = 0u64;
-        let mut bw_bytes_mark = 0usize;
-        let mut bw_instant_mark = Instant::now();
-        let mut losses = Vec::with_capacity(cfg.steps);
-        let mut bytes = 0usize;
-        let mut sync_rounds = 0usize;
-        let mut membership = Membership::full(t.world());
-        let mut recoveries = 0usize;
-        // Parameters at the last synchronization point (identical across
-        // replicas by construction).
-        let mut anchor: Vec<Tensor> = local.params().to_vec();
-        for step in 1..=cfg.steps {
-            if t.begin_step(step) {
-                // Fail-stop injection: this rank dies here; survivors
-                // notice at their next sync round and shrink around it.
-                return Ok(None);
-            }
-            let batch = sampler(&mut data_rng);
-            let (loss, grads) = local.loss_and_grads(&batch);
-            losses.push(loss);
-            opt.step(local.params_mut(), &grads);
-            if step % sync_period == 0 || step == cfg.steps {
-                sync_rounds += 1;
-                // Compressed model averaging: all-reduce the deltas from
-                // the shared anchor, then rebuild params = anchor + mean.
-                loop {
-                    let view = MembershipView::new(t, &membership);
-                    let world = view.world() as f32;
-                    // Norms of this round's mean deltas, for the live
-                    // controller (rank-replicated values, fixed order).
-                    let mut round_norms = vec![0.0f64; specs.len()];
-                    let sync: Result<(), CommError> = if use_engine {
-                        // Layer-parallel path: every layer's delta is in
-                        // flight at once; the engine coalesces the small
-                        // FP32 ones. Byte-identical to the loop below.
-                        let deltas: Vec<Tensor> = local
-                            .params()
-                            .iter()
-                            .enumerate()
-                            .map(|(i, p)| {
-                                let mut d = p.clone();
-                                d.sub_assign(&anchor[i]);
-                                d
-                            })
-                            .collect();
-                        let opts = EngineOptions {
-                            // Adaptive runs stamp the plan epoch into the
-                            // lane tag alongside the membership epoch.
-                            epoch: if controller.is_some() {
-                                lane_epoch(membership.epoch() as u64, plan_epoch)
-                            } else {
-                                (membership.epoch() & 0xFF) as u8
-                            },
-                            ..cfg.engine
-                        };
-                        let mut eng =
-                            CommEngine::new(&view, pool.clone(), opts).with_obs(obs.clone());
-                        let handles: Vec<_> = deltas
-                            .iter()
-                            .enumerate()
-                            .map(|(i, d)| {
-                                let comp = compressors[i].take().expect("compressor present");
-                                eng.submit(cfg.algorithm, d, comp, &mut comp_rng)
-                            })
-                            .collect();
-                        let mut first_err = None;
-                        for (i, h) in handles.into_iter().enumerate() {
-                            match eng.wait(h) {
-                                Ok((mut mean_delta, stats, comp)) => {
-                                    compressors[i] = Some(comp);
-                                    mean_delta.scale(1.0 / world);
-                                    bytes += stats.bytes_sent;
-                                    round_norms[i] = tensor_norm(&mean_delta);
-                                    let p = &mut local.params_mut()[i];
-                                    *p = anchor[i].clone();
-                                    p.add_assign(&mean_delta);
-                                }
-                                // Drain every handle so nothing stays in
-                                // flight; lent compressors are rebuilt
-                                // during recovery.
-                                Err(e) => first_err = first_err.or(Some(e)),
-                            }
-                        }
-                        first_err.map_or(Ok(()), Err)
-                    } else {
-                        let mut res = Ok(());
-                        for (i, p) in local.params_mut().iter_mut().enumerate() {
-                            let mut delta = p.clone();
-                            delta.sub_assign(&anchor[i]);
-                            let comp: &mut dyn Compressor = if world > 1.0 {
-                                compressors[i].as_deref_mut().expect("compressor present")
-                            } else {
-                                &mut lossless
-                            };
-                            // One RNG draw per layer, matching the engine.
-                            let mut layer_rng = Rng::seed_from_u64(comp_rng.next_u64());
-                            match allreduce_scratch(
-                                cfg.algorithm,
-                                &view,
-                                &delta,
-                                comp,
-                                &mut layer_rng,
-                                &pool,
-                            ) {
-                                Ok((mut mean_delta, stats)) => {
-                                    mean_delta.scale(1.0 / world);
-                                    bytes += stats.bytes_sent;
-                                    round_norms[i] = tensor_norm(&mean_delta);
-                                    *p = anchor[i].clone();
-                                    p.add_assign(&mean_delta);
-                                }
-                                Err(e) => {
-                                    res = Err(e);
-                                    break;
-                                }
-                            }
-                        }
-                        res
-                    };
-                    match sync {
-                        Ok(()) => {
-                            if let Some(ctl) = controller.as_mut() {
-                                ctl.observe_norms(&round_norms);
-                                // Advisory only — never affects plan bits.
-                                let now = Instant::now();
-                                ctl.observe_bandwidth(
-                                    (bytes - bw_bytes_mark) as u64,
-                                    now.duration_since(bw_instant_mark),
-                                );
-                                bw_bytes_mark = bytes;
-                                bw_instant_mark = now;
-                                if step < cfg.steps {
-                                    if let Some(up) = ctl
-                                        .maybe_replan(sync_rounds, membership.epoch() as u64)
-                                    {
-                                        for (i, &changed) in up.changed.iter().enumerate() {
-                                            if changed {
-                                                compressors[i] = Some(up.schemes[i].build());
-                                            }
-                                        }
-                                        plan_epoch = up.plan_epoch;
-                                        publish_replan(&obs, &up);
-                                    }
-                                }
-                            }
-                            break;
-                        }
-                        Err(e) => {
-                            let Some(vpeer) = e.peer().filter(|_| cfg.elastic) else {
-                                return Err(e);
-                            };
-                            let dead = view.physical(vpeer);
-                            let (next, _resume) =
-                                agree(t, &membership, &[dead], step as u64, t.timeout());
-                            membership = next;
-                            recoveries += 1;
-                            // Rebuild from the live plan when adaptive, so
-                            // recovery does not revert committed re-plans.
-                            compressors = match controller.as_ref() {
-                                Some(ctl) => ctl
-                                    .current_schemes()
-                                    .iter()
-                                    .map(|s| Some(s.build()))
-                                    .collect(),
-                                None => cfg
-                                    .compression
-                                    .build_all(&specs)
-                                    .into_iter()
-                                    .map(Some)
-                                    .collect(),
-                            };
-                            // The recovery re-sync *is* a model-averaging
-                            // round over the survivors (lossless mean of
-                            // raw parameters), so the interrupted sync is
-                            // complete once it lands.
-                            resync_params(t, &membership, local.params_mut(), &pool, cfg.engine)?;
-                            break;
-                        }
-                    }
-                }
-                anchor = local.params().to_vec();
-            }
-        }
-        // Teardown barrier: keep serving retransmissions until every
-        // survivor has drained its final traffic (lossless fabrics no-op).
-        t.quiesce(&membership.physical_ranks());
-        let mut faults = t.fault_stats();
-        faults.recovery_epochs += recoveries;
-        Ok::<_, CommError>(Some((
-            local,
-            losses,
-            bytes,
-            sync_rounds,
-            faults,
-            membership.num_alive(),
-            controller.map(AdaptiveController::into_trace),
-        )))
+        local_sgd_rank(endpoint.as_ref(), model, &sampler, cfg, sync_period, &pool)
     })?;
     // Pick the authoritative survivor: largest final world (a frozen
     // zombie that partitioned itself away finishes smaller), lowest rank
     // on ties.
-    let mut chosen = None;
+    let mut chosen: Option<LocalSgdRankOutput<M>> = None;
     for out in outputs.into_iter().flatten() {
         let replace = match &chosen {
             None => true,
-            Some((_, _, _, _, _, w, _)) => out.5 > *w,
+            Some(best) => out.final_world > best.final_world,
         };
         if replace {
             chosen = Some(out);
         }
     }
-    let (model0, losses, bytes, sync_rounds, faults, final_world, adaptive) =
-        chosen.expect("at least one rank survived");
+    let out = chosen.expect("at least one rank survived");
     if cfg.obs.enabled() {
         pool.publish(cfg.obs.registry());
-        faults.publish(cfg.obs.registry());
+        out.faults.publish(cfg.obs.registry());
     }
     Ok((
-        model0,
+        out.model,
         LocalSgdReport {
-            losses,
-            bytes_sent_per_worker: bytes,
-            sync_rounds,
-            faults,
-            final_world,
+            losses: out.losses,
+            bytes_sent_per_worker: out.bytes_sent,
+            sync_rounds: out.sync_rounds,
+            faults: out.faults,
+            final_world: out.final_world,
             metrics: cfg.obs.registry().snapshot(),
-            adaptive,
+            adaptive: out.adaptive,
         },
     ))
 }

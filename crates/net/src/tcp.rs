@@ -2059,6 +2059,24 @@ impl Transport for TcpTransport {
             }
         }
     }
+
+    fn take_namespaced_stashed(&self) -> Vec<(usize, Tag, Encoded)> {
+        let mut d = lock(&self.demux);
+        let mut out = Vec::new();
+        for peer in 0..self.world {
+            let tags: Vec<Tag> = d.inbox[peer]
+                .keys()
+                .copied()
+                .filter(|&t| cgx_collectives::tag_namespace(t) != cgx_collectives::NATIVE_JOB)
+                .collect();
+            for tag in tags {
+                if let Some(queue) = d.inbox[peer].remove(&tag) {
+                    out.extend(queue.into_iter().map(|p| (peer, tag, p)));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Drop for TcpTransport {

@@ -17,6 +17,15 @@
 //! end-to-end integrity check (paper: datacenter links do corrupt), and
 //! the per-`(peer, tag)` sequence number is the cheap assertion that the
 //! demux layer never reorders a lane.
+//!
+//! # Multi-tenant tags
+//!
+//! Under a `cgx-serve` daemon the tag field's top byte is a job
+//! namespace: `[job:8][op:24][segment:16][phase:8][epoch:8]` (see
+//! [`cgx_collectives::namespace_tag`]). Namespace 0x00 is single-job
+//! traffic — bit-identical to the historical layout, since collective
+//! ids stay below [`cgx_collectives::MAX_NAMESPACED_OP`] — so the frame
+//! format itself is unchanged; only the tag's interpretation widens.
 
 use cgx_collectives::framing;
 use cgx_collectives::transport::Tag;

@@ -55,6 +55,23 @@ pub mod names {
     /// Advisory measured wire bandwidth EWMA, bytes/s (gauge; never
     /// feeds back into plan bits — see the controller docs).
     pub const ADAPTIVE_BANDWIDTH_BPS: &str = "adaptive.bandwidth_bps";
+    /// Jobs admitted by a serve daemon (`cgx-serve` only).
+    pub const SERVE_JOBS_ATTACHED: &str = "serve.jobs_attached";
+    /// Jobs fully detached (queues drained) from a serve daemon.
+    pub const SERVE_JOBS_DETACHED: &str = "serve.jobs_detached";
+    /// Attach requests rejected by admission control.
+    pub const SERVE_JOBS_REJECTED: &str = "serve.jobs_rejected";
+    /// Tenant frames the daemon pump placed on the physical fabric.
+    pub const SERVE_FRAMES_OUT: &str = "serve.frames_out";
+    /// Tenant payload bytes the daemon pump placed on the fabric.
+    pub const SERVE_BYTES_OUT: &str = "serve.bytes_out";
+    /// Inbound tenant frames routed to per-job inboxes.
+    pub const SERVE_FRAMES_ROUTED: &str = "serve.frames_routed";
+    /// Inbound tenant payload bytes routed to per-job inboxes.
+    pub const SERVE_BYTES_ROUTED: &str = "serve.bytes_routed";
+    /// Orphaned frames (job id not attached) evicted from the bounded
+    /// pre-attach buffer.
+    pub const SERVE_ORPHAN_DROPPED: &str = "serve.orphan_dropped";
 }
 
 /// Monotonically increasing counter.

@@ -1,0 +1,140 @@
+//! `cgx-serve` — the multi-tenant collectives daemon, self-driving demo.
+//!
+//! Boots one [`ServeNode`] per rank of a local mesh (TCP by default, shm
+//! with `CGX_SERVE_FABRIC=shm`), attaches `CGX_SERVE_JOBS` concurrent
+//! local-SGD tenants through the job API, trains them all to completion
+//! over the shared fabric, and prints a per-job byte/fairness summary.
+//!
+//! Knobs (all environment variables, all optional):
+//!
+//! | knob                | default | meaning                              |
+//! |---------------------|---------|--------------------------------------|
+//! | `CGX_SERVE_FABRIC`  | `tcp`   | physical mesh: `tcp` or `shm`        |
+//! | `CGX_SERVE_WORLD`   | `2`     | ranks in the mesh (one daemon each)  |
+//! | `CGX_SERVE_JOBS`    | `8`     | concurrent tenant jobs               |
+//! | `CGX_SERVE_STEPS`   | `8`     | local-SGD steps per job              |
+//! | `CGX_SERVE_PERIOD`  | `4`     | steps between synchronisations       |
+//!
+//! Daemon-side limits (`CGX_SERVE_MAX_JOBS`, `CGX_SERVE_QUEUE_BYTES`,
+//! `CGX_SERVE_QUANTUM`, `CGX_SERVE_PARK_US`, `CGX_SERVE_DRAIN_MS`) are
+//! read by [`ServeConfig::from_env`].
+
+use cgx_collectives::{ShmFabric, Transport};
+use cgx_compress::ScratchPool;
+use cgx_engine::{local_sgd_rank, GaussianMixture, Mlp, TrainConfig};
+use cgx_net::TcpFabric;
+use cgx_obs::MetricsRegistry;
+use cgx_serve::{jain_index, JobSpec, ServeConfig, ServeNode};
+use cgx_tensor::Rng;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let fabric = std::env::var("CGX_SERVE_FABRIC").unwrap_or_else(|_| "tcp".into());
+    let world = env_usize("CGX_SERVE_WORLD", 2).max(1);
+    let jobs = env_usize("CGX_SERVE_JOBS", 8).clamp(1, 0xFD) as u8;
+    let steps = env_usize("CGX_SERVE_STEPS", 8).max(1);
+    let period = env_usize("CGX_SERVE_PERIOD", 4).max(1);
+
+    let registry = MetricsRegistry::new();
+    let cfg = ServeConfig::from_env().with_obs(&registry);
+    let phys: Vec<Box<dyn Transport + Send>> = match fabric.as_str() {
+        "shm" => ShmFabric::build(world)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport + Send>)
+            .collect(),
+        _ => TcpFabric::build_local(world)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport + Send>)
+            .collect(),
+    };
+    let nodes: Vec<Arc<ServeNode>> = phys
+        .into_iter()
+        .map(|t| Arc::new(ServeNode::new(t, cfg.clone())))
+        .collect();
+    eprintln!(
+        "cgx-serve: {} daemon(s) up over {} fabric, admitting {} job(s)",
+        world, fabric, jobs
+    );
+
+    // Two barriers let the main thread read per-job byte counters after
+    // every tenant finishes but before any handle detaches (detachment
+    // retires the job's scheduler state).
+    let total_ranks = jobs as usize * world;
+    let done = Arc::new(Barrier::new(total_ranks + 1));
+    let release = Arc::new(Barrier::new(total_ranks + 1));
+    let t0 = Instant::now();
+    let mut runners = Vec::new();
+    for j in 1..=jobs {
+        for node in &nodes {
+            let handle = node
+                .attach(JobSpec::new(j))
+                .expect("admission rejected a job within the configured limit")
+                .with_keepalive(Arc::clone(node));
+            let (done, release) = (Arc::clone(&done), Arc::clone(&release));
+            let cfg = TrainConfig {
+                seed: 9000 + j as u64,
+                ..TrainConfig::new(world, steps)
+            };
+            runners.push(std::thread::spawn(move || {
+                let task = GaussianMixture::new(4, 6, 1.3);
+                let mut rng = Rng::seed_from_u64(100 + j as u64);
+                let model = Mlp::new(&mut rng, &[6, 10, 4]);
+                let pool = ScratchPool::new();
+                let sampler = move |r: &mut Rng| task.sample_batch(r, 8);
+                let out = local_sgd_rank(&handle, &model, &sampler, &cfg, period, &pool);
+                done.wait();
+                release.wait();
+                drop(handle);
+                out.expect("job failed").is_some()
+            }));
+        }
+    }
+
+    done.wait();
+    let elapsed = t0.elapsed();
+    let per_job: Vec<u64> = (1..=jobs).map(|j| nodes[0].job_sent_bytes(j)).collect();
+    release.wait();
+    for r in runners {
+        assert!(r.join().expect("tenant thread panicked"), "rank was killed");
+    }
+    drop(nodes);
+
+    let shares: Vec<f64> = per_job.iter().map(|&b| b as f64).collect();
+    let total: u64 = per_job.iter().sum();
+    println!("cgx-serve summary");
+    println!("  fabric          : {fabric} x{world}");
+    println!("  jobs            : {jobs} (steps {steps}, period {period})");
+    println!("  wall time       : {:.3} s", elapsed.as_secs_f64());
+    println!("  node-0 tx bytes : {total}");
+    println!(
+        "  per-job bytes   : min {} max {}",
+        per_job.iter().min().unwrap(),
+        per_job.iter().max().unwrap()
+    );
+    println!("  jain fairness   : {:.4}", jain_index(&shares));
+    println!(
+        "  throughput      : {:.1} MiB/s (node-0 tenant tx)",
+        total as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()
+    );
+    let snap = registry.snapshot();
+    for name in [
+        cgx_obs::names::SERVE_JOBS_ATTACHED,
+        cgx_obs::names::SERVE_JOBS_DETACHED,
+        cgx_obs::names::SERVE_JOBS_REJECTED,
+        cgx_obs::names::SERVE_FRAMES_OUT,
+        cgx_obs::names::SERVE_BYTES_OUT,
+        cgx_obs::names::SERVE_FRAMES_ROUTED,
+        cgx_obs::names::SERVE_BYTES_ROUTED,
+        cgx_obs::names::SERVE_ORPHAN_DROPPED,
+    ] {
+        println!("  {name:<24}: {}", snap.get(name).unwrap_or(0));
+    }
+}

@@ -1,0 +1,1270 @@
+//! The per-node collectives daemon: one pump thread owning the physical
+//! transport, many tenant jobs attached through [`NamespacedTransport`]
+//! handles.
+//!
+//! # Architecture
+//!
+//! A [`ServeNode`] takes ownership of one physical [`Transport`] endpoint
+//! (the node's slot in a TCP or shared-memory mesh) and moves it into a
+//! dedicated *pump thread*. From that moment the daemon is the fabric's
+//! sole user:
+//!
+//! * **Outbound** — tenants never touch the socket. Their sends are
+//!   enqueued (with the wire tag already widened into the job's namespace
+//!   via [`cgx_collectives::namespace_tag`]) into a per-job queue inside a
+//!   [`DrrScheduler`], and the pump dequeues frames in weighted
+//!   deficit-round-robin order, honouring per-job rate caps.
+//! * **Inbound** — the pump continuously calls
+//!   [`Transport::drain_inbound`] and harvests tenant traffic with
+//!   [`Transport::take_namespaced_stashed`], routing each frame to the
+//!   owning job's inbox (a per-job stash + condvar that tenant `recv`s
+//!   block on). Traffic for a job id not yet attached on this node is
+//!   parked in a bounded orphan buffer and replayed on attach.
+//! * **Liveness** — because the pump calls `drain_inbound` in a tight
+//!   loop, transports with caller-driven heartbeats (the TCP fabric emits
+//!   heartbeats from inside its pump/send paths) are serviced continuously
+//!   *regardless of tenant behaviour*. A tenant that computes for seconds
+//!   between collectives no longer starves heartbeat emission — the
+//!   failure mode called out in DESIGN.md §12.1 — because heartbeating
+//!   moved from the trainer's call pattern to the daemon's.
+//!
+//! # Tenant lifecycle
+//!
+//! [`ServeNode::attach`] admits a job (typed [`ServeError`] rejection when
+//! the node is full, the id is taken, or the daemon is shutting down) and
+//! returns a [`NamespacedTransport`] — a full [`Transport`] implementation,
+//! so trainers, the collectives engine, the adaptive controller and the
+//! conformance battery run over it unmodified. Dropping the handle sends a
+//! `DETACH` control frame to every peer **through the job's own DRR
+//! queue**, after any still-queued frames (per-peer FIFO makes this
+//! delivery-safe): remote ranks of the same job observe
+//! [`CommError::Disconnected`] rather than a hang, and other jobs never
+//! notice.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cgx_collectives::transport::{Tag, QUIESCE_TAG};
+use cgx_collectives::{namespace_tag, split_tag, CommError, Transport, MAX_TENANT_NS, NATIVE_JOB};
+use cgx_compress::Encoded;
+use cgx_obs::metrics::{names, Counter, MetricsRegistry};
+use cgx_tensor::Shape;
+
+use crate::qos::{Dequeue, DrrScheduler};
+
+/// Job-local control tag announcing a tenant's orderly detach. Lives in
+/// the reserved-special region (`u64::MAX - 3`) so [`namespace_tag`]
+/// relocates it into each job's wire namespace alongside the legacy,
+/// control and quiesce lanes.
+pub const DETACH_TAG: Tag = u64::MAX - 3;
+
+/// Recovers the permit for one mutex acquisition; the daemon holds no lock
+/// across a panic-capable region, so poisoning only ever reflects a caller
+/// panic — propagate the inner state rather than deadlocking.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn dbg_on() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CGX_SERVE_DEBUG").is_some())
+}
+
+macro_rules! sdbg {
+    ($($arg:tt)*) => {
+        if dbg_on() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Configuration & errors
+// ---------------------------------------------------------------------------
+
+/// Daemon tuning knobs, all overridable from the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently attached jobs (`CGX_SERVE_MAX_JOBS`).
+    pub max_jobs: usize,
+    /// Per-job outbound queue cap in bytes (`CGX_SERVE_QUEUE_BYTES`). A
+    /// single frame larger than the cap is still admitted when the queue
+    /// is empty, so one oversized send can never wedge a tenant.
+    pub queue_bytes: u64,
+    /// DRR quantum in bytes (`CGX_SERVE_QUANTUM`): byte credit granted per
+    /// scheduler visit per unit weight.
+    pub quantum: u64,
+    /// Pump idle park interval (`CGX_SERVE_PARK_US`, microseconds).
+    pub park: Duration,
+    /// Shutdown drain budget (`CGX_SERVE_DRAIN_MS`): how long the pump
+    /// keeps flushing queued frames after shutdown is requested.
+    pub drain: Duration,
+    /// Metrics registry for `serve.*` counters, if observability is on.
+    obs: Option<MetricsRegistry>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_jobs: 64,
+            queue_bytes: 32 << 20,
+            quantum: 64 << 10,
+            park: Duration::from_micros(200),
+            drain: Duration::from_millis(2000),
+            obs: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builds a config from defaults overridden by `CGX_SERVE_*`
+    /// environment variables (unparseable values fall back silently, in
+    /// line with the other crates' env handling).
+    pub fn from_env() -> Self {
+        fn env_u64(key: &str) -> Option<u64> {
+            std::env::var(key).ok()?.trim().parse().ok()
+        }
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = env_u64("CGX_SERVE_MAX_JOBS") {
+            cfg.max_jobs = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64("CGX_SERVE_QUEUE_BYTES") {
+            cfg.queue_bytes = v.max(1);
+        }
+        if let Some(v) = env_u64("CGX_SERVE_QUANTUM") {
+            cfg.quantum = v.max(1);
+        }
+        if let Some(v) = env_u64("CGX_SERVE_PARK_US") {
+            cfg.park = Duration::from_micros(v.max(1));
+        }
+        if let Some(v) = env_u64("CGX_SERVE_DRAIN_MS") {
+            cfg.drain = Duration::from_millis(v);
+        }
+        cfg
+    }
+
+    /// Attaches a metrics registry; the daemon then maintains the
+    /// `serve.*` counters on it.
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> Self {
+        self.obs = Some(registry.clone());
+        self
+    }
+}
+
+/// Typed admission-control rejection from [`ServeNode::attach`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The node already hosts its configured maximum of concurrent jobs.
+    JobLimit {
+        /// The configured `max_jobs` that was hit.
+        limit: usize,
+    },
+    /// The job id is outside the tenant namespace range `1..=0xFD`.
+    BadJobId {
+        /// The rejected id.
+        id: u8,
+    },
+    /// The job id is attached or was already used on this node (ids are
+    /// single-use per daemon lifetime so late frames from a finished job
+    /// can never leak into a successor).
+    DuplicateJob {
+        /// The conflicting id.
+        id: u8,
+    },
+    /// The daemon is draining for shutdown and admits no new jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::JobLimit { limit } => {
+                write!(f, "admission rejected: node is at its {limit}-job limit")
+            }
+            ServeError::BadJobId { id } => write!(
+                f,
+                "job id {id} outside tenant namespace 1..={MAX_TENANT_NS}"
+            ),
+            ServeError::DuplicateJob { id } => {
+                write!(f, "job id {id} is already attached or was used before")
+            }
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a tenant asks for at [`ServeNode::attach`] time.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job id, `1..=0xFD`; must match on every node of the mesh.
+    pub id: u8,
+    /// DRR weight (≥ 1): relative long-run byte share under contention.
+    pub weight: u64,
+    /// Optional `(bytes_per_sec, burst_bytes)` hard bandwidth cap.
+    pub rate: Option<(u64, u64)>,
+}
+
+impl JobSpec {
+    /// A weight-1, uncapped job.
+    pub fn new(id: u8) -> Self {
+        JobSpec {
+            id,
+            weight: 1,
+            rate: None,
+        }
+    }
+
+    /// Sets the DRR weight.
+    pub fn weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets a `(bytes_per_sec, burst)` rate cap.
+    pub fn rate(mut self, bytes_per_sec: u64, burst: u64) -> Self {
+        self.rate = Some((bytes_per_sec, burst));
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+/// One queued outbound frame: physical peer, full wire tag, payload.
+#[derive(Debug)]
+struct QueuedFrame {
+    peer: usize,
+    tag: Tag,
+    payload: Encoded,
+}
+
+/// Per-job inbound state, in *job-local* tag space.
+#[derive(Debug)]
+struct JobInbox {
+    /// Stashed payloads keyed by `(peer, job-local tag)`, FIFO per key.
+    stash: HashMap<(usize, Tag), VecDeque<Encoded>>,
+    /// Arrival counter per peer (for [`Transport::wait_inbound`]).
+    arrivals: Vec<u64>,
+    /// Total arrivals (for [`Transport::wait_any_inbound`]).
+    total_arrivals: u64,
+    /// Terminal per-peer condition: the peer's process died, its daemon
+    /// disconnected, or its tenant detached. Stashed traffic stays
+    /// receivable — the stash is always consulted before this.
+    dead: Vec<Option<CommError>>,
+}
+
+/// Handle-side shared state for one job.
+#[derive(Debug)]
+struct JobShared {
+    inbox: Mutex<JobInbox>,
+    /// Signalled on every routed arrival and on death marks.
+    cv: Condvar,
+}
+
+/// Frames that arrived for a job id nobody attached yet.
+#[derive(Debug, Default)]
+struct Orphan {
+    frames: Vec<(usize, Tag, Encoded)>,
+    bytes: u64,
+    /// Death marks observed while orphaned (peer, error).
+    dead: Vec<(usize, CommError)>,
+}
+
+/// Everything the node mutex guards.
+struct NodeState {
+    sched: DrrScheduler<QueuedFrame>,
+    jobs: HashMap<u8, Arc<JobShared>>,
+    /// Ids ever attached — single-use per daemon lifetime.
+    used_ids: HashSet<u8>,
+    orphans: HashMap<u8, Orphan>,
+    /// Physical-peer terminal errors, propagated to every job.
+    peer_dead: Vec<Option<CommError>>,
+    /// Jobs whose handles dropped; deregistered once their queue drains.
+    detaching: HashSet<u8>,
+    shutdown: bool,
+}
+
+/// Pre-resolved `serve.*` counters.
+#[derive(Clone)]
+struct ServeMetrics {
+    jobs_attached: Counter,
+    jobs_detached: Counter,
+    jobs_rejected: Counter,
+    frames_out: Counter,
+    bytes_out: Counter,
+    frames_routed: Counter,
+    bytes_routed: Counter,
+    orphan_dropped: Counter,
+}
+
+impl ServeMetrics {
+    fn resolve(reg: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            jobs_attached: reg.counter(names::SERVE_JOBS_ATTACHED),
+            jobs_detached: reg.counter(names::SERVE_JOBS_DETACHED),
+            jobs_rejected: reg.counter(names::SERVE_JOBS_REJECTED),
+            frames_out: reg.counter(names::SERVE_FRAMES_OUT),
+            bytes_out: reg.counter(names::SERVE_BYTES_OUT),
+            frames_routed: reg.counter(names::SERVE_FRAMES_ROUTED),
+            bytes_routed: reg.counter(names::SERVE_BYTES_ROUTED),
+            orphan_dropped: reg.counter(names::SERVE_ORPHAN_DROPPED),
+        }
+    }
+}
+
+/// State shared between the pump thread and every tenant handle.
+struct NodeShared {
+    rank: usize,
+    world: usize,
+    timeout: Duration,
+    cfg: ServeConfig,
+    /// Monotonic origin for the scheduler's nanosecond clock.
+    epoch: Instant,
+    state: Mutex<NodeState>,
+    /// Pump parks on this; tenants signal on enqueue/shutdown.
+    work_cv: Condvar,
+    /// Tenants blocked on a full queue park on this; the pump signals
+    /// after dequeuing and on terminal conditions.
+    space_cv: Condvar,
+    metrics: Option<ServeMetrics>,
+}
+
+impl NodeShared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServeNode
+// ---------------------------------------------------------------------------
+
+/// A per-node collectives daemon (see the [module docs](self)).
+///
+/// Owns the pump thread; dropping the node requests shutdown, drains
+/// queued frames within the configured budget, and joins the pump.
+pub struct ServeNode {
+    shared: Arc<NodeShared>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeNode {
+    /// Boots a daemon over `phys`, which it owns from here on: the pump
+    /// thread becomes the fabric's only sender and drainer.
+    pub fn new(phys: Box<dyn Transport + Send>, cfg: ServeConfig) -> Self {
+        let rank = phys.rank();
+        let world = phys.world();
+        let timeout = phys.timeout();
+        let metrics = cfg.obs.as_ref().map(ServeMetrics::resolve);
+        let shared = Arc::new(NodeShared {
+            rank,
+            world,
+            timeout,
+            epoch: Instant::now(),
+            state: Mutex::new(NodeState {
+                sched: DrrScheduler::new(cfg.quantum),
+                jobs: HashMap::new(),
+                used_ids: HashSet::new(),
+                orphans: HashMap::new(),
+                peer_dead: vec![None; world],
+                detaching: HashSet::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            metrics,
+            cfg,
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name(format!("cgx-serve-pump-{rank}"))
+            .spawn(move || pump_loop(phys, pump_shared))
+            .expect("spawn serve pump thread");
+        ServeNode {
+            shared,
+            pump: Some(pump),
+        }
+    }
+
+    /// This node's rank in the physical mesh.
+    pub fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    /// Number of nodes in the physical mesh.
+    pub fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    /// Admits a job and returns its transport handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadJobId`] for ids outside `1..=0xFD`;
+    /// [`ServeError::DuplicateJob`] for an id attached before (ids are
+    /// single-use per daemon); [`ServeError::JobLimit`] when `max_jobs`
+    /// jobs are already attached; [`ServeError::ShuttingDown`] during
+    /// drain.
+    pub fn attach(&self, spec: JobSpec) -> Result<NamespacedTransport, ServeError> {
+        let reject = |m: &Option<ServeMetrics>, e: ServeError| {
+            if let Some(m) = m {
+                m.jobs_rejected.inc();
+            }
+            Err(e)
+        };
+        if spec.id < 1 || spec.id > MAX_TENANT_NS {
+            return reject(&self.shared.metrics, ServeError::BadJobId { id: spec.id });
+        }
+        let mut st = lock(&self.shared.state);
+        if st.shutdown {
+            return reject(&self.shared.metrics, ServeError::ShuttingDown);
+        }
+        if st.used_ids.contains(&spec.id) {
+            return reject(&self.shared.metrics, ServeError::DuplicateJob { id: spec.id });
+        }
+        if st.jobs.len() >= self.shared.cfg.max_jobs {
+            return reject(
+                &self.shared.metrics,
+                ServeError::JobLimit {
+                    limit: self.shared.cfg.max_jobs,
+                },
+            );
+        }
+        st.used_ids.insert(spec.id);
+        st.sched
+            .register(spec.id, spec.weight.max(1), spec.rate);
+        let job = Arc::new(JobShared {
+            inbox: Mutex::new(JobInbox {
+                stash: HashMap::new(),
+                arrivals: vec![0; self.shared.world],
+                total_arrivals: 0,
+                dead: vec![None; self.shared.world],
+            }),
+            cv: Condvar::new(),
+        });
+        // Frames (and death marks) that raced ahead of this attach.
+        if let Some(orphan) = st.orphans.remove(&spec.id) {
+            let mut inbox = lock(&job.inbox);
+            for (peer, local, payload) in orphan.frames {
+                route_to_inbox(&mut inbox, peer, local, payload);
+            }
+            for (peer, err) in orphan.dead {
+                if inbox.dead[peer].is_none() {
+                    inbox.dead[peer] = Some(err);
+                }
+            }
+        }
+        // Peers already condemned at the physical level are dead for this
+        // job from birth.
+        for peer in 0..self.shared.world {
+            if let Some(err) = &st.peer_dead[peer] {
+                let mut inbox = lock(&job.inbox);
+                if inbox.dead[peer].is_none() {
+                    inbox.dead[peer] = Some(err.clone());
+                }
+            }
+        }
+        st.jobs.insert(spec.id, Arc::clone(&job));
+        drop(st);
+        if let Some(m) = &self.shared.metrics {
+            m.jobs_attached.inc();
+        }
+        Ok(NamespacedTransport {
+            node: Arc::clone(&self.shared),
+            job,
+            id: spec.id,
+            keepalive: None,
+            detached: false,
+        })
+    }
+
+    /// Number of currently attached jobs.
+    pub fn attached_jobs(&self) -> usize {
+        lock(&self.shared.state).jobs.len()
+    }
+
+    /// Cumulative bytes the daemon dequeued for `job` — the QoS share
+    /// accounting benchmarks read.
+    pub fn job_sent_bytes(&self, job: u8) -> u64 {
+        lock(&self.shared.state).sched.sent_bytes(job)
+    }
+}
+
+impl Drop for ServeNode {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeNode")
+            .field("rank", &self.shared.rank)
+            .field("world", &self.shared.world)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Appends one payload to a job inbox and bumps its arrival counters.
+fn route_to_inbox(inbox: &mut JobInbox, peer: usize, local: Tag, payload: Encoded) {
+    inbox
+        .stash
+        .entry((peer, local))
+        .or_default()
+        .push_back(payload);
+    inbox.arrivals[peer] += 1;
+    inbox.total_arrivals += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Pump loop
+// ---------------------------------------------------------------------------
+
+/// Max frames transmitted per pump iteration before inbound servicing.
+const OUT_BATCH: usize = 64;
+
+/// Probe tag in the daemon control namespace: never sent, polled with
+/// [`Transport::try_recv_tagged`] purely to surface per-peer terminal
+/// errors from the physical transport.
+fn probe_tag() -> Tag {
+    namespace_tag(cgx_collectives::SERVE_CTRL_NS, 1)
+}
+
+fn pump_loop(phys: Box<dyn Transport + Send>, node: Arc<NodeShared>) {
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // ---- 1. Outbound: dequeue under the lock, send outside it. ----
+        let mut sent_any = false;
+        let mut throttled_until: Option<u64> = None;
+        for _ in 0..OUT_BATCH {
+            let decision = {
+                let mut st = lock(&node.state);
+                st.sched.next(node.now_ns())
+            };
+            match decision {
+                Dequeue::Frame { job, size, item } => {
+                    sdbg!(
+                        "[serve {}] dequeue job={} peer={} tag={:#x} size={}",
+                        node.rank, job, item.peer, item.tag, size
+                    );
+                    match phys.try_send_tagged(item.peer, item.tag, item.payload) {
+                        Ok(None) => {
+                            sent_any = true;
+                            if let Some(m) = &node.metrics {
+                                m.frames_out.inc();
+                                m.bytes_out.add(size);
+                            }
+                            node.space_cv.notify_all();
+                        }
+                        Ok(Some(payload)) => {
+                            // Fabric backpressure: put the frame back at
+                            // the front of its queue and go service
+                            // inbound to relieve it.
+                            let mut st = lock(&node.state);
+                            st.sched.refund(
+                                job,
+                                size,
+                                QueuedFrame {
+                                    peer: item.peer,
+                                    tag: item.tag,
+                                    payload,
+                                },
+                            );
+                            break;
+                        }
+                        Err(err) => {
+                            sdbg!(
+                                "[serve {}] send ERR peer={} err={err:?}",
+                                node.rank, item.peer
+                            );
+                            // Physical peer is gone; the frame is
+                            // undeliverable. Condemn the peer for every
+                            // job and drop the frame.
+                            mark_peer_dead(&node, item.peer, err);
+                        }
+                    }
+                }
+                Dequeue::Throttled { ready_ns } => {
+                    throttled_until = Some(ready_ns);
+                    break;
+                }
+                Dequeue::Idle => break,
+            }
+        }
+        // Push coalesced wire buffers (and TCP heartbeats) out.
+        if let Err(err) = phys.flush_outbound() {
+            if let Some(peer) = err.peer() {
+                mark_peer_dead(&node, peer, err);
+            }
+        }
+
+        // ---- 2. Inbound: drain the fabric, route tenant traffic. ----
+        let drained = phys.drain_inbound();
+        let harvested = phys.take_namespaced_stashed();
+        let routed = harvested.len();
+        if routed > 0 {
+            route_frames(&node, harvested);
+        }
+
+        // ---- 3. Liveness probe: surface condemned peers. ----
+        for peer in 0..node.world {
+            if peer == node.rank {
+                continue;
+            }
+            let already = lock(&node.state).peer_dead[peer].is_some();
+            if already {
+                continue;
+            }
+            if let Err(err) = phys.try_recv_tagged(peer, probe_tag()) {
+                mark_peer_dead(&node, peer, err);
+            }
+        }
+
+        // ---- 4. Retire drained detaching jobs. ----
+        retire_detached(&node);
+
+        // ---- 5. Shutdown drain. ----
+        {
+            let st = lock(&node.state);
+            if st.shutdown {
+                let deadline =
+                    *drain_deadline.get_or_insert_with(|| Instant::now() + node.cfg.drain);
+                if st.sched.is_empty() || Instant::now() >= deadline {
+                    sdbg!(
+                        "[serve {}] pump exit: sched_empty={} ",
+                        node.rank,
+                        st.sched.is_empty()
+                    );
+                    drop(st);
+                    // Last push so the final frames leave the process
+                    // before the socket closes.
+                    let _ = phys.flush_outbound();
+                    return;
+                }
+            }
+        }
+
+        // ---- 6. Park when idle (re-checking under the enqueue mutex so
+        // a racing tenant enqueue can't be missed). ----
+        if !sent_any && drained == 0 && routed == 0 {
+            let mut park = node.cfg.park;
+            if let Some(ready_ns) = throttled_until {
+                let wait_ns = ready_ns.saturating_sub(node.now_ns());
+                park = park.min(Duration::from_nanos(wait_ns.max(1)));
+            }
+            let st = lock(&node.state);
+            if !st.shutdown && !st.sched.has_backlog() {
+                let _ = node.work_cv.wait_timeout(st, park);
+            } else if !st.shutdown {
+                // Backlog we cannot move yet (rate throttle or fabric
+                // backpressure): yield briefly instead of spinning hot.
+                drop(st);
+                std::thread::sleep(park.min(Duration::from_micros(100)));
+            }
+        }
+    }
+}
+
+/// Records a terminal physical-peer error once and fans it out to every
+/// attached job's inbox (and to orphan buffers, so jobs that attach later
+/// still observe it).
+fn mark_peer_dead(node: &Arc<NodeShared>, peer: usize, err: CommError) {
+    let jobs: Vec<Arc<JobShared>> = {
+        let mut st = lock(&node.state);
+        if st.peer_dead[peer].is_some() {
+            return;
+        }
+        sdbg!("[serve {}] mark_peer_dead peer={peer} err={err:?}", node.rank);
+        st.peer_dead[peer] = Some(err.clone());
+        st.jobs.values().cloned().collect()
+    };
+    for job in jobs {
+        let mut inbox = lock(&job.inbox);
+        if inbox.dead[peer].is_none() {
+            inbox.dead[peer] = Some(err.clone());
+        }
+        drop(inbox);
+        job.cv.notify_all();
+    }
+    // Senders blocked on a full queue to the dead peer must wake and fail.
+    node.space_cv.notify_all();
+}
+
+/// Routes harvested namespaced frames to job inboxes / orphan buffers.
+///
+/// DETACH control frames are routed *after* every data frame in the
+/// batch: `take_namespaced_stashed` returns the harvest in stash order,
+/// not arrival order, so a detach marker can surface ahead of data the
+/// peer sent before it. The wire itself is per-peer FIFO, which makes
+/// data sent before a DETACH land in the same-or-earlier harvest — so
+/// deferring detach processing to the end of each batch restores the
+/// sender's ordering guarantee (a receive never observes the disconnect
+/// while delivered-but-unrouted data still exists).
+fn route_frames(node: &Arc<NodeShared>, frames: Vec<(usize, Tag, Encoded)>) {
+    let mut routed_bytes = 0u64;
+    let mut routed_frames = 0u64;
+    let (detaches, data): (Vec<_>, Vec<_>) = frames
+        .into_iter()
+        .partition(|&(_, wire, _)| split_tag(wire).1 == DETACH_TAG);
+    for (peer, wire, payload) in data.into_iter().chain(detaches) {
+        let (ns, local) = split_tag(wire);
+        if ns == NATIVE_JOB {
+            // Not tenant traffic (shouldn't be returned by the hook, but
+            // tolerate a conservative transport).
+            continue;
+        }
+        let job = lock(&node.state).jobs.get(&ns).cloned();
+        sdbg!(
+            "[serve {}] route ns={ns} peer={peer} local={local:#x} bytes={}",
+            node.rank,
+            payload.payload_bytes()
+        );
+        if local == DETACH_TAG {
+            // The peer's tenant for this job detached in an orderly way:
+            // from this job's perspective that peer is disconnected.
+            let err = CommError::Disconnected { peer };
+            match job {
+                Some(job) => {
+                    let mut inbox = lock(&job.inbox);
+                    if inbox.dead[peer].is_none() {
+                        inbox.dead[peer] = Some(err);
+                    }
+                    // A detach is also an arrival for wait_* purposes:
+                    // blocked waiters must wake and observe the death.
+                    inbox.total_arrivals += 1;
+                    drop(inbox);
+                    job.cv.notify_all();
+                }
+                None => {
+                    let mut st = lock(&node.state);
+                    st.orphans.entry(ns).or_default().dead.push((peer, err));
+                }
+            }
+            continue;
+        }
+        routed_frames += 1;
+        routed_bytes += payload.payload_bytes() as u64;
+        match job {
+            Some(job) => {
+                let mut inbox = lock(&job.inbox);
+                route_to_inbox(&mut inbox, peer, local, payload);
+                drop(inbox);
+                job.cv.notify_all();
+            }
+            None => {
+                let mut st = lock(&node.state);
+                let cap = node.cfg.queue_bytes;
+                let orphan = st.orphans.entry(ns).or_default();
+                let size = payload.payload_bytes() as u64;
+                if orphan.bytes + size > cap && !orphan.frames.is_empty() {
+                    // Bounded buffer: drop the oldest frame.
+                    let (_, _, old) = orphan.frames.remove(0);
+                    orphan.bytes -= old.payload_bytes() as u64;
+                    if let Some(m) = &node.metrics {
+                        m.orphan_dropped.inc();
+                    }
+                }
+                orphan.bytes += size;
+                orphan.frames.push((peer, local, payload));
+            }
+        }
+    }
+    if routed_frames > 0 {
+        if let Some(m) = &node.metrics {
+            m.frames_routed.add(routed_frames);
+            m.bytes_routed.add(routed_bytes);
+        }
+    }
+}
+
+/// Deregisters detaching jobs whose outbound queues have fully drained.
+fn retire_detached(node: &Arc<NodeShared>) {
+    let mut st = lock(&node.state);
+    if st.detaching.is_empty() {
+        return;
+    }
+    let done: Vec<u8> = st
+        .detaching
+        .iter()
+        .copied()
+        .filter(|&id| st.sched.queued_bytes(id) == 0)
+        .collect();
+    let mut detached = 0;
+    for id in done {
+        st.detaching.remove(&id);
+        st.sched.deregister(id);
+        st.jobs.remove(&id);
+        detached += 1;
+    }
+    drop(st);
+    if detached > 0 {
+        if let Some(m) = &node.metrics {
+            m.jobs_detached.add(detached);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NamespacedTransport
+// ---------------------------------------------------------------------------
+
+/// A tenant job's endpoint into the shared daemon: a complete
+/// [`Transport`] whose traffic is tag-namespaced, QoS-scheduled and
+/// liveness-monitored by the [`ServeNode`] pump. Rank and world mirror the
+/// physical mesh; tags are job-local (the handle widens them on the way
+/// out and the pump narrows them on the way in).
+pub struct NamespacedTransport {
+    node: Arc<NodeShared>,
+    job: Arc<JobShared>,
+    id: u8,
+    /// Optional owning reference that keeps the daemon alive as long as
+    /// any tenant handle is: lets a test or trainer thread own "its"
+    /// endpoint without separately managing the node's lifetime.
+    keepalive: Option<Arc<ServeNode>>,
+    detached: bool,
+}
+
+impl NamespacedTransport {
+    /// Ties the daemon's lifetime to this handle (and any clones of the
+    /// `Arc`): the node shuts down once the last holder drops.
+    pub fn with_keepalive(mut self, node: Arc<ServeNode>) -> Self {
+        self.keepalive = Some(node);
+        self
+    }
+
+    /// The job id this handle is namespaced under.
+    pub fn job_id(&self) -> u8 {
+        self.id
+    }
+
+    fn wire(&self, tag: Tag) -> Tag {
+        namespace_tag(self.id, tag)
+    }
+
+    /// Pops the next stashed payload for `(peer, tag)`, if any.
+    fn pop_stashed(inbox: &mut JobInbox, peer: usize, tag: Tag) -> Option<Encoded> {
+        let queue = inbox.stash.get_mut(&(peer, tag))?;
+        let payload = queue.pop_front();
+        if queue.is_empty() {
+            inbox.stash.remove(&(peer, tag));
+        }
+        payload
+    }
+
+    /// Queues one outbound frame, blocking while the job's queue is over
+    /// its byte cap. `block` = false gives try-send semantics.
+    fn enqueue(
+        &self,
+        peer: usize,
+        tag: Tag,
+        payload: Encoded,
+        block: bool,
+    ) -> Result<Option<Encoded>, CommError> {
+        assert!(peer < self.node.world, "peer {peer} out of range");
+        let wire = self.wire(tag);
+        let size = payload.payload_bytes() as u64;
+        let cap = self.node.cfg.queue_bytes;
+        let mut st = lock(&self.node.state);
+        loop {
+            if st.shutdown || self.detached || st.detaching.contains(&self.id) {
+                return Err(CommError::Disconnected { peer });
+            }
+            if let Some(err) = &st.peer_dead[peer] {
+                return Err(err.clone());
+            }
+            let queued = st.sched.queued_bytes(self.id);
+            // An empty queue admits any single frame so an oversized send
+            // can always make progress.
+            if queued == 0 || queued + size <= cap {
+                st.sched.enqueue(
+                    self.id,
+                    size,
+                    QueuedFrame {
+                        peer,
+                        tag: wire,
+                        payload,
+                    },
+                );
+                drop(st);
+                self.node.work_cv.notify_all();
+                return Ok(None);
+            }
+            if !block {
+                return Ok(Some(payload));
+            }
+            let (guard, _) = self
+                .node
+                .space_cv
+                .wait_timeout(st, Duration::from_millis(20))
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+}
+
+impl std::fmt::Debug for NamespacedTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamespacedTransport")
+            .field("job", &self.id)
+            .field("rank", &self.node.rank)
+            .field("world", &self.node.world)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for NamespacedTransport {
+    fn rank(&self) -> usize {
+        self.node.rank
+    }
+
+    fn world(&self) -> usize {
+        self.node.world
+    }
+
+    fn timeout(&self) -> Duration {
+        self.node.timeout
+    }
+
+    fn send_tagged(&self, peer: usize, tag: Tag, payload: Encoded) -> Result<(), CommError> {
+        self.enqueue(peer, tag, payload, true).map(|_| ())
+    }
+
+    fn try_send_tagged(
+        &self,
+        peer: usize,
+        tag: Tag,
+        payload: Encoded,
+    ) -> Result<Option<Encoded>, CommError> {
+        self.enqueue(peer, tag, payload, false)
+    }
+
+    fn recv_tagged_deadline(
+        &self,
+        peer: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Encoded, CommError> {
+        assert!(peer < self.node.world, "peer {peer} out of range");
+        let start = Instant::now();
+        let mut inbox = lock(&self.job.inbox);
+        loop {
+            // Stash always wins: traffic that already arrived stays
+            // receivable past deadlines and peer death alike.
+            if let Some(payload) = Self::pop_stashed(&mut inbox, peer, tag) {
+                return Ok(payload);
+            }
+            if let Some(err) = &inbox.dead[peer] {
+                return Err(err.clone());
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Err(CommError::Timeout {
+                    from: peer,
+                    waited,
+                    in_flight: 0,
+                });
+            }
+            let (guard, _) = self
+                .job
+                .cv
+                .wait_timeout(inbox, (timeout - waited).min(Duration::from_millis(20)))
+                .unwrap_or_else(|p| p.into_inner());
+            inbox = guard;
+        }
+    }
+
+    fn try_recv_tagged(&self, peer: usize, tag: Tag) -> Result<Option<Encoded>, CommError> {
+        let mut inbox = lock(&self.job.inbox);
+        if let Some(payload) = Self::pop_stashed(&mut inbox, peer, tag) {
+            return Ok(Some(payload));
+        }
+        if let Some(err) = &inbox.dead[peer] {
+            return Err(err.clone());
+        }
+        Ok(None)
+    }
+
+    fn drain_inbound(&self) -> usize {
+        // The daemon's pump is the sole physical drainer; a tenant has
+        // nothing to pull. Routed traffic is already in the job stash.
+        0
+    }
+
+    fn flush_outbound(&self) -> Result<(), CommError> {
+        // Sends are queued, not deferred: kicking the pump is all a
+        // flush can mean here.
+        self.node.work_cv.notify_all();
+        Ok(())
+    }
+
+    fn wait_inbound(&self, peer: usize, tag: Tag, timeout: Duration) -> Result<bool, CommError> {
+        let start = Instant::now();
+        let mut inbox = lock(&self.job.inbox);
+        let baseline = inbox.arrivals[peer];
+        loop {
+            if inbox.stash.get(&(peer, tag)).is_some_and(|q| !q.is_empty())
+                || inbox.arrivals[peer] > baseline
+            {
+                return Ok(true);
+            }
+            if let Some(err) = &inbox.dead[peer] {
+                return Err(err.clone());
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Ok(false);
+            }
+            let (guard, _) = self
+                .job
+                .cv
+                .wait_timeout(inbox, (timeout - waited).min(Duration::from_millis(20)))
+                .unwrap_or_else(|p| p.into_inner());
+            inbox = guard;
+        }
+    }
+
+    fn wait_any_inbound(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        let mut inbox = lock(&self.job.inbox);
+        let baseline = inbox.total_arrivals;
+        loop {
+            if inbox.total_arrivals > baseline
+                || inbox.stash.values().any(|q| !q.is_empty())
+            {
+                return true;
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return false;
+            }
+            let (guard, _) = self
+                .job
+                .cv
+                .wait_timeout(inbox, (timeout - waited).min(Duration::from_millis(20)))
+                .unwrap_or_else(|p| p.into_inner());
+            inbox = guard;
+        }
+    }
+
+    fn quiesce(&self, peers: &[usize]) {
+        // Same protocol as the TCP endpoint, on the job's quiesce lane:
+        // exchange a marker with every peer so nobody tears down while a
+        // peer's final frames are still queued behind the daemon's
+        // scheduler.
+        let marker = Encoded::new(
+            Shape::new(vec![1]),
+            bytes::Bytes::copy_from_slice(&[0x51]),
+        );
+        for &p in peers {
+            if p != self.node.rank && p < self.node.world {
+                let _ = self.send_tagged(p, QUIESCE_TAG, marker.clone());
+            }
+        }
+        for &p in peers {
+            if p != self.node.rank && p < self.node.world {
+                let _ = self.recv_tagged_deadline(p, QUIESCE_TAG, self.node.timeout);
+            }
+        }
+    }
+}
+
+impl Drop for NamespacedTransport {
+    fn drop(&mut self) {
+        let marker = Encoded::new(
+            Shape::new(vec![1]),
+            bytes::Bytes::copy_from_slice(&[0x44]),
+        );
+        // (0x44 = 'D' — inert; DETACH is recognised by tag, not payload.)
+        let mut st = lock(&self.node.state);
+        if !st.shutdown && !self.detached {
+            // Orderly detach: a control frame to every live peer, riding
+            // this job's own queue so it lands *after* all queued data
+            // (per-peer FIFO ⇒ delivery-safe).
+            for peer in 0..self.node.world {
+                if peer != self.node.rank && st.peer_dead[peer].is_none() {
+                    st.sched.enqueue(
+                        self.id,
+                        1,
+                        QueuedFrame {
+                            peer,
+                            tag: self.wire(DETACH_TAG),
+                            payload: marker.clone(),
+                        },
+                    );
+                }
+            }
+            st.detaching.insert(self.id);
+        }
+        drop(st);
+        self.node.work_cv.notify_all();
+        // `keepalive` (if any) drops after self, possibly shutting the
+        // daemon down once the last handle is gone.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgx_collectives::ShmFabric;
+
+    fn payload(byte: u8) -> Encoded {
+        Encoded::new(
+            Shape::new(vec![1]),
+            bytes::Bytes::copy_from_slice(&[byte]),
+        )
+    }
+
+    fn two_nodes() -> Vec<ServeNode> {
+        ShmFabric::build(2)
+            .into_iter()
+            .map(|t| ServeNode::new(Box::new(t), ServeConfig::default()))
+            .collect()
+    }
+
+    #[test]
+    fn admission_rejects_bad_duplicate_and_overflow() {
+        let fabric = ShmFabric::build(1);
+        let mut cfg = ServeConfig::default();
+        cfg.max_jobs = 2;
+        let node = ServeNode::new(Box::new(fabric.into_iter().next().unwrap()), cfg);
+        assert_eq!(
+            node.attach(JobSpec::new(0)).unwrap_err(),
+            ServeError::BadJobId { id: 0 }
+        );
+        assert_eq!(
+            node.attach(JobSpec::new(0xFE)).unwrap_err(),
+            ServeError::BadJobId { id: 0xFE }
+        );
+        let _a = node.attach(JobSpec::new(1)).unwrap();
+        assert_eq!(
+            node.attach(JobSpec::new(1)).unwrap_err(),
+            ServeError::DuplicateJob { id: 1 }
+        );
+        let _b = node.attach(JobSpec::new(2)).unwrap();
+        assert_eq!(
+            node.attach(JobSpec::new(3)).unwrap_err(),
+            ServeError::JobLimit { limit: 2 }
+        );
+        assert_eq!(node.attached_jobs(), 2);
+    }
+
+    #[test]
+    fn job_ids_are_single_use() {
+        let nodes = two_nodes();
+        let a = nodes[0].attach(JobSpec::new(5)).unwrap();
+        drop(a);
+        // Even after the job detaches and drains, its id cannot be reused.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            nodes[0].attach(JobSpec::new(5)).unwrap_err(),
+            ServeError::DuplicateJob { id: 5 }
+        );
+    }
+
+    #[test]
+    fn send_recv_round_trip_across_jobs() {
+        let nodes = two_nodes();
+        let a1 = nodes[0].attach(JobSpec::new(1)).unwrap();
+        let b1 = nodes[1].attach(JobSpec::new(1)).unwrap();
+        let a2 = nodes[0].attach(JobSpec::new(2)).unwrap();
+        let b2 = nodes[1].attach(JobSpec::new(2)).unwrap();
+        // Same job-local tag on both jobs: namespaces keep them apart.
+        a1.send_tagged(1, 7, payload(0x11)).unwrap();
+        a2.send_tagged(1, 7, payload(0x22)).unwrap();
+        let got2 = b2.recv_tagged(0, 7).unwrap();
+        let got1 = b1.recv_tagged(0, 7).unwrap();
+        assert_eq!(got1.payload().as_ref(), &[0x11]);
+        assert_eq!(got2.payload().as_ref(), &[0x22]);
+    }
+
+    #[test]
+    fn orphaned_frames_replay_on_attach() {
+        let nodes = two_nodes();
+        let a = nodes[0].attach(JobSpec::new(9)).unwrap();
+        a.send_tagged(1, 3, payload(0x33)).unwrap();
+        a.send_tagged(1, 3, payload(0x34)).unwrap();
+        // Give the pumps time to route into node 1's orphan buffer.
+        std::thread::sleep(Duration::from_millis(50));
+        let b = nodes[1].attach(JobSpec::new(9)).unwrap();
+        assert_eq!(b.recv_tagged(0, 3).unwrap().payload().as_ref(), &[0x33]);
+        assert_eq!(b.recv_tagged(0, 3).unwrap().payload().as_ref(), &[0x34]);
+    }
+
+    #[test]
+    fn detach_disconnects_peers_of_that_job_only() {
+        let nodes = two_nodes();
+        let a1 = nodes[0].attach(JobSpec::new(1)).unwrap();
+        let b1 = nodes[1].attach(JobSpec::new(1)).unwrap();
+        let a2 = nodes[0].attach(JobSpec::new(2)).unwrap();
+        let b2 = nodes[1].attach(JobSpec::new(2)).unwrap();
+        a1.send_tagged(1, 4, payload(0x55)).unwrap();
+        drop(a1);
+        // Stashed traffic from before the detach stays receivable...
+        assert_eq!(b1.recv_tagged(0, 4).unwrap().payload().as_ref(), &[0x55]);
+        // ...then the peer reads as disconnected.
+        match b1.recv_tagged(0, 4) {
+            Err(CommError::Disconnected { peer: 0 }) => {}
+            other => panic!("expected Disconnected from rank 0, got {other:?}"),
+        }
+        // Job 2 is untouched in both directions.
+        a2.send_tagged(1, 4, payload(0x66)).unwrap();
+        b2.send_tagged(0, 4, payload(0x77)).unwrap();
+        assert_eq!(b2.recv_tagged(0, 4).unwrap().payload().as_ref(), &[0x66]);
+        assert_eq!(a2.recv_tagged(1, 4).unwrap().payload().as_ref(), &[0x77]);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs_and_fails_sends() {
+        let nodes = two_nodes();
+        let a = nodes[0].attach(JobSpec::new(1)).unwrap();
+        // Request shutdown on node 0 out from under the handle.
+        {
+            let mut st = lock(&nodes[0].shared.state);
+            st.shutdown = true;
+        }
+        assert_eq!(
+            nodes[0].attach(JobSpec::new(2)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        match a.send_tagged(1, 1, payload(1)) {
+            Err(CommError::Disconnected { .. }) => {}
+            other => panic!("expected Disconnected on shutdown send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_job_queue_cap_gives_backpressure_not_failure() {
+        let fabric = ShmFabric::build(2);
+        let mut cfg = ServeConfig::default();
+        cfg.queue_bytes = 8; // tiny: every frame over 8 bytes relies on the
+                             // empty-queue escape hatch
+        let mut it = fabric.into_iter();
+        let n0 = ServeNode::new(Box::new(it.next().unwrap()), cfg.clone());
+        let n1 = ServeNode::new(Box::new(it.next().unwrap()), cfg);
+        let a = n0.attach(JobSpec::new(1)).unwrap();
+        let b = n1.attach(JobSpec::new(1)).unwrap();
+        let big = Encoded::new(
+            Shape::new(vec![32]),
+            bytes::Bytes::from(vec![0xAB; 32]),
+        );
+        // 32-byte frame exceeds the 8-byte cap but an empty queue admits it.
+        a.send_tagged(1, 2, big.clone()).unwrap();
+        a.send_tagged(1, 2, big.clone()).unwrap();
+        a.send_tagged(1, 2, big.clone()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(b.recv_tagged(0, 2).unwrap().payload().len(), 32);
+        }
+    }
+}

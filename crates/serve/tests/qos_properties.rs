@@ -1,0 +1,186 @@
+//! Property tests for the daemon's weighted deficit-round-robin QoS
+//! scheduler ([`DrrScheduler`]), pinning the three isolation invariants
+//! the multi-tenant design rests on:
+//!
+//! 1. **Work conservation** — with backlog present and no rate caps in
+//!    play, `next()` always yields a frame: shares are enforced by
+//!    ordering, never by idling the wire.
+//! 2. **No starvation** — every backlogged job is served within a bounded
+//!    number of frame dequeues, regardless of how skewed the weights or
+//!    frame sizes are.
+//! 3. **Weight convergence** — over a long busy period with deep equal
+//!    backlogs, each job's byte share converges to its weight share
+//!    within one quantum-per-round of slack.
+//!
+//! The scheduler is pure (the caller supplies the clock), so every case
+//! here is fully deterministic.
+
+use cgx_serve::{jain_index, Dequeue, DrrScheduler};
+use proptest::prelude::*;
+
+/// Drains until `Idle`/`Throttled`, returning `(job, size)` in order.
+fn drain(s: &mut DrrScheduler<u32>, limit: usize) -> Vec<(u8, u64)> {
+    let mut out = Vec::new();
+    for _ in 0..limit {
+        match s.next(0) {
+            Dequeue::Frame { job, size, .. } => out.push((job, size)),
+            _ => break,
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn work_conserving_without_rate_caps(
+        quantum in 1u64..=4096,
+        njobs in 1usize..=6,
+        sizes in prop::collection::vec(1u64..=65536, 1..40),
+    ) {
+        let mut s = DrrScheduler::new(quantum);
+        for j in 0..njobs {
+            s.register(j as u8 + 1, (j as u64 % 5) + 1, None);
+        }
+        let mut total = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            let job = (i % njobs) as u8 + 1;
+            s.enqueue(job, size, i as u32);
+            total += size;
+        }
+        // Every queued frame must come out, with no Idle/Throttled gap in
+        // between: uncapped DRR never leaves backlog unserved.
+        let mut drained = 0u64;
+        for _ in 0..sizes.len() {
+            let got = match s.next(0) {
+                Dequeue::Frame { size, .. } => Some(size),
+                _ => None,
+            };
+            prop_assert!(got.is_some(), "scheduler stalled with backlog present");
+            drained += got.unwrap();
+        }
+        prop_assert_eq!(drained, total);
+        prop_assert!(s.is_empty());
+        prop_assert!(matches!(s.next(0), Dequeue::Idle));
+    }
+
+    #[test]
+    fn no_job_starves(
+        quantum in 1u64..=1024,
+        heavy_weight in 1u64..=64,
+        heavy_size in 1u64..=65536,
+        light_size in 1u64..=65536,
+    ) {
+        // A heavy job with a deep queue of large frames against a light
+        // weight-1 job with one frame: the light job must be served within
+        // a bounded number of dequeues (one round's worth, i.e. at most
+        // the heavy job's burst allowance per round, repeated for however
+        // many rounds the light frame needs to accrue deficit — bounded by
+        // size/quantum + 1 rounds).
+        let mut s = DrrScheduler::new(quantum);
+        s.register(1, heavy_weight, None);
+        s.register(2, 1, None);
+        for i in 0..4096u32 {
+            s.enqueue(1, heavy_size, i);
+        }
+        s.enqueue(2, light_size, 0);
+        let rounds_needed = light_size / quantum + 1;
+        // Per round the heavy job can move at most quantum*weight bytes
+        // plus one full frame of overshoot.
+        let heavy_frames_per_round = (quantum * heavy_weight) / heavy_size + 2;
+        let bound = (rounds_needed * heavy_frames_per_round + 2) as usize;
+        let mut served_light = false;
+        let mut stalled = false;
+        for _ in 0..bound {
+            match s.next(0) {
+                Dequeue::Frame { job: 2, .. } => {
+                    served_light = true;
+                    break;
+                }
+                Dequeue::Frame { .. } => {}
+                _ => {
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(!stalled, "scheduler stalled while the light job waited");
+        prop_assert!(
+            served_light,
+            "light job not served within {} dequeues (quantum {}, heavy weight {}, heavy {}B, light {}B)",
+            bound, quantum, heavy_weight, heavy_size, light_size
+        );
+    }
+
+    #[test]
+    fn byte_shares_converge_to_weights(
+        quantum in 64u64..=4096,
+        w1 in 1u64..=8,
+        w2 in 1u64..=8,
+        w3 in 1u64..=8,
+        frame in 16u64..=2048,
+    ) {
+        let weights = [w1, w2, w3];
+        let mut s = DrrScheduler::new(quantum);
+        for (i, &w) in weights.iter().enumerate() {
+            s.register(i as u8 + 1, w, None);
+        }
+        // Deep equal backlogs, then serve a long busy period.
+        let frames_per_job = 4096usize;
+        for i in 0..frames_per_job {
+            for j in 0..3u8 {
+                s.enqueue(j + 1, frame, i as u32);
+            }
+        }
+        let budget = frames_per_job; // far below total backlog: all busy
+        let served = drain(&mut s, budget);
+        prop_assert_eq!(served.len(), budget, "work conservation during busy period");
+        let wsum: u64 = weights.iter().sum();
+        let total: u64 = served.iter().map(|&(_, b)| b).sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let got: u64 = s.sent_bytes(i as u8 + 1);
+            let want = total as f64 * w as f64 / wsum as f64;
+            // One round of slack: each round a job may overshoot its grant
+            // by at most one frame, and the busy period spans
+            // total/(quantum*wsum) rounds minimum.
+            let rounds = (total / (quantum * wsum) + 1) as f64;
+            let slack = rounds * frame as f64 + (quantum * w) as f64 + frame as f64;
+            prop_assert!(
+                (got as f64 - want).abs() <= slack,
+                "job {} got {} bytes, want {:.0} ± {:.0} (weights {:?}, quantum {}, frame {})",
+                i + 1, got, want, slack, weights, quantum, frame
+            );
+        }
+    }
+
+    #[test]
+    fn equal_weights_are_jain_fair(
+        quantum in 64u64..=4096,
+        frame in 16u64..=2048,
+        njobs in 2usize..=8,
+    ) {
+        let mut s = DrrScheduler::new(quantum);
+        for j in 0..njobs {
+            s.register(j as u8 + 1, 1, None);
+        }
+        // Budget spans ~4 full rounds so a mid-round cut can skew any
+        // job's share by at most one visit out of four.
+        let per_visit = (quantum / frame) as usize + 1;
+        let budget = njobs * per_visit * 4;
+        let frames_per_job = per_visit * 8;
+        for i in 0..frames_per_job {
+            for j in 0..njobs {
+                s.enqueue(j as u8 + 1, frame, i as u32);
+            }
+        }
+        let served = drain(&mut s, budget);
+        prop_assert_eq!(served.len(), budget);
+        let shares: Vec<f64> = (0..njobs)
+            .map(|j| s.sent_bytes(j as u8 + 1) as f64)
+            .collect();
+        let jain = jain_index(&shares);
+        prop_assert!(
+            jain > 0.95,
+            "equal-weight shares should be near-perfectly fair, Jain={jain:.4} shares={shares:?}"
+        );
+    }
+}

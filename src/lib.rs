@@ -28,7 +28,10 @@
 //!   communication-primitive level over fused buffers;
 //! * [`net`] — the TCP fabric: socket-backed transport, rendezvous
 //!   bootstrap, the `cgx-launch` multi-process launcher, and node-aware
-//!   hierarchical reduction topologies.
+//!   hierarchical reduction topologies;
+//! * [`serve`] — CGX as a service: the `cgx-serve` multi-tenant daemon
+//!   that shares one transport mesh between many jobs with per-job tag
+//!   namespaces, weighted-DRR QoS shaping, and admission control.
 //!
 //! # Quickstart
 //!
@@ -76,5 +79,6 @@ pub use cgx_engine as engine;
 pub use cgx_models as models;
 pub use cgx_net as net;
 pub use cgx_qnccl as qnccl;
+pub use cgx_serve as serve;
 pub use cgx_simnet as simnet;
 pub use cgx_tensor as tensor;
